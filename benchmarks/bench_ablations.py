@@ -1,0 +1,128 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+1. Generation-law choice (deviation 1): Table-3 agreement under each
+   candidate exponent law — the reason SHRINK_LOG is the default.
+2. Yield-model choice: how much the classical models disagree at
+   Table-3 operating points (why the paper's simple Poisson-family
+   treatment suffices for cost *trends*).
+3. Redundancy on/off: the Scenario-#1 vs Scenario-#2 hinge (S1.2) in
+   numbers.
+4. Test-cost inclusion: how much the Sec.-III.A.e term shifts C_tr.
+"""
+
+import math
+
+from conftest import emit
+from repro.analysis import ascii_table
+from repro.core import GenerationModel, TransistorCostModel, WaferCostModel, \
+    evaluate_catalog
+from repro.core.diversity import agreement_statistics
+from repro.geometry import Die, Wafer, dies_per_wafer_maly
+from repro.manufacturing import TestCostModel
+from repro.yieldsim import (
+    BoseEinsteinYield,
+    MurphyYield,
+    NegativeBinomialYield,
+    PoissonYield,
+    RedundantMemoryYield,
+    SeedsYield,
+)
+
+
+def _generation_law_ablation():
+    rows = []
+    for law in GenerationModel:
+        stats = agreement_statistics(evaluate_catalog(generation_model=law))
+        rows.append((law.value, stats["mean_abs_log_error"],
+                     stats["max_abs_log_error"], stats["modeled_spread"]))
+    return rows
+
+
+def test_ablation_generation_law(benchmark):
+    rows = benchmark(_generation_law_ablation)
+    emit("Ablation 1 — eq.-(3) exponent law vs Table-3 agreement",
+         ascii_table(("law", "mean |log err|", "max |log err|", "spread"),
+                     rows))
+    by_law = {name: mean for name, mean, _, _ in rows}
+    # The default must win, and the printed exponent must be clearly worse.
+    assert by_law["shrink-log"] == min(by_law.values())
+    assert by_law["printed"] > 2.0 * by_law["shrink-log"]
+
+
+def test_ablation_yield_model_family(benchmark):
+    """Classical yield models at a Table-3 operating point (m ~ 1)."""
+    models = {
+        "poisson (eq. 6)": PoissonYield(),
+        "murphy": MurphyYield(),
+        "seeds": SeedsYield(),
+        "bose-einstein n=3": BoseEinsteinYield(n_layers=3),
+        "neg-binomial a=2": NegativeBinomialYield(alpha=2.0),
+    }
+    area, d0 = 1.0, 1.0  # the Scenario-#2 reference die at D0 ~ 1/cm^2
+
+    def compute():
+        return {name: m.yield_for_area(area, d0)
+                for name, m in models.items()}
+
+    yields = benchmark(compute)
+    emit("Ablation 2 — yield model family at A=1 cm^2, D0=1 /cm^2",
+         ascii_table(("model", "yield"), list(yields.items())))
+    # Ordering and spread: Poisson most pessimistic; the family spans
+    # less than 2x at m=1, so cost *trends* are model-robust.
+    assert yields["poisson (eq. 6)"] == min(yields.values())
+    assert max(yields.values()) / min(yields.values()) < 2.0
+
+
+def test_ablation_redundancy(benchmark):
+    """S1.2: 'only memories enjoy the benefits of redundancy'."""
+    die_area = 0.5
+    density = 2.5  # defects/cm^2 — an immature process
+
+    def compute():
+        mem = RedundantMemoryYield(array_area_cm2=0.95 * die_area,
+                                   periphery_area_cm2=0.05 * die_area,
+                                   n_blocks=32, spares_per_block=4)
+        return mem.unrepaired_yield(density), mem.yield_for_density(density)
+
+    unrepaired, repaired = benchmark(compute)
+    emit("Ablation 3 — redundancy on/off at D0=2.5 /cm^2, 0.5 cm^2 die",
+         ascii_table(("configuration", "yield"),
+                     [("logic (no repair possible)", unrepaired),
+                      ("memory with spares", repaired)]))
+    assert unrepaired < 0.35
+    assert repaired > 0.9
+    # This is why Scenario #1 (memories) could assume ~100% mature yield
+    # while Scenario #2 (logic) could not.
+
+
+def test_ablation_test_cost_inclusion(benchmark):
+    """Sec. III.A.e: folding probe cost into the wafer cost."""
+    model = TransistorCostModel(
+        wafer_cost=WaferCostModel(reference_cost_dollars=700.0,
+                                  cost_growth_rate=1.8),
+        wafer=Wafer(radius_cm=7.5))
+    tester = TestCostModel()
+    n_tr, lam, d_d = 3.1e6, 0.8, 150.0
+
+    def compute():
+        b = model.evaluate(n_transistors=n_tr, feature_size_um=lam,
+                           design_density=d_d, yield_value=0.7)
+        die = Die.from_transistor_count(n_tr, d_d, lam)
+        n_ch = dies_per_wafer_maly(model.wafer, die)
+        probe_per_wafer = tester.wafer_test_cost(n_tr, n_ch)
+        ctr_with_test = (b.wafer_cost_dollars + probe_per_wafer) \
+            / (n_ch * n_tr * 0.7)
+        return b.cost_per_transistor_dollars, ctr_with_test, \
+            probe_per_wafer, b.wafer_cost_dollars
+
+    ctr, ctr_t, probe, wafer_cost = benchmark(compute)
+    emit("Ablation 4 — test cost folded into eq. (1) (BiCMOS uP row)",
+         ascii_table(("quantity", "value"), [
+             ("wafer manufacturing cost [$]", wafer_cost),
+             ("wafer probe cost [$]", probe),
+             ("C_tr without test [$1e-6]", ctr * 1e6),
+             ("C_tr with test [$1e-6]", ctr_t * 1e6),
+             ("test share of total", 1.0 - ctr / ctr_t),
+         ]))
+    assert ctr_t > ctr
+    assert 0.0 < 1.0 - ctr / ctr_t < 0.5  # material but not dominant here

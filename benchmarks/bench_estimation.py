@@ -1,0 +1,64 @@
+"""Extension bench — recovering the [26]-style fitted constants.
+
+The paper's Fig.-8 fab is characterized by constants "extracted from a
+real manufacturing operation" [26].  This bench performs the same
+extraction on our own simulator: generate wafer-map lots with known
+(D, α), estimate back, and report the recovery error — the estimator
+validation a fab methodology paper would publish.
+"""
+
+import math
+
+import numpy as np
+
+from conftest import emit
+from repro.analysis import ascii_table
+from repro.geometry import Die, Wafer
+from repro.yieldsim import SpotDefectSimulator, clustering_detected, fit_lot
+
+WAFER = Wafer(radius_cm=7.5)
+DIE = Die.square(1.0)
+
+CASES = (
+    ("clean Poisson", 0.4, None),
+    ("dirty Poisson", 2.0, None),
+    ("clustered a=1", 1.0, 1.0),
+    ("clustered a=3", 1.0, 3.0),
+)
+
+
+def _compute():
+    rng = np.random.default_rng(31)
+    rows = []
+    for name, density, alpha in CASES:
+        sim = SpotDefectSimulator(WAFER, DIE,
+                                  defect_density_per_cm2=density,
+                                  clustering_alpha=alpha)
+        lot = sim.simulate_lot(60, rng)
+        report = fit_lot(lot, DIE.area_cm2)
+        rows.append((name, density,
+                     report.density_mle_per_cm2,
+                     "inf" if alpha is None else alpha,
+                     "inf" if math.isinf(report.clustering_alpha)
+                     else round(report.clustering_alpha, 2),
+                     clustering_detected(lot)))
+    return rows
+
+
+def test_parameter_recovery(benchmark):
+    rows = benchmark(_compute)
+    emit("Extension — (D, alpha) recovery from simulated wafer maps",
+         ascii_table(("case", "true D", "est D", "true alpha",
+                      "est alpha", "clustering detected"), rows))
+
+    by_name = {r[0]: r for r in rows}
+    # Density recovered within 25% in every case.
+    for name, true_d, est_d, *_ in rows:
+        assert abs(est_d - true_d) / true_d < 0.25, name
+    # Clustering verdicts correct on all four cases.
+    assert not by_name["clean Poisson"][5]
+    assert not by_name["dirty Poisson"][5]
+    assert by_name["clustered a=1"][5]
+    assert by_name["clustered a=3"][5]
+    # Fitted alpha for the a=1 case lands in a sane band.
+    assert 0.4 < float(by_name["clustered a=1"][4]) < 2.5

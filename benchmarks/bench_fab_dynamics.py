@@ -1,0 +1,48 @@
+"""Extension bench — cycle time vs. loading (the CIM/flexible-fab thread).
+
+The queueing reality behind Sec. III.A.d and Phase 2's "flexible
+fabline control": pushing starts toward capacity explodes cycle time
+and WIP nonlinearly, so a fab cannot simply 'run everything at 100%'.
+The bench sweeps the start rate and prints the hockey stick.
+"""
+
+from conftest import emit
+from repro.analysis import ascii_table
+from repro.manufacturing import CycleTimeCost, FabDynamics
+from repro.manufacturing.equipment import ProcessFlow
+from repro.manufacturing.product_mix import size_equipment_for_flow
+
+FLOW = ProcessFlow.generic_cmos(n_metal_layers=2)
+EQUIPMENT = size_equipment_for_flow(FLOW, 3000.0)
+RATES_PER_HOUR = (4.0, 8.0, 12.0, 16.0, 19.0, 20.8)
+
+
+def _compute():
+    pricing = CycleTimeCost(revenue_per_wafer_dollars=3000.0,
+                            revenue_decay_per_month=0.03)
+    rows = []
+    for rate in RATES_PER_HOUR:
+        dyn = FabDynamics(equipment=EQUIPMENT, flow=FLOW,
+                          wafer_starts_per_hour=rate)
+        bott = dyn.bottleneck()
+        rows.append((rate, bott.utilization, dyn.x_factor(),
+                     dyn.wip_wafers(),
+                     pricing.cost_per_wafer(dyn.cycle_time_hours())))
+    return rows
+
+
+def test_cycle_time_hockey_stick(benchmark):
+    rows = benchmark(_compute)
+    emit("Extension — cycle time vs fab loading (M/M/c network)",
+         ascii_table(("starts/hour", "bottleneck util", "x-factor",
+                      "WIP [wafers]", "time cost per wafer [$]"), rows))
+
+    x_factors = [x for _, _, x, _, _ in rows]
+    wip = [w for _, _, _, w, _ in rows]
+    # Monotone and convex: the last loading step costs more x-factor
+    # than all the earlier steps combined.
+    assert x_factors == sorted(x_factors)
+    assert (x_factors[-1] - x_factors[-2]) > (x_factors[-2] - x_factors[0])
+    assert wip == sorted(wip)
+    # Near saturation, the x-factor exceeds the well-run-fab band floor.
+    assert x_factors[-1] > 2.0

@@ -1,0 +1,26 @@
+"""Fig. 1 — minimum feature size vs. year.
+
+Paper claim: exponential shrink; ~1 µm at the turn of the 1990s,
+heading to 0.25 µm by the mid/late 1990s.
+"""
+
+import numpy as np
+
+from conftest import emit_figure
+from repro.analysis import fig1_feature_size
+
+
+def test_fig1_feature_size_trend(benchmark):
+    data = benchmark(fig1_feature_size)
+    emit_figure(data)
+
+    lam = data.series["feature size"]
+    # Shape claims: strictly shrinking, exponential (straight in log),
+    # with the 1 um crossing near 1989.
+    assert np.all(np.diff(lam) < 0)
+    log_lam = np.log(lam)
+    slope, _ = np.polyfit(data.x, log_lam, 1)
+    residual = log_lam - (slope * data.x + (log_lam - slope * data.x).mean())
+    assert np.abs(residual).max() < 0.05  # clean exponential
+    year_at_1um = float(np.interp(0.0, -log_lam, data.x))
+    assert 1988.0 < year_at_1um < 1990.0

@@ -1,0 +1,22 @@
+"""Fig. 2 — fabline and wafer cost vs. year.
+
+Paper claims: fab cost grows exponentially toward $1B per fabline; the
+X read off the wafer-cost curve is 1.2–1.4 per generation.
+"""
+
+from conftest import emit_figure
+from repro.analysis import fig2_fab_cost
+from repro.technology import FABLINE_COST_HISTORY, extract_cost_growth_rate
+from repro.technology.fabline import WAFER_COST_HISTORY
+
+
+def test_fig2_fab_and_wafer_cost(benchmark):
+    data = benchmark(fig2_fab_cost)
+    emit_figure(data)
+
+    fab = data.series["fab cost [$M]"]
+    assert fab[-1] >= 1000.0  # the $1B fabline
+    x_wafer = extract_cost_growth_rate(WAFER_COST_HISTORY)
+    x_fab = extract_cost_growth_rate(FABLINE_COST_HISTORY)
+    assert 1.2 <= x_wafer <= 1.4  # the paper's Fig.-2 band
+    assert x_fab > x_wafer        # capital outruns wafer cost

@@ -1,0 +1,30 @@
+"""Fig. 4 — manufacturing steps and required defect density per generation.
+
+Paper claims: step count rises with each generation while the defect
+density required for acceptable yield falls by orders of magnitude —
+the twin drivers of the eq.-(3) cost growth.
+"""
+
+import numpy as np
+
+from conftest import emit_figure
+from repro.analysis import fig4_steps_and_defects
+
+
+def test_fig4_steps_and_required_density(benchmark):
+    data = benchmark(fig4_steps_and_defects)
+    emit_figure(data)
+
+    lam = data.x
+    order = np.argsort(lam)  # coarse -> fine is descending lam
+    steps = data.series["process steps"][order]
+    density = data.series["required defect density [1/cm^2]"][order]
+
+    # Steps grow monotonically toward finer nodes.
+    assert np.all(np.diff(steps) < 0) or np.all(np.diff(steps[::-1]) < 0)
+    fine_to_coarse_steps = steps[0] / steps[-1]
+    assert fine_to_coarse_steps > 1.3  # tens of percent more steps
+
+    # Required density falls by orders of magnitude over the sweep.
+    assert density[0] < density[-1]
+    assert density[-1] / density[0] > 50.0

@@ -1,0 +1,36 @@
+"""Fig. 5 — defect size distribution.
+
+Paper claims: density peaks at R₀ and decays as 1/R^p (p ≈ 4–5);
+consequence: "the decrease in the minimum feature size rapidly
+increases the number of defects which may cause faults."
+"""
+
+import numpy as np
+
+from conftest import emit_figure
+from repro.analysis import fig5_defect_distribution
+from repro.yieldsim import DefectSizeDistribution
+
+
+def test_fig5_distribution_and_critical_fraction(benchmark):
+    data = benchmark(fig5_defect_distribution)
+    emit_figure(data)
+
+    pdf = data.series["pdf f(R)"]
+    surv = data.series["P(R > r) (critical fraction)"]
+    peak_idx = int(np.argmax(pdf))
+    # Peak at R0 = 0.2 um, interior to the sweep.
+    assert 0 < peak_idx < len(pdf) - 1
+    assert data.x[peak_idx] == np.float64(data.x[peak_idx])
+    assert abs(data.x[peak_idx] - 0.2) < 0.05
+
+    # Power-law tail: pdf(2r)/pdf(r) = 2^-p deep in the tail.
+    dist = DefectSizeDistribution(r0_um=0.2, p=4.07)
+    ratio = float(dist.pdf(1.6)) / float(dist.pdf(0.8))
+    assert abs(ratio - 2.0 ** -4.07) < 1e-9
+
+    # The paper's punchline: halving the kill radius multiplies the
+    # killer population severalfold.
+    scale = dist.fault_density_scale(0.25, 0.5)
+    assert scale > 3.0
+    assert np.all(np.diff(surv) <= 1e-12)

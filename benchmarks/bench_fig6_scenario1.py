@@ -1,0 +1,32 @@
+"""Fig. 6 — cost per transistor under Scenario #1 (X = 1.1/1.2/1.3).
+
+Paper claim: with C₀ = $500, d_d = 30, R_w = 7.5 cm and perfect yield,
+"C_tr goes down when feature size decreases" for every modest X — the
+historical regime that made shrink synonymous with cheaper.
+"""
+
+import numpy as np
+
+from conftest import emit_figure
+from repro.analysis import fig6_scenario1
+
+
+def test_fig6_scenario1_curves(benchmark):
+    data = benchmark(fig6_scenario1)
+    emit_figure(data)
+
+    for name, ys in data.series.items():
+        # Cost strictly increases with lambda = strictly falls with shrink.
+        assert np.all(np.diff(ys) > 0), name
+
+    # Magnitudes: ~0.85e-6 $ at 1 um (C0*d_d/A_w); ~10x cheaper at 0.25 um.
+    x12 = data.series["X=1.2"]
+    at_1um = x12[-1]
+    at_025 = x12[0]
+    assert abs(at_1um - 0.85) / 0.85 < 0.05
+    assert 4.0 < at_1um / at_025 < 30.0
+
+    # Higher X erodes but does not reverse the gain in this band.
+    x13 = data.series["X=1.3"]
+    x11 = data.series["X=1.1"]
+    assert np.all(x13 >= x11)

@@ -1,0 +1,29 @@
+"""Fig. 7 — cost per transistor under Scenario #2 (X = 1.8/2.1/2.4).
+
+Paper claim: with the growing-die trend and 70%-per-cm² yield, "a
+decrease in the feature size causes an increase in the transistor
+cost!" — the paper's central warning.
+"""
+
+import numpy as np
+
+from conftest import emit_figure
+from repro.analysis import fig6_scenario1, fig7_scenario2
+
+
+def test_fig7_scenario2_curves(benchmark):
+    data = benchmark(fig7_scenario2)
+    emit_figure(data)
+
+    for name, ys in data.series.items():
+        # Cost at the fine end exceeds the coarse end for every X.
+        assert ys[0] > ys[-1], name
+
+    # The increase is dramatic at high X (>5x over the sweep).
+    x24 = data.series["X=2.4"]
+    assert x24[0] / x24[-1] > 5.0
+
+    # Crossover behavior vs Scenario #1: same lambda, the realistic
+    # scenario is costlier everywhere (higher density design + yield loss).
+    s1 = fig6_scenario1()
+    assert data.series["X=1.8"].min() > s1.series["X=1.3"].max()

@@ -1,0 +1,53 @@
+"""Extension bench — packaging-strategy crossovers (Sec. VI).
+
+"Typical MCMs are seen as more expensive way to package small and
+medium size systems" — because they ARE, for small systems: the bench
+sweeps the system transistor budget and shows the winner sequence
+single chip → MCM → board, with the single-chip option collapsing
+exponentially once the die outgrows the yieldable size.
+"""
+
+import math
+
+from conftest import emit
+from repro.analysis import ascii_table
+from repro.system import PackagingCostModel, PackagingStrategy, crossover_points
+
+MODEL = PackagingCostModel()
+BUDGETS = (1e5, 3e5, 1e6, 3e6, 8e6)
+
+
+def _compute():
+    rows = []
+    for budget, winner, best_cost in crossover_points(MODEL, BUDGETS):
+        costs = {s: MODEL.packaging_cost(s, budget)
+                 for s in PackagingStrategy}
+        rows.append((budget,
+                     costs[PackagingStrategy.SINGLE_CHIP],
+                     costs[PackagingStrategy.MCM],
+                     costs[PackagingStrategy.BOARD],
+                     winner.value))
+    return rows
+
+
+def test_packaging_crossover(benchmark):
+    rows = benchmark(_compute)
+    printable = [(b,
+                  s if math.isfinite(s) and s < 1e6 else float("inf"),
+                  m, brd, w)
+                 for b, s, m, brd, w in rows]
+    emit("Extension — packaging strategy vs system size",
+         ascii_table(("transistors", "single chip [$]", "MCM [$]",
+                      "board [$]", "winner"), printable))
+
+    winners = [w for *_, w in rows]
+    assert winners[0] == PackagingStrategy.SINGLE_CHIP.value
+    assert PackagingStrategy.MCM.value in winners
+    # Single chip never wins again after losing once.
+    first_loss = next(i for i, w in enumerate(winners)
+                      if w != PackagingStrategy.SINGLE_CHIP.value)
+    assert all(w != PackagingStrategy.SINGLE_CHIP.value
+               for w in winners[first_loss:])
+    # The single-chip option collapses by orders of magnitude at 8M.
+    last = rows[-1]
+    assert last[1] > 100.0 * last[2]

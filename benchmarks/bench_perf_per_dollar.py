@@ -1,0 +1,62 @@
+"""Extension bench — performance per dollar under the two scenarios.
+
+The paper's core sentence: "the transistor size decrease may not
+provide simultaneous performance and cost gains."  Joining Dennard
+frequency scaling to the cost scenarios quantifies it: under Scenario
+#1, shrink multiplies performance-per-dollar; under Scenario #2 at high
+X, the cost increase overwhelms even the speed gain and the ratio drops
+below 1 — shrink becomes irrational for *any* objective.
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.analysis import ascii_table
+from repro.core import SCENARIO_1, SCENARIO_2
+from repro.technology import DENNARD, performance_per_dollar, \
+    tolerable_cost_increase
+
+NODES = (1.0, 0.8, 0.65, 0.5, 0.35)
+
+
+def _compute():
+    rows = []
+    for lam in NODES[1:]:
+        c1_old = SCENARIO_1.cost_dollars(1.0, 1.2)
+        c1_new = SCENARIO_1.cost_dollars(lam, 1.2)
+        c2_old = SCENARIO_2.cost_dollars(1.0, 2.4)
+        c2_new = SCENARIO_2.cost_dollars(lam, 2.4)
+        rows.append((
+            lam,
+            tolerable_cost_increase(1.0, lam),
+            c1_new / c1_old,
+            performance_per_dollar(c1_old, c1_new, 1.0, lam),
+            c2_new / c2_old,
+            performance_per_dollar(c2_old, c2_new, 1.0, lam),
+        ))
+    return rows
+
+
+def test_performance_per_dollar(benchmark):
+    rows = benchmark(_compute)
+    emit("Extension — shrink from 1.0 um: cost growth vs the frequency "
+         "gain it must beat (Dennard scaling)",
+         ascii_table(("to lambda [um]", "tolerable cost growth",
+                      "scen1 cost growth", "scen1 perf/$ gain",
+                      "scen2 cost growth", "scen2 perf/$ gain"), rows))
+
+    final = rows[-1]  # shrink to 0.35 um
+    _, tolerable, s1_cost, s1_ppd, s2_cost, s2_ppd = final
+    # Scenario 1: cost falls outright, so perf/$ gain is large.
+    assert s1_cost < 1.0
+    assert s1_ppd > tolerable
+    # Scenario 2 at X=2.4: cost growth exceeds what frequency can absorb
+    # — shrink loses performance-per-dollar.
+    assert s2_cost > tolerable
+    assert s2_ppd < 1.0
+    # There is a crossover along the shrink path: a mild shrink still
+    # pays in perf/$, a deep one loses — exactly the interior-optimum
+    # structure of Fig. 8, restated in performance terms.
+    s2_series = [r[5] for r in rows]
+    assert s2_series[0] > 1.0
+    assert s2_series[-1] < 1.0

@@ -1,0 +1,25 @@
+"""Table 2 — design densities across a spectrum of ICs [23, 24].
+
+Paper data: 17 products from 16 Mb SRAM (17.8) to a 1.2k-gate PLD
+(2631) — two orders of magnitude of layout density.
+"""
+
+from conftest import emit_table
+from repro.analysis import table2
+from repro.technology.density import PRODUCT_DENSITIES, density_class
+
+
+def test_table2_product_densities(benchmark):
+    data = benchmark(table2)
+    emit_table(data)
+
+    dds = data.column("d_d [lambda^2/tr]")
+    assert max(dds) / min(dds) > 100.0  # two-orders-of-magnitude spread
+
+    # Classification sanity over the whole catalog.
+    classes = {density_class(p.d_d) for p in PRODUCT_DENSITIES}
+    assert {"memory", "logic", "programmable"} <= classes
+
+    memories = [p.d_d for p in PRODUCT_DENSITIES if "RAM" in p.name]
+    processors = [p.d_d for p in PRODUCT_DENSITIES if p.name.startswith("uP")]
+    assert max(memories) < min(processors)

@@ -1,0 +1,37 @@
+"""Table 3 — cost per transistor across 17 product-manufacturing scenarios.
+
+The paper's quantitative centerpiece: the same eq.-(1)+(3)+(4) model fed
+per-product parameters spans 0.93 to 240 micro-dollars per transistor.
+The bench regenerates every row, prints model-vs-paper side by side, and
+asserts the agreement band recorded in EXPERIMENTS.md.
+"""
+
+import math
+
+from conftest import emit, emit_table
+from repro.analysis import table3
+from repro.core import evaluate_catalog
+from repro.core.diversity import agreement_statistics
+
+
+def test_table3_cost_per_transistor(benchmark):
+    data = benchmark(table3)
+    emit_table(data)
+
+    results = evaluate_catalog()
+    stats = agreement_statistics(results)
+    emit("Table 3 agreement statistics",
+         "\n".join(f"  {k} = {v:.4g}" for k, v in stats.items()))
+
+    # Agreement band (non-reconstructed rows): mean |log err| < 0.30,
+    # every row within 2x.
+    assert stats["mean_abs_log_error"] < 0.30
+    assert stats["max_abs_log_error"] < math.log(2.0)
+
+    # Diversity: modeled spread within 2x of the published 258x spread.
+    assert stats["modeled_spread"] > 100.0
+
+    # Winner structure: memories cheapest, PLD dearest.
+    ordered = sorted(results, key=lambda r: r.ctr_microdollars)
+    assert ordered[0].spec.product_class.has_redundancy
+    assert ordered[-1].spec.product_class.name == "PLD"

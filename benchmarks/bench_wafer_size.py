@@ -1,0 +1,64 @@
+"""Extension bench — the wafer-size lever and its uniformity tax.
+
+Two of the paper's claims meet here:
+
+* Table 3 rows 13 vs 14: moving the 256 Mb DRAM from 6-inch to 8-inch
+  wafers (at the same yield assumption) changes C_tr — the bench
+  reproduces the direction at fixed yield.
+* S.1.1's caveat: "X may grow due to the wafer size increase" because
+  "larger wafers are more difficult to process (process uniformity and
+  stability issues)" — quantified by the radial-gradient penalty on the
+  ideal site gain.
+"""
+
+from conftest import emit
+from repro.analysis import ascii_table
+from repro.core import TransistorCostModel, WaferCostModel
+from repro.geometry import Die, Wafer
+from repro.yieldsim import RadialDefectProfile, wafer_size_penalty
+
+
+def _compute():
+    # Part 1: pure geometry gain at fixed yield (rows 13 vs 14 logic).
+    model_small = TransistorCostModel(
+        wafer_cost=WaferCostModel(reference_cost_dollars=600.0,
+                                  cost_growth_rate=1.8),
+        wafer=Wafer(radius_cm=7.5))
+    model_large = TransistorCostModel(
+        wafer_cost=model_small.wafer_cost, wafer=Wafer(radius_cm=10.0))
+    kwargs = dict(n_transistors=264e6, feature_size_um=0.25,
+                  design_density=29.0, yield_value=0.9)
+    c_small = model_small.evaluate(**kwargs)
+    c_large = model_large.evaluate(**kwargs)
+
+    # Part 2: the uniformity tax on the ideal gain.
+    die = Die.square(1.2)
+    penalties = [(g, wafer_size_penalty(
+        RadialDefectProfile(center_density_per_cm2=0.6, edge_gradient=g),
+        die)) for g in (0.0, 0.5, 1.0, 2.0)]
+    return c_small, c_large, penalties
+
+
+def test_wafer_size_lever(benchmark):
+    c_small, c_large, penalties = benchmark(_compute)
+
+    emit("Extension — wafer size: geometry gain and uniformity tax",
+         ascii_table(("quantity", "6-inch", "8-inch"), [
+             ("dies per wafer", float(c_small.dies_per_wafer),
+              float(c_large.dies_per_wafer)),
+             ("C_tr [$1e-6]", c_small.cost_per_transistor_microdollars,
+              c_large.cost_per_transistor_microdollars),
+         ])
+         + "\n\nuniformity tax (share of ideal good-die gain lost):\n"
+         + ascii_table(("edge gradient g", "penalty"), penalties))
+
+    # Fixed yield: the bigger wafer wins on geometry.
+    assert c_large.cost_per_transistor_microdollars < \
+        c_small.cost_per_transistor_microdollars
+    # Sites grow superlinearly vs the area ratio's edge effects.
+    assert c_large.dies_per_wafer > 1.6 * c_small.dies_per_wafer
+    # The uniformity tax is zero without a gradient and grows with it.
+    taxes = [p for _, p in penalties]
+    assert abs(taxes[0]) < 1e-9
+    assert taxes == sorted(taxes)
+    assert taxes[-1] > 0.01

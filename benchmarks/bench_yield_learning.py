@@ -1,0 +1,49 @@
+"""Extension bench — yield learning economics (Sec. VI's "rapid yield
+learning" priced out).
+
+A DRAM-like ramp: defect density decays 5 -> 0.5 /cm^2 with tau = 6
+months.  The bench prints the yield ramp, program profit, and the
+dollar value of learning twice as fast — the number that justifies the
+paper's call for "computer aids in rapid yield learning".
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.analysis import ascii_chart, ascii_table
+from repro.yieldsim import RampEconomics, YieldLearningCurve
+
+CURVE = YieldLearningCurve(initial_density_per_cm2=5.0,
+                           mature_density_per_cm2=0.5,
+                           time_constant_months=6.0)
+RAMP = RampEconomics(curve=CURVE, die_area_cm2=1.0, dies_per_wafer=120,
+                     wafers_per_month=2000.0, wafer_cost_dollars=800.0,
+                     die_price_dollars=40.0, window_months=24.0)
+
+
+def _compute():
+    months = np.linspace(0.0, 24.0, 25)
+    yields = np.array([CURVE.yield_at(t, 1.0) for t in months])
+    return (months, yields, RAMP.program_profit(),
+            RAMP.value_of_faster_learning(2.0), RAMP.breakeven_month())
+
+
+def test_yield_learning_economics(benchmark):
+    months, yields, profit, value_2x, breakeven = benchmark(_compute)
+    emit("Extension — yield ramp and the value of faster learning",
+         ascii_chart(months, {"die yield": yields},
+                     x_label="months", y_label="yield")
+         + "\n\n" + ascii_table(("quantity", "value"), [
+             ("program profit over 24 months [$M]", profit / 1e6),
+             ("value of 2x faster learning [$M]", value_2x / 1e6),
+             ("breakeven month", float(breakeven)),
+         ]))
+
+    # Yield ramps from near zero to near the mature ceiling.
+    assert yields[0] < 0.05
+    assert yields[-1] > 0.5
+    assert np.all(np.diff(yields) > 0)
+    # Faster learning is worth real money and the ramp breaks even.
+    assert value_2x > 0.0
+    assert breakeven is not None and 0.0 < breakeven < 24.0
+    assert profit > 0.0

@@ -1,0 +1,40 @@
+"""Shared helpers for the reproduction benches.
+
+Every bench (a) times the figure/table computation via pytest-benchmark,
+(b) prints the reproduced series/rows so ``bench_output.txt`` doubles
+as the reproduction record, and (c) asserts the *shape* claims the
+paper makes (who wins, direction of trends, rough factors).
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.analysis import ascii_chart, ascii_table
+
+
+def emit(title: str, body: str) -> None:
+    """Print a reproduction block with a recognizable banner."""
+    bar = "=" * 74
+    print(f"\n{bar}\n{title}\n{bar}\n{body}", file=sys.stderr)
+
+
+def emit_figure(data) -> None:
+    """Render a FigureData as an ASCII chart plus its numeric series."""
+    chart = ascii_chart(data.x, data.series, log_y=data.log_y,
+                        x_label=data.x_label, y_label=data.y_label)
+    rows = []
+    for i, x in enumerate(data.x):
+        rows.append((float(x),) + tuple(float(ys[i])
+                                        for ys in data.series.values()))
+    table = ascii_table((data.x_label,) + tuple(data.series),
+                        rows[:: max(len(rows) // 12, 1)])
+    emit(f"{data.name} — {data.notes}", chart + "\n\n" + table)
+
+
+def emit_table(data) -> None:
+    """Render a TableData with its notes."""
+    emit(f"{data.name} — {data.notes}",
+         ascii_table(data.headers, list(data.rows)))

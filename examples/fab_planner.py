@@ -1,0 +1,71 @@
+"""Fab planner: volume, overhead and product mix (Sec. III.A in numbers).
+
+Answers three planning questions with the manufacturing substrates:
+
+1. At what volume does a $100M-overhead microprocessor program reach a
+   sane wafer cost (eq. 2)?
+2. Own fab vs foundry: where is the breakeven volume?
+3. What does running four ASIC products at low volume through one fab
+   do to the ownership cost per wafer (the [12] penalty)?
+
+Run:  python examples/fab_planner.py
+"""
+
+from repro.manufacturing import VolumeCostCurve, mix_cost_ratio
+from repro.manufacturing.equipment import ProcessFlow
+from repro.technology import FabLine
+
+
+def overhead_amortization() -> None:
+    # The paper: overhead $100k (ASIC) to $100M (uP) [14].
+    microprocessor = VolumeCostCurve(pure_cost_dollars=900.0,
+                                     overhead_dollars=100.0e6)
+    asic = VolumeCostCurve(pure_cost_dollars=1200.0,
+                           overhead_dollars=100.0e3)
+    print("Wafer cost vs volume (eq. 2):")
+    print(f"  {'volume':>10s} {'uP ($100M over)':>16s} {'ASIC ($100k over)':>18s}")
+    for volume in (1e3, 1e4, 1e5, 1e6):
+        print(f"  {volume:10.0f} {microprocessor.cost(volume):16.0f} "
+              f"{asic.cost(volume):18.0f}")
+    v_half = microprocessor.volume_for_cost(1800.0)
+    print(f"  -> the uP program needs {v_half:,.0f} wafers before overhead "
+          "drops to half the wafer cost")
+
+
+def make_vs_buy() -> None:
+    own = VolumeCostCurve(pure_cost_dollars=500.0, overhead_dollars=120.0e6)
+    foundry = VolumeCostCurve(pure_cost_dollars=1400.0,
+                              overhead_dollars=2.0e6)
+    v = own.breakeven_volume(foundry)
+    print(f"\nOwn fab vs foundry breakeven: {v:,.0f} wafers "
+          f"(${own.cost(v):.0f}/wafer either way)")
+    fab = FabLine(construction_cost_dollars=600.0e6,
+                  wafer_starts_per_month=10_000)
+    print("  capital cost per wafer at utilization "
+          f"100%: ${fab.capital_cost_per_wafer(1.0):.0f}, "
+          f"40%: ${fab.capital_cost_per_wafer(0.4):.0f} "
+          "(idle tools still depreciate)")
+
+
+def mix_penalty() -> None:
+    flows = tuple(ProcessFlow.generic_cmos(n_metal_layers=m,
+                                           name=f"asic-{m}M")
+                  for m in (1, 2, 3, 4))
+    print("\nMulti-product fab penalty vs per-product volume "
+          "(reference: mono-product 5000 wafers/week):")
+    for volume in (10.0, 50.0, 200.0, 1000.0):
+        ratio = mix_cost_ratio(flows, wafers_per_week_each=volume,
+                               reference_volume_per_week=5000.0)
+        print(f"  {volume:6.0f} wafers/week/product -> "
+              f"{ratio:4.1f}x ownership cost per wafer")
+    print("  (the paper, citing [12]: 'may reach as high value as 7')")
+
+
+def main() -> None:
+    overhead_amortization()
+    make_vs_buy()
+    mix_penalty()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""MCM economics: smart substrates and known-good die (Sec. VI).
+
+Reproduces the paper's closing argument with the system-level models:
+
+1. A 5x-more-expensive *active silicon* substrate (self-testing, cheap
+   diagnosis) can yield a cheaper module than a passive substrate —
+   "traditional MCM strategies focus on the cost of the substrate
+   itself" and miss this.
+2. Known-good-die testing: the per-die premium pays off beyond a
+   module-size threshold, answering [31]'s question.
+
+Run:  python examples/mcm_tradeoff.py
+"""
+
+from repro.system import KgdEconomics, McmCostModel, McmSubstrate
+from repro.system.mcm import compare_substrates
+
+PASSIVE = McmSubstrate(name="passive ceramic", cost_dollars=50.0,
+                       diagnosis_cost_dollars=400.0, rework_success=0.6)
+SMART = McmSubstrate(name="active silicon (smart)", cost_dollars=250.0,
+                     self_test=True, diagnosis_cost_dollars=5.0,
+                     rework_success=0.95)
+
+
+def substrate_tradeoff() -> None:
+    print("Module: 8 dies, $80/die, 95% incoming quality")
+    result = compare_substrates(
+        McmCostModel(substrate=PASSIVE, n_dies=8, die_cost_dollars=80.0,
+                     incoming_quality=0.95),
+        McmCostModel(substrate=SMART, n_dies=8, die_cost_dollars=80.0,
+                     incoming_quality=0.95))
+    print(f"  passive substrate ${result['passive_substrate_dollars']:.0f} "
+          f"-> ${result['passive_cost_per_good_module']:.0f} per good module")
+    print(f"  smart substrate   ${result['smart_substrate_dollars']:.0f} "
+          f"-> ${result['smart_cost_per_good_module']:.0f} per good module")
+    verdict = "saves" if result["smart_saves"] > 0 else "loses"
+    print(f"  the 5x-dearer smart substrate {verdict} "
+          f"${abs(result['smart_saves']):.0f} per module at system level")
+
+
+def kgd_threshold() -> None:
+    econ = KgdEconomics(
+        die_yield=0.8, probe_coverage=0.90, kgd_coverage=0.99,
+        kgd_test_cost_dollars=15.0, die_cost_dollars=60.0,
+        n_dies=8, substrate=PASSIVE)
+    print("\nKnown-good-die decision (probe 90% vs KGD 99% coverage, "
+          "$15/die premium):")
+    for n in (2, 4, 8, 16, 32):
+        trial = KgdEconomics(
+            die_yield=0.8, probe_coverage=0.90, kgd_coverage=0.99,
+            kgd_test_cost_dollars=15.0, die_cost_dollars=60.0,
+            n_dies=n, substrate=PASSIVE)
+        delta = trial.kgd_premium_worth_paying()
+        verdict = "KGD pays" if delta > 0 else "probe-only wins"
+        print(f"  {n:3d} dies/module: KGD saves ${delta:8.2f} "
+              f"per good module ({verdict})")
+    threshold = econ.breakeven_module_size()
+    print(f"  breakeven module size: {threshold} dies")
+
+
+def main() -> None:
+    substrate_tradeoff()
+    kgd_threshold()
+
+
+if __name__ == "__main__":
+    main()

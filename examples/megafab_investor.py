@@ -1,0 +1,83 @@
+"""Megafab investor: pricing the Phase-1 "invest-now-to-dominate-later" bet.
+
+Sec. V's first trend is the race to billion-dollar fabs.  This example
+prices that bet with the investment substrate:
+
+1. NPV/IRR of a $1B megafab under healthy and compressed margins
+   (the [5] "Siege of Intel" margin-squeeze).
+2. The margin floor at which the build stops clearing its hurdle rate.
+3. The capital-indivisibility moat: the same fab at niche volume.
+4. The Bi-rule connection: how fast cumulative-volume price learning
+   erodes the margin toward that floor.
+
+Run:  python examples/megafab_investor.py
+"""
+
+from repro.core import LearningCurvePrice, MarginModel
+from repro.manufacturing import FabInvestment
+
+
+def the_bet() -> None:
+    healthy = FabInvestment(construction_cost_dollars=1.0e9,
+                            wafers_per_year=120_000,
+                            margin_per_wafer_dollars=2500.0,
+                            ramp_years=2, life_years=8)
+    squeezed = FabInvestment(construction_cost_dollars=1.0e9,
+                             wafers_per_year=120_000,
+                             margin_per_wafer_dollars=2500.0,
+                             ramp_years=2, life_years=8,
+                             margin_erosion_per_year=0.25)
+    print("A $1B megafab, 120k wafers/year, $2500 margin:")
+    print(f"  flat margins    : NPV(12%) = "
+          f"${healthy.npv(0.12) / 1e6:7.0f}M, IRR = {healthy.irr():.1%}, "
+          f"payback year {healthy.discounted_payback_years(0.12)}")
+    print(f"  25%/yr erosion  : NPV(12%) = "
+          f"${squeezed.npv(0.12) / 1e6:7.0f}M, IRR = {squeezed.irr():.1%}")
+    floor = healthy.breakeven_margin(0.12)
+    print(f"  margin floor at a 12% hurdle: ${floor:.0f}/wafer")
+
+
+def the_moat() -> None:
+    print("\nThe capital-indivisibility moat:")
+    for volume in (120_000, 60_000, 30_000, 20_000):
+        fab = FabInvestment(construction_cost_dollars=1.0e9,
+                            wafers_per_year=volume,
+                            margin_per_wafer_dollars=2500.0)
+        verdict = "builds" if fab.npv(0.12) > 0 else "cannot build"
+        print(f"  {volume:7,d} wafers/year: NPV(12%) = "
+              f"${fab.npv(0.12) / 1e6:7.0f}M -> a player at this volume "
+              f"{verdict}")
+    print("  (why niche players 'can not spend 1 billion dollars' — Sec. V)")
+
+
+def the_erosion_clock() -> None:
+    """How long before Bi-rule price learning eats a $2500 margin?"""
+    # Wafer revenue follows the bit-price learning curve as the product
+    # commoditizes; stylize: revenue starts at $4500, variable cost $2000.
+    price = LearningCurvePrice(first_unit_price_dollars=4500.0,
+                               learning_rate=0.85)
+    print("\nBi-rule erosion of the wafer margin "
+          "(85% learning rate, one cumulative doubling/year):")
+    for year in range(0, 9, 2):
+        revenue = price.price(2.0 ** year)
+        net = revenue - 2000.0
+        if net > 0.0:
+            gross = MarginModel(unit_price_dollars=revenue,
+                                unit_cost_dollars=2000.0).gross_margin
+            print(f"  year {year}: wafer revenue ${revenue:6.0f}, "
+                  f"margin ${net:6.0f} (gross {gross:5.1%})")
+        else:
+            print(f"  year {year}: wafer revenue ${revenue:6.0f}, "
+                  f"margin ${net:6.0f} (under water)")
+    print("  -> the decade-scale clock behind Phase 2's "
+          "'true and smart cost cutting effort stage'")
+
+
+def main() -> None:
+    the_bet()
+    the_moat()
+    the_erosion_clock()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Multi-project wafer broker: low-volume silicon without the penalty.
+
+The paper's Phase-2 niche players survive by sharing: MPW runs split a
+wafer (and its cost) among projects.  This example prices three small
+projects on a shared 6-inch wafer, compares against each buying whole
+wafers, and shows the aspect-ratio lever the eq.-(4) geometry offers
+for free.
+
+Run:  python examples/mpw_broker.py
+"""
+
+from repro.geometry import (
+    Die,
+    ProjectRequest,
+    Wafer,
+    aspect_ratio_penalty,
+    best_aspect_ratio,
+    dies_per_wafer_maly,
+    mpw_cost_per_die,
+    multi_project_allocation,
+)
+
+WAFER = Wafer(radius_cm=7.5)
+WAFER_COST = 1500.0
+
+
+def broker_run() -> None:
+    requests = (
+        ProjectRequest(name="asic-alpha", die=Die.square(1.0),
+                       dies_wanted=30),
+        ProjectRequest(name="asic-beta", die=Die.square(0.7),
+                       dies_wanted=40),
+        ProjectRequest(name="testchip", die=Die.square(0.4),
+                       dies_wanted=60),
+    )
+    allocations = multi_project_allocation(WAFER, requests, WAFER_COST)
+    print(f"One shared wafer (${WAFER_COST:.0f}):")
+    for alloc in allocations:
+        req = alloc.request
+        per_die = mpw_cost_per_die(alloc)
+        solo_dies = dies_per_wafer_maly(WAFER, req.die)
+        solo_per_die = WAFER_COST / solo_dies
+        print(f"  {req.name:11s} rows={alloc.rows_assigned:2d} "
+              f"dies={alloc.dies_obtained:4d} (wanted {req.dies_wanted:3d}) "
+              f"share=${alloc.cost_share_dollars:7.2f} "
+              f"per-die=${per_die:6.2f} "
+              f"(whole-wafer buy: ${solo_per_die:5.2f}/die but "
+              f"${WAFER_COST:.0f} upfront)")
+    total = sum(a.cost_share_dollars for a in allocations)
+    print(f"  broker collects ${total:.2f} — the full wafer, fairly split")
+
+
+def aspect_lever() -> None:
+    print("\nAspect-ratio lever for a 2 cm^2 die on the 6-inch wafer:")
+    ratio, count = best_aspect_ratio(WAFER, 2.0)
+    print(f"  best ratio {ratio:.2f} packs {count} dies")
+    for r in (1.0, 2.0, 4.0, 8.0):
+        penalty = aspect_ratio_penalty(WAFER, 2.0, r)
+        die = Die.from_area(2.0, aspect_ratio=r)
+        n = dies_per_wafer_maly(WAFER, die)
+        print(f"  ratio {r:4.1f}: {n:3d} dies "
+              f"({penalty:5.1%} cost penalty vs best)")
+
+
+def main() -> None:
+    broker_run()
+    aspect_lever()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""System partitioning: one die or several, and at which feature sizes?
+
+The Sec.-IV.B / Sec.-VI exercise on a Table-1-like microprocessor:
+dense caches and sparse control logic have very different cost-optimal
+feature sizes, so implementing the system as multiple dies (each at its
+own node, assembled on an MCM) can beat the monolithic SoC.
+
+Run:  python examples/partition_optimizer.py
+"""
+
+from repro.system import (
+    Partition,
+    PartitionedSystem,
+    optimal_partition_count,
+    optimize_partition_feature_sizes,
+)
+
+# The ISSCC'93 3M-transistor microprocessor of Table 1, block by block.
+BLOCKS = (
+    Partition(name="i-cache", n_transistors=1.2e6, design_density=43.2),
+    Partition(name="d-cache", n_transistors=1.1e6, design_density=50.7),
+    Partition(name="fp-unit", n_transistors=3.23e5, design_density=222.3),
+    Partition(name="int-unit", n_transistors=2.32e5, design_density=257.9),
+    Partition(name="mmu", n_transistors=1.18e5, design_density=270.5),
+    Partition(name="bus-unit", n_transistors=5.0e4, design_density=399.0),
+)
+
+
+def per_block_optimization() -> None:
+    system = PartitionedSystem(partitions=BLOCKS)
+    choices = optimize_partition_feature_sizes(system)
+
+    print("Per-partition optimal feature size (Fig.-8 fab):")
+    total = 0.0
+    for choice in choices:
+        total += choice.die_cost_dollars
+        print(f"  {choice.partition.name:9s} "
+              f"d_d={choice.partition.design_density:6.1f}  "
+              f"lambda_opt={choice.feature_size_um:5.2f} um  "
+              f"die cost=${choice.die_cost_dollars:8.2f}")
+    print(f"  {'TOTAL':9s} {'':20s} ${total:8.2f}")
+
+    best_uniform = None
+    for k in range(19):
+        lam = 0.3 + 0.05 * k
+        try:
+            cost = system.cost_at_uniform_lambda(lam)
+        except Exception:
+            continue
+        if best_uniform is None or cost < best_uniform[1]:
+            best_uniform = (lam, cost)
+    assert best_uniform is not None
+    print(f"\nBest single-lambda SoC: lambda={best_uniform[0]:.2f} um, "
+          f"total ${best_uniform[1]:.2f}")
+    print(f"Per-partition splitting saves "
+          f"{1.0 - total / best_uniform[1]:.1%}")
+
+
+def how_many_dies() -> None:
+    print("\nHow many dies should a 5M-transistor logic design become?")
+    for assembly in (1.0, 5.0, 25.0):
+        best_n, best_cost, single = optimal_partition_count(
+            5.0e6, 152.0, per_die_assembly_cost=assembly, max_partitions=8)
+        print(f"  assembly ${assembly:5.1f}/die: best split = {best_n} dies "
+              f"(${best_cost:8.2f} vs ${single:8.2f} monolithic)")
+
+
+def main() -> None:
+    per_block_optimization()
+    how_many_dies()
+
+
+if __name__ == "__main__":
+    main()

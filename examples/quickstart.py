@@ -1,0 +1,67 @@
+"""Quickstart: price a design with the Maly transistor cost model.
+
+Builds the eq.-(1) model for a 1994-vintage fab, evaluates a 3.1M-
+transistor BiCMOS microprocessor (row 2 of the paper's Table 3), and
+prints the full cost breakdown plus the two levers the paper highlights:
+yield and wafer size.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ReferenceAreaYield,
+    TransistorCostModel,
+    Wafer,
+    WaferCostModel,
+)
+
+
+def main() -> None:
+    # A fab whose 1 um wafer costs $700, with wafer cost growing 1.8x
+    # per technology generation (the paper's Scenario-#2 X).
+    model = TransistorCostModel(
+        wafer_cost=WaferCostModel(reference_cost_dollars=700.0,
+                                  cost_growth_rate=1.8),
+        wafer=Wafer(radius_cm=7.5))
+
+    # Row 2 of Table 3: 3.1M transistors, 0.8 um, d_d = 150, 70% yield
+    # for a 1 cm^2 reference die.
+    breakdown = model.evaluate(
+        n_transistors=3.1e6,
+        feature_size_um=0.8,
+        design_density=150.0,
+        yield_model=ReferenceAreaYield(reference_yield=0.7,
+                                       reference_area_cm2=1.0))
+
+    print("BiCMOS microprocessor, 0.8 um (Table 3, row 2)")
+    print(f"  wafer cost          : ${breakdown.wafer_cost_dollars:8.0f}")
+    print(f"  die area            : {breakdown.die_area_cm2:8.2f} cm^2")
+    print(f"  dies per wafer      : {breakdown.dies_per_wafer:8d}")
+    print(f"  yield               : {breakdown.yield_value:8.1%}")
+    print(f"  good dies per wafer : {breakdown.good_dies_per_wafer:8.1f}")
+    print(f"  cost per good die   : ${breakdown.cost_per_good_die_dollars:8.2f}")
+    print(f"  cost per transistor : "
+          f"{breakdown.cost_per_transistor_microdollars:8.2f} x 1e-6 $")
+    print(f"  (paper's value      :    25.50 x 1e-6 $)")
+
+    # Lever 1: yield. The same design at 90% reference yield.
+    improved = model.evaluate(
+        n_transistors=3.1e6, feature_size_um=0.8, design_density=150.0,
+        yield_model=ReferenceAreaYield(0.9, 1.0))
+    gain = 1.0 - improved.cost_per_transistor_dollars \
+        / breakdown.cost_per_transistor_dollars
+    print(f"\nraising reference yield 70% -> 90% cuts C_tr by {gain:.0%}")
+
+    # Lever 2: wafer size. The same design on an 8-inch wafer.
+    bigger = TransistorCostModel(wafer_cost=model.wafer_cost,
+                                 wafer=Wafer(radius_cm=10.0))
+    on_8in = bigger.evaluate(
+        n_transistors=3.1e6, feature_size_um=0.8, design_density=150.0,
+        yield_model=ReferenceAreaYield(0.7, 1.0))
+    gain = 1.0 - on_8in.cost_per_transistor_dollars \
+        / breakdown.cost_per_transistor_dollars
+    print(f"moving 6-inch -> 8-inch wafers cuts C_tr by {gain:.0%}")
+
+
+if __name__ == "__main__":
+    main()

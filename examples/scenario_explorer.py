@@ -1,0 +1,82 @@
+"""Scenario explorer: when does shrinking stop paying?
+
+Reproduces the paper's Scenario #1 / Scenario #2 contrast (Figs. 6-7)
+interactively: sweeps feature size under both scenario assumptions,
+locates the cost-optimal feature size for a user-defined custom
+scenario, and runs a tornado sensitivity analysis showing which
+parameter dominates the cost of a shrink decision.
+
+Run:  python examples/scenario_explorer.py
+"""
+
+import numpy as np
+
+from repro import SCENARIO_1, SCENARIO_2
+from repro.analysis import ascii_chart
+from repro.core import Scenario
+from repro.core.sensitivity import tornado
+
+
+def sweep_scenarios() -> None:
+    lams = np.linspace(0.25, 1.0, 26)
+    s1 = {f"scen1 X={x}": np.array([SCENARIO_1.cost_dollars(l, x) * 1e6
+                                    for l in lams])
+          for x in (1.1, 1.3)}
+    s2 = {f"scen2 X={x}": np.array([SCENARIO_2.cost_dollars(l, x) * 1e6
+                                    for l in lams])
+          for x in (1.8, 2.4)}
+    print("Cost per transistor [$1e-6] vs feature size [um]")
+    print(ascii_chart(lams, {**s1, **s2}, log_y=True,
+                      x_label="feature size [um]", y_label="C_tr [$1e-6]"))
+    print("\nScenario #1 (memory, Y=100%): shrink keeps paying.")
+    print("Scenario #2 (custom uP, growing die, 70%/cm^2): shrink backfires.")
+
+
+def find_sweet_spot() -> None:
+    # A custom scenario between the two extremes: ASIC-like density,
+    # moderate cost growth, 80% reference yield, die growing slowly.
+    custom = Scenario(
+        name="ASIC house",
+        growth_rates=(1.6,),
+        design_density=300.0,
+        reference_cost_dollars=900.0,
+        reference_yield=0.8,
+        die_area_cm2_fn=lambda lam: 0.8 * np.exp(-2.0 * (lam - 0.6)))
+    lam_opt = custom.crossover_feature_size(1.6, lam_lo_um=0.3,
+                                            lam_hi_um=1.2)
+    print(f"\nCustom ASIC scenario: cost-optimal feature size = "
+          f"{lam_opt:.2f} um" if lam_opt is not None else
+          "\nCustom ASIC scenario: optimum at the sweep boundary")
+    for lam in (0.35, 0.5, 0.8, 1.0):
+        c = custom.cost_dollars(lam, 1.6) * 1e6
+        print(f"  lambda = {lam:4.2f} um -> C_tr = {c:7.2f} x 1e-6 $")
+
+
+def dominant_lever() -> None:
+    def cost(x=1.8, y0=0.7, d_d=200.0, lam=0.5):
+        scenario = Scenario(name="probe", growth_rates=(x,),
+                            design_density=d_d, reference_yield=y0)
+        return scenario.cost_dollars(lam, x)
+
+    baseline = {"x": 1.8, "y0": 0.7, "d_d": 200.0, "lam": 0.5}
+    ranges = {
+        "x": (1.2, 2.4),        # the published X estimates span this
+        "y0": (0.5, 0.9),       # fab maturity
+        "d_d": (100.0, 400.0),  # design style (Table 2's uP range)
+        "lam": (0.35, 0.8),     # node choice
+    }
+    print("\nTornado analysis at the Scenario-#2 operating point:")
+    for bar in tornado(cost, baseline, ranges):
+        print(f"  {bar.parameter:4s}: swing = "
+              f"{bar.relative_swing:5.1%} of baseline cost "
+              f"({bar.low_value} -> {bar.high_value})")
+
+
+def main() -> None:
+    sweep_scenarios()
+    find_sweet_spot()
+    dominant_lever()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Yield ramp planner: when to shrink, and what faster learning is worth.
+
+The [26] "product shrink" question end to end:
+
+1. A 1.2M-transistor product ships at 0.8 µm on a mature line.  The
+   0.5 µm node is dirtier today but learning — when does moving pay?
+2. What is "computer aids in rapid yield learning" (the paper's Phase-2
+   survival item) worth in program dollars?
+3. Read the fab like an engineer: simulate wafer maps, estimate the
+   defect density and clustering back out of them.
+
+Run:  python examples/yield_ramp_planner.py
+"""
+
+import numpy as np
+
+from repro.core import ShrinkAnalysis, WaferCostModel
+from repro.geometry import Die, Wafer
+from repro.yieldsim import (
+    RampEconomics,
+    SpotDefectSimulator,
+    YieldLearningCurve,
+    fit_lot,
+)
+
+
+def shrink_timing() -> None:
+    # Density coefficient 0.05 at the 1 um reference: eq. (7)'s
+    # lambda^-p killer scaling means the 0.5 um node still sees
+    # ~0.84 killers/cm^2 at maturity.
+    analysis = ShrinkAnalysis(
+        n_transistors=1.2e6, design_density=150.0,
+        wafer_cost=WaferCostModel(reference_cost_dollars=500.0,
+                                  cost_growth_rate=1.4),
+        mature_density_per_cm2=0.05)
+
+    old_cost = analysis.cost_per_transistor(0.8) * 1e6
+    mature_new = analysis.cost_per_transistor(0.5) * 1e6
+    print("Shrink 0.8 um -> 0.5 um (1.2M-transistor product):")
+    print(f"  today  at 0.8 um (mature) : C_tr = {old_cost:6.2f} x 1e-6 $")
+    print(f"  future at 0.5 um (mature) : C_tr = {mature_new:6.2f} x 1e-6 $ "
+          f"({analysis.shrink_gain_at_maturity(0.8, 0.5):.2f}x gain)")
+
+    floor = analysis.mature_density_at(0.5)
+    for tau in (3.0, 6.0, 12.0):
+        curve = YieldLearningCurve(initial_density_per_cm2=8.0,
+                                   mature_density_per_cm2=floor,
+                                   time_constant_months=tau)
+        month = analysis.breakeven_month(0.8, 0.5, curve)
+        print(f"  learning tau = {tau:4.1f} months -> shrink pays from "
+              f"month {month:.0f}" if month is not None else
+              f"  learning tau = {tau:4.1f} months -> never pays in horizon")
+
+
+def learning_value() -> None:
+    curve = YieldLearningCurve(5.0, 0.5, 6.0)
+    ramp = RampEconomics(curve=curve, die_area_cm2=1.0, dies_per_wafer=120,
+                         wafers_per_month=2000.0, wafer_cost_dollars=800.0,
+                         die_price_dollars=40.0, window_months=24.0)
+    print(f"\nA 24-month ramp earns ${ramp.program_profit() / 1e6:.1f}M.")
+    for factor in (1.5, 2.0, 4.0):
+        value = ramp.value_of_faster_learning(factor)
+        print(f"  learning {factor}x faster is worth "
+              f"${value / 1e6:6.1f}M extra")
+    print(f"  breakeven month: {ramp.breakeven_month():.2f}")
+
+
+def read_the_fab() -> None:
+    wafer, die = Wafer(radius_cm=7.5), Die.square(1.0)
+    rng = np.random.default_rng(7)
+    lot = SpotDefectSimulator(wafer, die, defect_density_per_cm2=1.2,
+                              clustering_alpha=2.0).simulate_lot(60, rng)
+    report = fit_lot(lot, die.area_cm2)
+    print("\nEstimating the fab from its own wafer maps "
+          "(true: D = 1.2 /cm^2, alpha = 2.0):")
+    print(f"  density (count MLE)     : {report.density_mle_per_cm2:.2f} /cm^2")
+    print(f"  density (yield inverted): "
+          f"{report.density_from_yield_per_cm2:.2f} /cm^2 "
+          "(biased low under clustering!)")
+    print(f"  clustering alpha (MoM)  : {report.clustering_alpha:.2f}")
+    print(f"  clustered?              : {report.is_clustered}")
+
+
+def main() -> None:
+    shrink_timing()
+    learning_value()
+    read_the_fab()
+
+
+if __name__ == "__main__":
+    main()

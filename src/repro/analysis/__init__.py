@@ -1,0 +1,47 @@
+"""Reproduction glue: figure/table data generators and ASCII rendering.
+
+* :mod:`~repro.analysis.figures` — ``fig1()`` … ``fig8()`` return
+  :class:`FigureData` holding the numeric series each paper figure
+  plots.
+* :mod:`~repro.analysis.tables` — ``table1()``, ``table2()``,
+  ``table3()`` return :class:`TableData`.
+* :mod:`~repro.analysis.report` — terminal rendering: line charts,
+  log-scale charts, contour maps and aligned tables, pure ASCII (no
+  matplotlib available offline).
+"""
+
+from .figures import (
+    FigureData,
+    fig1_feature_size,
+    fig2_fab_cost,
+    fig3_die_size,
+    fig4_steps_and_defects,
+    fig5_defect_distribution,
+    fig6_scenario1,
+    fig7_scenario2,
+    fig8_contours,
+)
+from .tables import TableData, table1, table2, table3
+from .report import ascii_chart, ascii_table, render_contour_grid
+from .wafermap import render_lot_summary, render_wafer_map
+
+__all__ = [
+    "FigureData",
+    "fig1_feature_size",
+    "fig2_fab_cost",
+    "fig3_die_size",
+    "fig4_steps_and_defects",
+    "fig5_defect_distribution",
+    "fig6_scenario1",
+    "fig7_scenario2",
+    "fig8_contours",
+    "TableData",
+    "table1",
+    "table2",
+    "table3",
+    "ascii_chart",
+    "ascii_table",
+    "render_contour_grid",
+    "render_wafer_map",
+    "render_lot_summary",
+]

@@ -1,0 +1,170 @@
+"""Numeric series for every quantitative figure in the paper.
+
+Each ``figN_*`` function evaluates the models and returns a
+:class:`FigureData` with the x axis, one or more named y series, and
+labels — the exact data the corresponding bench prints and checks.
+Figures 9–11 of the paper are conceptual diagrams with no numeric
+content and are not reproduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.optimization import CostLandscape, FIG8_FAB
+from ..core.scenarios import SCENARIO_1, SCENARIO_2
+from ..errors import ParameterError
+from ..technology.fabline import (
+    FABLINE_COST_HISTORY,
+    WAFER_COST_HISTORY,
+    extract_cost_growth_rate,
+)
+from ..technology.roadmap import GENERATIONS_UM, TechnologyRoadmap, die_area_trend_cm2
+from ..yieldsim.defects import DefectSizeDistribution
+
+
+@dataclass(frozen=True)
+class FigureData:
+    """One reproduced figure: x axis, named y series, labels, notes."""
+
+    name: str
+    x: np.ndarray
+    series: dict[str, np.ndarray]
+    x_label: str
+    y_label: str
+    log_y: bool = False
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.series:
+            raise ParameterError(f"figure {self.name!r} has no series")
+        for key, ys in self.series.items():
+            if ys.shape != self.x.shape:
+                raise ParameterError(
+                    f"figure {self.name!r} series {key!r}: shape {ys.shape} "
+                    f"!= x shape {self.x.shape}")
+
+
+def fig1_feature_size(year_lo: float = 1970.0, year_hi: float = 2000.0,
+                      n_points: int = 31) -> FigureData:
+    """Fig. 1: minimum feature size vs. year."""
+    roadmap = TechnologyRoadmap()
+    years = np.linspace(year_lo, year_hi, n_points)
+    lam = np.array([roadmap.feature_size_um(y) for y in years])
+    return FigureData(
+        name="Fig. 1", x=years, series={"feature size": lam},
+        x_label="year", y_label="minimum feature size [um]", log_y=True,
+        notes="exponential shrink, 0.7x per 3-year generation, 1 um at 1989")
+
+
+def fig2_fab_cost() -> FigureData:
+    """Fig. 2: fabline and wafer cost vs. year, with the extracted X values."""
+    years = np.array([y for y, _ in FABLINE_COST_HISTORY])
+    fab_costs = np.array([c for _, c in FABLINE_COST_HISTORY])
+    wafer_by_year = dict(WAFER_COST_HISTORY)
+    wafer_costs = np.array([wafer_by_year.get(y, np.nan) for y in years])
+    # Interpolate the wafer series onto the fabline years for one chart.
+    w_years = np.array([y for y, _ in WAFER_COST_HISTORY])
+    w_costs = np.array([c for _, c in WAFER_COST_HISTORY])
+    wafer_costs = np.exp(np.interp(years, w_years, np.log(w_costs)))
+    x_fab = extract_cost_growth_rate(FABLINE_COST_HISTORY)
+    x_wafer = extract_cost_growth_rate(WAFER_COST_HISTORY)
+    return FigureData(
+        name="Fig. 2", x=years,
+        series={"fab cost [$M]": fab_costs, "wafer cost [$]": wafer_costs},
+        x_label="year", y_label="cost (mixed units)", log_y=True,
+        notes=f"extracted per-generation growth: wafers X = {x_wafer:.2f} "
+              f"(paper band 1.2-1.4), fablines X = {x_fab:.2f}")
+
+
+def fig3_die_size(lam_lo_um: float = 0.25, lam_hi_um: float = 1.0,
+                  n_points: int = 31) -> FigureData:
+    """Fig. 3: leading-edge die area vs. feature size (the 16.5 e^-5.3λ fit)."""
+    lam = np.linspace(lam_lo_um, lam_hi_um, n_points)
+    area = np.array([die_area_trend_cm2(l) for l in lam])
+    return FigureData(
+        name="Fig. 3", x=lam, series={"die area": area},
+        x_label="feature size [um]", y_label="die area [cm^2]",
+        notes="A_ch(lambda) = 16.5 exp(-5.3 lambda), the paper's own fit")
+
+
+def fig4_steps_and_defects() -> FigureData:
+    """Fig. 4: process steps and required defect density per generation."""
+    roadmap = TechnologyRoadmap()
+    lam = np.array([l for l in GENERATIONS_UM if l <= 1.0])
+    steps = np.array([roadmap.process_steps(l) for l in lam])
+    density = np.array([roadmap.required_defect_density(l) for l in lam])
+    # Series share one chart; scale density into a visible range via notes.
+    return FigureData(
+        name="Fig. 4", x=lam,
+        series={"process steps": steps,
+                "required defect density [1/cm^2]": density},
+        x_label="feature size [um]", y_label="(mixed units)", log_y=True,
+        notes="steps rise, tolerable defect density falls, per generation")
+
+
+def fig5_defect_distribution(r0_um: float = 0.2, p: float = 4.07,
+                             n_points: int = 200) -> FigureData:
+    """Fig. 5: defect size density and the λ-sensitive critical fraction."""
+    dist = DefectSizeDistribution(r0_um=r0_um, p=p)
+    r = np.linspace(0.01, 10.0 * r0_um, n_points)
+    pdf = np.asarray(dist.pdf(r))
+    surv = np.asarray(dist.survival(r))
+    return FigureData(
+        name="Fig. 5", x=r,
+        series={"pdf f(R)": pdf, "P(R > r) (critical fraction)": surv},
+        x_label="defect radius [um]", y_label="density / probability",
+        notes=f"peak at R0={r0_um} um, 1/R^{p} tail; smaller features are "
+              "killed by smaller (more numerous) defects")
+
+
+def fig6_scenario1(lam_lo_um: float = 0.25, lam_hi_um: float = 1.0,
+                   n_points: int = 31) -> FigureData:
+    """Fig. 6: C_tr vs. λ under Scenario #1 for X = 1.1, 1.2, 1.3."""
+    lam = np.linspace(lam_lo_um, lam_hi_um, n_points)
+    curves = SCENARIO_1.curves(lam)
+    series = {f"X={x}": ys * 1.0e6 for x, ys in curves.items()}
+    return FigureData(
+        name="Fig. 6", x=lam, series=series,
+        x_label="feature size [um]", y_label="C_tr [$1e-6]", log_y=True,
+        notes="C0=$500, d_d=30, R_w=7.5 cm, Y=1 (eq. 8): cost falls with "
+              "shrink for modest X")
+
+
+def fig7_scenario2(lam_lo_um: float = 0.25, lam_hi_um: float = 1.0,
+                   n_points: int = 31) -> FigureData:
+    """Fig. 7: C_tr vs. λ under Scenario #2 for X = 1.8, 2.1, 2.4."""
+    lam = np.linspace(lam_lo_um, lam_hi_um, n_points)
+    curves = SCENARIO_2.curves(lam)
+    series = {f"X={x}": ys * 1.0e6 for x, ys in curves.items()}
+    return FigureData(
+        name="Fig. 7", x=lam, series=series,
+        x_label="feature size [um]", y_label="C_tr [$1e-6]", log_y=True,
+        notes="C0=$500, d_d=200, Y0=70% @ 1 cm^2, die area 16.5 exp(-5.3 "
+              "lambda) (eq. 9): cost RISES with shrink")
+
+
+def fig8_contours(n_lam: int = 40, n_counts: int = 40) -> tuple[FigureData, CostLandscape]:
+    """Fig. 8: constant-C_tr contours in the (λ, N_tr) plane.
+
+    Returns both a :class:`FigureData` (the per-N_tr optimal-λ locus,
+    the figure's most quotable content) and the full
+    :class:`CostLandscape` for contour rendering.
+    """
+    landscape = CostLandscape(
+        fab=FIG8_FAB,
+        feature_sizes_um=np.linspace(0.3, 2.0, n_lam),
+        transistor_counts=np.geomspace(1e5, 1e7, n_counts))
+    optima = landscape.optimal_lambda_per_count()
+    counts = np.array([n for n, _, _ in optima])
+    lam_opt = np.array([l for _, l, _ in optima])
+    cost_opt = np.array([c * 1e6 for _, _, c in optima])
+    return FigureData(
+        name="Fig. 8", x=counts,
+        series={"lambda_opt [um]": lam_opt,
+                "C_tr at optimum [$1e-6]": cost_opt},
+        x_label="transistors per die", y_label="(mixed)", log_y=False,
+        notes="X=1.4, C0=$500, R_w=7.5 cm, d_d=152, D=1.72, p=4.07 "
+              "(the fitted fab of [26])"), landscape

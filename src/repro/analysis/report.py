@@ -1,0 +1,147 @@
+"""Plain-text rendering for figures and tables.
+
+matplotlib is unavailable in the offline environment, so every figure
+bench renders its series as an ASCII chart and its rows as an aligned
+table.  These renderers are deliberately dependency-free and tolerant:
+they are presentation code, used by benches and examples, and unit
+tests only assert structural properties (dimensions, monotone axes).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..errors import ParameterError
+
+
+def ascii_chart(x: Sequence[float], series: Mapping[str, Sequence[float]], *,
+                width: int = 72, height: int = 20, log_y: bool = False,
+                x_label: str = "", y_label: str = "") -> str:
+    """Render one or more y(x) series as an ASCII line chart.
+
+    Each series gets its own marker character; the legend maps markers
+    to series names.  ``log_y`` plots log10(y) (all values must then be
+    positive).
+    """
+    if width < 16 or height < 4:
+        raise ParameterError("chart must be at least 16x4 characters")
+    xs = np.asarray(list(x), dtype=float)
+    if xs.size < 2:
+        raise ParameterError("need at least two x points")
+    if not series:
+        raise ParameterError("need at least one series")
+
+    markers = "*o+x#@%&"
+    prepared: dict[str, np.ndarray] = {}
+    for name, ys in series.items():
+        arr = np.asarray(list(ys), dtype=float)
+        if arr.shape != xs.shape:
+            raise ParameterError(
+                f"series {name!r} length {arr.size} != x length {xs.size}")
+        if log_y:
+            if np.any(arr <= 0):
+                raise ParameterError(
+                    f"series {name!r} has non-positive values; cannot log-scale")
+            arr = np.log10(arr)
+        prepared[name] = arr
+
+    all_y = np.concatenate(list(prepared.values()))
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, ys), marker in zip(prepared.items(), markers):
+        for xv, yv in zip(xs, ys):
+            col = int(round((xv - x_lo) / (x_hi - x_lo) * (width - 1)))
+            row = int(round((yv - y_lo) / (y_hi - y_lo) * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    def y_tick(row: int) -> float:
+        frac = (height - 1 - row) / (height - 1)
+        val = y_lo + frac * (y_hi - y_lo)
+        return 10.0 ** val if log_y else val
+
+    lines = []
+    for r, row_chars in enumerate(grid):
+        tick = f"{y_tick(r):10.3g} |" if r % max(height // 5, 1) == 0 \
+            else " " * 10 + " |"
+        lines.append(tick + "".join(row_chars))
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(" " * 12 + f"{x_lo:<12.3g}" + " " * max(width - 28, 0)
+                 + f"{x_hi:>12.3g}")
+    if x_label or y_label:
+        lines.append(f"   x: {x_label}    y: {y_label}"
+                     + ("  [log scale]" if log_y else ""))
+    legend = "   ".join(f"{marker}={name}"
+                        for (name, _), marker in zip(prepared.items(), markers))
+    lines.append("   " + legend)
+    return "\n".join(lines)
+
+
+def ascii_table(headers: Sequence[str], rows: Sequence[Sequence[object]], *,
+                float_format: str = "{:.4g}") -> str:
+    """Render rows as an aligned, pipe-separated text table."""
+    if not headers:
+        raise ParameterError("headers must be non-empty")
+    formatted_rows = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ParameterError(
+                f"row length {len(row)} != header length {len(headers)}")
+        formatted_rows.append([
+            float_format.format(cell) if isinstance(cell, float) else str(cell)
+            for cell in row])
+    widths = [len(h) for h in headers]
+    for row in formatted_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    lines = [fmt(list(headers)), "-+-".join("-" * w for w in widths)]
+    lines.extend(fmt(row) for row in formatted_rows)
+    return "\n".join(lines)
+
+
+def render_contour_grid(grid: np.ndarray, levels: Sequence[float], *,
+                        x_values: Sequence[float] | None = None,
+                        y_values: Sequence[float] | None = None,
+                        tolerance: float = 0.08) -> str:
+    """Render a 2-D cost grid as a character map with contour bands.
+
+    Cells within ``tolerance`` (relative) of level k print digit ``k``;
+    infeasible (non-finite) cells print ``.``; everything else a space.
+    The y axis prints top row first (largest y at top) to match the
+    usual plot orientation.
+    """
+    g = np.asarray(grid, dtype=float)
+    if g.ndim != 2:
+        raise ParameterError(f"grid must be 2-D, got shape {g.shape}")
+    if not levels:
+        raise ParameterError("levels must be non-empty")
+    if len(levels) > 10:
+        raise ParameterError("at most 10 contour levels (single digits)")
+    chars = np.full(g.shape, " ", dtype="<U1")
+    chars[~np.isfinite(g)] = "."
+    for k, level in enumerate(levels):
+        if level <= 0:
+            raise ParameterError("contour levels must be positive")
+        with np.errstate(invalid="ignore"):
+            near = np.isfinite(g) & (np.abs(g - level) / level <= tolerance)
+        chars[near] = str(k)
+    lines = ["".join(row) for row in chars[::-1]]
+    if y_values is not None and len(y_values) == g.shape[0]:
+        lines = [f"{y_values[len(y_values) - 1 - i]:>10.3g} |{line}"
+                 for i, line in enumerate(lines)]
+    out = "\n".join(lines)
+    if x_values is not None and len(x_values) == g.shape[1]:
+        out += "\n" + " " * 12 + f"{x_values[0]:<10.3g}" \
+            + " " * max(g.shape[1] - 20, 1) + f"{x_values[-1]:>10.3g}"
+    legend = "  ".join(f"{k}={lvl:.3g}" for k, lvl in enumerate(levels))
+    return out + "\nlevels: " + legend

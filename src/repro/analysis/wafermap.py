@@ -1,0 +1,70 @@
+"""ASCII wafer-map rendering.
+
+Turns a :class:`~repro.yieldsim.monte_carlo.WaferMap` into the familiar
+fab-floor picture: a circle of dies, good ones marked ``.``, failing
+ones ``X`` (or digits for defect counts).  Used by examples and the
+estimation bench so the simulated maps are inspectable.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..yieldsim.monte_carlo import WaferMap
+
+
+def render_wafer_map(wafer_map: WaferMap, *, show_counts: bool = False,
+                     max_width: int = 100) -> str:
+    """Render one wafer map as character art.
+
+    ``show_counts`` prints per-die defect counts (``.`` for zero,
+    digits 1–9, ``+`` beyond); otherwise good dies are ``.`` and failed
+    dies ``X``.  Dies are placed on their true grid; empty space prints
+    as blanks.  Wider maps than ``max_width`` columns are decimated.
+    """
+    centers = wafer_map.die_centers_cm
+    counts = wafer_map.defect_counts
+    if centers.shape[0] == 0:
+        raise ParameterError("wafer map has no dies")
+
+    xs = np.unique(np.round(centers[:, 0], 6))
+    ys = np.unique(np.round(centers[:, 1], 6))
+    col_of = {x: i for i, x in enumerate(xs)}
+    row_of = {y: i for i, y in enumerate(ys)}
+    grid = np.full((len(ys), len(xs)), " ", dtype="<U1")
+
+    for (x, y), count in zip(np.round(centers, 6), counts):
+        if show_counts:
+            if count == 0:
+                ch = "."
+            elif count <= 9:
+                ch = str(int(count))
+            else:
+                ch = "+"
+        else:
+            ch = "." if count == 0 else "X"
+        grid[row_of[y], col_of[x]] = ch
+
+    step = max(1, math.ceil(len(xs) / max_width))
+    lines = ["".join(row[::step]) for row in grid[::-1][::step]]
+    summary = (f"{wafer_map.n_good}/{wafer_map.n_dies} good "
+               f"({wafer_map.yield_fraction:.1%}), "
+               f"{wafer_map.n_defects_total} defects thrown")
+    return "\n".join(lines) + "\n" + summary
+
+
+def render_lot_summary(maps: list[WaferMap]) -> str:
+    """One-line-per-wafer lot summary plus pooled statistics."""
+    if not maps:
+        raise ParameterError("lot is empty")
+    lines = []
+    for i, m in enumerate(maps, 1):
+        bar = "#" * int(round(m.yield_fraction * 40))
+        lines.append(f"wafer {i:3d}: {m.yield_fraction:6.1%} {bar}")
+    good = sum(m.n_good for m in maps)
+    total = sum(m.n_dies for m in maps)
+    lines.append(f"lot: {good}/{total} good ({good / total:.1%})")
+    return "\n".join(lines)

@@ -1,0 +1,273 @@
+"""Command-line interface: reproduce figures/tables and price designs.
+
+Usage::
+
+    python -m repro figure fig7                # any of fig1..fig8
+    python -m repro table table3               # table1..table3
+    python -m repro cost --transistors 3.1e6 --feature-size 0.8 \\
+        --density 150 --yield0 0.7 --c0 700 --x 1.8
+    python -m repro optimize --die-area 1.0
+    python -m repro scenarios --lam-lo 0.25 --lam-hi 1.0
+
+Everything prints plain text (ASCII charts/tables); exit code 0 on
+success, 2 on bad arguments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .analysis import (
+    ascii_chart,
+    ascii_table,
+    fig1_feature_size,
+    fig2_fab_cost,
+    fig3_die_size,
+    fig4_steps_and_defects,
+    fig5_defect_distribution,
+    fig6_scenario1,
+    fig7_scenario2,
+    fig8_contours,
+    render_contour_grid,
+    table1,
+    table2,
+    table3,
+)
+from .core import TransistorCostModel, WaferCostModel
+from .core.optimization import optimal_feature_size_for_die_area
+from .errors import ReproError
+from .geometry import Wafer
+from .yieldsim import ReferenceAreaYield
+
+_FIGURES = {
+    "fig1": fig1_feature_size,
+    "fig2": fig2_fab_cost,
+    "fig3": fig3_die_size,
+    "fig4": fig4_steps_and_defects,
+    "fig5": fig5_defect_distribution,
+    "fig6": fig6_scenario1,
+    "fig7": fig7_scenario2,
+}
+
+_TABLES = {"table1": table1, "table2": table2, "table3": table3}
+
+
+def _print_figure(name: str) -> None:
+    if name == "fig8":
+        data, landscape = fig8_contours()
+        levels = landscape.contour_levels(8, max_decades=2.5)
+        print(f"{data.name} — {data.notes}")
+        print(render_contour_grid(landscape.grid(), list(levels),
+                                  x_values=list(landscape.feature_sizes_um),
+                                  y_values=list(landscape.transistor_counts)))
+        return
+    data = _FIGURES[name]()
+    print(f"{data.name} — {data.notes}")
+    print(ascii_chart(data.x, data.series, log_y=data.log_y,
+                      x_label=data.x_label, y_label=data.y_label))
+
+
+def _print_table(name: str) -> None:
+    data = _TABLES[name]()
+    print(f"{data.name} — {data.notes}")
+    print(ascii_table(data.headers, list(data.rows)))
+
+
+def _cmd_cost(args: argparse.Namespace) -> None:
+    model = TransistorCostModel(
+        wafer_cost=WaferCostModel(reference_cost_dollars=args.c0,
+                                  cost_growth_rate=args.x),
+        wafer=Wafer(radius_cm=args.wafer_radius))
+    breakdown = model.evaluate(
+        n_transistors=args.transistors,
+        feature_size_um=args.feature_size,
+        design_density=args.density,
+        yield_model=ReferenceAreaYield(reference_yield=args.yield0,
+                                       reference_area_cm2=1.0))
+    rows = [
+        ("wafer cost [$]", breakdown.wafer_cost_dollars),
+        ("die area [cm^2]", breakdown.die_area_cm2),
+        ("dies per wafer", float(breakdown.dies_per_wafer)),
+        ("yield", breakdown.yield_value),
+        ("good dies per wafer", breakdown.good_dies_per_wafer),
+        ("cost per good die [$]", breakdown.cost_per_good_die_dollars),
+        ("cost per transistor [$1e-6]",
+         breakdown.cost_per_transistor_microdollars),
+    ]
+    print(ascii_table(("quantity", "value"), rows))
+
+
+def _cmd_optimize(args: argparse.Namespace) -> None:
+    lam, cost = optimal_feature_size_for_die_area(args.die_area)
+    print(ascii_table(("quantity", "value"), [
+        ("die area [cm^2]", args.die_area),
+        ("optimal feature size [um]", lam),
+        ("cost per transistor at optimum [$1e-6]", cost * 1e6),
+    ]))
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> None:
+    import numpy as np
+
+    from .core import SCENARIO_1, SCENARIO_2
+    lams = np.linspace(args.lam_lo, args.lam_hi, 26)
+    series = {}
+    for x in SCENARIO_1.growth_rates:
+        series[f"scen1 X={x}"] = np.array(
+            [SCENARIO_1.cost_dollars(l, x) * 1e6 for l in lams])
+    for x in SCENARIO_2.growth_rates:
+        series[f"scen2 X={x}"] = np.array(
+            [SCENARIO_2.cost_dollars(l, x) * 1e6 for l in lams])
+    print("Cost per transistor [$1e-6] vs feature size [um]")
+    print(ascii_chart(lams, series, log_y=True,
+                      x_label="feature size [um]", y_label="C_tr [$1e-6]"))
+
+
+def _cmd_shrink(args: argparse.Namespace) -> None:
+    from .core import ShrinkAnalysis
+    analysis = ShrinkAnalysis(
+        n_transistors=args.transistors,
+        design_density=args.density,
+        wafer_cost=WaferCostModel(reference_cost_dollars=args.c0,
+                                  cost_growth_rate=args.x),
+        mature_density_per_cm2=args.defect_density)
+    old = analysis.evaluate_node(args.from_node)
+    new = analysis.evaluate_node(args.to_node)
+    gain = analysis.shrink_gain_at_maturity(args.from_node, args.to_node) \
+        if args.to_node < args.from_node else float("nan")
+    rows = [
+        ("die area old/new [cm^2]",
+         f"{old.die_area_cm2:.3f} / {new.die_area_cm2:.3f}"),
+        ("dies per wafer old/new",
+         f"{old.dies_per_wafer} / {new.dies_per_wafer}"),
+        ("yield old/new",
+         f"{old.yield_value:.3f} / {new.yield_value:.3f}"),
+        ("wafer cost old/new [$]",
+         f"{old.wafer_cost_dollars:.0f} / {new.wafer_cost_dollars:.0f}"),
+        ("mature cost gain (old/new)", f"{gain:.2f}x"),
+    ]
+    print(ascii_table(("quantity", "value"), rows))
+
+
+def _cmd_wafermap(args: argparse.Namespace) -> None:
+    import numpy as np
+
+    from .geometry import Die
+    from .yieldsim import SpotDefectSimulator
+    from .analysis import render_wafer_map
+    sim = SpotDefectSimulator(
+        Wafer(radius_cm=args.wafer_radius),
+        Die.square(args.die_side),
+        defect_density_per_cm2=args.defect_density,
+        clustering_alpha=args.alpha)
+    wmap = sim.simulate_wafer(np.random.default_rng(args.seed))
+    print(render_wafer_map(wmap, show_counts=args.counts))
+
+
+def _cmd_report(args: argparse.Namespace) -> None:
+    from .analysis.reproduce import main as report_main
+    report_main([args.output] if args.output else [])
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Maly DAC-1994 silicon cost model — reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig = sub.add_parser("figure", help="print a reproduced figure")
+    fig.add_argument("name", choices=sorted(_FIGURES) + ["fig8"])
+
+    tab = sub.add_parser("table", help="print a reproduced table")
+    tab.add_argument("name", choices=sorted(_TABLES))
+
+    cost = sub.add_parser("cost", help="price a design with eq. (1)")
+    cost.add_argument("--transistors", type=float, required=True)
+    cost.add_argument("--feature-size", type=float, required=True,
+                      help="lambda in microns")
+    cost.add_argument("--density", type=float, required=True,
+                      help="d_d in lambda^2 per transistor")
+    cost.add_argument("--yield0", type=float, default=0.7,
+                      help="reference yield for a 1 cm^2 die")
+    cost.add_argument("--c0", type=float, default=500.0,
+                      help="cost of the 1 um reference wafer [$]")
+    cost.add_argument("--x", type=float, default=1.8,
+                      help="wafer cost growth per generation")
+    cost.add_argument("--wafer-radius", type=float, default=7.5,
+                      help="wafer radius [cm]")
+
+    opt = sub.add_parser("optimize",
+                         help="cost-optimal feature size for a die area")
+    opt.add_argument("--die-area", type=float, required=True,
+                     help="die area [cm^2]")
+
+    scen = sub.add_parser("scenarios",
+                          help="Scenario #1 vs #2 cost sweep")
+    scen.add_argument("--lam-lo", type=float, default=0.25)
+    scen.add_argument("--lam-hi", type=float, default=1.0)
+
+    shrink = sub.add_parser("shrink",
+                            help="evaluate moving a product between nodes")
+    shrink.add_argument("--transistors", type=float, required=True)
+    shrink.add_argument("--density", type=float, required=True)
+    shrink.add_argument("--from-node", type=float, required=True,
+                        help="current lambda [um]")
+    shrink.add_argument("--to-node", type=float, required=True,
+                        help="target lambda [um]")
+    shrink.add_argument("--defect-density", type=float, default=0.05,
+                        help="mature killer density at 1 um [1/cm^2]")
+    shrink.add_argument("--c0", type=float, default=500.0)
+    shrink.add_argument("--x", type=float, default=1.4)
+
+    wmap = sub.add_parser("wafermap",
+                          help="simulate and draw one wafer map")
+    wmap.add_argument("--die-side", type=float, default=1.0,
+                      help="square die side [cm]")
+    wmap.add_argument("--defect-density", type=float, default=0.8,
+                      help="killer defects per cm^2")
+    wmap.add_argument("--wafer-radius", type=float, default=7.5)
+    wmap.add_argument("--alpha", type=float, default=None,
+                      help="gamma clustering parameter (omit = Poisson)")
+    wmap.add_argument("--seed", type=int, default=0)
+    wmap.add_argument("--counts", action="store_true",
+                      help="print defect counts instead of pass/fail")
+
+    report = sub.add_parser("report",
+                            help="write the full reproduction report")
+    report.add_argument("output", nargs="?", default=None,
+                        help="output file (default: stdout)")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "figure":
+            _print_figure(args.name)
+        elif args.command == "table":
+            _print_table(args.name)
+        elif args.command == "cost":
+            _cmd_cost(args)
+        elif args.command == "optimize":
+            _cmd_optimize(args)
+        elif args.command == "scenarios":
+            _cmd_scenarios(args)
+        elif args.command == "shrink":
+            _cmd_shrink(args)
+        elif args.command == "wafermap":
+            _cmd_wafermap(args)
+        elif args.command == "report":
+            _cmd_report(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

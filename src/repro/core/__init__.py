@@ -1,0 +1,76 @@
+"""The paper's primary contribution: the transistor cost model.
+
+* :mod:`~repro.core.wafer_cost` — eqs. (2) and (3): wafer cost as a
+  function of feature size, volume and overhead, with selectable
+  generation-counting laws for the X exponent.
+* :mod:`~repro.core.transistor_cost` — eqs. (1), (8) and (9): the full
+  cost-per-transistor composition with an itemized breakdown.
+* :mod:`~repro.core.scenarios` — Scenario #1 and Scenario #2 of
+  Sec. IV.A, plus the sweep machinery behind Figs. 6 and 7.
+* :mod:`~repro.core.optimization` — the Fig.-8 cost landscape:
+  constant-cost contours in (λ, N_tr), per-die-size optimal feature
+  size, and local optima detection.
+* :mod:`~repro.core.diversity` — the Table-3 engine mapping
+  :class:`~repro.technology.products.ProductSpec` records to costs.
+* :mod:`~repro.core.sensitivity` — log-log elasticities and tornado
+  analyses of the cost model (extension).
+"""
+
+from .wafer_cost import GenerationModel, WaferCostModel
+from .transistor_cost import CostBreakdown, TransistorCostModel
+from .scenarios import (
+    Scenario,
+    SCENARIO_1,
+    SCENARIO_2,
+    scenario1_cost_curve,
+    scenario2_cost_curve,
+)
+from .optimization import (
+    CostLandscape,
+    optimal_feature_size,
+    optimal_feature_size_for_die_area,
+    FIG8_FAB,
+)
+from .diversity import CostResult, evaluate_product, evaluate_catalog
+from .sensitivity import elasticity, tornado
+from .trajectory import (
+    CostTrajectory,
+    divergence_year,
+    optimistic_trajectory,
+    realistic_trajectory,
+)
+from .pricing import LearningCurvePrice, MarginModel
+from .shrink import NodeEvaluation, ShrinkAnalysis
+from .uncertainty import InputDistribution, UncertaintyResult, propagate
+
+__all__ = [
+    "GenerationModel",
+    "WaferCostModel",
+    "CostBreakdown",
+    "TransistorCostModel",
+    "Scenario",
+    "SCENARIO_1",
+    "SCENARIO_2",
+    "scenario1_cost_curve",
+    "scenario2_cost_curve",
+    "CostLandscape",
+    "optimal_feature_size",
+    "optimal_feature_size_for_die_area",
+    "FIG8_FAB",
+    "CostResult",
+    "evaluate_product",
+    "evaluate_catalog",
+    "elasticity",
+    "tornado",
+    "CostTrajectory",
+    "optimistic_trajectory",
+    "realistic_trajectory",
+    "divergence_year",
+    "LearningCurvePrice",
+    "MarginModel",
+    "ShrinkAnalysis",
+    "NodeEvaluation",
+    "InputDistribution",
+    "UncertaintyResult",
+    "propagate",
+]

@@ -1,0 +1,121 @@
+"""Cost diversity — the Table-3 engine (Sec. IV.C).
+
+Table 3 runs the cost model of eqs. (1), (3), (4) over 17 product-
+manufacturing scenarios with the reference-area yield law
+``Y = Y₀^(A_ch/A₀)`` (see DESIGN.md, deviation 3) and exhibits a 250×
+spread in cost per transistor.  :func:`evaluate_product` reproduces one
+row from a :class:`~repro.technology.products.ProductSpec`;
+:func:`evaluate_catalog` reproduces the whole table and computes the
+agreement statistics quoted in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+from ..geometry import Wafer
+from ..technology.products import PRODUCT_CATALOG, ProductSpec
+from ..yieldsim.models import ReferenceAreaYield
+from .transistor_cost import CostBreakdown, TransistorCostModel
+from .wafer_cost import GenerationModel, WaferCostModel
+
+
+@dataclass(frozen=True)
+class CostResult:
+    """One evaluated Table-3 row: the spec, the breakdown, the comparison."""
+
+    spec: ProductSpec
+    breakdown: CostBreakdown
+
+    @property
+    def ctr_microdollars(self) -> float:
+        """Modeled C_tr in the table's $·10⁻⁶ unit."""
+        return self.breakdown.cost_per_transistor_microdollars
+
+    @property
+    def published_microdollars(self) -> float | None:
+        """The paper's value for this row, if published."""
+        return self.spec.published_ctr_microdollars
+
+    @property
+    def log_error(self) -> float | None:
+        """``ln(modeled / published)``; None when no published value."""
+        if self.published_microdollars is None:
+            return None
+        return math.log(self.ctr_microdollars / self.published_microdollars)
+
+    @property
+    def ratio(self) -> float | None:
+        """modeled / published; None when no published value."""
+        if self.published_microdollars is None:
+            return None
+        return self.ctr_microdollars / self.published_microdollars
+
+
+def evaluate_product(spec: ProductSpec, *,
+                     generation_model: GenerationModel = GenerationModel.SHRINK_LOG,
+                     reference_area_cm2: float = 1.0) -> CostResult:
+    """Evaluate the full cost model for one product scenario.
+
+    Composition: eq. (3) wafer cost from the spec's (C₀, X); eq. (4)
+    die count on the spec's wafer; yield ``Y₀^(A_ch/A₀)``; eq. (1).
+    """
+    wafer_cost = WaferCostModel(
+        reference_cost_dollars=spec.reference_wafer_cost_dollars,
+        cost_growth_rate=spec.cost_growth_rate,
+        generation_model=generation_model)
+    model = TransistorCostModel(
+        wafer_cost=wafer_cost,
+        wafer=Wafer(radius_cm=spec.wafer_radius_cm))
+    breakdown = model.evaluate(
+        n_transistors=spec.n_transistors,
+        feature_size_um=spec.feature_size_um,
+        design_density=spec.design_density,
+        yield_model=ReferenceAreaYield(
+            reference_yield=spec.reference_yield,
+            reference_area_cm2=reference_area_cm2))
+    return CostResult(spec=spec, breakdown=breakdown)
+
+
+def evaluate_catalog(catalog: tuple[ProductSpec, ...] = PRODUCT_CATALOG, *,
+                     generation_model: GenerationModel = GenerationModel.SHRINK_LOG,
+                     ) -> list[CostResult]:
+    """Evaluate every row of (by default) the paper's Table 3."""
+    return [evaluate_product(spec, generation_model=generation_model)
+            for spec in catalog]
+
+
+def agreement_statistics(results: list[CostResult]) -> dict[str, float]:
+    """Paper-vs-model statistics over rows with published values.
+
+    Returns mean and max absolute log error, the modeled and published
+    cost spreads (max/min ratio across rows), and the count of compared
+    rows.  Reconstructed rows (OCR-recovered N_tr) are excluded from
+    the error statistics but included in the spreads.
+    """
+    compared = [r for r in results
+                if r.published_microdollars is not None
+                and not r.spec.reconstructed]
+    if not compared:
+        raise ParameterError("no rows with published values to compare")
+    abs_errors = [abs(r.log_error) for r in compared]  # type: ignore[arg-type]
+    modeled = [r.ctr_microdollars for r in results]
+    published = [r.published_microdollars for r in results
+                 if r.published_microdollars is not None]
+    return {
+        "n_compared": float(len(compared)),
+        "mean_abs_log_error": sum(abs_errors) / len(abs_errors),
+        "max_abs_log_error": max(abs_errors),
+        "modeled_spread": max(modeled) / min(modeled),
+        "published_spread": max(published) / min(published),
+    }
+
+
+def cheapest_and_dearest(results: list[CostResult]) -> tuple[CostResult, CostResult]:
+    """The extreme rows of the diversity table (model values)."""
+    if not results:
+        raise ParameterError("results must be non-empty")
+    ordered = sorted(results, key=lambda r: r.ctr_microdollars)
+    return ordered[0], ordered[-1]

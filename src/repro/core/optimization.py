@@ -1,0 +1,249 @@
+"""The Fig.-8 cost landscape and transistor cost optimization.
+
+Sec. IV.B evaluates the full model — eqs. (1), (3), (4) and (7) — over
+the (λ, N_tr) plane for a real fab's fitted parameters (X = 1.4,
+C₀ = $500, R_w = 7.5 cm, d_d = 152, D = 1.72, p = 4.07) and finds:
+
+* constant-cost contours with multiple local optima,
+* a different cost-minimizing λ for each die size, and
+* that the optimum "may not call for the smallest possible (and
+  expensive) feature size" — the paper's design-side takeaway.
+
+:class:`CostLandscape` computes the grid; helpers extract contours,
+per-N_tr optima, per-die-area optima, and local minima.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConvergenceError, ParameterError
+from ..geometry import Die, Wafer, dies_per_wafer_maly
+from ..units import require_positive
+from ..yieldsim.models import scaled_poisson_yield
+from .wafer_cost import WaferCostModel
+
+
+@dataclass(frozen=True)
+class FabCharacterization:
+    """The fitted fab parameters behind Fig. 8 (from [26])."""
+
+    cost_growth_rate: float = 1.4
+    reference_cost_dollars: float = 500.0
+    wafer_radius_cm: float = 7.5
+    design_density: float = 152.0
+    defect_coefficient: float = 1.72
+    size_exponent_p: float = 4.07
+
+    def __post_init__(self) -> None:
+        require_positive("cost_growth_rate", self.cost_growth_rate)
+        require_positive("reference_cost_dollars", self.reference_cost_dollars)
+        require_positive("wafer_radius_cm", self.wafer_radius_cm)
+        require_positive("design_density", self.design_density)
+        require_positive("defect_coefficient", self.defect_coefficient)
+        require_positive("size_exponent_p", self.size_exponent_p)
+
+
+#: The exact parameter set quoted for Fig. 8.
+FIG8_FAB = FabCharacterization()
+
+
+def transistor_cost_full(n_transistors: float, feature_size_um: float,
+                         fab: FabCharacterization = FIG8_FAB) -> float:
+    """One evaluation of eqs. (1)+(3)+(4)+(7), in dollars per transistor.
+
+    Returns ``math.inf`` when the implied die does not fit the wafer —
+    the landscape code treats that as an infeasible (masked) cell
+    rather than an error so grids can span aggressive N_tr ranges.
+    """
+    require_positive("n_transistors", n_transistors)
+    require_positive("feature_size_um", feature_size_um)
+    wafer_cost = WaferCostModel(
+        reference_cost_dollars=fab.reference_cost_dollars,
+        cost_growth_rate=fab.cost_growth_rate)
+    wafer = Wafer(radius_cm=fab.wafer_radius_cm)
+    die = Die.from_transistor_count(n_transistors, fab.design_density,
+                                    feature_size_um)
+    n_ch = dies_per_wafer_maly(wafer, die)
+    if n_ch < 1:
+        return math.inf
+    y = scaled_poisson_yield(n_transistors, fab.design_density,
+                             fab.defect_coefficient, feature_size_um,
+                             fab.size_exponent_p)
+    c_w = wafer_cost.pure_cost(feature_size_um)
+    if y < 1e-250:
+        return math.inf  # yield underflow: economically infeasible cell
+    return c_w / (n_ch * n_transistors * y)
+
+
+@dataclass
+class CostLandscape:
+    """C_tr over a (λ, N_tr) grid — the data behind Fig. 8.
+
+    ``feature_sizes_um`` spans the x-axis, ``transistor_counts`` the
+    y-axis; ``grid()`` evaluates lazily and caches.  Infeasible cells
+    (die larger than wafer, or yield underflow) hold ``inf``.
+    """
+
+    fab: FabCharacterization = field(default_factory=FabCharacterization)
+    feature_sizes_um: np.ndarray = field(
+        default_factory=lambda: np.linspace(0.3, 2.0, 46))
+    transistor_counts: np.ndarray = field(
+        default_factory=lambda: np.geomspace(1e5, 1e7, 47))
+    _grid: np.ndarray | None = field(default=None, repr=False)
+
+    def grid(self) -> np.ndarray:
+        """Cost array of shape (len(transistor_counts), len(feature_sizes))."""
+        if self._grid is None:
+            out = np.empty((len(self.transistor_counts),
+                            len(self.feature_sizes_um)))
+            for i, n_tr in enumerate(self.transistor_counts):
+                for j, lam in enumerate(self.feature_sizes_um):
+                    out[i, j] = transistor_cost_full(float(n_tr), float(lam),
+                                                     self.fab)
+            self._grid = out
+        return self._grid
+
+    def optimal_lambda_per_count(self) -> list[tuple[float, float, float]]:
+        """For each N_tr row: (N_tr, λ_opt, C_tr at optimum).
+
+        Rows with no feasible cell are skipped.
+        """
+        g = self.grid()
+        rows = []
+        for i, n_tr in enumerate(self.transistor_counts):
+            row = g[i]
+            finite = np.isfinite(row)
+            if not finite.any():
+                continue
+            j = int(np.argmin(np.where(finite, row, np.inf)))
+            rows.append((float(n_tr), float(self.feature_sizes_um[j]),
+                         float(row[j])))
+        return rows
+
+    def local_minima(self) -> list[tuple[int, int]]:
+        """Grid indices (i, j) that are strict local minima in 4-neighborhood.
+
+        The paper observes "a number of local optima" on its contour
+        plot; this extracts them from the discretized landscape.
+        """
+        g = self.grid()
+        minima = []
+        for i in range(g.shape[0]):
+            for j in range(g.shape[1]):
+                v = g[i, j]
+                if not np.isfinite(v):
+                    continue
+                neighbors = []
+                if i > 0:
+                    neighbors.append(g[i - 1, j])
+                if i < g.shape[0] - 1:
+                    neighbors.append(g[i + 1, j])
+                if j > 0:
+                    neighbors.append(g[i, j - 1])
+                if j < g.shape[1] - 1:
+                    neighbors.append(g[i, j + 1])
+                if all(v < n for n in neighbors):
+                    minima.append((i, j))
+        return minima
+
+    def contour_levels(self, n_levels: int = 8, *,
+                       max_decades: float = 3.0) -> np.ndarray:
+        """Log-spaced cost levels covering the economically relevant range.
+
+        The raw landscape spans absurd magnitudes (cells with Y ~ 1e-100
+        are technically finite); contours are drawn from the valley floor
+        up to ``max_decades`` decades above it, which is where Fig. 8's
+        structure lives.
+        """
+        require_positive("max_decades", max_decades)
+        g = self.grid()
+        finite = g[np.isfinite(g)]
+        if finite.size == 0:
+            raise ParameterError("landscape has no feasible cells")
+        lo = float(finite.min())
+        hi = min(float(finite.max()), lo * 10.0 ** max_decades)
+        return np.geomspace(lo, hi, n_levels)
+
+    def contour_mask(self, level: float, tolerance: float = 0.05) -> np.ndarray:
+        """Boolean grid of cells within ±tolerance (relative) of a level.
+
+        A discretized stand-in for the contour lines of Fig. 8, suitable
+        for the ASCII rendering in :mod:`repro.analysis.report`.
+        """
+        require_positive("level", level)
+        g = self.grid()
+        with np.errstate(invalid="ignore"):
+            rel = np.abs(g - level) / level
+        return np.isfinite(g) & (rel <= tolerance)
+
+
+def optimal_feature_size(n_transistors: float,
+                         fab: FabCharacterization = FIG8_FAB,
+                         lam_lo_um: float = 0.25, lam_hi_um: float = 1.5,
+                         tol_um: float = 1e-4) -> float:
+    """Cost-minimizing λ for a fixed transistor count (golden-section search).
+
+    The objective is unimodal-enough in practice for this fab (the
+    wafer-cost term rises and the yield/area terms fall monotonically in
+    λ); the search is bracketed and the result refined against a coarse
+    scan to avoid landing in a secondary valley.
+    """
+    require_positive("n_transistors", n_transistors)
+    if not lam_lo_um < lam_hi_um:
+        raise ParameterError("lam_lo_um must be < lam_hi_um")
+
+    def f(lam: float) -> float:
+        return transistor_cost_full(n_transistors, lam, fab)
+
+    # Coarse scan to pick the best bracket among possible multiple valleys.
+    lams = np.linspace(lam_lo_um, lam_hi_um, 61)
+    costs = np.array([f(l) for l in lams])
+    if not np.isfinite(costs).any():
+        raise ConvergenceError("no feasible feature size in the given range")
+    k = int(np.argmin(np.where(np.isfinite(costs), costs, np.inf)))
+    lo = lams[max(k - 1, 0)]
+    hi = lams[min(k + 1, len(lams) - 1)]
+
+    phi = (math.sqrt(5.0) - 1.0) / 2.0
+    a, b = lo, hi
+    c = b - phi * (b - a)
+    d = a + phi * (b - a)
+    fc, fd = f(c), f(d)
+    while b - a > tol_um:
+        if fc < fd:
+            b, d, fd = d, c, fc
+            c = b - phi * (b - a)
+            fc = f(c)
+        else:
+            a, c, fc = c, d, fd
+            d = a + phi * (b - a)
+            fd = f(d)
+    return 0.5 * (a + b)
+
+
+def optimal_feature_size_for_die_area(die_area_cm2: float,
+                                      fab: FabCharacterization = FIG8_FAB,
+                                      lam_lo_um: float = 0.25,
+                                      lam_hi_um: float = 1.5) -> tuple[float, float]:
+    """Cost-minimizing λ when the *die size* is fixed (λ sets N_tr via eq. 5).
+
+    Returns ``(λ_opt, C_tr at optimum)``.  This is the paper's framing:
+    "for each die size there is different λ_opt which minimizes the cost
+    per transistor."
+    """
+    require_positive("die_area_cm2", die_area_cm2)
+
+    def n_tr(lam: float) -> float:
+        return die_area_cm2 * 1.0e8 / (fab.design_density * lam * lam)
+
+    lams = np.linspace(lam_lo_um, lam_hi_um, 241)
+    costs = np.array([transistor_cost_full(n_tr(l), l, fab) for l in lams])
+    if not np.isfinite(costs).any():
+        raise ConvergenceError("no feasible feature size for this die area")
+    k = int(np.argmin(np.where(np.isfinite(costs), costs, np.inf)))
+    return float(lams[k]), float(costs[k])

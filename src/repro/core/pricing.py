@@ -1,0 +1,143 @@
+"""Prices and margins — the market side of the cost story.
+
+The paper's economics run on two price facts:
+
+* **DRAM pricing follows the "Bi rule"** [11] (Tarui): price per *bit*
+  falls along a fixed learning trajectory as cumulative bits shipped
+  grow — so a memory maker's margin is the race between the Bi-rule
+  price line and the eq.-(1) cost line.
+* **Margins were lucrative and are compressing** [5]: "Increased
+  competition has led to a decrease in previously lucrative profit
+  margins" — which is what turns the Fig.-7 cost increase from an
+  accounting footnote into an existential problem.
+
+This module models both: a learning-curve price trajectory and a
+margin calculator joining any price to the cost model's output.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+from ..units import require_fraction, require_nonnegative, require_positive
+
+
+@dataclass(frozen=True)
+class LearningCurvePrice:
+    """Price per unit following a cumulative-volume learning curve.
+
+    The classical form: every doubling of cumulative volume multiplies
+    the price by ``learning_rate`` (the "Bi rule" fitted DRAM price per
+    bit with learning_rate ≈ 0.68–0.72 over the 1970s–80s):
+
+    .. math:: P(Q) = P_1 \\cdot Q^{\\log_2(learning\\_rate)}
+
+    Parameters
+    ----------
+    first_unit_price_dollars:
+        P₁ — price of the first cumulative unit.
+    learning_rate:
+        Price multiplier per cumulative doubling, in (0, 1).
+    """
+
+    first_unit_price_dollars: float
+    learning_rate: float = 0.7
+
+    def __post_init__(self) -> None:
+        require_positive("first_unit_price_dollars",
+                         self.first_unit_price_dollars)
+        require_fraction("learning_rate", self.learning_rate,
+                         inclusive_low=False, inclusive_high=False)
+
+    @property
+    def exponent(self) -> float:
+        """The log-log slope b = log2(learning_rate) (negative)."""
+        return math.log2(self.learning_rate)
+
+    def price(self, cumulative_units: float) -> float:
+        """Price at a cumulative volume (units ≥ 1)."""
+        if cumulative_units < 1.0:
+            raise ParameterError(
+                f"cumulative_units must be >= 1, got {cumulative_units}")
+        return self.first_unit_price_dollars \
+            * cumulative_units ** self.exponent
+
+    def volume_for_price(self, target_price_dollars: float) -> float:
+        """Cumulative volume at which the price reaches a target."""
+        require_positive("target_price_dollars", target_price_dollars)
+        if target_price_dollars > self.first_unit_price_dollars:
+            raise ParameterError(
+                "target price exceeds the first-unit price; already below it")
+        return (target_price_dollars / self.first_unit_price_dollars) \
+            ** (1.0 / self.exponent)
+
+    def doublings_to_price(self, target_price_dollars: float) -> float:
+        """How many cumulative doublings until the price target."""
+        volume = self.volume_for_price(target_price_dollars)
+        return math.log2(volume)
+
+
+@dataclass(frozen=True)
+class MarginModel:
+    """Join a selling price to a unit cost.
+
+    Works at any granularity — per transistor (Table 3's unit), per
+    die, per wafer — as long as price and cost share it.
+    """
+
+    unit_price_dollars: float
+    unit_cost_dollars: float
+
+    def __post_init__(self) -> None:
+        require_positive("unit_price_dollars", self.unit_price_dollars)
+        require_positive("unit_cost_dollars", self.unit_cost_dollars)
+
+    @property
+    def gross_margin(self) -> float:
+        """(price − cost) / price; negative when under water."""
+        return 1.0 - self.unit_cost_dollars / self.unit_price_dollars
+
+    @property
+    def markup(self) -> float:
+        """price / cost."""
+        return self.unit_price_dollars / self.unit_cost_dollars
+
+    def price_for_margin(self, target_margin: float) -> float:
+        """Price needed for a target gross margin at this cost."""
+        require_fraction("target_margin", target_margin,
+                         inclusive_high=False)
+        return self.unit_cost_dollars / (1.0 - target_margin)
+
+    def cost_ceiling_for_margin(self, target_margin: float) -> float:
+        """Highest unit cost compatible with a target margin at this price.
+
+        The designer-facing number: the cost budget the eq.-(1) model
+        must beat for the product to clear its margin bar.
+        """
+        require_fraction("target_margin", target_margin,
+                         inclusive_high=False)
+        return self.unit_price_dollars * (1.0 - target_margin)
+
+
+def margin_squeeze_year(cost_per_unit_by_year, price_by_year,
+                        *, floor_margin: float = 0.2) -> float | None:
+    """First year gross margin falls below ``floor_margin``.
+
+    ``cost_per_unit_by_year`` and ``price_by_year`` are callables
+    year → dollars (e.g. a :class:`~repro.core.trajectory.CostTrajectory`
+    method and a Bi-rule price composed with a shipment model).  Scans
+    1985–2010 in 1-year steps; None if the margin holds throughout.
+    """
+    require_fraction("floor_margin", floor_margin, inclusive_high=False)
+    year = 1985.0
+    while year <= 2010.0:
+        price = price_by_year(year)
+        cost = cost_per_unit_by_year(year)
+        if price <= 0:
+            raise ParameterError(f"price model returned {price} at {year}")
+        if 1.0 - cost / price < floor_margin:
+            return year
+        year += 1.0
+    return None

@@ -1,0 +1,116 @@
+"""Sensitivity analysis of the cost model (extension).
+
+The paper argues qualitatively that C_tr "strongly depends on the
+minimum feature size, manufacturing volume and the rate of the
+manufacturing cost increase"; this module quantifies that with log-log
+elasticities
+
+.. math:: E_\\theta = \\frac{\\partial \\ln C_{tr}}{\\partial \\ln \\theta}
+
+evaluated by central finite differences on any keyword parameter of a
+cost function, plus a tornado analysis ranking parameters by the cost
+swing their plausible ranges induce.  Used by the ablation bench and
+the scenario-explorer example.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from ..errors import ParameterError
+from ..units import require_positive
+
+CostFunction = Callable[..., float]
+
+
+def elasticity(cost_fn: CostFunction, params: Mapping[str, float],
+               parameter: str, *, rel_step: float = 1e-4) -> float:
+    """Log-log elasticity of ``cost_fn`` with respect to one parameter.
+
+    ``params`` holds the evaluation point (all keyword arguments the
+    function needs); ``parameter`` names the one to perturb.  The
+    parameter must be positive (elasticities are log-derivatives).
+    """
+    if parameter not in params:
+        raise ParameterError(f"parameter {parameter!r} not in params")
+    value = params[parameter]
+    require_positive(parameter, value)
+    require_positive("rel_step", rel_step)
+
+    up = dict(params)
+    down = dict(params)
+    up[parameter] = value * (1.0 + rel_step)
+    down[parameter] = value * (1.0 - rel_step)
+    c_up = cost_fn(**up)
+    c_down = cost_fn(**down)
+    if c_up <= 0 or c_down <= 0:
+        raise ParameterError(
+            f"cost function must be positive near the evaluation point "
+            f"(got {c_down!r}, {c_up!r})")
+    return (math.log(c_up) - math.log(c_down)) \
+        / (math.log(up[parameter]) - math.log(down[parameter]))
+
+
+@dataclass(frozen=True)
+class TornadoBar:
+    """One parameter's contribution in a tornado analysis."""
+
+    parameter: str
+    low_value: float
+    high_value: float
+    cost_at_low: float
+    cost_at_high: float
+    baseline_cost: float
+
+    @property
+    def swing(self) -> float:
+        """Absolute cost range induced by the parameter's range."""
+        return abs(self.cost_at_high - self.cost_at_low)
+
+    @property
+    def relative_swing(self) -> float:
+        """Swing normalized by the baseline cost."""
+        return self.swing / self.baseline_cost
+
+
+def tornado(cost_fn: CostFunction, baseline: Mapping[str, float],
+            ranges: Mapping[str, tuple[float, float]]) -> list[TornadoBar]:
+    """One-at-a-time tornado analysis, sorted by descending swing.
+
+    Each parameter in ``ranges`` is set to its low and high bound while
+    all others stay at the baseline; the resulting cost swings are
+    ranked.  The classic way to show which knob (X? Y₀? d_d? λ?)
+    dominates a product's cost.
+    """
+    base_cost = cost_fn(**baseline)
+    require_positive("baseline cost", base_cost)
+    bars = []
+    for name, (low, high) in ranges.items():
+        if name not in baseline:
+            raise ParameterError(f"range given for unknown parameter {name!r}")
+        if not low < high:
+            raise ParameterError(
+                f"range for {name!r} must satisfy low < high, got ({low}, {high})")
+        at_low = dict(baseline)
+        at_high = dict(baseline)
+        at_low[name] = low
+        at_high[name] = high
+        bars.append(TornadoBar(
+            parameter=name, low_value=low, high_value=high,
+            cost_at_low=cost_fn(**at_low), cost_at_high=cost_fn(**at_high),
+            baseline_cost=base_cost))
+    return sorted(bars, key=lambda b: b.swing, reverse=True)
+
+
+def elasticity_profile(cost_fn: CostFunction, params: Mapping[str, float],
+                       parameters: Sequence[str] | None = None) -> dict[str, float]:
+    """Elasticities for several parameters at once, as a dict.
+
+    ``parameters`` defaults to every positive entry of ``params``.
+    """
+    names = list(parameters) if parameters is not None else [
+        k for k, v in params.items()
+        if isinstance(v, (int, float)) and v > 0]
+    return {name: elasticity(cost_fn, params, name) for name in names}

@@ -1,0 +1,192 @@
+"""Product shrink analysis — the application behind reference [26].
+
+The paper's fitted yield constants come from "Yield Model for
+Manufacturing Strategy Planning and Product Shrink Applications": the
+decision of *when to shrink* an existing product to a finer node.  A
+shrink cuts the die (λ² area gain) and so raises dies-per-wafer and
+yield — but it moves production onto a costlier wafer (eq. 3) and,
+early in the new node's life, onto a dirtier process (yield learning).
+
+:class:`ShrinkAnalysis` evaluates a product at its current node and at
+a candidate target node, with an optional learning curve on the target
+node's defect density, and answers: what is the cost ratio today, when
+does the shrink break even, and which node minimizes cost at maturity?
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import ParameterError
+from ..geometry import Die, Wafer, dies_per_wafer_maly
+from ..technology.products import ProductSpec
+from ..units import require_positive
+from ..yieldsim.learning import YieldLearningCurve
+from ..yieldsim.models import PoissonYield, YieldModel
+from .wafer_cost import WaferCostModel
+
+
+@dataclass(frozen=True)
+class NodeEvaluation:
+    """A product evaluated at one feature size."""
+
+    feature_size_um: float
+    die_area_cm2: float
+    dies_per_wafer: int
+    yield_value: float
+    wafer_cost_dollars: float
+    cost_per_good_die_dollars: float
+
+
+@dataclass(frozen=True)
+class ShrinkAnalysis:
+    """Shrink decision machinery for one product.
+
+    Parameters
+    ----------
+    n_transistors, design_density:
+        The design (fixed across nodes; a pure optical shrink keeps the
+        layout, so d_d in λ² units is invariant).
+    wafer:
+        Production wafer.
+    wafer_cost:
+        Eq.-(3) wafer cost model shared by all nodes.
+    mature_density_per_cm2:
+        Killer-defect density of a mature node at the reference feature
+        size (the λ-scaling is applied via ``size_exponent_p``).
+    size_exponent_p:
+        Defect-size exponent: following eq. (7)'s ``D₀ = D/λ^p``, the
+        node's mature killer density is ``mature · (λ_ref/λ)^p`` —
+        finer features are killed by smaller, more numerous defects.
+    reference_feature_um:
+        Node at which ``mature_density_per_cm2`` is quoted.
+    yield_model:
+        Fault-to-yield map (Poisson by default).
+    """
+
+    n_transistors: float
+    design_density: float
+    wafer: Wafer = field(default_factory=lambda: Wafer(radius_cm=7.5))
+    wafer_cost: WaferCostModel = field(default_factory=WaferCostModel)
+    mature_density_per_cm2: float = 1.0
+    size_exponent_p: float = 4.07
+    reference_feature_um: float = 1.0
+    yield_model: YieldModel = PoissonYield()
+
+    def __post_init__(self) -> None:
+        require_positive("n_transistors", self.n_transistors)
+        require_positive("design_density", self.design_density)
+        require_positive("mature_density_per_cm2",
+                         self.mature_density_per_cm2)
+        require_positive("size_exponent_p", self.size_exponent_p)
+        require_positive("reference_feature_um", self.reference_feature_um)
+
+    @classmethod
+    def for_product(cls, spec: ProductSpec, **overrides) -> "ShrinkAnalysis":
+        """Build from a Table-3 :class:`ProductSpec`."""
+        defaults = dict(
+            n_transistors=spec.n_transistors,
+            design_density=spec.design_density,
+            wafer=Wafer(radius_cm=spec.wafer_radius_cm),
+            wafer_cost=WaferCostModel(
+                reference_cost_dollars=spec.reference_wafer_cost_dollars,
+                cost_growth_rate=spec.cost_growth_rate))
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    def mature_density_at(self, feature_size_um: float) -> float:
+        """Mature killer density at a node: eq. (7)'s D₀ = D/λ^p scaling."""
+        require_positive("feature_size_um", feature_size_um)
+        scale = (self.reference_feature_um / feature_size_um) \
+            ** self.size_exponent_p
+        return self.mature_density_per_cm2 * scale
+
+    def evaluate_node(self, feature_size_um: float,
+                      defect_density_per_cm2: float | None = None,
+                      ) -> NodeEvaluation:
+        """The product at one node; density defaults to the mature value."""
+        die = Die.from_transistor_count(self.n_transistors,
+                                        self.design_density,
+                                        feature_size_um)
+        n_ch = dies_per_wafer_maly(self.wafer, die)
+        if n_ch < 1:
+            raise ParameterError(
+                f"die of {die.area_cm2:.2f} cm2 at {feature_size_um} um "
+                "does not fit the wafer")
+        density = defect_density_per_cm2 \
+            if defect_density_per_cm2 is not None \
+            else self.mature_density_at(feature_size_um)
+        y = self.yield_model.yield_for_area(die.area_cm2, density)
+        if y <= 0.0:
+            raise ParameterError(
+                f"yield underflows at {feature_size_um} um")
+        c_w = self.wafer_cost.pure_cost(feature_size_um)
+        return NodeEvaluation(
+            feature_size_um=feature_size_um,
+            die_area_cm2=die.area_cm2,
+            dies_per_wafer=n_ch,
+            yield_value=y,
+            wafer_cost_dollars=c_w,
+            cost_per_good_die_dollars=c_w / (n_ch * y))
+
+    def cost_per_transistor(self, feature_size_um: float,
+                            defect_density_per_cm2: float | None = None,
+                            ) -> float:
+        """C_tr (dollars) at a node."""
+        node = self.evaluate_node(feature_size_um, defect_density_per_cm2)
+        return node.cost_per_good_die_dollars / self.n_transistors
+
+    def shrink_gain_at_maturity(self, from_um: float, to_um: float) -> float:
+        """Mature cost ratio old/new: > 1 means the shrink pays."""
+        require_positive("from_um", from_um)
+        require_positive("to_um", to_um)
+        if to_um >= from_um:
+            raise ParameterError("to_um must be finer than from_um")
+        old = self.cost_per_transistor(from_um)
+        new = self.cost_per_transistor(to_um)
+        return old / new
+
+    def breakeven_month(self, from_um: float, to_um: float,
+                        learning: YieldLearningCurve, *,
+                        horizon_months: float = 48.0,
+                        dt_months: float = 1.0) -> float | None:
+        """First month the (learning) target node beats the mature old node.
+
+        ``learning`` describes the target node's defect-density ramp
+        (its mature floor should equal ``mature_density_at(to_um)`` for
+        consistency — not enforced, so 'what-if dirtier floor' studies
+        are possible).  None if the shrink never wins inside the horizon.
+        """
+        old_cost = self.cost_per_transistor(from_um)
+        t = 0.0
+        while t <= horizon_months:
+            density = learning.density(t)
+            try:
+                new_cost = self.cost_per_transistor(to_um, density)
+            except ParameterError:
+                new_cost = math.inf
+            if new_cost < old_cost:
+                return t
+            t += dt_months
+        return None
+
+    def best_node(self, candidates: tuple[float, ...]) -> tuple[float, float]:
+        """The candidate node with the lowest mature C_tr.
+
+        Returns ``(λ_best, C_tr at λ_best)``; infeasible candidates are
+        skipped; raises if none is feasible.
+        """
+        if not candidates:
+            raise ParameterError("candidates must be non-empty")
+        best: tuple[float, float] | None = None
+        for lam in candidates:
+            try:
+                cost = self.cost_per_transistor(lam)
+            except ParameterError:
+                continue
+            if best is None or cost < best[1]:
+                best = (lam, cost)
+        if best is None:
+            raise ParameterError("no feasible candidate node")
+        return best

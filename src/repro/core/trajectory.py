@@ -1,0 +1,135 @@
+"""Transistor cost over calendar time — the paper's trend claims.
+
+Sec. I/III: "In the last twenty years silicon cost — computed per
+single IC transistor — has been constantly decreasing ... Recently the
+situation has changed.  There are some indications that the cost per
+transistor may no longer decrease [10], or at least the rate of the
+cost decrease may become slower [11]."
+
+This module composes the :class:`~repro.technology.roadmap.
+TechnologyRoadmap` (λ vs. year) with a :class:`~repro.core.scenarios.
+Scenario` (C_tr vs. λ) into C_tr vs. *year*, and locates the flattening
+/ reversal the paper warns about: the year at which the year-over-year
+cost improvement drops below a threshold, and the year cost starts
+rising outright.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..technology.roadmap import TechnologyRoadmap
+from ..units import require_positive
+from .scenarios import Scenario, SCENARIO_1, SCENARIO_2
+
+
+@dataclass(frozen=True)
+class CostTrajectory:
+    """C_tr as a function of calendar year under one scenario.
+
+    Parameters
+    ----------
+    scenario:
+        Cost-vs-λ assumptions (Scenario #1/#2 or custom).
+    growth_rate:
+        The X value to use from the scenario's sweep.
+    roadmap:
+        λ-vs-year trend (Fig. 1).
+    """
+
+    scenario: Scenario
+    growth_rate: float
+    roadmap: TechnologyRoadmap = field(default_factory=TechnologyRoadmap)
+
+    def __post_init__(self) -> None:
+        if self.growth_rate < 1.0:
+            raise ParameterError(
+                f"growth_rate must be >= 1, got {self.growth_rate}")
+
+    def cost_at_year(self, year: float) -> float:
+        """C_tr (dollars) for the leading-edge node of the given year."""
+        lam = self.roadmap.feature_size_um(year)
+        return self.scenario.cost_dollars(lam, self.growth_rate)
+
+    def series(self, year_lo: float, year_hi: float,
+               n_points: int = 61) -> tuple[np.ndarray, np.ndarray]:
+        """(years, C_tr in dollars) arrays over a span."""
+        if not year_lo < year_hi:
+            raise ParameterError("year_lo must be < year_hi")
+        if n_points < 2:
+            raise ParameterError("need at least 2 points")
+        years = np.linspace(year_lo, year_hi, n_points)
+        costs = np.array([self.cost_at_year(y) for y in years])
+        return years, costs
+
+    def annual_improvement(self, year: float) -> float:
+        """Fractional year-over-year cost reduction at a year.
+
+        Positive = cost still falling; negative = cost rising.  The
+        historical norm this trend rode was ~20–30%/year.
+        """
+        now = self.cost_at_year(year)
+        next_year = self.cost_at_year(year + 1.0)
+        return 1.0 - next_year / now
+
+    def flattening_year(self, year_lo: float = 1980.0,
+                        year_hi: float = 2010.0,
+                        threshold: float = 0.05) -> float | None:
+        """First year the annual improvement drops below ``threshold``.
+
+        None if the improvement stays above the threshold for the whole
+        span (Scenario-#1-like trajectories).
+        """
+        require_positive("threshold", threshold)
+        year = year_lo
+        while year <= year_hi:
+            if self.annual_improvement(year) < threshold:
+                return year
+            year += 1.0
+        return None
+
+    def reversal_year(self, year_lo: float = 1980.0,
+                      year_hi: float = 2010.0) -> float | None:
+        """First year cost per transistor rises outright, or None."""
+        year = year_lo
+        while year <= year_hi:
+            if self.annual_improvement(year) < 0.0:
+                return year
+            year += 1.0
+        return None
+
+
+def optimistic_trajectory(growth_rate: float = 1.2) -> CostTrajectory:
+    """Scenario #1 over time: the industry's working assumption."""
+    return CostTrajectory(scenario=SCENARIO_1, growth_rate=growth_rate)
+
+
+def realistic_trajectory(growth_rate: float = 1.8) -> CostTrajectory:
+    """Scenario #2 over time: the paper's warning made temporal."""
+    return CostTrajectory(scenario=SCENARIO_2, growth_rate=growth_rate)
+
+
+def divergence_year(optimistic: CostTrajectory | None = None,
+                    realistic: CostTrajectory | None = None,
+                    *, ratio: float = 4.0,
+                    year_lo: float = 1985.0, year_hi: float = 2010.0,
+                    ) -> float | None:
+    """Year the realistic/optimistic cost ratio first exceeds ``ratio``.
+
+    A temporal restatement of the Fig.-6/Fig.-7 gap: when does planning
+    on memory economics start misleading non-memory products by more
+    than ``ratio``×?
+    """
+    require_positive("ratio", ratio)
+    opt = optimistic if optimistic is not None else optimistic_trajectory()
+    real = realistic if realistic is not None else realistic_trajectory()
+    year = year_lo
+    while year <= year_hi:
+        if real.cost_at_year(year) / opt.cost_at_year(year) > ratio:
+            return year
+        year += 1.0
+    return None

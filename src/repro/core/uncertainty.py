@@ -1,0 +1,136 @@
+"""Monte Carlo uncertainty propagation through the cost model.
+
+The paper's inputs are uncertain by its own account — X is quoted
+anywhere from 1.2 to 2.4, Y₀ depends on fab maturity, d_d on design
+style.  A point estimate of C_tr hides that.  This module propagates
+input distributions through any cost function and reports the output
+distribution: mean, spread, percentiles, and the probability of
+exceeding a budget — turning Table-3-style point rows into risk
+statements.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..units import require_positive
+
+CostFunction = Callable[..., float]
+
+
+@dataclass(frozen=True)
+class InputDistribution:
+    """One uncertain input: uniform or triangular on [low, high].
+
+    ``mode`` switches to a triangular distribution peaked there;
+    ``None`` keeps it uniform.  Log-domain sampling (``log_domain``)
+    suits multiplicative parameters like X.
+    """
+
+    low: float
+    high: float
+    mode: float | None = None
+    log_domain: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.low < self.high:
+            raise ParameterError(
+                f"need low < high, got [{self.low}, {self.high}]")
+        if self.mode is not None and not self.low <= self.mode <= self.high:
+            raise ParameterError(
+                f"mode {self.mode} outside [{self.low}, {self.high}]")
+        if self.log_domain and self.low <= 0.0:
+            raise ParameterError("log_domain requires positive bounds")
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` samples."""
+        if n < 1:
+            raise ParameterError(f"n must be >= 1, got {n}")
+        lo, hi = self.low, self.high
+        mode = self.mode
+        if self.log_domain:
+            lo, hi = math.log(lo), math.log(hi)
+            mode = math.log(mode) if mode is not None else None
+        if mode is None:
+            out = rng.uniform(lo, hi, size=n)
+        else:
+            out = rng.triangular(lo, mode, hi, size=n)
+        return np.exp(out) if self.log_domain else out
+
+
+@dataclass(frozen=True)
+class UncertaintyResult:
+    """Output distribution summary of a propagation run."""
+
+    samples: np.ndarray
+
+    @property
+    def mean(self) -> float:
+        """Sample mean of the cost."""
+        return float(self.samples.mean())
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation."""
+        return float(self.samples.std(ddof=1))
+
+    def percentile(self, q: float) -> float:
+        """q-th percentile (q in [0, 100])."""
+        if not 0.0 <= q <= 100.0:
+            raise ParameterError(f"q must be in [0, 100], got {q}")
+        return float(np.percentile(self.samples, q))
+
+    @property
+    def p10_p90_ratio(self) -> float:
+        """Spread measure: 90th over 10th percentile."""
+        p10 = self.percentile(10.0)
+        if p10 <= 0.0:
+            raise ParameterError("10th percentile non-positive")
+        return self.percentile(90.0) / p10
+
+    def probability_above(self, threshold: float) -> float:
+        """P(cost > threshold) — the budget-risk number."""
+        return float(np.mean(self.samples > threshold))
+
+
+def propagate(cost_fn: CostFunction,
+              fixed: Mapping[str, float],
+              uncertain: Mapping[str, InputDistribution],
+              *, n_samples: int = 2000,
+              rng: np.random.Generator | None = None) -> UncertaintyResult:
+    """Monte Carlo propagation of input uncertainty through ``cost_fn``.
+
+    ``fixed`` holds point-valued keyword arguments; ``uncertain`` maps
+    argument names to distributions (inputs sampled independently).
+    Non-finite cost evaluations (infeasible corners) are dropped with a
+    :class:`ParameterError` if they exceed half the draw — a model
+    whose uncertain range is mostly infeasible needs narrower inputs,
+    not silent truncation.
+    """
+    if not uncertain:
+        raise ParameterError("uncertain must name at least one input")
+    require_positive("n_samples", n_samples)
+    generator = rng if rng is not None else np.random.default_rng()
+    draws = {name: dist.sample(n_samples, generator)
+             for name, dist in uncertain.items()}
+    values = []
+    for i in range(n_samples):
+        kwargs = dict(fixed)
+        kwargs.update({name: float(draw[i]) for name, draw in draws.items()})
+        try:
+            value = cost_fn(**kwargs)
+        except ParameterError:
+            value = math.inf
+        values.append(value)
+    arr = np.asarray(values, dtype=float)
+    finite = arr[np.isfinite(arr)]
+    if finite.size < n_samples / 2:
+        raise ParameterError(
+            f"{n_samples - finite.size} of {n_samples} samples infeasible; "
+            "tighten the input distributions")
+    return UncertaintyResult(samples=finite)

@@ -1,0 +1,32 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch library errors without also
+swallowing programming mistakes (``TypeError`` etc.).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A model parameter is outside its physically meaningful domain.
+
+    Examples: a negative feature size, a yield outside ``(0, 1]``,
+    a die larger than its wafer.
+    """
+
+
+class GeometryError(ReproError, ValueError):
+    """A geometric specification is inconsistent (e.g. die exceeds wafer)."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative routine (optimizer, solver) failed to converge."""
+
+
+class CapacityError(ReproError, ValueError):
+    """A manufacturing schedule demands more capacity than a fab provides."""

@@ -1,0 +1,48 @@
+"""Wafer and die geometry: the substrate behind eq. (4) of the paper.
+
+Public surface:
+
+* :class:`~repro.geometry.die.Die` — a rectangular die with optional
+  scribe-lane allowance.
+* :class:`~repro.geometry.wafer.Wafer` — a circular wafer with optional
+  edge exclusion.
+* :func:`~repro.geometry.wafer.dies_per_wafer_maly` — eq. (4), the
+  row-by-row count the paper uses.
+* :func:`~repro.geometry.wafer.dies_per_wafer_exact` — exact grid
+  placement by rectangle-in-circle testing.
+* :func:`~repro.geometry.wafer.dies_per_wafer_area_approx` — the
+  Ferris-Prabhu family of area-based approximations.
+* :func:`~repro.geometry.wafer.best_grid_offset` — optimal grid phase.
+"""
+
+from .die import Die
+from .wafer import (
+    Wafer,
+    dies_per_wafer_area_approx,
+    dies_per_wafer_exact,
+    dies_per_wafer_maly,
+    best_grid_offset,
+)
+from .packing import (
+    ProjectAllocation,
+    ProjectRequest,
+    aspect_ratio_penalty,
+    best_aspect_ratio,
+    multi_project_allocation,
+    mpw_cost_per_die,
+)
+
+__all__ = [
+    "Die",
+    "Wafer",
+    "dies_per_wafer_maly",
+    "dies_per_wafer_exact",
+    "dies_per_wafer_area_approx",
+    "best_grid_offset",
+    "best_aspect_ratio",
+    "aspect_ratio_penalty",
+    "ProjectRequest",
+    "ProjectAllocation",
+    "multi_project_allocation",
+    "mpw_cost_per_die",
+]

@@ -1,0 +1,135 @@
+"""Rectangular die geometry.
+
+The paper treats a die as an ``a × b`` rectangle (eq. 4) and in its
+numerical scenarios always uses square dies whose area follows from the
+transistor count: ``A_ch = N_tr · d_d · λ²`` (eq. 5, inverted).  This
+module provides the die abstraction shared by the geometry and cost
+layers, including the scribe-lane (saw kerf) allowance real fabs add
+between dies — the paper folds this into its die dimensions, we expose
+it explicitly and default it to zero so the paper's numbers reproduce.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from ..errors import GeometryError
+from ..units import cm2_to_mm2, require_nonnegative, require_positive, um2_to_cm2
+
+
+@dataclass(frozen=True)
+class Die:
+    """A rectangular die.
+
+    Parameters
+    ----------
+    width_cm:
+        Die width ``a`` in centimeters (the dimension laid out along a
+        wafer row in eq. 4).
+    height_cm:
+        Die height ``b`` in centimeters.
+    scribe_cm:
+        Scribe-lane (saw street) width in centimeters, added on each
+        side of the die when stepping the grid.  Zero by default, which
+        matches the paper's idealized eq. (4).
+    """
+
+    width_cm: float
+    height_cm: float
+    scribe_cm: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_positive("width_cm", self.width_cm)
+        require_positive("height_cm", self.height_cm)
+        require_nonnegative("scribe_cm", self.scribe_cm)
+
+    @classmethod
+    def square(cls, side_cm: float, *, scribe_cm: float = 0.0) -> "Die":
+        """A square die of the given side length in centimeters."""
+        return cls(width_cm=side_cm, height_cm=side_cm, scribe_cm=scribe_cm)
+
+    @classmethod
+    def from_area(cls, area_cm2: float, *, aspect_ratio: float = 1.0,
+                  scribe_cm: float = 0.0) -> "Die":
+        """Build a die of the given area and width/height aspect ratio.
+
+        ``aspect_ratio`` is ``width / height``; 1.0 gives a square die,
+        which is what all of the paper's scenarios use.
+        """
+        require_positive("area_cm2", area_cm2)
+        require_positive("aspect_ratio", aspect_ratio)
+        height = math.sqrt(area_cm2 / aspect_ratio)
+        width = area_cm2 / height
+        return cls(width_cm=width, height_cm=height, scribe_cm=scribe_cm)
+
+    @classmethod
+    def from_transistor_count(cls, n_transistors: float, design_density: float,
+                              feature_size_um: float, *, aspect_ratio: float = 1.0,
+                              scribe_cm: float = 0.0) -> "Die":
+        """Build a die from eq. (5) inverted: ``A_ch = N_tr · d_d · λ²``.
+
+        ``design_density`` is d_d in λ²-squares per transistor and
+        ``feature_size_um`` is λ in microns; the resulting area is
+        converted to cm².
+        """
+        require_positive("n_transistors", n_transistors)
+        require_positive("design_density", design_density)
+        require_positive("feature_size_um", feature_size_um)
+        area_um2 = n_transistors * design_density * feature_size_um ** 2
+        return cls.from_area(um2_to_cm2(area_um2), aspect_ratio=aspect_ratio,
+                             scribe_cm=scribe_cm)
+
+    @property
+    def area_cm2(self) -> float:
+        """Die area in cm² (excluding scribe lanes)."""
+        return self.width_cm * self.height_cm
+
+    @property
+    def area_mm2(self) -> float:
+        """Die area in mm² (excluding scribe lanes)."""
+        return cm2_to_mm2(self.area_cm2)
+
+    @property
+    def aspect_ratio(self) -> float:
+        """Width divided by height."""
+        return self.width_cm / self.height_cm
+
+    @property
+    def pitch_x_cm(self) -> float:
+        """Horizontal step between adjacent dies, including scribe."""
+        return self.width_cm + self.scribe_cm
+
+    @property
+    def pitch_y_cm(self) -> float:
+        """Vertical step between adjacent dies, including scribe."""
+        return self.height_cm + self.scribe_cm
+
+    @property
+    def diagonal_cm(self) -> float:
+        """Die diagonal in centimeters — the binding constraint for fitting
+        a die on a wafer at all."""
+        return math.hypot(self.width_cm, self.height_cm)
+
+    def transistor_count(self, design_density: float, feature_size_um: float) -> float:
+        """Eq. (5): ``N_tr = A_ch / (d_d · λ²)``.
+
+        Returns a float; callers that need an integer die budget should
+        floor it explicitly.
+        """
+        require_positive("design_density", design_density)
+        require_positive("feature_size_um", feature_size_um)
+        area_um2 = self.area_cm2 * 1.0e8
+        return area_um2 / (design_density * feature_size_um ** 2)
+
+    def rotated(self) -> "Die":
+        """The same die with width and height exchanged."""
+        return replace(self, width_cm=self.height_cm, height_cm=self.width_cm)
+
+    def check_fits_radius(self, radius_cm: float) -> None:
+        """Raise :class:`GeometryError` if the die cannot fit on a wafer
+        of the given radius in any position."""
+        if self.diagonal_cm > 2.0 * radius_cm:
+            raise GeometryError(
+                f"die {self.width_cm:.3f}x{self.height_cm:.3f} cm cannot fit on a "
+                f"wafer of radius {radius_cm:.3f} cm")

@@ -1,0 +1,177 @@
+"""Die packing optimization beyond the paper's eq. (4).
+
+Eq. (4) counts dies for a *given* rectangle.  Real products have some
+freedom the cost optimizer can exploit:
+
+* **Aspect ratio** — a fixed die area packs differently at different
+  width/height ratios (chords of the circle favor moderate elongation
+  at the edges).  :func:`best_aspect_ratio` sweeps it.
+* **Multi-project wafers (MPW)** — the paper's Phase-2 niche players
+  ("renting superfluous fabline capacity") share wafers across
+  products.  :func:`multi_project_allocation` splits a wafer's rows
+  among several dies proportionally to demand and prices each project's
+  silicon share.
+
+Both build strictly on the eq.-(4) machinery in
+:mod:`repro.geometry.wafer`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import GeometryError, ParameterError
+from ..units import require_positive
+from .die import Die
+from .wafer import Wafer, dies_per_wafer_maly
+
+
+def best_aspect_ratio(wafer: Wafer, die_area_cm2: float, *,
+                      ratio_lo: float = 0.4, ratio_hi: float = 2.5,
+                      n_ratios: int = 43,
+                      scribe_cm: float = 0.0) -> tuple[float, int]:
+    """Sweep width/height ratios at fixed area; return (best ratio, count).
+
+    The count function is symmetric-ish but not exactly (rows run
+    horizontally in eq. 4), so the sweep covers both elongations.
+    """
+    require_positive("die_area_cm2", die_area_cm2)
+    if not 0.0 < ratio_lo < ratio_hi:
+        raise ParameterError("need 0 < ratio_lo < ratio_hi")
+    if n_ratios < 3:
+        raise ParameterError("n_ratios must be >= 3")
+    best = (1.0, -1)
+    for k in range(n_ratios):
+        ratio = ratio_lo * (ratio_hi / ratio_lo) ** (k / (n_ratios - 1))
+        die = Die.from_area(die_area_cm2, aspect_ratio=ratio,
+                            scribe_cm=scribe_cm)
+        if die.diagonal_cm > 2.0 * wafer.usable_radius_cm:
+            continue
+        count = dies_per_wafer_maly(wafer, die)
+        if count > best[1]:
+            best = (ratio, count)
+    if best[1] < 0:
+        raise GeometryError(
+            f"no aspect ratio fits area {die_area_cm2} cm2 on this wafer")
+    return best
+
+
+def aspect_ratio_penalty(wafer: Wafer, die_area_cm2: float,
+                         aspect_ratio: float) -> float:
+    """Fractional die-count loss of a given ratio vs. the best ratio.
+
+    0.0 means the ratio is optimal; 0.08 means 8% fewer dies — i.e. 8%
+    more cost per transistor at equal yield, a lever the paper's
+    design-side cost optimization can pull for free.
+    """
+    require_positive("aspect_ratio", aspect_ratio)
+    _, best_count = best_aspect_ratio(wafer, die_area_cm2)
+    die = Die.from_area(die_area_cm2, aspect_ratio=aspect_ratio)
+    count = dies_per_wafer_maly(wafer, die)
+    # The sweep is finite; if the queried ratio happens to beat every
+    # sweep point, it IS the best known ratio (penalty zero), never a
+    # negative penalty.
+    best_count = max(best_count, count)
+    if best_count == 0:
+        raise GeometryError("die does not fit the wafer at any ratio")
+    return 1.0 - count / best_count
+
+
+@dataclass(frozen=True)
+class ProjectRequest:
+    """One MPW project: its die and the number of dies it wants."""
+
+    name: str
+    die: Die
+    dies_wanted: int
+
+    def __post_init__(self) -> None:
+        if self.dies_wanted < 1:
+            raise ParameterError(
+                f"project {self.name!r} must want at least one die")
+
+
+@dataclass(frozen=True)
+class ProjectAllocation:
+    """One project's share of an MPW run."""
+
+    request: ProjectRequest
+    rows_assigned: int
+    dies_obtained: int
+    silicon_share: float
+    cost_share_dollars: float
+
+    @property
+    def satisfied(self) -> bool:
+        """Did the project get at least the dies it asked for?"""
+        return self.dies_obtained >= self.request.dies_wanted
+
+
+def multi_project_allocation(wafer: Wafer,
+                             requests: tuple[ProjectRequest, ...],
+                             wafer_cost_dollars: float,
+                             ) -> list[ProjectAllocation]:
+    """Split a wafer's horizontal rows among projects; price each share.
+
+    Rows (of each project's own die height) are assigned bottom-up,
+    greedily to the most under-served project, until every request is
+    met or the wafer is exhausted.  Costs are split by silicon area
+    actually granted — the fair-share rule an MPW broker would use.
+    """
+    if not requests:
+        raise ParameterError("requests must be non-empty")
+    require_positive("wafer_cost_dollars", wafer_cost_dollars)
+
+    radius = wafer.usable_radius_cm
+    remaining_height = 2.0 * radius
+    offset = 0.0  # height consumed from the bottom of the wafer
+
+    obtained = {req.name: 0 for req in requests}
+    rows = {req.name: 0 for req in requests}
+
+    def chord_at(y: float) -> float:
+        inside = radius * radius - (y - radius) ** 2
+        return math.sqrt(inside) if inside > 0 else 0.0
+
+    def dies_in_row(die: Die, y0: float) -> int:
+        chord = min(chord_at(y0), chord_at(y0 + die.pitch_y_cm))
+        return math.floor(2.0 * chord / die.pitch_x_cm)
+
+    while remaining_height > 0.0:
+        # Most under-served project whose row still fits.
+        candidates = [r for r in requests
+                      if obtained[r.name] < r.dies_wanted
+                      and r.die.pitch_y_cm <= remaining_height]
+        if not candidates:
+            break
+        worst = min(candidates,
+                    key=lambda r: obtained[r.name] / r.dies_wanted)
+        got = dies_in_row(worst.die, offset)
+        obtained[worst.name] += got
+        rows[worst.name] += 1
+        offset += worst.die.pitch_y_cm
+        remaining_height -= worst.die.pitch_y_cm
+        if got == 0 and offset > radius:
+            break  # upper cap too narrow for this die; stop
+
+    total_area = sum(obtained[r.name] * r.die.area_cm2 for r in requests)
+    allocations = []
+    for req in requests:
+        area = obtained[req.name] * req.die.area_cm2
+        share = area / total_area if total_area > 0 else 0.0
+        allocations.append(ProjectAllocation(
+            request=req,
+            rows_assigned=rows[req.name],
+            dies_obtained=obtained[req.name],
+            silicon_share=share,
+            cost_share_dollars=share * wafer_cost_dollars))
+    return allocations
+
+
+def mpw_cost_per_die(allocation: ProjectAllocation) -> float:
+    """A project's effective cost per die on the shared wafer."""
+    if allocation.dies_obtained == 0:
+        raise ParameterError(
+            f"project {allocation.request.name!r} obtained no dies")
+    return allocation.cost_share_dollars / allocation.dies_obtained

@@ -1,0 +1,53 @@
+"""Fab economics substrates: Sec. III.A's cost factors beyond eq. (3).
+
+* :mod:`~repro.manufacturing.volume` — eq. (2): volume and overhead.
+* :mod:`~repro.manufacturing.equipment` — equipment set, capacity and
+  utilization bookkeeping.
+* :mod:`~repro.manufacturing.product_mix` — the multi-product
+  low-volume wafer-cost penalty (the "ratio ... may reach as high
+  value as 7" result of [12]).
+* :mod:`~repro.manufacturing.test_cost` — probe/final test time and
+  cost, fault escapes (Sec. III.A.e and Sec. VI).
+"""
+
+from .volume import VolumeCostCurve
+from .equipment import Equipment, EquipmentType, ProcessStep, ProcessFlow
+from .product_mix import FabLoad, ProductDemand, mix_cost_ratio
+from .test_cost import TestCostModel, TestEconomics
+from .cost_of_ownership import (
+    BottomUpWaferCost,
+    StepCost,
+    WaferCostBreakdown,
+)
+from .throughput import (
+    CycleTimeCost,
+    FabDynamics,
+    StationAnalysis,
+    erlang_c,
+    mmc_wait_hours,
+)
+from .investment import FabInvestment, irr, npv
+
+__all__ = [
+    "VolumeCostCurve",
+    "Equipment",
+    "EquipmentType",
+    "ProcessStep",
+    "ProcessFlow",
+    "FabLoad",
+    "ProductDemand",
+    "mix_cost_ratio",
+    "TestCostModel",
+    "TestEconomics",
+    "BottomUpWaferCost",
+    "StepCost",
+    "WaferCostBreakdown",
+    "FabDynamics",
+    "StationAnalysis",
+    "CycleTimeCost",
+    "erlang_c",
+    "mmc_wait_hours",
+    "FabInvestment",
+    "npv",
+    "irr",
+]

@@ -1,0 +1,276 @@
+"""Bottom-up wafer cost: the [12] "Estimation of Wafer Cost for
+Technology Design" substrate.
+
+Eq. (3) treats the wafer-cost growth rate X as an empirical constant.
+This module *derives* it: a wafer's pure manufacturing cost is built
+step by step from the process flow —
+
+.. math::
+
+    C'_w = \\sum_{steps} \\Big(
+        \\underbrace{\\frac{P_{tool}/T_{dep} + M_{tool}}{U \\cdot H \\cdot TP}}_{equipment}
+      + \\underbrace{w \\cdot t_{step}}_{labor}
+      + \\underbrace{m_{step}}_{materials} \\Big)
+      + \\text{facility overhead per wafer}
+
+where each generation (a) adds steps (Fig. 4), (b) raises per-tool
+price (lithography above all), and (c) tightens cleanroom class.
+Composing these with the step-count trend reproduces an effective X in
+the published 1.2–2.4 range — the bench ``bench_bottom_up_wafer_cost``
+performs exactly that extraction, closing the loop between Fig. 4 and
+eq. (3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from ..errors import ParameterError
+from ..units import require_fraction, require_nonnegative, require_positive
+from .equipment import EquipmentType
+
+#: Representative mid-1990s tool prices in dollars, by equipment group.
+#: Lithography dominates and inflates fastest with each generation.
+DEFAULT_TOOL_PRICES: dict[EquipmentType, float] = {
+    EquipmentType.LITHOGRAPHY: 4.0e6,
+    EquipmentType.ETCH: 1.5e6,
+    EquipmentType.DEPOSITION: 1.8e6,
+    EquipmentType.IMPLANT: 2.5e6,
+    EquipmentType.DIFFUSION: 0.8e6,
+    EquipmentType.CMP: 1.2e6,
+    EquipmentType.METROLOGY: 0.7e6,
+    EquipmentType.CLEAN: 0.5e6,
+    EquipmentType.TEST: 2.0e6,
+}
+
+#: Per-generation price inflation of each tool group (lithography's
+#: resolution race is the canonical driver of X).
+DEFAULT_TOOL_PRICE_GROWTH: dict[EquipmentType, float] = {
+    EquipmentType.LITHOGRAPHY: 1.5,
+    EquipmentType.ETCH: 1.2,
+    EquipmentType.DEPOSITION: 1.2,
+    EquipmentType.IMPLANT: 1.15,
+    EquipmentType.DIFFUSION: 1.1,
+    EquipmentType.CMP: 1.25,
+    EquipmentType.METROLOGY: 1.3,
+    EquipmentType.CLEAN: 1.2,
+    EquipmentType.TEST: 1.25,
+}
+
+
+@dataclass(frozen=True)
+class StepCost:
+    """Cost parameters of one process step.
+
+    Parameters
+    ----------
+    kind:
+        Equipment group performing the step.
+    tool_price_dollars:
+        Purchase price of the tool.
+    throughput_wafers_per_hour:
+        Wafers the tool processes per hour at this step.
+    labor_minutes:
+        Operator/technician attention per wafer.
+    materials_dollars:
+        Consumables (resist, gases, slurry, targets) per wafer.
+    """
+
+    kind: EquipmentType
+    tool_price_dollars: float
+    throughput_wafers_per_hour: float
+    labor_minutes: float = 0.5
+    materials_dollars: float = 1.0
+
+    def __post_init__(self) -> None:
+        require_positive("tool_price_dollars", self.tool_price_dollars)
+        require_positive("throughput_wafers_per_hour",
+                         self.throughput_wafers_per_hour)
+        require_nonnegative("labor_minutes", self.labor_minutes)
+        require_nonnegative("materials_dollars", self.materials_dollars)
+
+    def cost_per_wafer(self, *, depreciation_years: float = 5.0,
+                       maintenance_fraction_per_year: float = 0.08,
+                       utilization: float = 0.85,
+                       hours_per_year: float = 7500.0,
+                       labor_rate_per_hour: float = 40.0) -> float:
+        """All-in cost of pushing one wafer through this step, dollars."""
+        require_positive("depreciation_years", depreciation_years)
+        require_fraction("utilization", utilization, inclusive_low=False)
+        require_positive("hours_per_year", hours_per_year)
+        require_nonnegative("labor_rate_per_hour", labor_rate_per_hour)
+        annual_tool_cost = self.tool_price_dollars / depreciation_years \
+            + self.tool_price_dollars * maintenance_fraction_per_year
+        wafers_per_year = self.throughput_wafers_per_hour * hours_per_year \
+            * utilization
+        equipment = annual_tool_cost / wafers_per_year
+        labor = labor_rate_per_hour * self.labor_minutes / 60.0
+        return equipment + labor + self.materials_dollars
+
+
+@dataclass(frozen=True)
+class WaferCostBreakdown:
+    """Result of one bottom-up wafer cost evaluation."""
+
+    equipment_dollars: float
+    labor_dollars: float
+    materials_dollars: float
+    facility_dollars: float
+    n_steps: int
+
+    @property
+    def total_dollars(self) -> float:
+        """Total pure manufacturing cost per wafer."""
+        return self.equipment_dollars + self.labor_dollars \
+            + self.materials_dollars + self.facility_dollars
+
+    def share(self, component: str) -> float:
+        """Fraction of total contributed by one component name."""
+        value = getattr(self, f"{component}_dollars", None)
+        if value is None:
+            raise ParameterError(f"unknown cost component {component!r}")
+        return value / self.total_dollars
+
+
+@dataclass(frozen=True)
+class BottomUpWaferCost:
+    """Generation-aware bottom-up wafer cost model.
+
+    The step mix for a node is synthesized from the
+    :class:`~repro.technology.roadmap.TechnologyRoadmap` step-count
+    trend; per-step economics shift with the generation index through
+    tool-price growth and cleanroom (facility) cost growth.
+
+    Parameters
+    ----------
+    reference_feature_um:
+        λ at which generation index is zero (1 µm, as in eq. 3).
+    steps_at_reference, steps_per_generation:
+        Step-count trend (Fig. 4's upper curve).
+    facility_cost_at_reference:
+        Cleanroom + utilities dollars per wafer at the reference node.
+    facility_growth_per_generation:
+        Contamination-standard tightening factor per generation (the
+        Fig. 4 lower curve's cost shadow).
+    tool_prices, tool_price_growth:
+        Per-group tool economics (defaults above).
+    step_mix:
+        Fraction of steps by equipment group; defaults to a
+        representative CMOS mix (litho-centric).
+    """
+
+    reference_feature_um: float = 1.0
+    steps_at_reference: float = 250.0
+    steps_per_generation: float = 50.0
+    facility_cost_at_reference: float = 60.0
+    facility_growth_per_generation: float = 1.25
+    shrink_per_generation: float = 0.7
+    tool_prices: dict[EquipmentType, float] = field(
+        default_factory=lambda: dict(DEFAULT_TOOL_PRICES))
+    tool_price_growth: dict[EquipmentType, float] = field(
+        default_factory=lambda: dict(DEFAULT_TOOL_PRICE_GROWTH))
+    step_mix: dict[EquipmentType, float] = field(default_factory=lambda: {
+        EquipmentType.LITHOGRAPHY: 0.22,
+        EquipmentType.ETCH: 0.18,
+        EquipmentType.CLEAN: 0.18,
+        EquipmentType.DEPOSITION: 0.12,
+        EquipmentType.METROLOGY: 0.12,
+        EquipmentType.DIFFUSION: 0.08,
+        EquipmentType.IMPLANT: 0.06,
+        EquipmentType.CMP: 0.04,
+    })
+
+    def __post_init__(self) -> None:
+        require_positive("reference_feature_um", self.reference_feature_um)
+        require_positive("steps_at_reference", self.steps_at_reference)
+        require_nonnegative("steps_per_generation", self.steps_per_generation)
+        require_nonnegative("facility_cost_at_reference",
+                            self.facility_cost_at_reference)
+        require_positive("facility_growth_per_generation",
+                         self.facility_growth_per_generation)
+        if not 0.0 < self.shrink_per_generation < 1.0:
+            raise ParameterError("shrink_per_generation must be in (0, 1)")
+        total_mix = sum(self.step_mix.values())
+        if not math.isclose(total_mix, 1.0, rel_tol=1e-6):
+            raise ParameterError(
+                f"step_mix fractions must sum to 1, got {total_mix}")
+        for kind in self.step_mix:
+            if kind not in self.tool_prices:
+                raise ParameterError(f"no tool price for {kind.value}")
+            if kind not in self.tool_price_growth:
+                raise ParameterError(f"no price growth for {kind.value}")
+
+    def generation_index(self, feature_size_um: float) -> float:
+        """Generations from the reference node (shrink-log convention)."""
+        require_positive("feature_size_um", feature_size_um)
+        return math.log(self.reference_feature_um / feature_size_um) \
+            / math.log(1.0 / self.shrink_per_generation)
+
+    def n_steps(self, feature_size_um: float) -> float:
+        """Step count at a node (clipped at a floor of 50)."""
+        g = self.generation_index(feature_size_um)
+        return max(self.steps_at_reference + self.steps_per_generation * g,
+                   50.0)
+
+    def _steps_for(self, feature_size_um: float) -> list[tuple[StepCost, float]]:
+        """(step cost record, number of such steps) per equipment group."""
+        g = self.generation_index(feature_size_um)
+        total_steps = self.n_steps(feature_size_um)
+        out = []
+        for kind, fraction in self.step_mix.items():
+            price = self.tool_prices[kind] \
+                * self.tool_price_growth[kind] ** g
+            # Throughput erodes slowly with complexity (more passes,
+            # tighter overlay): 5% per generation.
+            throughput = 60.0 * 0.95 ** max(g, 0.0)
+            step = StepCost(kind=kind, tool_price_dollars=price,
+                            throughput_wafers_per_hour=throughput)
+            out.append((step, fraction * total_steps))
+        return out
+
+    def breakdown(self, feature_size_um: float) -> WaferCostBreakdown:
+        """Itemized pure wafer cost at a node."""
+        g = self.generation_index(feature_size_um)
+        equipment = labor = materials = 0.0
+        n_steps = 0.0
+        for step, count in self._steps_for(feature_size_um):
+            per = step.cost_per_wafer()
+            labor_part = 40.0 * step.labor_minutes / 60.0
+            equipment += (per - labor_part - step.materials_dollars) * count
+            labor += labor_part * count
+            materials += step.materials_dollars * count
+            n_steps += count
+        facility = self.facility_cost_at_reference \
+            * self.facility_growth_per_generation ** g
+        return WaferCostBreakdown(
+            equipment_dollars=equipment, labor_dollars=labor,
+            materials_dollars=materials, facility_dollars=facility,
+            n_steps=int(round(n_steps)))
+
+    def cost(self, feature_size_um: float) -> float:
+        """Total pure wafer cost at a node, dollars."""
+        return self.breakdown(feature_size_um).total_dollars
+
+    def effective_growth_rate(self, lam_fine_um: float = 0.35,
+                              lam_coarse_um: float = 1.0) -> float:
+        """The X this bottom-up model implies between two nodes.
+
+        ``X = (C(fine)/C(coarse))^(1/generations)`` — directly comparable
+        to the published estimates eq. (3) collects (1.2–2.4).
+        """
+        require_positive("lam_fine_um", lam_fine_um)
+        require_positive("lam_coarse_um", lam_coarse_um)
+        if lam_fine_um >= lam_coarse_um:
+            raise ParameterError("lam_fine_um must be below lam_coarse_um")
+        generations = self.generation_index(lam_fine_um) \
+            - self.generation_index(lam_coarse_um)
+        ratio = self.cost(lam_fine_um) / self.cost(lam_coarse_um)
+        return ratio ** (1.0 / generations)
+
+    def with_contamination_crisis(self,
+                                  facility_growth: float = 1.8) -> "BottomUpWaferCost":
+        """The paper's S.1.1 caveat: X 'may grow ... at any juncture
+        requiring quantum improvements in contamination control' —
+        returns a copy with the facility growth cranked up."""
+        return replace(self, facility_growth_per_generation=facility_growth)

@@ -1,0 +1,172 @@
+"""Equipment and process-flow bookkeeping.
+
+Substrate for the product-mix model (Sec. III.A.d): a fabline is a set
+of equipment groups, each with an hourly capacity and an ownership cost
+that accrues whether the tool is busy or idle ("the cost of 'ownership'
+for same equipment may be the same for 'active' and 'inactive'
+equipment usage").  A product's process flow demands hours on specific
+equipment types per wafer; loading flows onto the equipment set yields
+utilizations, the bottleneck, and the ownership cost per wafer.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..errors import CapacityError, ParameterError
+from ..units import require_nonnegative, require_positive
+
+
+class EquipmentType(enum.Enum):
+    """Coarse equipment groups of a CMOS fabline of the paper's era."""
+
+    LITHOGRAPHY = "lithography"
+    ETCH = "etch"
+    DEPOSITION = "deposition"
+    IMPLANT = "implant"
+    DIFFUSION = "diffusion/oxidation"
+    CMP = "cmp"
+    METROLOGY = "metrology"
+    CLEAN = "clean"
+    TEST = "test"
+
+
+@dataclass(frozen=True)
+class Equipment:
+    """An equipment group: identical tools operated as one capacity pool.
+
+    Parameters
+    ----------
+    kind:
+        The equipment type.
+    n_tools:
+        Number of identical tools in the group.
+    hours_per_week:
+        Scheduled production hours per tool per week (≤ 168).
+    ownership_cost_per_week_dollars:
+        Depreciation + maintenance + floor space per tool per week;
+        accrues regardless of utilization.
+    """
+
+    kind: EquipmentType
+    n_tools: int
+    hours_per_week: float = 144.0
+    ownership_cost_per_week_dollars: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_tools < 1:
+            raise ParameterError(f"n_tools must be >= 1, got {self.n_tools}")
+        require_positive("hours_per_week", self.hours_per_week)
+        if self.hours_per_week > 168.0:
+            raise ParameterError(
+                f"hours_per_week cannot exceed 168, got {self.hours_per_week}")
+        require_nonnegative("ownership_cost_per_week_dollars",
+                            self.ownership_cost_per_week_dollars)
+
+    @property
+    def capacity_hours_per_week(self) -> float:
+        """Total tool-hours available per week in this group."""
+        return self.n_tools * self.hours_per_week
+
+    @property
+    def weekly_ownership_cost_dollars(self) -> float:
+        """Total ownership cost of the group per week."""
+        return self.n_tools * self.ownership_cost_per_week_dollars
+
+
+@dataclass(frozen=True)
+class ProcessStep:
+    """One step of a process flow: time demanded on one equipment type."""
+
+    kind: EquipmentType
+    hours_per_wafer: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        require_positive("hours_per_wafer", self.hours_per_wafer)
+
+
+@dataclass(frozen=True)
+class ProcessFlow:
+    """A product's process flow: an ordered list of steps.
+
+    ``demand_by_type`` aggregates the per-wafer hours by equipment type
+    — the quantity the loading model consumes.
+    """
+
+    name: str
+    steps: tuple[ProcessStep, ...]
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ParameterError(f"flow {self.name!r} has no steps")
+
+    @property
+    def n_steps(self) -> int:
+        """Number of steps in the flow."""
+        return len(self.steps)
+
+    def demand_by_type(self) -> dict[EquipmentType, float]:
+        """Per-wafer equipment-hours aggregated by type."""
+        demand: dict[EquipmentType, float] = {}
+        for step in self.steps:
+            demand[step.kind] = demand.get(step.kind, 0.0) + step.hours_per_wafer
+        return demand
+
+    @classmethod
+    def generic_cmos(cls, *, n_metal_layers: int = 2,
+                     litho_hours_per_layer: float = 0.02,
+                     name: str = "generic CMOS") -> "ProcessFlow":
+        """A stylized CMOS flow scaled by metal-layer count.
+
+        Step counts and per-wafer hours are representative of the
+        paper's era (hundreds of steps, lithography the bottleneck);
+        the absolute values matter less than their ratios, which drive
+        the mix model's utilization imbalances.
+        """
+        if n_metal_layers < 1:
+            raise ParameterError(
+                f"n_metal_layers must be >= 1, got {n_metal_layers}")
+        masks = 10 + 2 * n_metal_layers
+        steps: list[ProcessStep] = []
+        for i in range(masks):
+            steps.append(ProcessStep(EquipmentType.LITHOGRAPHY,
+                                     litho_hours_per_layer, f"litho-{i}"))
+            steps.append(ProcessStep(EquipmentType.ETCH, 0.015, f"etch-{i}"))
+            steps.append(ProcessStep(EquipmentType.CLEAN, 0.008, f"clean-{i}"))
+            steps.append(ProcessStep(EquipmentType.METROLOGY, 0.005, f"metro-{i}"))
+        for i in range(4):
+            steps.append(ProcessStep(EquipmentType.IMPLANT, 0.01, f"implant-{i}"))
+            steps.append(ProcessStep(EquipmentType.DIFFUSION, 0.05, f"diff-{i}"))
+        for i in range(n_metal_layers + 2):
+            steps.append(ProcessStep(EquipmentType.DEPOSITION, 0.03, f"dep-{i}"))
+        return cls(name=name, steps=tuple(steps))
+
+
+def utilization_by_type(equipment: tuple[Equipment, ...],
+                        weekly_demand_hours: Mapping[EquipmentType, float],
+                        ) -> dict[EquipmentType, float]:
+    """Utilization fraction per equipment type for a weekly demand.
+
+    Raises :class:`CapacityError` if any demanded type is missing from
+    the equipment set or would require more than 100% utilization.
+    """
+    capacity: dict[EquipmentType, float] = {}
+    for eq in equipment:
+        capacity[eq.kind] = capacity.get(eq.kind, 0.0) + eq.capacity_hours_per_week
+    util: dict[EquipmentType, float] = {k: 0.0 for k in capacity}
+    for kind, demand in weekly_demand_hours.items():
+        require_nonnegative(f"demand[{kind.value}]", demand)
+        if demand == 0.0:
+            continue
+        if kind not in capacity:
+            raise CapacityError(f"no {kind.value} equipment installed")
+        u = demand / capacity[kind]
+        if u > 1.0 + 1e-9:
+            raise CapacityError(
+                f"{kind.value} overloaded: demand {demand:.1f} h/wk exceeds "
+                f"capacity {capacity[kind]:.1f} h/wk")
+        util[kind] = min(u, 1.0)
+    return util

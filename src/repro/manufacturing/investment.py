@@ -1,0 +1,169 @@
+"""Fab investment analysis — Phase 1's "invest-now-to-dominate-later".
+
+Sec. V: the high-volume winners "aim at smaller feature size and higher
+volume regardless of the required investment levels", betting a
+billion-dollar fab against future margins; the niche players cannot.
+This module prices that bet: a :class:`FabInvestment` is the fab's
+capital outlay against a stream of wafer margins, with NPV, IRR
+(bisection), discounted payback, and the margin floor at which the
+megafab stops clearing its hurdle rate — the quantity Phase 2's margin
+compression attacks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import ConvergenceError, ParameterError
+from ..units import require_fraction, require_positive
+
+
+def npv(cash_flows: Sequence[float], rate: float) -> float:
+    """Net present value of yearly cash flows (index 0 = now)."""
+    if not cash_flows:
+        raise ParameterError("cash_flows must be non-empty")
+    if rate <= -1.0:
+        raise ParameterError(f"rate must exceed -100%, got {rate}")
+    return sum(cf / (1.0 + rate) ** t for t, cf in enumerate(cash_flows))
+
+
+def irr(cash_flows: Sequence[float], *, lo: float = -0.99, hi: float = 10.0,
+        tol: float = 1e-9) -> float:
+    """Internal rate of return by bisection.
+
+    Requires a sign change of NPV over [lo, hi]; conventional projects
+    (negative outlay, positive returns) have exactly one root there.
+    """
+    f_lo = npv(cash_flows, lo)
+    f_hi = npv(cash_flows, hi)
+    if f_lo * f_hi > 0.0:
+        raise ConvergenceError(
+            "IRR not bracketed: NPV does not change sign on the interval "
+            f"({f_lo:.3g} at {lo:.2%}, {f_hi:.3g} at {hi:.2%})")
+    while hi - lo > tol:
+        mid = 0.5 * (lo + hi)
+        f_mid = npv(cash_flows, mid)
+        if f_mid == 0.0:
+            return mid
+        if f_lo * f_mid < 0.0:
+            hi = mid
+        else:
+            lo, f_lo = mid, f_mid
+    return 0.5 * (lo + hi)
+
+
+@dataclass(frozen=True)
+class FabInvestment:
+    """A fab build priced against its wafer-margin stream.
+
+    Parameters
+    ----------
+    construction_cost_dollars:
+        Upfront capital (year 0).
+    wafers_per_year:
+        Steady-state output once ramped.
+    margin_per_wafer_dollars:
+        Price minus variable cost per wafer at steady state.
+    ramp_years:
+        Linear output ramp: year 1 ships ``1/ramp_years`` of steady
+        state, year ``ramp_years`` ships full rate.
+    life_years:
+        Productive life after which output (and the model) stops.
+    margin_erosion_per_year:
+        Fractional yearly decline of the wafer margin (competition /
+        price learning); 0 keeps it flat.
+    """
+
+    construction_cost_dollars: float
+    wafers_per_year: float
+    margin_per_wafer_dollars: float
+    ramp_years: int = 2
+    life_years: int = 8
+    margin_erosion_per_year: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_positive("construction_cost_dollars",
+                         self.construction_cost_dollars)
+        require_positive("wafers_per_year", self.wafers_per_year)
+        require_positive("margin_per_wafer_dollars",
+                         self.margin_per_wafer_dollars)
+        if self.ramp_years < 1:
+            raise ParameterError("ramp_years must be >= 1")
+        if self.life_years < self.ramp_years:
+            raise ParameterError("life_years must be >= ramp_years")
+        require_fraction("margin_erosion_per_year",
+                         self.margin_erosion_per_year, inclusive_high=False)
+
+    def cash_flows(self) -> list[float]:
+        """Yearly cash flows: [-capital, year-1 margin, ...]."""
+        flows = [-self.construction_cost_dollars]
+        for year in range(1, self.life_years + 1):
+            utilization = min(year / self.ramp_years, 1.0)
+            margin = self.margin_per_wafer_dollars \
+                * (1.0 - self.margin_erosion_per_year) ** (year - 1)
+            flows.append(self.wafers_per_year * utilization * margin)
+        return flows
+
+    def npv(self, discount_rate: float) -> float:
+        """NPV at a hurdle rate."""
+        return npv(self.cash_flows(), discount_rate)
+
+    def irr(self) -> float:
+        """Internal rate of return of the build."""
+        return irr(self.cash_flows())
+
+    def discounted_payback_years(self, discount_rate: float) -> int | None:
+        """First year cumulative discounted cash turns positive, or None."""
+        if discount_rate <= -1.0:
+            raise ParameterError("discount_rate must exceed -100%")
+        cumulative = 0.0
+        for t, cf in enumerate(self.cash_flows()):
+            cumulative += cf / (1.0 + discount_rate) ** t
+            if t > 0 and cumulative >= 0.0:
+                return t
+        return None
+
+    def breakeven_margin(self, discount_rate: float, *,
+                         tol: float = 1e-6) -> float:
+        """Wafer margin at which NPV is exactly zero at the hurdle rate.
+
+        The floor Phase-2 margin compression pushes toward: below it the
+        megafab never should have been built.
+        """
+        require_positive("tol", tol)
+        lo, hi = tol, self.margin_per_wafer_dollars
+        # Expand hi until NPV positive (margin scales cash linearly).
+        def npv_at(margin: float) -> float:
+            trial = FabInvestment(
+                construction_cost_dollars=self.construction_cost_dollars,
+                wafers_per_year=self.wafers_per_year,
+                margin_per_wafer_dollars=margin,
+                ramp_years=self.ramp_years,
+                life_years=self.life_years,
+                margin_erosion_per_year=self.margin_erosion_per_year)
+            return trial.npv(discount_rate)
+
+        while npv_at(hi) < 0.0:
+            hi *= 2.0
+            if hi > 1e9:
+                raise ConvergenceError("no breakeven margin below $1e9")
+        while hi - lo > tol * max(hi, 1.0):
+            mid = 0.5 * (lo + hi)
+            if npv_at(mid) < 0.0:
+                lo = mid
+            else:
+                hi = mid
+        return 0.5 * (lo + hi)
+
+
+def compare_strategies(megafab: FabInvestment, niche: FabInvestment,
+                       discount_rate: float) -> dict[str, float]:
+    """Phase-1 strategy comparison at a common hurdle rate."""
+    return {
+        "megafab_npv": megafab.npv(discount_rate),
+        "niche_npv": niche.npv(discount_rate),
+        "megafab_irr": megafab.irr(),
+        "niche_irr": niche.irr(),
+    }

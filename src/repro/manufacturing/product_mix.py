@@ -1,0 +1,176 @@
+"""Product mix and fabline utilization — Sec. III.A.d of the paper.
+
+The paper's argument: a fabline sized for one high-volume product can
+run every tool near full capacity, but a *multi-product, low-volume*
+operation leaves some tools idle while others bottleneck — and idle
+tools still accrue ownership cost, so the cost per wafer rises.  The
+detailed study it cites [12] found the wafer-cost ratio between a
+low-volume multi-product fab and a high-volume mono-product fab "may
+reach as high value as 7".
+
+Model: a :class:`FabLoad` couples an equipment set with a set of
+product demands.  The fab's weekly ownership cost is fixed; wafer
+throughput is limited by the bottleneck tool group; the ownership cost
+per wafer is (fixed weekly cost) / (weekly wafer starts actually
+achievable).  The mono-product reference sizes the same equipment set
+perfectly for its single flow, so the ratio of the two is exactly the
+utilization penalty the paper describes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import CapacityError, ParameterError
+from ..units import require_positive
+from .equipment import Equipment, EquipmentType, ProcessFlow, utilization_by_type
+
+
+@dataclass(frozen=True)
+class ProductDemand:
+    """A product's weekly wafer-start demand with its process flow."""
+
+    flow: ProcessFlow
+    wafers_per_week: float
+
+    def __post_init__(self) -> None:
+        require_positive("wafers_per_week", self.wafers_per_week)
+
+    def weekly_demand_hours(self) -> dict[EquipmentType, float]:
+        """Equipment-hours per week this product demands, by type."""
+        return {kind: hours * self.wafers_per_week
+                for kind, hours in self.flow.demand_by_type().items()}
+
+
+@dataclass(frozen=True)
+class FabLoad:
+    """An equipment set loaded with a set of product demands."""
+
+    equipment: tuple[Equipment, ...]
+    demands: tuple[ProductDemand, ...]
+
+    def __post_init__(self) -> None:
+        if not self.equipment:
+            raise ParameterError("equipment set must be non-empty")
+        if not self.demands:
+            raise ParameterError("demand set must be non-empty")
+
+    def total_demand_hours(self) -> dict[EquipmentType, float]:
+        """Aggregate weekly equipment-hour demand over all products."""
+        total: dict[EquipmentType, float] = {}
+        for demand in self.demands:
+            for kind, hours in demand.weekly_demand_hours().items():
+                total[kind] = total.get(kind, 0.0) + hours
+        return total
+
+    def utilizations(self) -> dict[EquipmentType, float]:
+        """Utilization per equipment type (raises on overload)."""
+        return utilization_by_type(self.equipment, self.total_demand_hours())
+
+    @property
+    def weekly_wafer_starts(self) -> float:
+        """Total wafers started per week across products."""
+        return sum(d.wafers_per_week for d in self.demands)
+
+    @property
+    def weekly_ownership_cost_dollars(self) -> float:
+        """Fixed weekly cost of the whole equipment set."""
+        return sum(eq.weekly_ownership_cost_dollars for eq in self.equipment)
+
+    def ownership_cost_per_wafer(self) -> float:
+        """Ownership dollars charged to each started wafer.
+
+        Validates feasibility first — an overloaded fab has no defined
+        steady-state cost.
+        """
+        self.utilizations()
+        return self.weekly_ownership_cost_dollars / self.weekly_wafer_starts
+
+    def mean_utilization(self) -> float:
+        """Capacity-weighted mean utilization over the equipment set."""
+        utils = self.utilizations()
+        cap_total = 0.0
+        used_total = 0.0
+        for eq in self.equipment:
+            cap = eq.capacity_hours_per_week
+            cap_total += cap
+            used_total += cap * utils.get(eq.kind, 0.0)
+        return used_total / cap_total
+
+
+def size_equipment_for_flow(flow: ProcessFlow, wafers_per_week: float, *,
+                            hours_per_week: float = 144.0,
+                            ownership_cost_per_tool_week: dict[EquipmentType, float]
+                            | None = None) -> tuple[Equipment, ...]:
+    """The minimal integer tool set that sustains one flow at a volume.
+
+    This is the paper's mono-product reference: "a fabline can be
+    designed such that each piece of equipment is utilized nearly to
+    its full theoretical capacity."  Integer tool counts mean small
+    fabs still round up — itself a source of penalty at low volume.
+    """
+    require_positive("wafers_per_week", wafers_per_week)
+    costs = ownership_cost_per_tool_week or {}
+    equipment = []
+    for kind, hours in sorted(flow.demand_by_type().items(),
+                              key=lambda kv: kv[0].value):
+        demand = hours * wafers_per_week
+        n_tools = max(1, math.ceil(demand / hours_per_week - 1e-9))
+        equipment.append(Equipment(
+            kind=kind, n_tools=n_tools, hours_per_week=hours_per_week,
+            ownership_cost_per_week_dollars=costs.get(kind, 50_000.0)))
+    return tuple(equipment)
+
+
+def mix_cost_ratio(flows: tuple[ProcessFlow, ...],
+                   wafers_per_week_each: float,
+                   reference_volume_per_week: float, *,
+                   hours_per_week: float = 144.0) -> float:
+    """Ownership-cost-per-wafer ratio: multi-product low-volume fab vs
+    mono-product high-volume fab (the paper's "as high as 7" figure).
+
+    The multi-product fab installs the union of tool sets needed for
+    *each* flow at the (low) per-product volume; the reference fab is
+    sized for a single flow (the first) at ``reference_volume_per_week``.
+    Both use the same per-tool ownership costs, so everything but
+    utilization cancels out of the ratio.
+    """
+    if not flows:
+        raise ParameterError("flows must be non-empty")
+    require_positive("wafers_per_week_each", wafers_per_week_each)
+    require_positive("reference_volume_per_week", reference_volume_per_week)
+
+    # Multi-product fab: union of per-flow requirements (each flow may hit
+    # its own bottleneck tool type; the fab must cover the max).
+    per_type_tools: dict[EquipmentType, int] = {}
+    for flow in flows:
+        for eq in size_equipment_for_flow(flow, wafers_per_week_each,
+                                          hours_per_week=hours_per_week):
+            per_type_tools[eq.kind] = max(per_type_tools.get(eq.kind, 0),
+                                          eq.n_tools)
+    # Aggregate demand may exceed any single flow's tool count; top up.
+    demands = tuple(ProductDemand(flow=f, wafers_per_week=wafers_per_week_each)
+                    for f in flows)
+    total_demand: dict[EquipmentType, float] = {}
+    for d in demands:
+        for kind, hours in d.weekly_demand_hours().items():
+            total_demand[kind] = total_demand.get(kind, 0.0) + hours
+    for kind, hours in total_demand.items():
+        needed = max(1, math.ceil(hours / hours_per_week - 1e-9))
+        per_type_tools[kind] = max(per_type_tools.get(kind, 0), needed)
+
+    multi_equipment = tuple(
+        Equipment(kind=kind, n_tools=n, hours_per_week=hours_per_week,
+                  ownership_cost_per_week_dollars=50_000.0)
+        for kind, n in sorted(per_type_tools.items(), key=lambda kv: kv[0].value))
+    multi = FabLoad(equipment=multi_equipment, demands=demands)
+
+    reference_equipment = size_equipment_for_flow(
+        flows[0], reference_volume_per_week, hours_per_week=hours_per_week)
+    mono = FabLoad(
+        equipment=reference_equipment,
+        demands=(ProductDemand(flow=flows[0],
+                               wafers_per_week=reference_volume_per_week),))
+
+    return multi.ownership_cost_per_wafer() / mono.ownership_cost_per_wafer()

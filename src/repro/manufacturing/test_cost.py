@@ -1,0 +1,203 @@
+"""Test cost — Sec. III.A.e and the Sec.-VI DFT/BIST economics.
+
+The paper stresses that (a) test cost grows with die size and shrinking
+feature size, "in the extreme case the cost of testing a wafer may be
+comparable with the cost of manufacturing", and (b) no adequate
+analytical test-cost models existed — designers could not quantify what
+a DFT/BIST investment buys.  This module supplies the simple analytical
+model that discussion calls for:
+
+* probe (wafer-level) test: per-die time growing with transistor count,
+  tester-hour cost, applied to every die;
+* final (packaged) test: applied only to dies that passed probe;
+* fault coverage below 1 lets bad dies *escape* to the field at a
+  (large) per-escape cost — the quantity that makes DFT/BIST pay.
+
+:class:`TestEconomics` composes yield, coverage and costs to answer the
+paper's question: what is the net benefit of a technique that spends
+silicon area to raise coverage or cut test time?
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from ..errors import ParameterError
+from ..units import require_fraction, require_nonnegative, require_positive
+
+
+@dataclass(frozen=True)
+class TestCostModel:
+    """Per-die probe and final test cost.
+
+    Test time is modeled as ``base + per_kilotransistor · N_tr/1000``
+    seconds (vector volume grows with logic size; the linear form is the
+    standard first-order model), costed at a tester rate in $/hour.
+    """
+
+    # Not a pytest test class despite the Test* name.
+    __test__ = False
+
+    tester_rate_dollars_per_hour: float = 300.0
+    probe_base_seconds: float = 2.0
+    probe_seconds_per_kilotransistor: float = 0.002
+    final_base_seconds: float = 5.0
+    final_seconds_per_kilotransistor: float = 0.004
+
+    def __post_init__(self) -> None:
+        require_positive("tester_rate_dollars_per_hour",
+                         self.tester_rate_dollars_per_hour)
+        require_nonnegative("probe_base_seconds", self.probe_base_seconds)
+        require_nonnegative("probe_seconds_per_kilotransistor",
+                            self.probe_seconds_per_kilotransistor)
+        require_nonnegative("final_base_seconds", self.final_base_seconds)
+        require_nonnegative("final_seconds_per_kilotransistor",
+                            self.final_seconds_per_kilotransistor)
+
+    def probe_seconds(self, n_transistors: float) -> float:
+        """Wafer-probe time per die, seconds."""
+        require_positive("n_transistors", n_transistors)
+        return self.probe_base_seconds \
+            + self.probe_seconds_per_kilotransistor * n_transistors / 1000.0
+
+    def final_seconds(self, n_transistors: float) -> float:
+        """Final (packaged) test time per die, seconds."""
+        require_positive("n_transistors", n_transistors)
+        return self.final_base_seconds \
+            + self.final_seconds_per_kilotransistor * n_transistors / 1000.0
+
+    def probe_cost(self, n_transistors: float) -> float:
+        """Probe cost per die, dollars."""
+        return self.probe_seconds(n_transistors) \
+            * self.tester_rate_dollars_per_hour / 3600.0
+
+    def final_cost(self, n_transistors: float) -> float:
+        """Final test cost per die, dollars."""
+        return self.final_seconds(n_transistors) \
+            * self.tester_rate_dollars_per_hour / 3600.0
+
+    def wafer_test_cost(self, n_transistors: float, dies_per_wafer: int) -> float:
+        """Probe cost for every die on a wafer, dollars.
+
+        Compare against the wafer's manufacturing cost to reproduce the
+        paper's "may be comparable" extreme.
+        """
+        if dies_per_wafer < 1:
+            raise ParameterError(
+                f"dies_per_wafer must be >= 1, got {dies_per_wafer}")
+        return self.probe_cost(n_transistors) * dies_per_wafer
+
+
+@dataclass(frozen=True)
+class TestEconomics:
+    """Shipped-quality economics: yield × coverage × escape cost.
+
+    With die yield Y and fault coverage c, classical test theory
+    (Williams/Brown) gives the *defect level* — the fraction of shipped
+    parts that are actually bad:
+
+    .. math:: DL = 1 - Y^{1 - c}
+
+    Each escaped bad part costs ``escape_cost_dollars`` (board rework,
+    field return, reputation — orders of magnitude above die cost).
+    """
+
+    # Not a pytest test class despite the Test* name.
+    __test__ = False
+
+    yield_value: float
+    fault_coverage: float
+    escape_cost_dollars: float = 100.0
+    test_model: TestCostModel = TestCostModel()
+
+    def __post_init__(self) -> None:
+        require_fraction("yield_value", self.yield_value, inclusive_low=False)
+        require_fraction("fault_coverage", self.fault_coverage)
+        require_nonnegative("escape_cost_dollars", self.escape_cost_dollars)
+
+    @property
+    def defect_level(self) -> float:
+        """Williams–Brown defect level ``1 − Y^{1−c}``."""
+        return 1.0 - self.yield_value ** (1.0 - self.fault_coverage)
+
+    def shipped_fraction(self) -> float:
+        """Fraction of tested dies that ship: pass-the-test probability.
+
+        A die ships if it is good, or bad-but-undetected:
+        ``Y + (1 − Y)·Y^{?}``... under the Williams–Brown derivation the
+        pass probability is ``Y / (1 − DL) = Y^c``; we use that identity
+        so ``shipped · DL`` is exactly the escaped-bad rate.  Clamped at
+        1.0 against one-ulp float overshoot when coverage is 0.
+        """
+        return min(self.yield_value / (1.0 - self.defect_level), 1.0)
+
+    def cost_per_shipped_die(self, n_transistors: float,
+                             die_manufacturing_cost: float) -> float:
+        """All-in cost per *shipped* die: silicon + test + expected escapes.
+
+        Silicon and probe are paid per tested die; final test per
+        passing die; the escape penalty per shipped die in expectation.
+        """
+        require_positive("die_manufacturing_cost", die_manufacturing_cost)
+        probe = self.test_model.probe_cost(n_transistors)
+        final = self.test_model.final_cost(n_transistors)
+        shipped = self.shipped_fraction()
+        per_shipped = (die_manufacturing_cost + probe) / shipped + final
+        return per_shipped + self.defect_level * self.escape_cost_dollars
+
+    def with_dft(self, *, coverage_gain: float, area_overhead_fraction: float,
+                 test_time_factor: float = 0.5) -> "DftOutcome":
+        """Evaluate a DFT/BIST option: more coverage, more area, less time.
+
+        ``coverage_gain`` adds to fault coverage (clamped at 1);
+        ``area_overhead_fraction`` inflates die cost proportionally
+        (first order: cost per die scales with area through both silicon
+        and yield); ``test_time_factor`` scales test times (BIST
+        compresses external test).  Returns a :class:`DftOutcome` pairing
+        the baseline and the modified economics for comparison.
+        """
+        require_nonnegative("coverage_gain", coverage_gain)
+        require_fraction("area_overhead_fraction", area_overhead_fraction,
+                         inclusive_high=False)
+        require_positive("test_time_factor", test_time_factor)
+        new_coverage = min(self.fault_coverage + coverage_gain, 1.0)
+        scaled_model = replace(
+            self.test_model,
+            probe_base_seconds=self.test_model.probe_base_seconds * test_time_factor,
+            probe_seconds_per_kilotransistor=(
+                self.test_model.probe_seconds_per_kilotransistor * test_time_factor),
+            final_base_seconds=self.test_model.final_base_seconds * test_time_factor,
+            final_seconds_per_kilotransistor=(
+                self.test_model.final_seconds_per_kilotransistor * test_time_factor))
+        improved = TestEconomics(
+            yield_value=self.yield_value,
+            fault_coverage=new_coverage,
+            escape_cost_dollars=self.escape_cost_dollars,
+            test_model=scaled_model)
+        return DftOutcome(baseline=self, improved=improved,
+                          area_overhead_fraction=area_overhead_fraction)
+
+
+@dataclass(frozen=True)
+class DftOutcome:
+    """Baseline-vs-DFT comparison produced by :meth:`TestEconomics.with_dft`."""
+
+    baseline: TestEconomics
+    improved: TestEconomics
+    area_overhead_fraction: float
+
+    def net_benefit_per_shipped_die(self, n_transistors: float,
+                                    die_manufacturing_cost: float) -> float:
+        """Dollars saved per shipped die by adopting the DFT option.
+
+        Positive means DFT pays; the area overhead charges the improved
+        side a proportionally costlier die.
+        """
+        base = self.baseline.cost_per_shipped_die(
+            n_transistors, die_manufacturing_cost)
+        dft_die_cost = die_manufacturing_cost \
+            * (1.0 + self.area_overhead_fraction)
+        improved = self.improved.cost_per_shipped_die(
+            n_transistors, dft_die_cost)
+        return base - improved

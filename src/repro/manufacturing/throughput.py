@@ -1,0 +1,192 @@
+"""Fabline dynamics: cycle time, WIP and the cost of queueing.
+
+Sec. V's Phase-2 survival list includes "CIM" and "flexible fabline
+control", and the product-mix discussion notes that high-throughput
+equipment "indirectly leads to very low utilization levels" in diverse
+operations.  The mechanism is queueing: pushing a tool group toward
+full utilization explodes cycle time (the classic hockey stick), and
+cycle time is money — WIP carrying cost, slower yield learning (fewer
+learning cycles per month), and time-to-market.
+
+Model: each equipment group is an M/M/c queue; a process flow visits
+groups in sequence (re-entrant visits aggregated per group).  Steady-
+state cycle time per group uses the Erlang-C waiting formula; fab cycle
+time is the sum over visits plus raw process time.  :class:`CycleTimeCost`
+prices the result.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..errors import CapacityError, ParameterError
+from ..units import require_fraction, require_nonnegative, require_positive
+from .equipment import Equipment, EquipmentType, ProcessFlow
+
+
+def erlang_c(servers: int, offered_load: float) -> float:
+    """Erlang-C probability that an arrival waits (M/M/c).
+
+    ``offered_load`` is a = λ/µ in Erlangs; requires a < servers for
+    stability.
+    """
+    if servers < 1:
+        raise ParameterError(f"servers must be >= 1, got {servers}")
+    require_nonnegative("offered_load", offered_load)
+    if offered_load >= servers:
+        raise CapacityError(
+            f"offered load {offered_load:.2f} Erlangs >= {servers} servers; "
+            "queue is unstable")
+    if offered_load == 0.0:
+        return 0.0
+    # Iterative Erlang-B, then convert to Erlang-C (numerically stable).
+    b = 1.0
+    for k in range(1, servers + 1):
+        b = offered_load * b / (k + offered_load * b)
+    rho = offered_load / servers
+    return b / (1.0 - rho + rho * b)
+
+
+def mmc_wait_hours(servers: int, arrival_per_hour: float,
+                   service_hours: float) -> float:
+    """Mean queueing delay (excluding service) of an M/M/c station."""
+    require_positive("arrival_per_hour", arrival_per_hour)
+    require_positive("service_hours", service_hours)
+    offered = arrival_per_hour * service_hours
+    p_wait = erlang_c(servers, offered)
+    mu = 1.0 / service_hours
+    return p_wait / (servers * mu - arrival_per_hour)
+
+
+@dataclass(frozen=True)
+class StationAnalysis:
+    """Steady-state numbers for one equipment group under load."""
+
+    kind: EquipmentType
+    servers: int
+    utilization: float
+    wait_hours_per_visit: float
+    service_hours_per_visit: float
+
+    @property
+    def cycle_hours_per_visit(self) -> float:
+        """Queueing plus processing per visit."""
+        return self.wait_hours_per_visit + self.service_hours_per_visit
+
+    @property
+    def queueing_multiplier(self) -> float:
+        """Cycle time over raw process time (the x-factor)."""
+        return self.cycle_hours_per_visit / self.service_hours_per_visit
+
+
+@dataclass(frozen=True)
+class FabDynamics:
+    """A flow running through an equipment set at a start rate.
+
+    Per-group service time per *visit* is the flow's total demand on
+    that group divided evenly over ``visits_per_group`` visits —
+    re-entrant flows hit lithography dozens of times; the aggregation
+    keeps the queueing first-order while preserving total load.
+    """
+
+    equipment: tuple[Equipment, ...]
+    flow: ProcessFlow
+    wafer_starts_per_hour: float
+    visits_per_group: int = 10
+
+    def __post_init__(self) -> None:
+        if not self.equipment:
+            raise ParameterError("equipment set must be non-empty")
+        require_positive("wafer_starts_per_hour", self.wafer_starts_per_hour)
+        if self.visits_per_group < 1:
+            raise ParameterError("visits_per_group must be >= 1")
+
+    def _servers(self) -> dict[EquipmentType, int]:
+        servers: dict[EquipmentType, int] = {}
+        for eq in self.equipment:
+            servers[eq.kind] = servers.get(eq.kind, 0) + eq.n_tools
+        return servers
+
+    def stations(self) -> list[StationAnalysis]:
+        """Per-group steady-state analysis (raises on instability)."""
+        servers = self._servers()
+        out = []
+        for kind, hours_per_wafer in sorted(
+                self.flow.demand_by_type().items(), key=lambda kv: kv[0].value):
+            if kind not in servers:
+                raise CapacityError(f"no {kind.value} equipment installed")
+            c = servers[kind]
+            visits = self.visits_per_group
+            service = hours_per_wafer / visits
+            arrivals = self.wafer_starts_per_hour * visits
+            offered = arrivals * service
+            if offered >= c:
+                raise CapacityError(
+                    f"{kind.value}: offered load {offered:.2f} >= {c} tools")
+            wait = mmc_wait_hours(c, arrivals, service)
+            out.append(StationAnalysis(
+                kind=kind, servers=c, utilization=offered / c,
+                wait_hours_per_visit=wait,
+                service_hours_per_visit=service))
+        return out
+
+    def cycle_time_hours(self) -> float:
+        """Fab cycle time: sum of (wait + service) over all visits."""
+        return sum(s.cycle_hours_per_visit * self.visits_per_group
+                   for s in self.stations())
+
+    def raw_process_hours(self) -> float:
+        """Theoretical process time with zero queueing."""
+        return sum(self.flow.demand_by_type().values())
+
+    def x_factor(self) -> float:
+        """Fab-level cycle time over raw process time (industry KPI;
+        well-run fabs live between 2 and 5)."""
+        return self.cycle_time_hours() / self.raw_process_hours()
+
+    def wip_wafers(self) -> float:
+        """Little's law: WIP = start rate × cycle time."""
+        return self.wafer_starts_per_hour * self.cycle_time_hours()
+
+    def bottleneck(self) -> StationAnalysis:
+        """The most utilized station."""
+        return max(self.stations(), key=lambda s: s.utilization)
+
+
+@dataclass(frozen=True)
+class CycleTimeCost:
+    """Dollars per wafer attributable to time in the line.
+
+    ``wip_value_dollars`` is the carrying value of a wafer in process
+    (materials + accumulated processing); ``annual_carrying_rate`` the
+    cost of capital plus obsolescence.  ``revenue_decay_per_month`` adds
+    the time-to-market term: each month of cycle time forfeits that
+    fraction of a wafer's revenue (price erosion — see
+    :class:`~repro.core.pricing.LearningCurvePrice`).
+    """
+
+    wip_value_dollars: float = 1000.0
+    annual_carrying_rate: float = 0.15
+    revenue_decay_per_month: float = 0.02
+    revenue_per_wafer_dollars: float = 3000.0
+
+    def __post_init__(self) -> None:
+        require_positive("wip_value_dollars", self.wip_value_dollars)
+        require_fraction("annual_carrying_rate", self.annual_carrying_rate,
+                         inclusive_high=False)
+        require_fraction("revenue_decay_per_month",
+                         self.revenue_decay_per_month, inclusive_high=False)
+        require_positive("revenue_per_wafer_dollars",
+                         self.revenue_per_wafer_dollars)
+
+    def cost_per_wafer(self, cycle_time_hours: float) -> float:
+        """Carrying cost plus price-erosion loss for one wafer."""
+        require_nonnegative("cycle_time_hours", cycle_time_hours)
+        years = cycle_time_hours / (24.0 * 365.0)
+        carrying = self.wip_value_dollars * self.annual_carrying_rate * years
+        months = cycle_time_hours / (24.0 * 30.0)
+        erosion = self.revenue_per_wafer_dollars \
+            * (1.0 - (1.0 - self.revenue_decay_per_month) ** months)
+        return carrying + erosion

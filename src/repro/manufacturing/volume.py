@@ -1,0 +1,82 @@
+"""Manufacturing volume economics — eq. (2) of the paper.
+
+Total cost per wafer splits into a variable ("true") cost C'_w and a
+fixed overhead C_over spread over the volume V:
+
+.. math:: C_w(V) = C'_w + C_{over} / V
+
+The paper notes overhead spans $100k (ASIC) to $100M (µP) [14], making
+this term decisive for low-volume products.  :class:`VolumeCostCurve`
+wraps the relation with the derived quantities designers ask for:
+cost at volume, overhead share, volume needed to reach a target cost,
+and the volume at which two alternatives (e.g. own-fab vs foundry)
+break even.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+from ..units import require_nonnegative, require_positive
+
+
+@dataclass(frozen=True)
+class VolumeCostCurve:
+    """Eq. (2) with its elementary analytics.
+
+    Parameters
+    ----------
+    pure_cost_dollars:
+        C'_w — variable manufacturing cost per wafer.
+    overhead_dollars:
+        C_over — fixed cost (R&D, NRE, management) to amortize.
+    """
+
+    pure_cost_dollars: float
+    overhead_dollars: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_positive("pure_cost_dollars", self.pure_cost_dollars)
+        require_nonnegative("overhead_dollars", self.overhead_dollars)
+
+    def cost(self, volume_wafers: float) -> float:
+        """C_w(V) in dollars per wafer."""
+        require_positive("volume_wafers", volume_wafers)
+        return self.pure_cost_dollars + self.overhead_dollars / volume_wafers
+
+    def overhead_share(self, volume_wafers: float) -> float:
+        """Fraction of the wafer cost that is amortized overhead."""
+        total = self.cost(volume_wafers)
+        return (self.overhead_dollars / volume_wafers) / total
+
+    def volume_for_cost(self, target_cost_dollars: float) -> float:
+        """Volume at which C_w(V) reaches a target; ParameterError if the
+        target is at or below the pure cost (unreachable at any volume)."""
+        require_positive("target_cost_dollars", target_cost_dollars)
+        margin = target_cost_dollars - self.pure_cost_dollars
+        if margin <= 0.0:
+            raise ParameterError(
+                f"target {target_cost_dollars} is not above the pure cost "
+                f"{self.pure_cost_dollars}; unreachable at any volume")
+        if self.overhead_dollars == 0.0:
+            raise ParameterError(
+                "no overhead to amortize: cost is flat in volume")
+        return self.overhead_dollars / margin
+
+    def breakeven_volume(self, other: "VolumeCostCurve") -> float:
+        """Volume at which this curve and ``other`` cost the same.
+
+        The classic make-vs-buy question: a high-overhead/low-variable
+        option (own fab) against a low-overhead/high-variable one
+        (foundry).  Raises if the curves never cross at positive volume.
+        """
+        d_pure = other.pure_cost_dollars - self.pure_cost_dollars
+        d_over = self.overhead_dollars - other.overhead_dollars
+        if d_pure == 0.0 and d_over == 0.0:
+            raise ParameterError("curves are identical; breakeven undefined")
+        if d_pure == 0.0 or d_over == 0.0 or (d_over / d_pure) <= 0.0:
+            raise ParameterError(
+                "curves do not cross at any positive volume "
+                "(one dominates the other)")
+        return d_over / d_pure

@@ -1,0 +1,53 @@
+"""System-level cost optimization — the Sec.-VI agenda made executable.
+
+The paper's closing argument is that cost must be optimized at the
+*system* level: choose partition sizes and a feature size per partition
+(Sec. IV.B), weigh MCM substrates by system cost rather than substrate
+cost, and price test escapes into known-good-die decisions.
+
+* :mod:`~repro.system.partitioning` — split a transistor budget into
+  dies and pick each die's λ to minimize total silicon cost.
+* :mod:`~repro.system.mcm` — multi-chip module assembly economics,
+  passive vs. smart (self-testing) substrates [30, 31].
+* :mod:`~repro.system.kgd` — known-good-die: how untested bare dies
+  tax module yield, and what a KGD test is worth.
+"""
+
+from .partitioning import (
+    Partition,
+    PartitionedSystem,
+    optimize_partition_feature_sizes,
+    optimal_partition_count,
+)
+from .mcm import McmSubstrate, McmCostModel
+from .kgd import KgdEconomics
+from .package_selection import (
+    PackagingCostModel,
+    PackagingStrategy,
+    crossover_points,
+)
+from .cosynthesis import (
+    PartitionDesign,
+    SystemCostModel,
+    SystemCostReport,
+    optimize_system,
+    silicon_only_baseline,
+)
+
+__all__ = [
+    "Partition",
+    "PartitionedSystem",
+    "optimize_partition_feature_sizes",
+    "optimal_partition_count",
+    "McmSubstrate",
+    "McmCostModel",
+    "KgdEconomics",
+    "PartitionDesign",
+    "SystemCostModel",
+    "SystemCostReport",
+    "optimize_system",
+    "silicon_only_baseline",
+    "PackagingStrategy",
+    "PackagingCostModel",
+    "crossover_points",
+]

@@ -1,0 +1,237 @@
+"""Integrated system cost optimization — the Fig.-10 agenda.
+
+Sec. VI: "the system level cost minimization is possible if, and only
+if, cost modeling strategy, integrating in a single model such
+quantities as: yield of the system's components, expressed in terms of
+all strategic design variables (λ, N_tr etc.), cost of testing as a
+function of the probability of fault escapes, and many others, is
+available."
+
+:class:`SystemCostModel` is that single model, assembled from this
+repository's substrates: for a partitioned system it composes
+
+* silicon cost per partition — eq. (1) via the Fig.-8 fab machinery,
+* test cost and escapes per partition — the Williams–Brown economics,
+* assembly and module yield — the MCM model,
+
+into one objective ``cost_per_good_system``, and
+:func:`optimize_system` searches the paper's strategic variables —
+feature size per partition and test coverage per partition — jointly.
+The result demonstrates the paper's thesis: the jointly optimal design
+differs from what silicon-only or test-only optimization picks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.optimization import (
+    FIG8_FAB,
+    FabCharacterization,
+    transistor_cost_full,
+)
+from ..errors import ParameterError
+from ..manufacturing.test_cost import TestCostModel
+from ..system.kgd import incoming_quality
+from ..system.mcm import McmCostModel, McmSubstrate
+from ..units import require_fraction, require_positive
+from .partitioning import Partition
+
+
+@dataclass(frozen=True)
+class PartitionDesign:
+    """One partition's chosen strategic variables."""
+
+    partition: Partition
+    feature_size_um: float
+    test_coverage: float
+
+    def __post_init__(self) -> None:
+        require_positive("feature_size_um", self.feature_size_um)
+        require_fraction("test_coverage", self.test_coverage)
+
+
+@dataclass(frozen=True)
+class SystemCostReport:
+    """Itemized outcome of one system design point."""
+
+    designs: tuple[PartitionDesign, ...]
+    silicon_dollars: float
+    test_dollars: float
+    module_cost_per_good: float
+    module_yield: float
+
+    @property
+    def cost_per_good_system(self) -> float:
+        """The single objective Fig. 10 asks for."""
+        return self.module_cost_per_good
+
+
+@dataclass(frozen=True)
+class SystemCostModel:
+    """Joint silicon + test + assembly cost of a partitioned system.
+
+    Parameters
+    ----------
+    partitions:
+        The system's partitions (each becomes one die on the module).
+    substrate:
+        MCM substrate assembling the dies.
+    fab:
+        Fab characterization (Fig.-8 constants by default); each
+        partition's d_d overrides the fab's.
+    test_model:
+        Per-die test time/cost model.
+    assembly_cost_dollars:
+        Module assembly cost.
+    """
+
+    partitions: tuple[Partition, ...]
+    substrate: McmSubstrate
+    fab: FabCharacterization = FIG8_FAB
+    test_model: TestCostModel = field(default_factory=TestCostModel)
+    assembly_cost_dollars: float = 20.0
+
+    def __post_init__(self) -> None:
+        if not self.partitions:
+            raise ParameterError("partitions must be non-empty")
+
+    def _partition_fab(self, partition: Partition) -> FabCharacterization:
+        return FabCharacterization(
+            cost_growth_rate=self.fab.cost_growth_rate,
+            reference_cost_dollars=self.fab.reference_cost_dollars,
+            wafer_radius_cm=self.fab.wafer_radius_cm,
+            design_density=partition.design_density,
+            defect_coefficient=self.fab.defect_coefficient,
+            size_exponent_p=self.fab.size_exponent_p)
+
+    def _die_yield(self, partition: Partition, lam: float) -> float:
+        from ..yieldsim.models import scaled_poisson_yield
+        return scaled_poisson_yield(
+            partition.n_transistors, partition.design_density,
+            self.fab.defect_coefficient, lam, self.fab.size_exponent_p)
+
+    def evaluate(self, designs: Sequence[PartitionDesign]) -> SystemCostReport:
+        """Cost per good system for one choice of variables.
+
+        Each die's delivered cost = silicon (yielded) + test (per tested
+        die, spread over passing dies); its incoming quality follows
+        Williams–Brown from its yield and coverage.  The module is
+        priced by the MCM model with the *mean* die cost and the
+        *compound* quality (q_total^(1/N) as the per-die equivalent),
+        which keeps the MCM recursion exact for the all-good case.
+        """
+        if len(designs) != len(self.partitions):
+            raise ParameterError(
+                f"need {len(self.partitions)} designs, got {len(designs)}")
+        silicon_total = 0.0
+        test_total = 0.0
+        quality_product = 1.0
+        die_costs = []
+        for design in designs:
+            part = design.partition
+            lam = design.feature_size_um
+            ctr = transistor_cost_full(part.n_transistors, lam,
+                                       self._partition_fab(part))
+            if math.isinf(ctr):
+                raise ParameterError(
+                    f"partition {part.name!r} infeasible at {lam} um")
+            die_silicon = ctr * part.n_transistors  # cost per GOOD die
+            y = self._die_yield(part, lam)
+            probe = self.test_model.probe_cost(part.n_transistors)
+            # Probe every die; passing fraction Y^c carries the cost.
+            pass_rate = y ** design.test_coverage
+            test_per_shipped = probe / pass_rate
+            q = incoming_quality(y, design.test_coverage)
+            quality_product *= q
+            die_cost = die_silicon + test_per_shipped
+            die_costs.append(die_cost)
+            silicon_total += die_silicon
+            test_total += test_per_shipped
+        n = len(designs)
+        mean_die_cost = sum(die_costs) / n
+        per_die_quality = quality_product ** (1.0 / n)
+        module = McmCostModel(
+            substrate=self.substrate, n_dies=n,
+            die_cost_dollars=mean_die_cost,
+            incoming_quality=per_die_quality,
+            assembly_cost_dollars=self.assembly_cost_dollars)
+        cost_per_good = module.cost_per_good_module()
+        _, final_yield = module.expected_cost_and_yield()
+        return SystemCostReport(
+            designs=tuple(designs),
+            silicon_dollars=silicon_total,
+            test_dollars=test_total,
+            module_cost_per_good=cost_per_good,
+            module_yield=final_yield)
+
+
+def optimize_system(model: SystemCostModel, *,
+                    lambda_grid: tuple[float, ...] = (0.5, 0.65, 0.8, 1.0, 1.2),
+                    coverage_grid: tuple[float, ...] = (0.85, 0.95, 0.99),
+                    ) -> SystemCostReport:
+    """Joint grid search over (λ, coverage) per partition.
+
+    Coordinate descent: optimize each partition's pair holding the
+    others fixed, sweep until no improvement.  With the per-partition
+    structure of the objective (module terms couple only through the
+    mean cost and compound quality) this converges in a few sweeps on
+    realistic inputs; a full product grid would be exponential.
+    """
+    if not lambda_grid or not coverage_grid:
+        raise ParameterError("grids must be non-empty")
+    designs = [PartitionDesign(partition=p,
+                               feature_size_um=lambda_grid[len(lambda_grid) // 2],
+                               test_coverage=coverage_grid[-1])
+               for p in model.partitions]
+
+    def safe_eval(ds) -> float:
+        try:
+            return model.evaluate(ds).cost_per_good_system
+        except ParameterError:
+            return math.inf
+
+    best_cost = safe_eval(designs)
+    for _sweep in range(6):
+        improved = False
+        for i, design in enumerate(designs):
+            for lam in lambda_grid:
+                for cov in coverage_grid:
+                    trial = list(designs)
+                    trial[i] = PartitionDesign(
+                        partition=design.partition,
+                        feature_size_um=lam, test_coverage=cov)
+                    cost = safe_eval(trial)
+                    if cost < best_cost - 1e-12:
+                        designs = trial
+                        best_cost = cost
+                        improved = True
+        if not improved:
+            break
+    if math.isinf(best_cost):
+        raise ParameterError("no feasible design point on the given grids")
+    return model.evaluate(designs)
+
+
+def silicon_only_baseline(model: SystemCostModel, *,
+                          lambda_grid: tuple[float, ...] = (0.5, 0.65, 0.8,
+                                                            1.0, 1.2),
+                          fixed_coverage: float = 0.95) -> SystemCostReport:
+    """The disconnected-flows baseline the paper criticizes: pick each
+    λ to minimize *silicon* cost alone, test coverage fixed by habit."""
+    designs = []
+    for part in model.partitions:
+        best_lam, best_ctr = None, math.inf
+        for lam in lambda_grid:
+            ctr = transistor_cost_full(part.n_transistors, lam,
+                                       model._partition_fab(part))
+            if ctr < best_ctr:
+                best_lam, best_ctr = lam, ctr
+        if best_lam is None or math.isinf(best_ctr):
+            raise ParameterError(f"partition {part.name!r} infeasible")
+        designs.append(PartitionDesign(partition=part,
+                                       feature_size_um=best_lam,
+                                       test_coverage=fixed_coverage))
+    return model.evaluate(designs)

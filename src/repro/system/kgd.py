@@ -1,0 +1,131 @@
+"""Known-good-die economics — the [31] question: "Are there any
+alternatives to known good die?"
+
+Bare dies sold for MCM assembly cannot get full packaged final test;
+their *incoming quality* (probability a shipped die is good) is set by
+wafer probe coverage.  Low incoming quality taxes the module: with N
+dies per module, module first-pass yield is q^N, so small per-die
+escape rates compound brutally.
+
+:class:`KgdEconomics` prices the trade: paying ``kgd_test_cost`` per
+die raises coverage from probe level to (near) full, lifting q; the
+alternative is paying for module-level diagnosis and rework.  The
+breakeven module size — above which KGD testing always pays — is the
+quantity MCM designers of the era argued about, reproduced by the
+``mcm_tradeoff`` example.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+from ..units import require_fraction, require_nonnegative, require_positive
+from .mcm import McmCostModel, McmSubstrate
+
+
+def incoming_quality(die_yield: float, fault_coverage: float) -> float:
+    """Probability a test-passing die is actually good.
+
+    Williams–Brown: defect level DL = 1 − Y^(1−c); quality = 1 − DL =
+    Y^(1−c).  Full coverage gives quality 1 regardless of yield; zero
+    coverage gives quality = yield (every die ships).
+    """
+    require_fraction("die_yield", die_yield, inclusive_low=False)
+    require_fraction("fault_coverage", fault_coverage)
+    return die_yield ** (1.0 - fault_coverage)
+
+
+@dataclass(frozen=True)
+class KgdEconomics:
+    """The per-die KGD decision for a module of ``n_dies``.
+
+    Parameters
+    ----------
+    die_yield:
+        True die yield Y at wafer level.
+    probe_coverage:
+        Fault coverage of standard wafer probe (typical 0.80–0.95).
+    kgd_coverage:
+        Coverage after the extra KGD test flow (burn-in, at-speed;
+        typical 0.99+).
+    kgd_test_cost_dollars:
+        Extra cost per die of the KGD flow.
+    die_cost_dollars:
+        Base cost of a probed bare die.
+    n_dies:
+        Dies per module.
+    substrate:
+        Substrate used for the module-level comparison.
+    assembly_cost_dollars:
+        Module assembly cost.
+    """
+
+    die_yield: float
+    probe_coverage: float
+    kgd_coverage: float
+    kgd_test_cost_dollars: float
+    die_cost_dollars: float
+    n_dies: int
+    substrate: McmSubstrate
+    assembly_cost_dollars: float = 20.0
+
+    def __post_init__(self) -> None:
+        require_fraction("die_yield", self.die_yield, inclusive_low=False)
+        require_fraction("probe_coverage", self.probe_coverage)
+        require_fraction("kgd_coverage", self.kgd_coverage)
+        if self.kgd_coverage < self.probe_coverage:
+            raise ParameterError(
+                "kgd_coverage must be at least probe_coverage "
+                f"({self.kgd_coverage} < {self.probe_coverage})")
+        require_nonnegative("kgd_test_cost_dollars", self.kgd_test_cost_dollars)
+        require_positive("die_cost_dollars", self.die_cost_dollars)
+        if self.n_dies < 1:
+            raise ParameterError(f"n_dies must be >= 1, got {self.n_dies}")
+
+    def _module(self, quality: float, die_cost: float) -> McmCostModel:
+        return McmCostModel(
+            substrate=self.substrate, n_dies=self.n_dies,
+            die_cost_dollars=die_cost, incoming_quality=quality,
+            assembly_cost_dollars=self.assembly_cost_dollars)
+
+    def cost_without_kgd(self) -> float:
+        """Cost per good module using probe-only dies."""
+        q = incoming_quality(self.die_yield, self.probe_coverage)
+        # Probe-only dies: the buyer pays only for dies that passed probe,
+        # so the effective die cost is the yielded cost of a passing die.
+        pass_rate = self.die_yield ** self.probe_coverage
+        effective_die_cost = self.die_cost_dollars / pass_rate
+        return self._module(q, effective_die_cost).cost_per_good_module()
+
+    def cost_with_kgd(self) -> float:
+        """Cost per good module using KGD-tested dies."""
+        q = incoming_quality(self.die_yield, self.kgd_coverage)
+        pass_rate = self.die_yield ** self.kgd_coverage
+        effective_die_cost = (self.die_cost_dollars / pass_rate) \
+            + self.kgd_test_cost_dollars
+        return self._module(q, effective_die_cost).cost_per_good_module()
+
+    def kgd_premium_worth_paying(self) -> float:
+        """Dollars saved per good module by buying KGD dies (may be < 0)."""
+        return self.cost_without_kgd() - self.cost_with_kgd()
+
+    def breakeven_module_size(self, *, max_dies: int = 64) -> int | None:
+        """Smallest module size at which KGD pays, or None if it never does.
+
+        Sweeps ``n_dies`` with everything else fixed.  Compounding makes
+        this threshold sharp: below it probe-only is fine, above it
+        escapes dominate module cost.
+        """
+        for n in range(1, max_dies + 1):
+            trial = KgdEconomics(
+                die_yield=self.die_yield, probe_coverage=self.probe_coverage,
+                kgd_coverage=self.kgd_coverage,
+                kgd_test_cost_dollars=self.kgd_test_cost_dollars,
+                die_cost_dollars=self.die_cost_dollars, n_dies=n,
+                substrate=self.substrate,
+                assembly_cost_dollars=self.assembly_cost_dollars)
+            if trial.kgd_premium_worth_paying() > 0.0:
+                return n
+        return None

@@ -1,0 +1,194 @@
+"""Multi-chip module economics — the Sec.-VI smart-substrate argument.
+
+The paper: "by applying active silicon substrate (i.e. very expensive
+substrate) one can build a smart substrate system which can minimize
+the overall system cost by performing self testing and enabling cost
+savings impossible with cheaper but passive substrates.  But
+traditional MCM strategies focus on the cost of the substrate itself."
+
+Model: a module assembles N bare dies onto a substrate.  Each die
+arrives good with probability ``incoming_quality`` (its yield, raised
+by whatever die-level testing was paid for — see
+:mod:`repro.system.kgd`).  The module works only if all dies are good;
+a failed module is either scrapped or reworked (bad die located and
+replaced) at a cost that depends on the substrate's diagnostic ability:
+a *smart* substrate locates the bad die itself (cheap, reliable rework),
+a *passive* substrate needs expensive external diagnosis and more
+rework iterations.  The headline comparison — substrate A is dearer
+than substrate B, yet total module cost with A is lower — is exactly
+the paper's point, and is asserted by the MCM example and tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+from ..units import require_fraction, require_nonnegative, require_positive
+
+
+@dataclass(frozen=True)
+class McmSubstrate:
+    """An MCM substrate option.
+
+    Parameters
+    ----------
+    name:
+        Label ("passive ceramic", "active silicon", ...).
+    cost_dollars:
+        Substrate cost per module.
+    self_test:
+        Whether the substrate can locate a failing die itself (the
+        paper's smart-substrate capability [30]).
+    diagnosis_cost_dollars:
+        Cost of locating a bad die on a failed module.  Smart
+        substrates have (near-)zero; passive substrates pay external
+        diagnosis (probing, schmoo, engineering time).
+    rework_success:
+        Probability one rework attempt (remove + replace the located
+        die) actually fixes the module.
+    """
+
+    name: str
+    cost_dollars: float
+    self_test: bool = False
+    diagnosis_cost_dollars: float = 0.0
+    rework_success: float = 0.9
+
+    def __post_init__(self) -> None:
+        require_positive("cost_dollars", self.cost_dollars)
+        require_nonnegative("diagnosis_cost_dollars", self.diagnosis_cost_dollars)
+        require_fraction("rework_success", self.rework_success,
+                         inclusive_low=False)
+
+
+@dataclass(frozen=True)
+class McmCostModel:
+    """Assembly economics of one module design on one substrate.
+
+    Parameters
+    ----------
+    substrate:
+        The substrate option.
+    n_dies:
+        Number of dies assembled per module.
+    die_cost_dollars:
+        Cost of one bare die (silicon + any die-level test already paid).
+    incoming_quality:
+        Probability an assembled die is good (die yield × test quality).
+    assembly_cost_dollars:
+        Attach/bond cost per module (all dies).
+    replacement_die_cost_dollars:
+        Cost of the spare die consumed by one rework (defaults to
+        ``die_cost_dollars`` when None).
+    max_rework_attempts:
+        Rework attempts before a module is scrapped.
+    """
+
+    substrate: McmSubstrate
+    n_dies: int
+    die_cost_dollars: float
+    incoming_quality: float
+    assembly_cost_dollars: float = 20.0
+    replacement_die_cost_dollars: float | None = None
+    max_rework_attempts: int = 2
+
+    def __post_init__(self) -> None:
+        if self.n_dies < 1:
+            raise ParameterError(f"n_dies must be >= 1, got {self.n_dies}")
+        require_positive("die_cost_dollars", self.die_cost_dollars)
+        require_fraction("incoming_quality", self.incoming_quality,
+                         inclusive_low=False)
+        require_nonnegative("assembly_cost_dollars", self.assembly_cost_dollars)
+        if self.replacement_die_cost_dollars is not None:
+            require_positive("replacement_die_cost_dollars",
+                             self.replacement_die_cost_dollars)
+        if self.max_rework_attempts < 0:
+            raise ParameterError("max_rework_attempts must be >= 0")
+
+    @property
+    def first_pass_module_yield(self) -> float:
+        """Probability the module works before any rework: q^N."""
+        return self.incoming_quality ** self.n_dies
+
+    @property
+    def _replacement_cost(self) -> float:
+        return self.replacement_die_cost_dollars \
+            if self.replacement_die_cost_dollars is not None \
+            else self.die_cost_dollars
+
+    def _base_build_cost(self) -> float:
+        """Materials + assembly of one module attempt."""
+        return self.substrate.cost_dollars \
+            + self.n_dies * self.die_cost_dollars \
+            + self.assembly_cost_dollars
+
+    def expected_cost_and_yield(self) -> tuple[float, float]:
+        """Expected cost per *started* module and final module yield.
+
+        A failed module goes through up to ``max_rework_attempts``
+        cycles of (diagnose, replace one bad die); each cycle costs
+        diagnosis + one replacement die + a fraction of assembly, and
+        succeeds in making the module good with probability
+        ``rework_success × q^(k−1)``-ish — we use the simplification
+        that one cycle fixes one bad die and the module is good when no
+        bad dies remain.  The expected number of bad dies on a failed
+        module is small for high q, so single-die-per-cycle is a good
+        approximation at the quality levels MCMs require.
+        """
+        q = self.incoming_quality
+        n = self.n_dies
+        build = self._base_build_cost()
+        rework_cycle_cost = self.substrate.diagnosis_cost_dollars \
+            + self._replacement_cost + 0.25 * self.assembly_cost_dollars
+
+        # State: expected number of bad dies if module failed.
+        p_good = q ** n
+        cost = build
+        yield_now = p_good
+        p_failed = 1.0 - p_good
+        # Expected bad dies conditional on failure:
+        mean_bad = n * (1.0 - q) / p_failed if p_failed > 0 else 0.0
+        for _ in range(self.max_rework_attempts):
+            if p_failed <= 1e-15:
+                break
+            cost += p_failed * rework_cycle_cost
+            # One cycle: locates and replaces one bad die; replacement is
+            # good with prob q; cycle mechanically succeeds with
+            # rework_success.  Module becomes good if exactly one bad die
+            # remained and the cycle worked.
+            p_one_bad = (n * (1.0 - q) * q ** (n - 1)) / p_failed \
+                if p_failed > 0 else 0.0
+            p_fixed = p_failed * min(p_one_bad, 1.0) \
+                * self.substrate.rework_success * q
+            yield_now += p_fixed
+            p_failed -= p_fixed
+            mean_bad = max(mean_bad - 1.0, 0.0)
+        return cost, yield_now
+
+    def cost_per_good_module(self) -> float:
+        """Expected cost divided by final module yield — the paper's
+        system-level figure of merit."""
+        cost, final_yield = self.expected_cost_and_yield()
+        if final_yield <= 0.0:
+            raise ParameterError("module yield is zero; cost per good module "
+                                 "is undefined")
+        return cost / final_yield
+
+
+def compare_substrates(passive: McmCostModel, smart: McmCostModel) -> dict[str, float]:
+    """Side-by-side comparison dict for two substrate options.
+
+    Used by the MCM example and bench to reproduce the paper's claim
+    that the *expensive* active substrate can win at system level.
+    """
+    p_cost = passive.cost_per_good_module()
+    s_cost = smart.cost_per_good_module()
+    return {
+        "passive_substrate_dollars": passive.substrate.cost_dollars,
+        "smart_substrate_dollars": smart.substrate.cost_dollars,
+        "passive_cost_per_good_module": p_cost,
+        "smart_cost_per_good_module": s_cost,
+        "smart_saves": p_cost - s_cost,
+    }

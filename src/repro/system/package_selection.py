@@ -1,0 +1,164 @@
+"""Packaging-strategy selection: single chip vs MCM vs board.
+
+Sec. VI laments that "typical MCMs are seen as more expensive way to
+package small and medium size systems" — a statement about *crossovers*:
+each packaging strategy has a size range where it wins.
+
+* **Single chip**: no assembly, but the die grows with the system and
+  yield collapses exponentially (eq. 6) — fine for small systems only.
+* **MCM**: splits the system into moderate dies (good yield) on a
+  substrate with assembly/rework cost — wins in the middle and
+  especially once dies are cheap and substrates smart.
+* **Board (single-chip packages)**: cheapest interconnect per die but
+  pays packaging per chip plus board area and performance penalties —
+  the default for big systems of the era.
+
+:func:`packaging_cost` prices one strategy for a system transistor
+budget by reusing the partitioning and MCM machinery;
+:func:`crossover_points` sweeps the budget and reports where the
+winning strategy changes.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+from ..core.optimization import FIG8_FAB, FabCharacterization
+from ..errors import ParameterError
+from ..system.mcm import McmCostModel, McmSubstrate
+from ..system.partitioning import optimal_partition_count
+from ..units import require_fraction, require_nonnegative, require_positive
+
+
+class PackagingStrategy(enum.Enum):
+    """The three packaging options of the Sec.-VI discussion."""
+
+    SINGLE_CHIP = "single chip"
+    MCM = "MCM"
+    BOARD = "board"
+
+
+@dataclass(frozen=True)
+class PackagingCostModel:
+    """Economic parameters shared by the strategy comparison.
+
+    Parameters
+    ----------
+    fab:
+        Fab characterization for silicon costs (each strategy buys its
+        silicon from the same fab).
+    design_density:
+        d_d of the system logic.
+    package_cost_dollars:
+        Single-chip package (for the board strategy, per die; for the
+        single-chip strategy, once).
+    board_cost_per_die_dollars:
+        Board area + connectors + assembly per packaged chip.
+    mcm_substrate:
+        Substrate used by the MCM strategy.
+    mcm_assembly_dollars:
+        MCM assembly per module.
+    die_quality:
+        Incoming bare-die quality for MCM assembly (probe-tested).
+    max_dies:
+        Partition-count cap for the multi-die strategies.
+    """
+
+    fab: FabCharacterization = FIG8_FAB
+    design_density: float = 152.0
+    package_cost_dollars: float = 8.0
+    board_cost_per_die_dollars: float = 6.0
+    mcm_substrate: McmSubstrate = field(default_factory=lambda: McmSubstrate(
+        name="MCM substrate", cost_dollars=120.0, self_test=True,
+        diagnosis_cost_dollars=10.0, rework_success=0.9))
+    mcm_assembly_dollars: float = 25.0
+    die_quality: float = 0.97
+    max_dies: int = 12
+
+    def __post_init__(self) -> None:
+        require_positive("design_density", self.design_density)
+        require_nonnegative("package_cost_dollars", self.package_cost_dollars)
+        require_nonnegative("board_cost_per_die_dollars",
+                            self.board_cost_per_die_dollars)
+        require_nonnegative("mcm_assembly_dollars", self.mcm_assembly_dollars)
+        require_fraction("die_quality", self.die_quality,
+                         inclusive_low=False)
+        if self.max_dies < 1:
+            raise ParameterError("max_dies must be >= 1")
+
+    def _silicon(self, n_transistors: float, *, single_die: bool,
+                 ) -> tuple[int, float]:
+        """(n_dies, total silicon cost) for a budget; inf cost if
+        infeasible."""
+        max_parts = 1 if single_die else self.max_dies
+        try:
+            n, cost, _single = optimal_partition_count(
+                n_transistors, self.design_density, fab=self.fab,
+                max_partitions=max_parts, per_die_assembly_cost=0.0)
+        except ParameterError:
+            return 0, math.inf
+        return n, cost
+
+    def packaging_cost(self, strategy: PackagingStrategy,
+                       n_transistors: float) -> float:
+        """Cost per good system under one strategy (inf if infeasible)."""
+        require_positive("n_transistors", n_transistors)
+        if strategy is PackagingStrategy.SINGLE_CHIP:
+            _, silicon = self._silicon(n_transistors, single_die=True)
+            if math.isinf(silicon):
+                return math.inf
+            return silicon + self.package_cost_dollars
+
+        n_dies, silicon = self._silicon(n_transistors, single_die=False)
+        if math.isinf(silicon):
+            return math.inf
+        per_die = silicon / n_dies
+
+        if strategy is PackagingStrategy.BOARD:
+            return silicon \
+                + n_dies * (self.package_cost_dollars
+                            + self.board_cost_per_die_dollars)
+
+        if strategy is PackagingStrategy.MCM:
+            if n_dies == 1:
+                # An MCM of one die is a single chip with extra steps.
+                return silicon + self.mcm_substrate.cost_dollars \
+                    + self.mcm_assembly_dollars
+            module = McmCostModel(
+                substrate=self.mcm_substrate, n_dies=n_dies,
+                die_cost_dollars=per_die,
+                incoming_quality=self.die_quality,
+                assembly_cost_dollars=self.mcm_assembly_dollars)
+            return module.cost_per_good_module()
+        raise ParameterError(f"unknown strategy {strategy!r}")
+
+    def best_strategy(self, n_transistors: float,
+                      ) -> tuple[PackagingStrategy, float]:
+        """The cheapest feasible strategy for a system budget."""
+        costs = {s: self.packaging_cost(s, n_transistors)
+                 for s in PackagingStrategy}
+        best = min(costs, key=costs.get)  # type: ignore[arg-type]
+        if math.isinf(costs[best]):
+            raise ParameterError(
+                f"no strategy feasible for {n_transistors:.3g} transistors")
+        return best, costs[best]
+
+
+def crossover_points(model: PackagingCostModel,
+                     budgets: tuple[float, ...],
+                     ) -> list[tuple[float, PackagingStrategy, float]]:
+    """Sweep system budgets; return (budget, winner, cost) per point.
+
+    The Sec.-VI reading: single chip wins small systems, MCM the middle
+    (where single dies would yield terribly but boards pay per-package
+    overhead), board the cases where MCM substrates cost too much.
+    """
+    if not budgets:
+        raise ParameterError("budgets must be non-empty")
+    out = []
+    for budget in budgets:
+        winner, cost = model.best_strategy(budget)
+        out.append((budget, winner, cost))
+    return out

@@ -1,0 +1,188 @@
+"""System partitioning with per-partition feature size — Sec. IV.B.
+
+The paper: "by including in the IC system design process such variables
+as sizes of the system's partitions and minimum feature sizes of each
+partition one can minimize the overall system cost.  It is important to
+note that the optimum solution may not call for the smallest possible
+(and expensive) feature size."
+
+A :class:`PartitionedSystem` is a set of partitions, each with a
+transistor budget and a design density (a cache partition packs near
+d_d ≈ 45, a bus unit near 400 — Table 1).  Each partition becomes its
+own die, manufactured at its own λ on a fab characterized like Fig. 8's.
+Optimizing λ per partition, and sweeping how many dies the budget is
+split into, yields the cost-optimal system implementation that Sec. VI's
+"smart substrate" MCM would then assemble.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.optimization import (
+    FIG8_FAB,
+    FabCharacterization,
+    transistor_cost_full,
+)
+from ..errors import ParameterError
+from ..units import require_positive
+
+
+@dataclass(frozen=True)
+class Partition:
+    """One system partition destined for its own die.
+
+    ``design_density`` may differ per partition (Table 1: caches pack
+    5–10× denser than control logic), which is exactly what makes
+    per-partition λ choices non-uniform.
+    """
+
+    name: str
+    n_transistors: float
+    design_density: float
+
+    def __post_init__(self) -> None:
+        require_positive("n_transistors", self.n_transistors)
+        require_positive("design_density", self.design_density)
+
+
+@dataclass(frozen=True)
+class PartitionChoice:
+    """An optimized implementation of one partition."""
+
+    partition: Partition
+    feature_size_um: float
+    cost_per_transistor_dollars: float
+
+    @property
+    def die_cost_dollars(self) -> float:
+        """Total silicon cost of the partition's die."""
+        return self.cost_per_transistor_dollars * self.partition.n_transistors
+
+
+@dataclass(frozen=True)
+class PartitionedSystem:
+    """A system as a tuple of partitions plus the fab that builds them."""
+
+    partitions: tuple[Partition, ...]
+    fab: FabCharacterization = FIG8_FAB
+
+    def __post_init__(self) -> None:
+        if not self.partitions:
+            raise ParameterError("partitions must be non-empty")
+
+    @property
+    def total_transistors(self) -> float:
+        """Sum of all partition transistor budgets."""
+        return sum(p.n_transistors for p in self.partitions)
+
+    def cost_at_uniform_lambda(self, feature_size_um: float) -> float:
+        """Total system silicon cost with one λ for every partition.
+
+        The monolithic-SoC baseline the per-partition optimization is
+        judged against.
+        """
+        require_positive("feature_size_um", feature_size_um)
+        total = 0.0
+        for part in self.partitions:
+            fab = _fab_with_density(self.fab, part.design_density)
+            ctr = transistor_cost_full(part.n_transistors, feature_size_um, fab)
+            if math.isinf(ctr):
+                raise ParameterError(
+                    f"partition {part.name!r} infeasible at {feature_size_um} um")
+            total += ctr * part.n_transistors
+        return total
+
+
+def _fab_with_density(fab: FabCharacterization, design_density: float,
+                      ) -> FabCharacterization:
+    """The fab characterization with the partition's own d_d substituted."""
+    return FabCharacterization(
+        cost_growth_rate=fab.cost_growth_rate,
+        reference_cost_dollars=fab.reference_cost_dollars,
+        wafer_radius_cm=fab.wafer_radius_cm,
+        design_density=design_density,
+        defect_coefficient=fab.defect_coefficient,
+        size_exponent_p=fab.size_exponent_p)
+
+
+def optimize_partition_feature_sizes(system: PartitionedSystem, *,
+                                     lam_lo_um: float = 0.3,
+                                     lam_hi_um: float = 1.2,
+                                     n_grid: int = 91,
+                                     ) -> list[PartitionChoice]:
+    """Choose each partition's λ independently to minimize its die cost.
+
+    Grid search per partition (the landscape can hold multiple valleys;
+    a grid is robust and cheap at this scale).  Returns one
+    :class:`PartitionChoice` per partition; total system cost is the sum
+    of their die costs.
+    """
+    if not lam_lo_um < lam_hi_um:
+        raise ParameterError("lam_lo_um must be < lam_hi_um")
+    if n_grid < 3:
+        raise ParameterError(f"n_grid must be >= 3, got {n_grid}")
+    step = (lam_hi_um - lam_lo_um) / (n_grid - 1)
+    choices = []
+    for part in system.partitions:
+        fab = _fab_with_density(system.fab, part.design_density)
+        best_lam, best_cost = None, math.inf
+        for k in range(n_grid):
+            lam = lam_lo_um + k * step
+            ctr = transistor_cost_full(part.n_transistors, lam, fab)
+            if ctr < best_cost:
+                best_lam, best_cost = lam, ctr
+        if best_lam is None or math.isinf(best_cost):
+            raise ParameterError(
+                f"partition {part.name!r} has no feasible feature size in "
+                f"[{lam_lo_um}, {lam_hi_um}] um")
+        choices.append(PartitionChoice(
+            partition=part, feature_size_um=best_lam,
+            cost_per_transistor_dollars=best_cost))
+    return choices
+
+
+def optimal_partition_count(total_transistors: float, design_density: float, *,
+                            fab: FabCharacterization = FIG8_FAB,
+                            max_partitions: int = 16,
+                            lam_lo_um: float = 0.3,
+                            lam_hi_um: float = 1.2,
+                            per_die_assembly_cost: float = 0.0,
+                            ) -> tuple[int, float, float]:
+    """Sweep the number of equal dies a budget is split into.
+
+    Splitting helps yield (smaller dies) but multiplies assembly cost
+    and loses wafer-edge efficiency.  Returns ``(best_count, best_total
+    cost, single_die_cost)`` where costs include
+    ``per_die_assembly_cost`` per die.  Raises if not even one feasible
+    split exists.
+    """
+    require_positive("total_transistors", total_transistors)
+    require_positive("design_density", design_density)
+    if max_partitions < 1:
+        raise ParameterError(f"max_partitions must be >= 1, got {max_partitions}")
+
+    def total_cost(n_parts: int) -> float:
+        per_die = total_transistors / n_parts
+        system = PartitionedSystem(
+            partitions=tuple(
+                Partition(name=f"part-{i}", n_transistors=per_die,
+                          design_density=design_density)
+                for i in range(n_parts)),
+            fab=fab)
+        try:
+            choices = optimize_partition_feature_sizes(
+                system, lam_lo_um=lam_lo_um, lam_hi_um=lam_hi_um)
+        except ParameterError:
+            return math.inf
+        return sum(c.die_cost_dollars for c in choices) \
+            + per_die_assembly_cost * n_parts
+
+    costs = {n: total_cost(n) for n in range(1, max_partitions + 1)}
+    feasible = {n: c for n, c in costs.items() if math.isfinite(c)}
+    if not feasible:
+        raise ParameterError("no feasible partition count")
+    best_n = min(feasible, key=feasible.get)  # type: ignore[arg-type]
+    single = costs.get(1, math.inf)
+    return best_n, feasible[best_n], single

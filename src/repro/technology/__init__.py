@@ -1,0 +1,53 @@
+"""Technology trends and product data: Figs. 1–4 and Tables 1–2.
+
+* :mod:`~repro.technology.roadmap` — feature size vs. year (Fig. 1),
+  die size vs. feature size (Fig. 3), process step counts and required
+  defect densities per generation (Fig. 4).
+* :mod:`~repro.technology.fabline` — fabline construction cost vs. year
+  (Fig. 2) and the extraction of the paper's X parameter from it.
+* :mod:`~repro.technology.density` — design density d_d: the Table 1
+  functional-block data, the Table 2 product data, and estimators.
+* :mod:`~repro.technology.products` — a typed catalog of the paper's
+  product examples (DRAM, SRAM, µP, gate array, SOG, PLD).
+"""
+
+from .roadmap import TechnologyRoadmap, GENERATIONS_UM, die_area_trend_cm2
+from .fabline import FabLine, FABLINE_COST_HISTORY, extract_cost_growth_rate
+from .density import (
+    DesignDensity,
+    FUNCTIONAL_BLOCK_DENSITIES,
+    PRODUCT_DENSITIES,
+    density_from_area_and_count,
+)
+from .products import ProductClass, ProductSpec, PRODUCT_CATALOG
+from .sia_roadmap import SIA_1993_NODES, SiaNode
+from .scaling import (
+    CONSTANT_VOLTAGE,
+    DENNARD,
+    ScalingRules,
+    performance_per_dollar,
+    tolerable_cost_increase,
+)
+
+__all__ = [
+    "TechnologyRoadmap",
+    "GENERATIONS_UM",
+    "die_area_trend_cm2",
+    "FabLine",
+    "FABLINE_COST_HISTORY",
+    "extract_cost_growth_rate",
+    "DesignDensity",
+    "FUNCTIONAL_BLOCK_DENSITIES",
+    "PRODUCT_DENSITIES",
+    "density_from_area_and_count",
+    "ProductClass",
+    "ProductSpec",
+    "PRODUCT_CATALOG",
+    "SiaNode",
+    "SIA_1993_NODES",
+    "ScalingRules",
+    "DENNARD",
+    "CONSTANT_VOLTAGE",
+    "performance_per_dollar",
+    "tolerable_cost_increase",
+]

@@ -1,0 +1,160 @@
+"""Technology roadmap trends: Figs. 1, 3 and 4 of the paper.
+
+The paper anchors its cost analysis on four empirical trends:
+
+* **Fig. 1** — minimum feature size vs. year: exponential shrink,
+  roughly 0.7× per ~3-year generation through the early 1990s.
+* **Fig. 3** — die size vs. feature size: the paper extracts
+  ``A_ch(λ) = 16.5 · exp(−5.3 λ)`` cm² for leading-edge parts (die size
+  *grows* as feature size shrinks), which drives eq. (9).
+* **Fig. 4** — process step count grows and the *required* defect
+  density falls with each generation.
+
+Exact historical series for Figs. 1/2/4 were published as conference
+slides and are not tabulated in the text; we reconstruct them from the
+paper's quoted anchor points and the industry record it cites (SIA
+roadmap 1993-era numbers), and mark every reconstructed constant below.
+The *shapes* — exponential shrink, exponential fab-cost growth, step
+count roughly linear per generation, required density as a power of λ —
+are what the benches assert.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+from ..units import require_positive
+from ..yieldsim.models import YieldModel, PoissonYield
+
+#: The canonical technology generations of the paper's era, in microns.
+#: Each step is close to the 0.7× linear shrink the industry planned by.
+GENERATIONS_UM: tuple[float, ...] = (3.0, 2.0, 1.5, 1.0, 0.8, 0.65, 0.5, 0.35, 0.25)
+
+#: Fig.-3 fit published in the paper (Sec. IV.A): A_ch in cm², λ in µm.
+DIE_AREA_COEFF_CM2 = 16.5
+DIE_AREA_EXPONENT_PER_UM = 5.3
+
+
+def die_area_trend_cm2(feature_size_um: float) -> float:
+    """Fig. 3's fitted leading-edge die area: ``A_ch(λ) = 16.5·exp(−5.3 λ)``.
+
+    This is the paper's own extraction; it appears verbatim in eq. (9).
+    """
+    require_positive("feature_size_um", feature_size_um)
+    return DIE_AREA_COEFF_CM2 * math.exp(-DIE_AREA_EXPONENT_PER_UM * feature_size_um)
+
+
+@dataclass(frozen=True)
+class TechnologyRoadmap:
+    """Parametric reconstruction of the Fig.-1/2/4 trend curves.
+
+    Parameters
+    ----------
+    reference_year:
+        Year at which the feature size equals ``reference_feature_um``.
+        Default anchors 1.0 µm at 1989, consistent with Fig. 1's era
+        (1 µm CMOS was the 1989–90 leading edge the paper's wafer-cost
+        anchors refer to).
+    reference_feature_um:
+        Feature size at the reference year.
+    shrink_per_generation:
+        Linear shrink factor per generation (canonical 0.7).
+    years_per_generation:
+        Cadence of generations (canonical 3 years in this era).
+    steps_at_reference, steps_per_generation:
+        Fig.-4 upper curve: mask/process step count, modeled as linear
+        in generation index (≈250 steps at 1 µm growing by ≈50 per
+        generation — reconstructed from the 1993 SIA roadmap numbers
+        the paper cites).
+    """
+
+    reference_year: float = 1989.0
+    reference_feature_um: float = 1.0
+    shrink_per_generation: float = 0.7
+    years_per_generation: float = 3.0
+    steps_at_reference: float = 250.0
+    steps_per_generation: float = 50.0
+
+    def __post_init__(self) -> None:
+        require_positive("reference_feature_um", self.reference_feature_um)
+        require_positive("years_per_generation", self.years_per_generation)
+        require_positive("steps_at_reference", self.steps_at_reference)
+        if not 0.0 < self.shrink_per_generation < 1.0:
+            raise ParameterError(
+                f"shrink_per_generation must be in (0, 1), got "
+                f"{self.shrink_per_generation}")
+
+    def generation_index(self, feature_size_um: float) -> float:
+        """Generations elapsed from the reference feature size (may be
+        negative for feature sizes coarser than the reference).
+
+        This is exactly the exponent ``g(λ)`` used by the default
+        wafer-cost law (DESIGN.md deviation 1).
+        """
+        require_positive("feature_size_um", feature_size_um)
+        return math.log(self.reference_feature_um / feature_size_um) \
+            / math.log(1.0 / self.shrink_per_generation)
+
+    def feature_size_um(self, year: float) -> float:
+        """Fig. 1: minimum feature size in microns at the given year."""
+        generations = (year - self.reference_year) / self.years_per_generation
+        return self.reference_feature_um * self.shrink_per_generation ** generations
+
+    def year_of_feature_size(self, feature_size_um: float) -> float:
+        """Inverse of :meth:`feature_size_um`."""
+        return self.reference_year \
+            + self.generation_index(feature_size_um) * self.years_per_generation
+
+    def process_steps(self, feature_size_um: float) -> float:
+        """Fig. 4 (upper curve): manufacturing step count at a feature size."""
+        g = self.generation_index(feature_size_um)
+        steps = self.steps_at_reference + self.steps_per_generation * g
+        if steps <= 0:
+            raise ParameterError(
+                f"step model degenerates at {feature_size_um} um (steps={steps:.1f})")
+        return steps
+
+    def required_defect_density(self, feature_size_um: float, *,
+                                target_yield: float = 0.8,
+                                design_density: float = 30.0,
+                                n_transistors: float | None = None,
+                                p: float = 4.07,
+                                yield_model: YieldModel | None = None) -> float:
+        """Fig. 4 (lower curve): defect density D₀ *required* at a node.
+
+        Computes the density at which a leading-edge die of that node
+        (transistor count from the Fig.-3 area trend and eq. (5) unless
+        given) reaches ``target_yield`` under ``yield_model`` (Poisson
+        by default), then expresses it as the λ-independent coefficient
+        ``D = D₀ · λ^p`` of eq. (7) *divided back* to physical defects
+        per cm² at the node's kill radius — i.e. the plain D₀ such that
+        ``exp(−A·D₀) = target``.  Falls steeply with λ because the die
+        grows while the kill radius shrinks.
+        """
+        require_positive("feature_size_um", feature_size_um)
+        model = yield_model if yield_model is not None else PoissonYield()
+        if n_transistors is None:
+            area = die_area_trend_cm2(feature_size_um)
+        else:
+            area = n_transistors * design_density * feature_size_um ** 2 / 1.0e8
+        d0 = model.defect_density_for_yield(area, target_yield)
+        # Express at the node's sensitivity: smaller lambda means smaller
+        # defects kill, so the *physical* density must fall by lambda^p
+        # relative to the reference node for the same D0 to hold.
+        scale = (feature_size_um / self.reference_feature_um) ** (p - 2.0)
+        return d0 * scale
+
+    def series(self, feature_sizes_um: tuple[float, ...] = GENERATIONS_UM):
+        """Convenience: (λ, year, steps, required density) rows for benches."""
+        rows = []
+        for lam in feature_sizes_um:
+            rows.append({
+                "feature_size_um": lam,
+                "year": self.year_of_feature_size(lam),
+                "process_steps": self.process_steps(lam),
+                "required_defect_density_per_cm2":
+                    self.required_defect_density(lam),
+            })
+        return rows

@@ -1,0 +1,134 @@
+"""Device scaling rules: the performance side of the shrink bargain.
+
+Sec. III's warning is two-sided: "the transistor size decrease may not
+provide simultaneous performance and cost gains."  The cost side is the
+rest of this library; this module supplies the performance side — the
+classical constant-field (Dennard) scaling rules of the paper's era —
+so cost/performance trades can be stated in one place:
+
+With linear shrink factor ``s = λ_new/λ_old < 1`` under constant field:
+
+* gate delay scales by ``s``  (faster),
+* per-transistor dynamic power by ``s²`` (with voltage scaled by s),
+* power *density* stays constant,
+* transistor density grows by ``1/s²``.
+
+Real 1990s scaling was "generalized": voltage fell slower than s
+(``voltage_exponent < 1``), so power density *rose* — the module lets
+both regimes be expressed.  :func:`performance_per_dollar` joins this
+to any cost-per-transistor figure to answer the paper's question
+directly: does the shrink still pay in performance per dollar?
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+from ..units import require_positive
+
+
+@dataclass(frozen=True)
+class ScalingRules:
+    """Generalized scaling between two nodes.
+
+    Parameters
+    ----------
+    voltage_exponent:
+        V ∝ λ^voltage_exponent.  1.0 is constant-field (Dennard);
+        0.0 is constant-voltage (early-1990s reality for 5 V parts);
+        values between interpolate.
+    delay_exponent:
+        Gate delay ∝ λ^delay_exponent; 1.0 classically.
+    """
+
+    voltage_exponent: float = 1.0
+    delay_exponent: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.voltage_exponent <= 1.5:
+            raise ParameterError(
+                f"voltage_exponent out of range: {self.voltage_exponent}")
+        require_positive("delay_exponent", self.delay_exponent)
+
+    def _s(self, lam_new_um: float, lam_old_um: float) -> float:
+        require_positive("lam_new_um", lam_new_um)
+        require_positive("lam_old_um", lam_old_um)
+        return lam_new_um / lam_old_um
+
+    def delay_factor(self, lam_new_um: float, lam_old_um: float) -> float:
+        """Gate delay ratio new/old (< 1 for a shrink)."""
+        return self._s(lam_new_um, lam_old_um) ** self.delay_exponent
+
+    def frequency_factor(self, lam_new_um: float, lam_old_um: float) -> float:
+        """Clock frequency ratio new/old (> 1 for a shrink)."""
+        return 1.0 / self.delay_factor(lam_new_um, lam_old_um)
+
+    def voltage_factor(self, lam_new_um: float, lam_old_um: float) -> float:
+        """Supply voltage ratio new/old."""
+        return self._s(lam_new_um, lam_old_um) ** self.voltage_exponent
+
+    def transistor_power_factor(self, lam_new_um: float,
+                                lam_old_um: float) -> float:
+        """Dynamic power per transistor, new/old: C·V²·f with C ∝ s.
+
+        P ∝ s · (s^v)² · s^{−d}; Dennard (v = d = 1) gives s².
+        """
+        s = self._s(lam_new_um, lam_old_um)
+        return (s
+                * self.voltage_factor(lam_new_um, lam_old_um) ** 2
+                * self.frequency_factor(lam_new_um, lam_old_um))
+
+    def power_density_factor(self, lam_new_um: float,
+                             lam_old_um: float) -> float:
+        """Power per unit area, new/old.
+
+        Transistor power / s²; exactly 1.0 under Dennard, > 1 when
+        voltage lags the shrink — the era's looming thermal wall.
+        """
+        s = self._s(lam_new_um, lam_old_um)
+        return self.transistor_power_factor(lam_new_um, lam_old_um) / (s * s)
+
+    def throughput_factor(self, lam_new_um: float, lam_old_um: float) -> float:
+        """Raw compute throughput per unit area, new/old: density × freq."""
+        s = self._s(lam_new_um, lam_old_um)
+        return self.frequency_factor(lam_new_um, lam_old_um) / (s * s)
+
+
+#: Classical constant-field scaling.
+DENNARD = ScalingRules(voltage_exponent=1.0)
+
+#: Constant-voltage scaling (5 V era): fast but power-hungry.
+CONSTANT_VOLTAGE = ScalingRules(voltage_exponent=0.0)
+
+
+def performance_per_dollar(cost_per_transistor_old: float,
+                           cost_per_transistor_new: float,
+                           lam_old_um: float, lam_new_um: float,
+                           rules: ScalingRules = DENNARD) -> float:
+    """Ratio (new/old) of per-transistor throughput per dollar.
+
+    Each transistor gets faster by the frequency factor while costing
+    ``cost_new/cost_old`` as much; the ratio exceeding 1 means the
+    shrink still pays *in performance per dollar* even if raw C_tr rose
+    — quantifying how much Fig.-7-style cost increase performance can
+    absorb before shrink becomes irrational.
+    """
+    require_positive("cost_per_transistor_old", cost_per_transistor_old)
+    require_positive("cost_per_transistor_new", cost_per_transistor_new)
+    freq_gain = rules.frequency_factor(lam_new_um, lam_old_um)
+    cost_ratio = cost_per_transistor_new / cost_per_transistor_old
+    return freq_gain / cost_ratio
+
+
+def tolerable_cost_increase(lam_old_um: float, lam_new_um: float,
+                            rules: ScalingRules = DENNARD) -> float:
+    """Largest C_tr growth factor a shrink can sustain at parity.
+
+    The cost increase at which performance-per-dollar is exactly flat:
+    equal to the frequency gain.  Under the paper's Scenario #2 the
+    measured cost growth can exceed this, making the shrink irrational
+    even for performance-hungry products.
+    """
+    return rules.frequency_factor(lam_new_um, lam_old_um)

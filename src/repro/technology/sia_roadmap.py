@@ -1,0 +1,99 @@
+"""The SIA 1993 technology roadmap — reference [17] of the paper.
+
+The paper leans on "SIA Technology Road Map — Workshop Conclusions;
+November 1993" for its generation-by-generation expectations.  This
+module carries the widely published headline rows of that roadmap as
+typed records and provides interpolation against our parametric
+:class:`~repro.technology.roadmap.TechnologyRoadmap` — the benches use
+it to check that the reconstruction tracks the planning document the
+industry actually steered by.
+
+Row values are the 1993 roadmap's published targets (first production
+year per node, DRAM bits/chip, wafer diameter, expected fab cost).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+from ..units import require_positive
+
+
+@dataclass(frozen=True)
+class SiaNode:
+    """One generation row of the 1993 SIA roadmap."""
+
+    feature_size_um: float
+    first_production_year: int
+    dram_bits_per_chip: float
+    wafer_diameter_mm: int
+    fab_cost_millions: float
+
+    def __post_init__(self) -> None:
+        require_positive("feature_size_um", self.feature_size_um)
+        require_positive("dram_bits_per_chip", self.dram_bits_per_chip)
+        if self.wafer_diameter_mm not in (100, 125, 150, 200, 300, 400):
+            raise ParameterError(
+                f"non-standard wafer diameter {self.wafer_diameter_mm} mm")
+        require_positive("fab_cost_millions", self.fab_cost_millions)
+
+    @property
+    def wafer_radius_cm(self) -> float:
+        """Wafer radius in centimeters."""
+        return self.wafer_diameter_mm / 20.0
+
+
+#: The 1993 SIA roadmap headline rows (0.35 µm through 0.10 µm).
+SIA_1993_NODES: tuple[SiaNode, ...] = (
+    SiaNode(0.35, 1995, 64e6, 200, 1500.0),
+    SiaNode(0.25, 1998, 256e6, 200, 3000.0),
+    SiaNode(0.18, 2001, 1e9, 300, 4000.0),
+    SiaNode(0.13, 2004, 4e9, 300, 6000.0),
+    SiaNode(0.10, 2007, 16e9, 400, 8000.0),
+)
+
+
+def node_for_feature_size(feature_size_um: float) -> SiaNode:
+    """The roadmap node nearest (log scale) to a feature size."""
+    require_positive("feature_size_um", feature_size_um)
+    return min(SIA_1993_NODES,
+               key=lambda n: abs(math.log(n.feature_size_um
+                                          / feature_size_um)))
+
+
+def dram_generation_cadence_years() -> float:
+    """Mean years between successive roadmap nodes (the 3-year beat)."""
+    years = [n.first_production_year for n in SIA_1993_NODES]
+    gaps = [b - a for a, b in zip(years, years[1:])]
+    return sum(gaps) / len(gaps)
+
+
+def dram_bits_growth_per_node() -> float:
+    """Mean DRAM capacity multiplier per node (the classic 4x/generation)."""
+    bits = [n.dram_bits_per_chip for n in SIA_1993_NODES]
+    ratios = [b / a for a, b in zip(bits, bits[1:])]
+    return math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+
+
+def fab_cost_growth_per_node() -> float:
+    """Mean fab-cost multiplier per node — the paper's megafab escalation."""
+    costs = [n.fab_cost_millions for n in SIA_1993_NODES]
+    ratios = [b / a for a, b in zip(costs, costs[1:])]
+    return math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+
+
+def roadmap_agreement_with(parametric, *, tolerance_years: float = 2.5) -> bool:
+    """Does a parametric TechnologyRoadmap hit the SIA production years?
+
+    ``parametric`` is a :class:`~repro.technology.roadmap.
+    TechnologyRoadmap`; each SIA node's feature size must map to a year
+    within ``tolerance_years`` of the roadmap's first-production year.
+    """
+    require_positive("tolerance_years", tolerance_years)
+    for node in SIA_1993_NODES:
+        predicted = parametric.year_of_feature_size(node.feature_size_um)
+        if abs(predicted - node.first_production_year) > tolerance_years:
+            return False
+    return True

@@ -1,0 +1,153 @@
+"""Unit conversions and parameter validation helpers.
+
+The paper mixes units freely — feature sizes in microns, die areas in
+mm\N{SUPERSCRIPT TWO} and cm\N{SUPERSCRIPT TWO}, wafer radii in cm and
+inches, costs in dollars.  This module pins down one internal convention
+and provides explicit, named conversions so that every model in the
+library states its units once and sticks to them.
+
+Internal conventions used throughout :mod:`repro`:
+
+* feature size ``lam`` — microns (µm)
+* die linear dimensions — centimeters (cm)
+* die and wafer areas — square centimeters (cm²)
+* wafer radius — centimeters (cm)
+* costs — US dollars ($)
+* defect densities — defects per cm² unless a function says otherwise
+
+Functions here never silently clamp: out-of-domain values raise
+:class:`repro.errors.ParameterError`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .errors import ParameterError
+
+#: Microns per centimeter.
+UM_PER_CM = 1.0e4
+
+#: Square microns per square centimeter.
+UM2_PER_CM2 = 1.0e8
+
+#: Square millimeters per square centimeter.
+MM2_PER_CM2 = 1.0e2
+
+#: Centimeters per inch (exact).
+CM_PER_INCH = 2.54
+
+
+def um_to_cm(microns: float) -> float:
+    """Convert a length in microns to centimeters."""
+    return microns / UM_PER_CM
+
+
+def cm_to_um(cm: float) -> float:
+    """Convert a length in centimeters to microns."""
+    return cm * UM_PER_CM
+
+
+def um2_to_cm2(um2: float) -> float:
+    """Convert an area in square microns to square centimeters."""
+    return um2 / UM2_PER_CM2
+
+
+def cm2_to_um2(cm2: float) -> float:
+    """Convert an area in square centimeters to square microns."""
+    return cm2 * UM2_PER_CM2
+
+
+def mm2_to_cm2(mm2: float) -> float:
+    """Convert an area in square millimeters to square centimeters."""
+    return mm2 / MM2_PER_CM2
+
+
+def cm2_to_mm2(cm2: float) -> float:
+    """Convert an area in square centimeters to square millimeters."""
+    return cm2 * MM2_PER_CM2
+
+
+def inch_to_cm(inches: float) -> float:
+    """Convert a length in inches to centimeters."""
+    return inches * CM_PER_INCH
+
+
+def wafer_diameter_inch_to_radius_cm(diameter_inches: float) -> float:
+    """Radius in cm of a wafer given its nominal diameter in inches.
+
+    The paper's "6 inch wafer" corresponds to R_w = 7.62 cm; the paper
+    rounds this to 7.5 cm in its numerical examples.
+    """
+    return inch_to_cm(diameter_inches) / 2.0
+
+
+def wafer_area_cm2(radius_cm: float) -> float:
+    """Gross area of a circular wafer of the given radius, in cm²."""
+    require_positive("radius_cm", radius_cm)
+    return math.pi * radius_cm * radius_cm
+
+
+def dollars_to_microdollars(dollars: float) -> float:
+    """Convert dollars to the paper's Table-3 unit of $·10⁻⁶."""
+    return dollars * 1.0e6
+
+
+def microdollars_to_dollars(microdollars: float) -> float:
+    """Convert the paper's Table-3 unit of $·10⁻⁶ back to dollars."""
+    return microdollars / 1.0e6
+
+
+def require_positive(name: str, value: float) -> float:
+    """Validate that ``value`` is a finite number strictly greater than zero.
+
+    Returns the value so the call can be used inline in assignments.
+    """
+    _require_finite(name, value)
+    if value <= 0:
+        raise ParameterError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def require_nonnegative(name: str, value: float) -> float:
+    """Validate that ``value`` is a finite number greater than or equal to zero."""
+    _require_finite(name, value)
+    if value < 0:
+        raise ParameterError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def require_fraction(name: str, value: float, *, inclusive_low: bool = True,
+                     inclusive_high: bool = True) -> float:
+    """Validate that ``value`` lies in the unit interval.
+
+    ``inclusive_low`` / ``inclusive_high`` control whether the endpoints
+    0 and 1 are permitted (yields of exactly 0 are usually nonsense as a
+    divisor, so callers dividing by a yield pass ``inclusive_low=False``).
+    """
+    _require_finite(name, value)
+    low_ok = value >= 0 if inclusive_low else value > 0
+    high_ok = value <= 1 if inclusive_high else value < 1
+    if not (low_ok and high_ok):
+        low_bracket = "[" if inclusive_low else "("
+        high_bracket = "]" if inclusive_high else ")"
+        raise ParameterError(
+            f"{name} must be in {low_bracket}0, 1{high_bracket}, got {value!r}")
+    return value
+
+
+def require_at_least(name: str, value: float, minimum: float) -> float:
+    """Validate that ``value`` is finite and at least ``minimum``."""
+    _require_finite(name, value)
+    if value < minimum:
+        raise ParameterError(f"{name} must be >= {minimum}, got {value!r}")
+    return value
+
+
+def _require_finite(name: str, value: float) -> None:
+    try:
+        fvalue = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ParameterError(f"{name} must be a real number, got {value!r}") from exc
+    if math.isnan(fvalue) or math.isinf(fvalue):
+        raise ParameterError(f"{name} must be finite, got {value!r}")

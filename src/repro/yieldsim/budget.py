@@ -1,0 +1,138 @@
+"""Defect-density budgeting across process layers.
+
+Fig. 4's lower curve says each generation *requires* a cleaner fab; a
+process integrator has to turn that single number into per-layer
+budgets: metal-1 defects are not poly defects, and cleaning each layer
+has its own cost curve.  This module solves the classical allocation:
+
+Given layers i with current killer densities ``d_i`` and cleaning cost
+rates ``c_i`` (dollars per *decade* of density reduction — contamination
+work scales with orders of magnitude, not absolute deltas), find new
+densities minimizing total cleaning spend subject to a die-yield target
+``exp(−A·Σd_i) ≥ Y_target``.
+
+With logarithmic costs the Lagrangian gives a water-filling solution:
+each layer is cleaned to ``d_i* = θ·c_i`` (density proportional to its
+cost rate) for the θ that meets the budget Σd_i* = D_target, except
+layers already below their allocation, which are left alone (cleaning
+cannot be undone) — handled by the standard active-set iteration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+from ..units import require_fraction, require_positive
+
+
+@dataclass(frozen=True)
+class LayerDefectivity:
+    """One process layer's defect state and cleaning economics.
+
+    ``cost_per_decade_dollars`` is the engineering spend to cut this
+    layer's killer density by 10× (filters, tool cleans, procedures).
+    """
+
+    name: str
+    density_per_cm2: float
+    cost_per_decade_dollars: float
+
+    def __post_init__(self) -> None:
+        require_positive("density_per_cm2", self.density_per_cm2)
+        require_positive("cost_per_decade_dollars",
+                         self.cost_per_decade_dollars)
+
+
+@dataclass(frozen=True)
+class LayerAllocation:
+    """The optimizer's verdict for one layer."""
+
+    layer: LayerDefectivity
+    target_density_per_cm2: float
+
+    @property
+    def decades_cleaned(self) -> float:
+        """log10(current/target); 0 when the layer is left alone."""
+        return math.log10(self.layer.density_per_cm2
+                          / self.target_density_per_cm2)
+
+    @property
+    def cleaning_cost_dollars(self) -> float:
+        """Spend for this layer under the per-decade cost model."""
+        return self.layer.cost_per_decade_dollars * self.decades_cleaned
+
+
+def total_density(layers: tuple[LayerDefectivity, ...]) -> float:
+    """Sum of layer densities (the D₀ the die sees)."""
+    if not layers:
+        raise ParameterError("layers must be non-empty")
+    return sum(l.density_per_cm2 for l in layers)
+
+
+def required_total_density(die_area_cm2: float, target_yield: float) -> float:
+    """Poisson inversion: the Σd budget for a die to hit the target."""
+    require_positive("die_area_cm2", die_area_cm2)
+    require_fraction("target_yield", target_yield, inclusive_low=False,
+                     inclusive_high=False)
+    return -math.log(target_yield) / die_area_cm2
+
+
+def allocate_cleaning(layers: tuple[LayerDefectivity, ...],
+                      density_budget_per_cm2: float,
+                      ) -> list[LayerAllocation]:
+    """Minimum-cost cleaning plan meeting a total-density budget.
+
+    Water-filling with an active set: layers are assigned
+    ``d_i* = θ·c_i``; any layer whose current density is already below
+    its assignment is frozen at its current value and the remaining
+    budget re-split among the rest.  Raises if the budget is
+    non-positive or already satisfied trivially returns "clean nothing".
+    """
+    require_positive("density_budget_per_cm2", density_budget_per_cm2)
+    if not layers:
+        raise ParameterError("layers must be non-empty")
+    current_total = total_density(layers)
+    if current_total <= density_budget_per_cm2:
+        return [LayerAllocation(layer=l,
+                                target_density_per_cm2=l.density_per_cm2)
+                for l in layers]
+
+    active = list(layers)       # layers that will actually be cleaned
+    frozen: list[LayerDefectivity] = []
+    for _ in range(len(layers) + 1):
+        frozen_sum = sum(l.density_per_cm2 for l in frozen)
+        remaining_budget = density_budget_per_cm2 - frozen_sum
+        if remaining_budget <= 0.0:
+            raise ParameterError(
+                "budget unreachable: frozen layers alone exceed it "
+                "(cleaning cannot raise a layer's density)")
+        cost_sum = sum(l.cost_per_decade_dollars for l in active)
+        theta = remaining_budget / cost_sum
+        # Layers already at or below their water level freeze.
+        newly_frozen = [l for l in active
+                        if l.density_per_cm2 <= theta
+                        * l.cost_per_decade_dollars]
+        if not newly_frozen:
+            allocations = {l.name: theta * l.cost_per_decade_dollars
+                           for l in active}
+            allocations.update({l.name: l.density_per_cm2 for l in frozen})
+            return [LayerAllocation(
+                layer=l, target_density_per_cm2=allocations[l.name])
+                for l in layers]
+        frozen.extend(newly_frozen)
+        active = [l for l in active if l not in newly_frozen]
+        if not active:
+            raise ParameterError(
+                "budget unreachable with monotone cleaning")
+    raise ParameterError("active-set iteration failed to converge")
+
+
+def plan_for_yield(layers: tuple[LayerDefectivity, ...],
+                   die_area_cm2: float, target_yield: float,
+                   ) -> tuple[list[LayerAllocation], float]:
+    """End-to-end: allocations plus total cleaning cost for a yield goal."""
+    budget = required_total_density(die_area_cm2, target_yield)
+    allocations = allocate_cleaning(layers, budget)
+    return allocations, sum(a.cleaning_cost_dollars for a in allocations)

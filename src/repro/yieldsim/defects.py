@@ -1,0 +1,156 @@
+"""Defect size distribution — Fig. 5 of the paper.
+
+The paper adopts the "most widely accepted" size density: flat (rising
+as R) up to a peak radius ``R_0`` and decaying as ``1/R^p`` above it,
+with ``p`` experimentally between 4 and 5.  The canonical normalized
+form (Stapper / Ferris-Prabhu) used here is
+
+.. math::
+
+    f(R) = \\begin{cases}
+        c\\, R / R_0^2            & 0 \\le R \\le R_0 \\\\
+        c\\, R_0^{p-1} / R^p      & R > R_0
+    \\end{cases}
+    \\qquad c = \\frac{2(p-1)}{p+1}
+    \\text{(so that } \\int_0^\\infty f = 1\\text{)}
+
+This module provides the pdf/cdf, moments, inverse-cdf sampling, and
+the "critical fraction" — the probability a defect is larger than a
+given kill radius, which is what makes shrinking λ "rapidly increase
+the number of defects which may cause faults" (the paper's observation
+under Fig. 5) and ultimately justifies the ``D/λ^p`` substitution in
+eq. (7).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..units import require_positive
+
+
+@dataclass(frozen=True)
+class DefectSizeDistribution:
+    """The Fig.-5 defect size density: linear rise to R_0, 1/R^p tail.
+
+    Parameters
+    ----------
+    r0_um:
+        Peak defect radius R_0 in microns (set by the contamination
+        environment; typically near or below the minimum feature size).
+    p:
+        Tail exponent; the paper reports fitted values 4–5 (4.07 for
+        the Sec.-IV.B fab).  Must exceed 1 for normalizability; moments
+        of order k exist only for p > k + 1.
+    """
+
+    r0_um: float
+    p: float
+
+    def __post_init__(self) -> None:
+        require_positive("r0_um", self.r0_um)
+        require_positive("p", self.p)
+        if self.p <= 1.0:
+            raise ParameterError(f"tail exponent p must exceed 1, got {self.p}")
+
+    @property
+    def _c(self) -> float:
+        """Normalization constant c = 2(p−1)/(p+1) (dimensionless)."""
+        return 2.0 * (self.p - 1.0) / (self.p + 1.0)
+
+    def pdf(self, r_um):
+        """Probability density at radius ``r_um`` (vectorized), in 1/µm."""
+        r = np.asarray(r_um, dtype=float)
+        if np.any(r < 0):
+            raise ParameterError("defect radius must be >= 0")
+        c, r0 = self._c, self.r0_um
+        below = c * r / (r0 * r0)
+        # np.where evaluates both branches; the tail expression can
+        # overflow harmlessly for radii in the core region.
+        with np.errstate(over="ignore", divide="ignore", invalid="ignore"):
+            above = c * r0 ** (self.p - 1.0) \
+                / np.where(r > 0, r, 1.0) ** self.p
+        out = np.where(r <= r0, below, above)
+        return out if out.shape else float(out)
+
+    def cdf(self, r_um):
+        """P(defect radius ≤ r) (vectorized)."""
+        r = np.asarray(r_um, dtype=float)
+        if np.any(r < 0):
+            raise ParameterError("defect radius must be >= 0")
+        c, p, r0 = self._c, self.p, self.r0_um
+        below = c * r * r / (2.0 * r0 * r0)
+        cdf_at_r0 = c / 2.0
+        safe_r = np.where(r > 0, r, r0)
+        # Both np.where branches are evaluated; the tail branch may
+        # overflow for core-region radii and is then discarded.
+        with np.errstate(over="ignore", divide="ignore", invalid="ignore"):
+            above = cdf_at_r0 \
+                + c / (p - 1.0) * (1.0 - (r0 / safe_r) ** (p - 1.0))
+        out = np.where(r <= r0, below, above)
+        return out if out.shape else float(out)
+
+    def survival(self, r_um):
+        """Critical fraction P(defect radius > r).
+
+        For a layout whose smallest kill radius scales with λ, this is
+        the factor by which feature-size shrink inflates the *fault*
+        density at constant physical defect density — the mechanism
+        behind eq. (7)'s ``D/λ^p``.
+        """
+        return 1.0 - np.asarray(self.cdf(r_um))
+
+    def mean_um(self) -> float:
+        """Mean defect radius in microns (requires p > 2)."""
+        if self.p <= 2.0:
+            raise ParameterError(f"mean requires p > 2, got p={self.p}")
+        c, p, r0 = self._c, self.p, self.r0_um
+        return c * r0 * (1.0 / 3.0 + 1.0 / (p - 2.0))
+
+    def moment_um(self, order: int) -> float:
+        """Raw moment E[R^order] in microns^order (requires p > order + 1)."""
+        if order < 1:
+            raise ParameterError(f"order must be >= 1, got {order}")
+        if self.p <= order + 1.0:
+            raise ParameterError(
+                f"moment of order {order} requires p > {order + 1}, got p={self.p}")
+        c, p, r0 = self._c, self.p, self.r0_um
+        return c * r0 ** order * (1.0 / (order + 2.0) + 1.0 / (p - 1.0 - order))
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` defect radii (microns) by inverse-cdf sampling."""
+        if n < 0:
+            raise ParameterError(f"n must be >= 0, got {n}")
+        u = rng.random(n)
+        c, p, r0 = self._c, self.p, self.r0_um
+        cdf_at_r0 = c / 2.0
+        out = np.empty(n)
+        core = u <= cdf_at_r0
+        # Invert c r^2 / (2 r0^2) = u  =>  r = r0 sqrt(2u/c).
+        out[core] = r0 * np.sqrt(2.0 * u[core] / c)
+        # Invert c/2 + c/(p-1) (1 - (r0/r)^{p-1}) = u.
+        tail_frac = 1.0 - (u[~core] - cdf_at_r0) * (p - 1.0) / c
+        out[~core] = r0 * tail_frac ** (-1.0 / (p - 1.0))
+        return out
+
+    def fault_density_scale(self, kill_radius_um: float,
+                            reference_kill_radius_um: float) -> float:
+        """Ratio of fault densities between two kill radii.
+
+        ``survival(kill) / survival(reference_kill)``: the factor by
+        which moving from a layout that dies at ``reference_kill`` to
+        one that dies at ``kill`` multiplies the effective D₀.  In the
+        deep tail this approaches ``(reference/kill)^{p-1}``, the
+        analytic origin of the paper's λ-power scaling.
+        """
+        require_positive("kill_radius_um", kill_radius_um)
+        require_positive("reference_kill_radius_um", reference_kill_radius_um)
+        denom = float(self.survival(reference_kill_radius_um))
+        if denom == 0.0:
+            raise ParameterError(
+                "reference kill radius lies beyond all defects (survival = 0)")
+        return float(self.survival(kill_radius_um)) / denom

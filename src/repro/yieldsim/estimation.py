@@ -1,0 +1,238 @@
+"""Estimating yield-model parameters from wafer maps.
+
+The fitted constants the paper uses (D = 1.72, p = 4.07 "extracted from
+a real manufacturing operation" [26]) come from exactly this kind of
+analysis: take binned defect counts per die (wafer maps), and estimate
+the defect density and the clustering behind them.  This module
+implements the standard estimators and closes the loop with our own
+:class:`~repro.yieldsim.monte_carlo.SpotDefectSimulator` — simulate maps
+with known parameters, re-estimate them, and require agreement (see
+``tests/yieldsim/test_estimation.py``).
+
+Estimators:
+
+* :func:`estimate_density_poisson` — MLE of D under Poisson defects
+  (mean count per area); exact and unbiased.
+* :func:`estimate_density_from_yield` — the fab-floor shortcut: invert
+  ``Y = exp(−A·D)`` from the good/bad ratio alone (no counts needed —
+  this is all a pass/fail probe gives you).
+* :func:`estimate_clustering_alpha` — method-of-moments estimate of the
+  negative-binomial clustering parameter from the count variance
+  (``var = m + m²/α``).
+* :func:`window_method` — Stapper's window method: re-bin the map at
+  growing window sizes; the yield-vs-area curve's departure from
+  exponential reveals clustering without per-die counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..units import require_positive
+from .monte_carlo import WaferMap
+
+
+def _pooled_counts(maps: Sequence[WaferMap]) -> np.ndarray:
+    if not maps:
+        raise ParameterError("need at least one wafer map")
+    return np.concatenate([m.defect_counts for m in maps])
+
+
+def estimate_density_poisson(maps: Sequence[WaferMap],
+                             die_area_cm2: float) -> float:
+    """MLE of defect density under the Poisson model: mean count / area."""
+    require_positive("die_area_cm2", die_area_cm2)
+    counts = _pooled_counts(maps)
+    return float(counts.mean()) / die_area_cm2
+
+
+def estimate_density_from_yield(maps: Sequence[WaferMap],
+                                die_area_cm2: float) -> float:
+    """Invert eq. (6) from the pass/fail ratio: D = −ln(Y)/A.
+
+    Raises when the pooled yield is 0 (all dies dead — density
+    unidentifiable from pass/fail data alone) or 1 (no defects seen).
+    """
+    require_positive("die_area_cm2", die_area_cm2)
+    counts = _pooled_counts(maps)
+    good = float(np.count_nonzero(counts == 0))
+    total = float(counts.size)
+    if good == 0.0:
+        raise ParameterError("pooled yield is 0; density unidentifiable")
+    if good == total:
+        return 0.0
+    return -math.log(good / total) / die_area_cm2
+
+
+def estimate_clustering_alpha(maps: Sequence[WaferMap],
+                              *, min_overdispersion: float = 1e-6) -> float:
+    """Method-of-moments α from count mean/variance: var = m + m²/α.
+
+    Returns ``math.inf`` when the counts show no overdispersion beyond
+    Poisson (variance ≤ mean): that is the α → ∞ Poisson limit, not an
+    error.
+    """
+    counts = _pooled_counts(maps).astype(float)
+    m = counts.mean()
+    v = counts.var(ddof=1) if counts.size > 1 else 0.0
+    if m <= 0.0:
+        raise ParameterError("no defects observed; alpha unidentifiable")
+    excess = v - m
+    if excess <= min_overdispersion * m:
+        return math.inf
+    return float(m * m / excess)
+
+
+@dataclass(frozen=True)
+class WindowPoint:
+    """One point of the window method: window size k, observed yield."""
+
+    window_dies: int
+    observed_yield: float
+    poisson_prediction: float
+
+    @property
+    def clustering_signal(self) -> float:
+        """Observed minus Poisson-predicted log-yield (≥ 0 for clustering)."""
+        if self.observed_yield <= 0.0 or self.poisson_prediction <= 0.0:
+            return 0.0
+        return math.log(self.observed_yield) \
+            - math.log(self.poisson_prediction)
+
+
+def window_method(wafer_map: WaferMap, *,
+                  window_sizes: tuple[int, ...] = (1, 2, 4)) -> list[WindowPoint]:
+    """Stapper's window method on one wafer map.
+
+    Dies are grouped into windows of k adjacent dies (by sorted
+    position); a window "yields" if all k dies are defect-free.  Under
+    pure Poisson, window yield is Y₁^k; clustering concentrates defects,
+    so observed window yields exceed the Poisson prediction — the gap
+    grows with k and identifies clustering from pass/fail data only.
+    """
+    if not window_sizes:
+        raise ParameterError("window_sizes must be non-empty")
+    counts = wafer_map.defect_counts
+    if counts.size == 0:
+        raise ParameterError("wafer map has no dies")
+    # Order dies by (y, x) so windows are spatially coherent.
+    order = np.lexsort((wafer_map.die_centers_cm[:, 0],
+                        wafer_map.die_centers_cm[:, 1]))
+    ordered = counts[order]
+    y1 = float(np.count_nonzero(ordered == 0)) / ordered.size
+    points = []
+    for k in window_sizes:
+        if k < 1:
+            raise ParameterError(f"window size must be >= 1, got {k}")
+        n_windows = ordered.size // k
+        if n_windows == 0:
+            continue
+        trimmed = ordered[:n_windows * k].reshape(n_windows, k)
+        window_good = np.all(trimmed == 0, axis=1)
+        observed = float(window_good.mean())
+        points.append(WindowPoint(window_dies=k, observed_yield=observed,
+                                  poisson_prediction=y1 ** k))
+    return points
+
+
+def pooled_window_method(maps: Sequence[WaferMap], *,
+                         window_sizes: tuple[int, ...] = (1, 2, 4, 8),
+                         ) -> list[WindowPoint]:
+    """Window method pooled over a lot.
+
+    Window-good counts are aggregated across wafers before the yield is
+    formed, and compared against ``(pooled Y₁)^k``.  Pooling is what
+    exposes *wafer-to-wafer* density variation (the gamma mixing behind
+    the negative-binomial model): good wafers contribute
+    disproportionately many good windows at large k, lifting the pooled
+    curve above the Poisson prediction even when each single wafer is
+    internally Poisson.
+    """
+    if not maps:
+        raise ParameterError("need at least one wafer map")
+    if not window_sizes:
+        raise ParameterError("window_sizes must be non-empty")
+    pooled_good = {k: 0 for k in window_sizes}
+    pooled_total = {k: 0 for k in window_sizes}
+    good_dies = 0
+    total_dies = 0
+    for wafer_map in maps:
+        counts = wafer_map.defect_counts
+        if counts.size == 0:
+            continue
+        order = np.lexsort((wafer_map.die_centers_cm[:, 0],
+                            wafer_map.die_centers_cm[:, 1]))
+        ordered = counts[order]
+        good_dies += int(np.count_nonzero(ordered == 0))
+        total_dies += int(ordered.size)
+        for k in window_sizes:
+            if k < 1:
+                raise ParameterError(f"window size must be >= 1, got {k}")
+            n_windows = ordered.size // k
+            if n_windows == 0:
+                continue
+            trimmed = ordered[:n_windows * k].reshape(n_windows, k)
+            pooled_good[k] += int(np.all(trimmed == 0, axis=1).sum())
+            pooled_total[k] += n_windows
+    if total_dies == 0:
+        raise ParameterError("no dies in any map")
+    y1 = good_dies / total_dies
+    points = []
+    for k in window_sizes:
+        if pooled_total[k] == 0:
+            continue
+        observed = pooled_good[k] / pooled_total[k]
+        points.append(WindowPoint(window_dies=k, observed_yield=observed,
+                                  poisson_prediction=y1 ** k))
+    return points
+
+
+def clustering_detected(maps: Sequence[WaferMap], *,
+                        window_sizes: tuple[int, ...] = (1, 2, 4, 8),
+                        threshold: float = 0.05) -> bool:
+    """Pooled window-method verdict: is there clustering beyond Poisson?
+
+    Compares the pooled clustering signal at the largest usable window
+    size against ``threshold`` (log-yield units).
+    """
+    require_positive("threshold", threshold)
+    points = pooled_window_method(maps, window_sizes=window_sizes)
+    if not points:
+        raise ParameterError("no usable windows in any map")
+    return points[-1].clustering_signal > threshold
+
+
+@dataclass(frozen=True)
+class FitReport:
+    """Bundle of estimates from one lot of wafer maps."""
+
+    density_mle_per_cm2: float
+    density_from_yield_per_cm2: float
+    clustering_alpha: float
+    n_dies: int
+    n_wafers: int
+
+    @property
+    def is_clustered(self) -> bool:
+        """Finite fitted α means overdispersion beyond Poisson."""
+        return math.isfinite(self.clustering_alpha)
+
+
+def fit_lot(maps: Sequence[WaferMap], die_area_cm2: float) -> FitReport:
+    """All estimators on one lot, bundled."""
+    counts = _pooled_counts(maps)
+    try:
+        from_yield = estimate_density_from_yield(maps, die_area_cm2)
+    except ParameterError:
+        from_yield = float("nan")
+    return FitReport(
+        density_mle_per_cm2=estimate_density_poisson(maps, die_area_cm2),
+        density_from_yield_per_cm2=from_yield,
+        clustering_alpha=estimate_clustering_alpha(maps),
+        n_dies=int(counts.size),
+        n_wafers=len(maps))

@@ -1,0 +1,241 @@
+"""Functional yield models.
+
+The paper's working model is the Poisson law (eq. 6)
+
+.. math:: Y = \\exp(-A_{ch} D_0)
+
+refined (eq. 7) by making the effective defect density feature-size
+aware, ``D_0 \\to D / \\lambda^p``, and expressing the chip area through
+eq. (5), giving
+
+.. math:: Y = \\exp\\Big[-\\frac{N_{tr}\\, d_d\\, D}{\\lambda^{p-2}}\\Big]
+
+with ``p`` experimentally in 4–5.  The classical alternatives (Murphy,
+Seeds, Bose–Einstein, negative binomial) are implemented as baselines:
+they all share the dimensionless *fault expectation* ``m = A·D_eff`` and
+differ only in how defect clustering maps ``m`` to yield, so they are
+expressed here as subclasses of a common :class:`YieldModel`.
+
+Units: areas in cm², defect densities in defects/cm², ``lam`` (λ) in
+microns.  The λ-scaling in :func:`scaled_poisson_yield` follows the
+paper in treating ``D/λ^p`` as a numeric recipe with λ in microns — D's
+units absorb the microns^p factor, exactly as in the paper's fitted
+constants (D = 1.72, p = 4.07 for the Fig.-8 fab).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+from ..units import require_fraction, require_nonnegative, require_positive
+
+
+class YieldModel(ABC):
+    """A map from fault expectation ``m = A·D`` to functional yield.
+
+    Subclasses implement :meth:`yield_from_expectation`; the convenience
+    entry points :meth:`yield_for_area` and :meth:`fault_expectation`
+    are shared.
+    """
+
+    @abstractmethod
+    def yield_from_expectation(self, m: float) -> float:
+        """Yield for a die with fault expectation ``m`` (dimensionless)."""
+
+    def yield_for_area(self, area_cm2: float, defect_density_per_cm2: float) -> float:
+        """Yield for a die of the given area under the given density."""
+        m = self.fault_expectation(area_cm2, defect_density_per_cm2)
+        return self.yield_from_expectation(m)
+
+    @staticmethod
+    def fault_expectation(area_cm2: float, defect_density_per_cm2: float) -> float:
+        """The dimensionless mean fault count ``m = A·D``."""
+        require_nonnegative("area_cm2", area_cm2)
+        require_nonnegative("defect_density_per_cm2", defect_density_per_cm2)
+        return area_cm2 * defect_density_per_cm2
+
+    def defect_density_for_yield(self, area_cm2: float, target_yield: float,
+                                 *, tol: float = 1e-12) -> float:
+        """Invert the model: the defect density giving ``target_yield``.
+
+        Solved by bisection on ``m`` (every model here is strictly
+        decreasing in ``m``), then divided by area.  Used to answer the
+        Fig.-4 question: what density does generation λ *require*?
+        """
+        require_positive("area_cm2", area_cm2)
+        require_fraction("target_yield", target_yield, inclusive_low=False)
+        if target_yield == 1.0:
+            return 0.0
+        lo, hi = 0.0, 1.0
+        while self.yield_from_expectation(hi) > target_yield:
+            hi *= 2.0
+            if hi > 1e9:
+                raise ParameterError(
+                    f"target_yield={target_yield} unreachable under {self!r}")
+        while hi - lo > tol * max(1.0, hi):
+            mid = 0.5 * (lo + hi)
+            if self.yield_from_expectation(mid) > target_yield:
+                lo = mid
+            else:
+                hi = mid
+        return 0.5 * (lo + hi) / area_cm2
+
+
+@dataclass(frozen=True)
+class PoissonYield(YieldModel):
+    """Eq. (6): ``Y = exp(−m)``.  Defects land independently, any defect kills."""
+
+    def yield_from_expectation(self, m: float) -> float:
+        """Poisson: ``exp(−m)``."""
+        require_nonnegative("m", m)
+        return math.exp(-m)
+
+
+@dataclass(frozen=True)
+class MurphyYield(YieldModel):
+    """Murphy's model: ``Y = ((1 − e^{−m}) / m)²``.
+
+    Derived by compounding Poisson statistics over a symmetric-triangular
+    distribution of die-to-die defect densities; the industry's most
+    common "less pessimistic than Poisson" baseline.
+    """
+
+    def yield_from_expectation(self, m: float) -> float:
+        """Murphy: ``((1 − e^{−m})/m)²``."""
+        require_nonnegative("m", m)
+        if m == 0.0:
+            return 1.0
+        # -expm1(-m) = 1 - exp(-m) computed without catastrophic
+        # cancellation for small m (plain exp underflows to (1-1)/m = 0).
+        return (-math.expm1(-m) / m) ** 2
+
+
+@dataclass(frozen=True)
+class SeedsYield(YieldModel):
+    """Seeds' model: ``Y = 1 / (1 + m)``.
+
+    Exponential distribution of densities; the most optimistic of the
+    classical compound-Poisson family at large ``m``.
+    """
+
+    def yield_from_expectation(self, m: float) -> float:
+        """Seeds: ``1/(1 + m)``."""
+        require_nonnegative("m", m)
+        return 1.0 / (1.0 + m)
+
+
+@dataclass(frozen=True)
+class BoseEinsteinYield(YieldModel):
+    """Bose–Einstein model: ``Y = 1 / (1 + m)^n`` for ``n`` critical layers.
+
+    Treats each of ``n`` process layers as an independent Seeds stage.
+    """
+
+    n_layers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_layers < 1:
+            raise ParameterError(f"n_layers must be >= 1, got {self.n_layers}")
+
+    def yield_from_expectation(self, m: float) -> float:
+        """Bose–Einstein: ``(1 + m/n)^{−n}``."""
+        require_nonnegative("m", m)
+        return (1.0 + m / self.n_layers) ** (-self.n_layers)
+
+
+@dataclass(frozen=True)
+class NegativeBinomialYield(YieldModel):
+    """Stapper's negative-binomial model: ``Y = (1 + m/α)^{−α}``.
+
+    ``alpha`` is the clustering parameter: α → ∞ recovers Poisson,
+    α = 1 recovers Seeds.  The de-facto industry standard for clustered
+    defects (typical fitted α between 0.3 and 5).
+    """
+
+    alpha: float = 2.0
+
+    def __post_init__(self) -> None:
+        require_positive("alpha", self.alpha)
+
+    def yield_from_expectation(self, m: float) -> float:
+        """Negative binomial: ``(1 + m/α)^{−α}``."""
+        require_nonnegative("m", m)
+        return (1.0 + m / self.alpha) ** (-self.alpha)
+
+
+@dataclass(frozen=True)
+class ReferenceAreaYield(YieldModel):
+    """Scenario #2's empirical law: ``Y = Y_0^{A / A_0}`` (eq. 9 denominator).
+
+    Mathematically a Poisson law with ``D = −ln(Y_0)/A_0``, but stated
+    the way fabs quote it ("70% for a 1 cm² die").  The fault
+    expectation convention is ``m = (A/A_0)·(−ln Y_0)`` so that the
+    shared :meth:`YieldModel.yield_for_area` contract still holds when
+    the caller supplies the implied density.
+    """
+
+    reference_yield: float = 0.7
+    reference_area_cm2: float = 1.0
+
+    def __post_init__(self) -> None:
+        require_fraction("reference_yield", self.reference_yield,
+                         inclusive_low=False)
+        require_positive("reference_area_cm2", self.reference_area_cm2)
+
+    @property
+    def implied_defect_density_per_cm2(self) -> float:
+        """The Poisson density equivalent to this (Y_0, A_0) pair."""
+        return -math.log(self.reference_yield) / self.reference_area_cm2
+
+    def yield_from_expectation(self, m: float) -> float:
+        """Poisson form on the implied-density convention."""
+        require_nonnegative("m", m)
+        return math.exp(-m)
+
+    def yield_for_die_area(self, area_cm2: float) -> float:
+        """Direct form ``Y_0^{A/A_0}`` without going through a density."""
+        require_nonnegative("area_cm2", area_cm2)
+        return self.reference_yield ** (area_cm2 / self.reference_area_cm2)
+
+
+def poisson_yield(area_cm2: float, defect_density_per_cm2: float) -> float:
+    """Eq. (6) as a plain function: ``Y = exp(−A·D₀)``."""
+    return PoissonYield().yield_for_area(area_cm2, defect_density_per_cm2)
+
+
+def scaled_poisson_yield(n_transistors: float, design_density: float,
+                         defect_coefficient: float, feature_size_um: float,
+                         p: float) -> float:
+    """Eq. (7): ``Y = exp[−N_tr·d_d·D / λ^{p−2}]``.
+
+    Parameters follow the paper: ``defect_coefficient`` is D (the
+    λ-independent defect characterization constant; the fitted fab of
+    Sec. IV.B has D = 1.72), ``p`` the defect size distribution exponent
+    (experimentally 4–5), ``feature_size_um`` λ in microns.
+
+    Units: eq. (7) substitutes ``A_ch = N_tr·d_d·λ²`` into eq. (6)'s
+    ``exp(−A_ch·D₀)`` with ``D₀ = D/λ^p``.  A_ch·D₀ is dimensionless
+    only if the area (µm² when λ is in µm) and the density are
+    consistent; we take D in defects/cm² *referenced at λ = 1 µm*
+    (i.e. ``D = D₀(λ)·λ^p`` with λ in microns), which makes the fitted
+    D = 1.72 correspond to the plausible physical density D₀ ≈ 1.7/cm²
+    at the 1 µm node and reproduces a Fig.-8 landscape with interior
+    optima.  Hence the 1e-8 µm²→cm² factor below.
+    """
+    require_positive("n_transistors", n_transistors)
+    require_positive("design_density", design_density)
+    require_nonnegative("defect_coefficient", defect_coefficient)
+    require_positive("feature_size_um", feature_size_um)
+    require_positive("p", p)
+    area_cm2 = n_transistors * design_density * feature_size_um ** 2 * 1.0e-8
+    d0_per_cm2 = defect_coefficient / feature_size_um ** p
+    exponent = area_cm2 * d0_per_cm2
+    # Guard against underflow-to-zero surprising callers that divide by Y:
+    # exp() underflows to 0.0 below ~-745; the caller-facing contract is a
+    # positive float, so clamp at the smallest positive normal instead.
+    if exponent > 700.0:
+        return 5e-324
+    return math.exp(-exponent)

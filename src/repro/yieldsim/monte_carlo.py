@@ -1,0 +1,184 @@
+"""Spot-defect Monte Carlo wafer-map simulator.
+
+Cross-validates the closed-form yield models: defects are thrown onto a
+wafer as a (possibly clustered) point process with radii drawn from the
+Fig.-5 size distribution; each die is killed if any defect lands on it
+with a radius exceeding the die's kill threshold.  With a homogeneous
+Poisson process the simulated yield must converge to eq. (6) with
+``D_eff = D · survival(kill_radius)``; with gamma-mixed density it must
+converge to the negative-binomial model — both convergences are asserted
+in ``tests/yieldsim/test_monte_carlo.py``.
+
+The simulator also produces per-die defect counts (a *wafer map*),
+which downstream consumers use for redundancy/repair studies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..geometry import Die, Wafer, best_grid_offset
+from ..units import require_nonnegative, require_positive
+from .defects import DefectSizeDistribution
+
+
+@dataclass(frozen=True)
+class WaferMap:
+    """Result of simulating one wafer.
+
+    ``die_centers_cm`` is an (N, 2) array of die center coordinates,
+    ``defect_counts`` the number of *killer* defects on each die, and
+    ``n_defects_total`` the number of physical defects thrown (killer or
+    not) for bookkeeping.
+    """
+
+    die_centers_cm: np.ndarray
+    defect_counts: np.ndarray
+    n_defects_total: int
+
+    @property
+    def n_dies(self) -> int:
+        """Number of complete dies on the wafer."""
+        return int(self.defect_counts.shape[0])
+
+    @property
+    def n_good(self) -> int:
+        """Number of dies with zero killer defects."""
+        return int(np.count_nonzero(self.defect_counts == 0))
+
+    @property
+    def yield_fraction(self) -> float:
+        """Good dies divided by total dies."""
+        if self.n_dies == 0:
+            return 0.0
+        return self.n_good / self.n_dies
+
+
+@dataclass
+class SpotDefectSimulator:
+    """Throw spot defects at wafers and grade the resulting dies.
+
+    Parameters
+    ----------
+    wafer, die:
+        Geometry; dies are placed on the phase-optimized grid from
+        :func:`repro.geometry.best_grid_offset`.
+    defect_density_per_cm2:
+        Mean physical defect density D over the wafer.
+    size_distribution:
+        Fig.-5 distribution for defect radii; ``None`` makes every
+        defect a killer regardless of size (pure eq.-6 regime).
+    kill_radius_um:
+        Minimum defect radius that causes a fault (a lumped stand-in
+        for the layout's critical-area onset; compare
+        :mod:`repro.yieldsim.critical_area`).  Ignored when
+        ``size_distribution`` is ``None``.
+    clustering_alpha:
+        ``None`` for a homogeneous Poisson defect count per wafer;
+        otherwise the wafer-to-wafer density is gamma-distributed with
+        shape ``alpha`` (mean preserved), which drives the per-die
+        statistics toward the negative-binomial yield model.
+    """
+
+    wafer: Wafer
+    die: Die
+    defect_density_per_cm2: float
+    size_distribution: DefectSizeDistribution | None = None
+    kill_radius_um: float = 0.0
+    clustering_alpha: float | None = None
+    _grid: tuple[float, float] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        require_nonnegative("defect_density_per_cm2", self.defect_density_per_cm2)
+        require_nonnegative("kill_radius_um", self.kill_radius_um)
+        if self.clustering_alpha is not None:
+            require_positive("clustering_alpha", self.clustering_alpha)
+        ox, oy, n = best_grid_offset(self.wafer, self.die)
+        if n <= 0:
+            raise ParameterError("die does not fit on the wafer")
+        self._grid = (ox, oy)
+
+    def _die_centers(self) -> np.ndarray:
+        ox, oy = self._grid
+        r = self.wafer.usable_radius_cm
+        px, py = self.die.pitch_x_cm, self.die.pitch_y_cm
+        w, h = self.die.width_cm, self.die.height_cm
+        centers = []
+        j_lo = math.floor((-r - oy) / py) - 1
+        j_hi = math.ceil((r - oy) / py) + 1
+        i_lo = math.floor((-r - ox) / px) - 1
+        i_hi = math.ceil((r - ox) / px) + 1
+        r2 = r * r
+        for j in range(j_lo, j_hi + 1):
+            y0 = oy + j * py
+            y1 = y0 + h
+            if max(y0 * y0, y1 * y1) > r2:
+                continue
+            half = math.sqrt(r2 - max(y0 * y0, y1 * y1))
+            for i in range(i_lo, i_hi + 1):
+                x0 = ox + i * px
+                x1 = x0 + w
+                if -half <= x0 and x1 <= half:
+                    centers.append((x0 + w / 2.0, y0 + h / 2.0))
+        return np.asarray(centers, dtype=float).reshape(-1, 2)
+
+    def simulate_wafer(self, rng: np.random.Generator) -> WaferMap:
+        """Simulate one wafer and return its map."""
+        centers = self._die_centers()
+        n_dies = centers.shape[0]
+        area = self.wafer.area_cm2
+        density = self.defect_density_per_cm2
+        if self.clustering_alpha is not None and density > 0:
+            density = density * rng.gamma(self.clustering_alpha,
+                                          1.0 / self.clustering_alpha)
+        n_defects = rng.poisson(density * area) if density > 0 else 0
+
+        counts = np.zeros(n_dies, dtype=int)
+        if n_defects > 0 and n_dies > 0:
+            # Rejection-sample uniform positions in the circle.
+            pos = np.empty((0, 2))
+            radius = self.wafer.radius_cm
+            while pos.shape[0] < n_defects:
+                cand = rng.uniform(-radius, radius, size=(2 * n_defects, 2))
+                cand = cand[np.einsum("ij,ij->i", cand, cand) <= radius * radius]
+                pos = np.vstack([pos, cand])
+            pos = pos[:n_defects]
+
+            if self.size_distribution is not None:
+                radii = self.size_distribution.sample(n_defects, rng)
+                killers = radii > self.kill_radius_um
+                pos = pos[killers]
+
+            if pos.shape[0] > 0:
+                half_w = self.die.width_cm / 2.0
+                half_h = self.die.height_cm / 2.0
+                dx = np.abs(pos[:, 0:1] - centers[:, 0][None, :])
+                dy = np.abs(pos[:, 1:2] - centers[:, 1][None, :])
+                hits = (dx <= half_w) & (dy <= half_h)
+                counts = hits.sum(axis=0).astype(int)
+        return WaferMap(die_centers_cm=centers, defect_counts=counts,
+                        n_defects_total=int(n_defects))
+
+    def simulate_lot(self, n_wafers: int, rng: np.random.Generator) -> list[WaferMap]:
+        """Simulate ``n_wafers`` independent wafers."""
+        if n_wafers < 0:
+            raise ParameterError(f"n_wafers must be >= 0, got {n_wafers}")
+        return [self.simulate_wafer(rng) for _ in range(n_wafers)]
+
+    def estimate_yield(self, n_wafers: int, rng: np.random.Generator) -> float:
+        """Pooled yield estimate over a simulated lot."""
+        maps = self.simulate_lot(n_wafers, rng)
+        good = sum(m.n_good for m in maps)
+        total = sum(m.n_dies for m in maps)
+        return good / total if total else 0.0
+
+    def expected_killer_density(self) -> float:
+        """Effective killer-defect density D_eff = D · P(R > kill radius)."""
+        if self.size_distribution is None:
+            return self.defect_density_per_cm2
+        surv = float(self.size_distribution.survival(self.kill_radius_um))
+        return self.defect_density_per_cm2 * surv

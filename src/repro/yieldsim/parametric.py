@@ -1,0 +1,138 @@
+"""Parametric yield and the composite ``Y = Y_fnc · Y_par`` factorization.
+
+The paper (Sec. III.C) splits yield loss into functional failures from
+spot defects and *parametric* failures from global process disturbances
+— dies that work logically but miss a spec (delay, power) because a
+process parameter drifted.  The paper then sets Y_par aside ("we assume
+that parametric yield loss is not of primary importance"); we implement
+it anyway so the factorization is a real, testable object and so the
+sensitivity/ablation benches can quantify what ignoring it costs.
+
+Model: each monitored performance ``g_i`` is a linearized function of a
+Gaussian process parameter vector; a die passes if every ``g_i`` lies
+within its spec window.  With independent linearized responses the pass
+probability is a product of Gaussian interval probabilities — the
+classical worst-case-distance / design-centering setup in its simplest
+orthogonal form.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..errors import ParameterError
+from ..units import require_fraction, require_positive
+
+
+def _phi(z: float) -> float:
+    """Standard normal CDF."""
+    return 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))
+
+
+@dataclass(frozen=True)
+class PerformanceSpec:
+    """One monitored performance with a Gaussian process response.
+
+    The performance is ``g = nominal + sigma·Z`` with Z standard normal
+    (the linearized lumping of all global disturbances affecting it);
+    the die passes this spec when ``lower <= g <= upper``.  Use
+    ``-inf`` / ``+inf`` for one-sided specs.
+    """
+
+    name: str
+    nominal: float
+    sigma: float
+    lower: float = -math.inf
+    upper: float = math.inf
+
+    def __post_init__(self) -> None:
+        require_positive("sigma", self.sigma)
+        if not self.lower < self.upper:
+            raise ParameterError(
+                f"spec {self.name!r}: lower bound {self.lower} must be below "
+                f"upper bound {self.upper}")
+
+    @property
+    def pass_probability(self) -> float:
+        """P(lower <= g <= upper) under the Gaussian response."""
+        z_hi = (self.upper - self.nominal) / self.sigma
+        z_lo = (self.lower - self.nominal) / self.sigma
+        return max(_phi(z_hi) - _phi(z_lo), 0.0)
+
+    def centered(self) -> "PerformanceSpec":
+        """The same spec with the nominal moved to the window center.
+
+        For two-sided finite windows this is the optimal design-centering
+        move under this model; one-sided specs are returned unchanged.
+        """
+        if math.isinf(self.lower) or math.isinf(self.upper):
+            return self
+        mid = 0.5 * (self.lower + self.upper)
+        return PerformanceSpec(name=self.name, nominal=mid, sigma=self.sigma,
+                               lower=self.lower, upper=self.upper)
+
+
+@dataclass(frozen=True)
+class ParametricYield:
+    """Parametric yield as a product of independent spec pass rates."""
+
+    specs: tuple[PerformanceSpec, ...] = field(default_factory=tuple)
+
+    @classmethod
+    def from_specs(cls, specs: Sequence[PerformanceSpec]) -> "ParametricYield":
+        """Build from any sequence of specs."""
+        return cls(specs=tuple(specs))
+
+    @property
+    def value(self) -> float:
+        """The parametric yield Y_par (1.0 when no specs are monitored)."""
+        y = 1.0
+        for spec in self.specs:
+            y *= spec.pass_probability
+        return y
+
+    def dominant_loss(self) -> PerformanceSpec | None:
+        """The spec with the lowest pass probability, or None if empty."""
+        if not self.specs:
+            return None
+        return min(self.specs, key=lambda s: s.pass_probability)
+
+    def centered(self) -> "ParametricYield":
+        """All two-sided specs re-centered (idealized design centering)."""
+        return ParametricYield(specs=tuple(s.centered() for s in self.specs))
+
+
+@dataclass(frozen=True)
+class CompositeYield:
+    """The paper's factorization ``Y = Y_fnc · Y_par``.
+
+    ``functional`` is any already-evaluated functional yield value (from
+    the models in :mod:`repro.yieldsim.models` or the Monte Carlo
+    simulator); ``parametric`` is a :class:`ParametricYield`.
+    """
+
+    functional: float
+    parametric: ParametricYield = field(default_factory=ParametricYield)
+
+    def __post_init__(self) -> None:
+        require_fraction("functional", self.functional)
+
+    @property
+    def value(self) -> float:
+        """Total yield."""
+        return self.functional * self.parametric.value
+
+    @property
+    def parametric_share_of_loss(self) -> float:
+        """Fraction of total yield *loss* attributable to parametrics.
+
+        Defined as ``(Y_fnc − Y) / (1 − Y)``; zero when parametric yield
+        is 1 (the paper's working assumption), zero-by-convention when
+        there is no loss at all.
+        """
+        total = self.value
+        if total >= 1.0:
+            return 0.0
+        return (self.functional - total) / (1.0 - total)

@@ -1,0 +1,136 @@
+"""Figure data generators: every series the paper plots."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    fig1_feature_size,
+    fig2_fab_cost,
+    fig3_die_size,
+    fig4_steps_and_defects,
+    fig5_defect_distribution,
+    fig6_scenario1,
+    fig7_scenario2,
+    fig8_contours,
+)
+from repro.analysis.figures import FigureData
+from repro.errors import ParameterError
+
+ALL_SIMPLE_FIGURES = [
+    fig1_feature_size, fig2_fab_cost, fig3_die_size,
+    fig4_steps_and_defects, fig5_defect_distribution,
+    fig6_scenario1, fig7_scenario2,
+]
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("fig_fn", ALL_SIMPLE_FIGURES,
+                             ids=lambda f: f.__name__)
+    def test_series_aligned_with_x(self, fig_fn):
+        data = fig_fn()
+        assert isinstance(data, FigureData)
+        for name, ys in data.series.items():
+            assert ys.shape == data.x.shape, name
+            assert np.all(np.isfinite(ys)), name
+
+    def test_figuredata_validates_shapes(self):
+        with pytest.raises(ParameterError):
+            FigureData(name="bad", x=np.arange(3),
+                       series={"s": np.arange(4).astype(float)},
+                       x_label="x", y_label="y")
+        with pytest.raises(ParameterError):
+            FigureData(name="bad", x=np.arange(3), series={},
+                       x_label="x", y_label="y")
+
+
+class TestFig1:
+    def test_feature_size_shrinks_over_time(self):
+        data = fig1_feature_size()
+        lam = data.series["feature size"]
+        assert np.all(np.diff(lam) < 0)
+
+    def test_1989_anchor(self):
+        data = fig1_feature_size(year_lo=1989.0, year_hi=1989.0 + 1e-9,
+                                 n_points=2)
+        assert data.series["feature size"][0] == pytest.approx(1.0)
+
+
+class TestFig2:
+    def test_both_series_grow(self):
+        data = fig2_fab_cost()
+        assert np.all(np.diff(data.series["fab cost [$M]"]) > 0)
+        assert np.all(np.diff(data.series["wafer cost [$]"]) >= 0)
+
+    def test_notes_quote_extractions(self):
+        data = fig2_fab_cost()
+        assert "1.2-1.4" in data.notes
+
+
+class TestFig3:
+    def test_die_area_grows_with_shrink(self):
+        data = fig3_die_size()
+        # x is lambda ascending, so area must be descending.
+        assert np.all(np.diff(data.series["die area"]) < 0)
+
+
+class TestFig4:
+    def test_steps_up_density_down(self):
+        data = fig4_steps_and_defects()
+        lam = data.x  # descending generations list filtered <= 1.0
+        steps = data.series["process steps"]
+        dens = data.series["required defect density [1/cm^2]"]
+        order = np.argsort(lam)
+        assert np.all(np.diff(steps[order]) < 0)   # more steps at smaller lam
+        assert np.all(np.diff(dens[order]) > 0)    # cleaner fab at smaller lam
+
+
+class TestFig5:
+    def test_pdf_peaks_at_r0(self):
+        data = fig5_defect_distribution(r0_um=0.2)
+        pdf = data.series["pdf f(R)"]
+        peak_r = data.x[int(np.argmax(pdf))]
+        assert peak_r == pytest.approx(0.2, abs=0.05)
+
+    def test_survival_monotone(self):
+        data = fig5_defect_distribution()
+        surv = data.series["P(R > r) (critical fraction)"]
+        assert np.all(np.diff(surv) <= 1e-12)
+
+
+class TestFig6:
+    def test_three_x_curves_all_decreasing_in_lambda(self):
+        data = fig6_scenario1()
+        assert set(data.series) == {"X=1.1", "X=1.2", "X=1.3"}
+        for ys in data.series.values():
+            assert np.all(np.diff(ys) > 0)  # increasing in lambda = shrink pays
+
+    def test_x_ordering_at_fine_node(self):
+        data = fig6_scenario1()
+        assert data.series["X=1.3"][0] > data.series["X=1.1"][0]
+
+
+class TestFig7:
+    def test_cost_rises_as_lambda_shrinks(self):
+        """The paper's central exhibit."""
+        data = fig7_scenario2()
+        for ys in data.series.values():
+            assert ys[0] > ys[-1]  # cost at 0.25 um above cost at 1.0 um
+
+    def test_scenario2_above_scenario1(self):
+        f6 = fig6_scenario1()
+        f7 = fig7_scenario2()
+        assert f7.series["X=1.8"].min() > f6.series["X=1.3"].max()
+
+
+class TestFig8:
+    def test_landscape_and_optima(self):
+        data, landscape = fig8_contours(n_lam=16, n_counts=16)
+        assert len(data.x) > 5
+        lam_opt = data.series["lambda_opt [um]"]
+        assert np.all((0.3 <= lam_opt) & (lam_opt <= 2.0))
+        assert landscape.grid().shape == (16, 16)
+
+    def test_optimal_lambda_grows_with_count(self):
+        data, _ = fig8_contours(n_lam=16, n_counts=16)
+        lam_opt = data.series["lambda_opt [um]"]
+        assert lam_opt[-1] >= lam_opt[0]

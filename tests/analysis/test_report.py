@@ -1,0 +1,101 @@
+"""ASCII rendering: structural checks only (presentation code)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ascii_chart, ascii_table, render_contour_grid
+from repro.errors import ParameterError
+
+
+class TestChart:
+    def test_renders_all_series_markers(self):
+        x = np.linspace(0, 1, 20)
+        out = ascii_chart(x, {"a": x, "b": x ** 2})
+        assert "*" in out and "o" in out
+        assert "*=a" in out and "o=b" in out
+
+    def test_dimensions(self):
+        x = np.linspace(0, 1, 10)
+        out = ascii_chart(x, {"s": x}, width=40, height=10)
+        lines = out.splitlines()
+        # height rows + axis + x labels + legend (+ optional labels line)
+        assert len(lines) >= 12
+        assert max(len(l) for l in lines) <= 40 + 14
+
+    def test_log_scale_rejects_nonpositive(self):
+        x = np.linspace(0, 1, 5)
+        with pytest.raises(ParameterError):
+            ascii_chart(x, {"s": np.array([1.0, 2.0, 0.0, 3.0, 4.0])},
+                        log_y=True)
+
+    def test_log_scale_renders(self):
+        x = np.linspace(0, 1, 5)
+        out = ascii_chart(x, {"s": np.geomspace(1, 1e6, 5)}, log_y=True,
+                          x_label="t", y_label="cost")
+        assert "[log scale]" in out
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ParameterError):
+            ascii_chart([0, 1, 2], {"s": [1.0, 2.0]})
+
+    def test_needs_points_and_series(self):
+        with pytest.raises(ParameterError):
+            ascii_chart([0], {"s": [1.0]})
+        with pytest.raises(ParameterError):
+            ascii_chart([0, 1], {})
+
+    def test_constant_series_does_not_crash(self):
+        out = ascii_chart([0, 1, 2], {"flat": [5.0, 5.0, 5.0]})
+        assert "flat" in out
+
+
+class TestTable:
+    def test_alignment_and_content(self):
+        out = ascii_table(("name", "value"),
+                          [("alpha", 1.5), ("beta-long-name", 22.125)])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert all(len(l) == len(lines[0]) for l in lines[1:2])
+        assert "alpha" in out and "22.12" in out
+
+    def test_float_formatting(self):
+        out = ascii_table(("v",), [(1.23456789,)], float_format="{:.2f}")
+        assert "1.23" in out
+
+    def test_row_length_mismatch_rejected(self):
+        with pytest.raises(ParameterError):
+            ascii_table(("a", "b"), [(1,)])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ParameterError):
+            ascii_table((), [])
+
+    def test_non_float_cells_stringified(self):
+        out = ascii_table(("a",), [("text",), (7,)])
+        assert "text" in out and "7" in out
+
+
+class TestContourGrid:
+    def test_marks_levels_and_infeasible(self):
+        g = np.array([[1.0, 2.0], [4.0, np.inf]])
+        out = render_contour_grid(g, [1.0, 4.0])
+        assert "0" in out  # level-0 marker
+        assert "1" in out  # level-1 marker
+        assert "." in out  # infeasible cell
+        assert "levels:" in out
+
+    def test_y_axis_top_is_last_row(self):
+        g = np.array([[1.0], [100.0]])
+        out = render_contour_grid(g, [100.0], y_values=[0.0, 1.0])
+        first_data_line = out.splitlines()[0]
+        assert "0" in first_data_line  # the 100.0 cell (row 1) renders on top
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            render_contour_grid(np.zeros(3), [1.0])
+        with pytest.raises(ParameterError):
+            render_contour_grid(np.ones((2, 2)), [])
+        with pytest.raises(ParameterError):
+            render_contour_grid(np.ones((2, 2)), [1.0] * 11)
+        with pytest.raises(ParameterError):
+            render_contour_grid(np.ones((2, 2)), [-1.0])

@@ -1,0 +1,46 @@
+"""The one-shot reproduction report generator."""
+
+import io
+
+import pytest
+
+from repro.analysis.reproduce import main, write_report
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    buffer = io.StringIO()
+    write_report(buffer)
+    return buffer.getvalue()
+
+
+class TestReportContent:
+    def test_headline_checks_present(self, report_text):
+        assert "Headline checks" in report_text
+        assert "Table 3 mean |log error|" in report_text
+        assert "Product-mix penalty" in report_text
+
+    def test_every_figure_section_present(self, report_text):
+        for fig in ("Fig. 1", "Fig. 2", "Fig. 3", "Fig. 4",
+                    "Fig. 5", "Fig. 6", "Fig. 7", "Fig. 8"):
+            assert f"## {fig}" in report_text
+
+    def test_every_table_section_present(self, report_text):
+        for table in ("Table 1", "Table 2", "Table 3"):
+            assert f"## {table}" in report_text
+
+    def test_report_is_substantial(self, report_text):
+        assert len(report_text.splitlines()) > 300
+
+
+class TestMain:
+    def test_writes_to_file(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        assert main([str(target)]) == 0
+        assert target.exists()
+        assert "Headline checks" in target.read_text()
+        assert "report written" in capsys.readouterr().out
+
+    def test_writes_to_stdout(self, capsys):
+        assert main([]) == 0
+        assert "Headline checks" in capsys.readouterr().out

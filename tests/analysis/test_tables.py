@@ -1,0 +1,71 @@
+"""Table data generators."""
+
+import math
+
+import pytest
+
+from repro.analysis import table1, table2, table3
+from repro.analysis.tables import TableData
+from repro.errors import ParameterError
+
+
+class TestTableData:
+    def test_column_extraction(self):
+        t = TableData(name="t", headers=("a", "b"),
+                      rows=((1, 2), (3, 4)))
+        assert t.column("b") == [2, 4]
+
+    def test_unknown_column_rejected(self):
+        t = TableData(name="t", headers=("a",), rows=((1,),))
+        with pytest.raises(ParameterError):
+            t.column("z")
+
+    def test_row_shape_validated(self):
+        with pytest.raises(ParameterError):
+            TableData(name="t", headers=("a", "b"), rows=((1,),))
+
+
+class TestTable1:
+    def test_six_rows(self):
+        assert len(table1().rows) == 6
+
+    def test_recomputed_column_matches_published(self):
+        t = table1()
+        for pub, rec in zip(t.column("d_d published"),
+                            t.column("d_d recomputed")):
+            assert rec == pytest.approx(pub, rel=0.01)
+
+
+class TestTable2:
+    def test_seventeen_rows(self):
+        assert len(table2().rows) == 17
+
+    def test_density_column_span(self):
+        dds = table2().column("d_d [lambda^2/tr]")
+        assert min(dds) == pytest.approx(17.80)
+        assert max(dds) == pytest.approx(2631.04)
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def t3(self):
+        return table3()
+
+    def test_seventeen_rows_with_model_and_paper_columns(self, t3):
+        assert len(t3.rows) == 17
+        assert "C_tr model [$1e-6]" in t3.headers
+        assert "C_tr paper [$1e-6]" in t3.headers
+
+    def test_model_values_positive(self, t3):
+        assert all(v > 0 for v in t3.column("C_tr model [$1e-6]"))
+
+    def test_ratios_reasonable_for_non_reconstructed(self, t3):
+        names = t3.column("IC type")
+        ratios = t3.column("model/paper")
+        for name, ratio in zip(names, ratios):
+            if "reconstructed" in name or math.isnan(ratio):
+                continue
+            assert 0.5 < ratio < 2.0, name
+
+    def test_notes_report_agreement(self, t3):
+        assert "log error" in t3.notes

@@ -1,0 +1,63 @@
+"""ASCII wafer-map rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_lot_summary, render_wafer_map
+from repro.errors import ParameterError
+from repro.geometry import Die, Wafer
+from repro.yieldsim import SpotDefectSimulator
+from repro.yieldsim.monte_carlo import WaferMap
+
+
+@pytest.fixture(scope="module")
+def lot():
+    sim = SpotDefectSimulator(Wafer(radius_cm=7.5), Die.square(1.0),
+                              defect_density_per_cm2=0.8)
+    return sim.simulate_lot(4, np.random.default_rng(9))
+
+
+class TestWaferMapRendering:
+    def test_marks_good_and_bad(self, lot):
+        out = render_wafer_map(lot[0])
+        assert "." in out
+        assert "X" in out
+        assert "good" in out.splitlines()[-1]
+
+    def test_counts_mode(self, lot):
+        out = render_wafer_map(lot[0], show_counts=True)
+        assert "X" not in out.splitlines()[0]
+        # Some die should carry a digit with this density.
+        assert any(ch.isdigit() for ch in out.split("\n")[0] + out)
+
+    def test_circular_silhouette(self, lot):
+        """Edge rows must be narrower than center rows."""
+        lines = [l for l in render_wafer_map(lot[0]).splitlines()[:-1]
+                 if l.strip()]
+        widths = [len(l.strip()) for l in lines]
+        assert widths[0] < max(widths)
+        assert widths[-1] < max(widths)
+
+    def test_summary_counts_match_map_object(self, lot):
+        wmap = lot[0]
+        summary = render_wafer_map(wmap).splitlines()[-1]
+        assert f"{wmap.n_good}/{wmap.n_dies}" in summary
+
+    def test_empty_map_rejected(self):
+        empty = WaferMap(die_centers_cm=np.empty((0, 2)),
+                         defect_counts=np.empty(0, dtype=int),
+                         n_defects_total=0)
+        with pytest.raises(ParameterError):
+            render_wafer_map(empty)
+
+
+class TestLotSummary:
+    def test_one_line_per_wafer_plus_total(self, lot):
+        out = render_lot_summary(lot)
+        lines = out.splitlines()
+        assert len(lines) == len(lot) + 1
+        assert lines[-1].startswith("lot:")
+
+    def test_empty_lot_rejected(self):
+        with pytest.raises(ParameterError):
+            render_lot_summary([])

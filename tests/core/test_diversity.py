@@ -1,0 +1,108 @@
+"""The Table-3 cost diversity engine."""
+
+import math
+
+import pytest
+
+from repro.core import GenerationModel, evaluate_catalog, evaluate_product
+from repro.core.diversity import (
+    agreement_statistics,
+    cheapest_and_dearest,
+)
+from repro.errors import ParameterError
+from repro.technology import PRODUCT_CATALOG, ProductClass
+
+
+@pytest.fixture(scope="module")
+def results():
+    return evaluate_catalog()
+
+
+class TestAgreement:
+    def test_mean_log_error_within_band(self, results):
+        """DESIGN.md's validation target: mean |log error| < 0.30 over
+        the non-reconstructed rows with the default generation law."""
+        stats = agreement_statistics(results)
+        assert stats["mean_abs_log_error"] < 0.30
+
+    def test_every_compared_row_within_2x(self, results):
+        for r in results:
+            if r.spec.reconstructed or r.ratio is None:
+                continue
+            assert 0.5 < r.ratio < 2.0, r.spec.name
+
+    def test_modeled_spread_matches_published_scale(self, results):
+        """The diversity headline: ~250x spread across products."""
+        stats = agreement_statistics(results)
+        assert stats["modeled_spread"] > 100.0
+        assert stats["modeled_spread"] == pytest.approx(
+            stats["published_spread"], rel=0.5)
+
+    def test_default_law_beats_printed_exponent(self):
+        """Deviation-1 calibration: the shrink-log law fits Table 3 far
+        better than the literal printed exponent."""
+        default = agreement_statistics(evaluate_catalog())
+        printed = agreement_statistics(
+            evaluate_catalog(generation_model=GenerationModel.PRINTED))
+        assert default["mean_abs_log_error"] < printed["mean_abs_log_error"]
+        assert printed["mean_abs_log_error"] > 0.5
+
+    def test_stats_require_compared_rows(self):
+        with pytest.raises(ParameterError):
+            agreement_statistics([])
+
+
+class TestStructure:
+    def test_one_result_per_catalog_row(self, results):
+        assert len(results) == len(PRODUCT_CATALOG)
+
+    def test_repeat_rows_get_identical_costs(self, results):
+        assert results[1].ctr_microdollars == pytest.approx(
+            results[5].ctr_microdollars)
+
+    def test_memories_cheapest(self, results):
+        """Sec. IV.C conclusion 1: memory C_tr is much lower."""
+        memory = [r.ctr_microdollars for r in results
+                  if r.spec.product_class.has_redundancy]
+        non_memory = [r.ctr_microdollars for r in results
+                      if not r.spec.product_class.has_redundancy]
+        assert max(memory) < min(non_memory)
+
+    def test_pld_dearest(self, results):
+        cheapest, dearest = cheapest_and_dearest(results)
+        assert dearest.spec.product_class is ProductClass.PLD
+        assert cheapest.spec.product_class.has_redundancy
+
+    def test_rows_4_7_10_17_comparison(self, results):
+        """The paper: 'possible gains are larger than one could
+        anticipate (Compare for instance rows 4, 7, 10 and 17)' — the
+        spread across those rows alone is an order of magnitude+."""
+        picked = [results[3], results[6], results[9], results[16]]
+        vals = [r.ctr_microdollars for r in picked]
+        assert max(vals) / min(vals) > 10.0
+
+    def test_cheapest_and_dearest_requires_rows(self):
+        with pytest.raises(ParameterError):
+            cheapest_and_dearest([])
+
+
+class TestSingleEvaluation:
+    def test_log_error_and_ratio_consistent(self, results):
+        r = results[0]
+        assert r.log_error == pytest.approx(math.log(r.ratio))
+
+    def test_bigger_wafer_cheaper_at_same_yield(self):
+        """Row 13 vs 14 isolates wafer size and yield: on the same spec,
+        growing the wafer alone must cut C_tr."""
+        row13 = PRODUCT_CATALOG[12]
+        from dataclasses import replace
+        bigger = replace(row13, wafer_radius_cm=10.0,
+                         published_ctr_microdollars=None)
+        c_small = evaluate_product(row13).ctr_microdollars
+        c_big = evaluate_product(bigger).ctr_microdollars
+        assert c_big < c_small
+
+    def test_x_sensitivity_rows_1_2_3(self, results):
+        """Rows 1-3 sweep (Y0, X) on the same design: cost must rise."""
+        c1, c2, c3 = (results[i].ctr_microdollars for i in range(3))
+        assert c1 < c2 < c3

@@ -1,0 +1,140 @@
+"""The Fig.-8 cost landscape and feature-size optimization."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import CostLandscape, FIG8_FAB, optimal_feature_size, \
+    optimal_feature_size_for_die_area
+from repro.core.optimization import FabCharacterization, transistor_cost_full
+from repro.errors import ParameterError
+
+
+class TestFullCostFunction:
+    def test_positive_for_feasible_point(self):
+        c = transistor_cost_full(1e6, 0.8)
+        assert 0.0 < c < math.inf
+
+    def test_infeasible_die_is_inf(self):
+        # Enormous die at coarse lambda cannot fit the wafer.
+        assert transistor_cost_full(5e8, 1.5) == math.inf
+
+    def test_yield_underflow_is_inf(self):
+        # Tiny lambda with a huge count: yield underflows, flagged inf.
+        assert transistor_cost_full(5e8, 0.3) == math.inf
+
+    def test_fig8_fab_constants(self):
+        assert FIG8_FAB.cost_growth_rate == 1.4
+        assert FIG8_FAB.design_density == 152.0
+        assert FIG8_FAB.defect_coefficient == 1.72
+        assert FIG8_FAB.size_exponent_p == 4.07
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            transistor_cost_full(-1.0, 0.8)
+        with pytest.raises(ParameterError):
+            FabCharacterization(cost_growth_rate=-1.0)
+
+
+class TestLandscape:
+    @pytest.fixture(scope="class")
+    def landscape(self):
+        return CostLandscape(
+            feature_sizes_um=np.linspace(0.3, 2.0, 24),
+            transistor_counts=np.geomspace(1e5, 1e7, 24))
+
+    def test_grid_shape_and_caching(self, landscape):
+        g1 = landscape.grid()
+        g2 = landscape.grid()
+        assert g1 is g2  # cached
+        assert g1.shape == (24, 24)
+
+    def test_grid_has_feasible_and_mixed_cells(self, landscape):
+        g = landscape.grid()
+        assert np.isfinite(g).any()
+        assert np.all(g[np.isfinite(g)] > 0)
+
+    def test_optimal_lambda_rises_with_transistor_count(self, landscape):
+        """The paper: 'for each die size there is different lambda_opt'.
+        Bigger designs favor coarser (higher-yield) feature sizes."""
+        optima = landscape.optimal_lambda_per_count()
+        assert len(optima) > 10
+        lam_small = optima[0][1]
+        lam_big = optima[-1][1]
+        assert lam_big > lam_small
+
+    def test_local_minima_exist(self, landscape):
+        """Fig. 8 shows 'a number of local optima'."""
+        assert len(landscape.local_minima()) >= 1
+
+    def test_contour_levels_start_at_valley_floor(self, landscape):
+        levels = landscape.contour_levels(6)
+        g = landscape.grid()
+        finite = g[np.isfinite(g)]
+        assert levels[0] == pytest.approx(finite.min())
+        # Capped a few decades above the floor, not at the absurd max.
+        assert levels[-1] <= finite.min() * 1.0e3 * (1 + 1e-9)
+        assert len(levels) == 6
+
+    def test_contour_mask_selects_near_level(self, landscape):
+        level = landscape.contour_levels(6)[2]
+        mask = landscape.contour_mask(level, tolerance=0.1)
+        g = landscape.grid()
+        assert mask.any()
+        sel = g[mask]
+        assert np.all(np.abs(sel - level) / level <= 0.1 + 1e-12)
+
+    def test_contour_mask_validation(self, landscape):
+        with pytest.raises(ParameterError):
+            landscape.contour_mask(-1.0)
+
+
+class TestOptimalFeatureSize:
+    def test_optimum_is_interior_for_midsize_design(self):
+        lam = optimal_feature_size(3e5, lam_lo_um=0.25, lam_hi_um=2.0)
+        assert 0.25 < lam < 2.0
+
+    def test_optimum_not_smallest_lambda(self):
+        """The paper's punchline: 'the optimum solution may not call for
+        the smallest possible (and expensive) feature size'."""
+        lam = optimal_feature_size(1e6, lam_lo_um=0.25, lam_hi_um=2.0)
+        assert lam > 0.4
+
+    def test_optimum_beats_neighbors(self):
+        n_tr = 5e5
+        lam = optimal_feature_size(n_tr, lam_lo_um=0.25, lam_hi_um=2.0)
+        c_opt = transistor_cost_full(n_tr, lam)
+        assert c_opt <= transistor_cost_full(n_tr, lam * 1.07)
+        assert c_opt <= transistor_cost_full(n_tr, lam * 0.93)
+
+    def test_bigger_design_coarser_optimum(self):
+        lam_small = optimal_feature_size(1e5, lam_lo_um=0.25, lam_hi_um=2.5)
+        lam_big = optimal_feature_size(2e6, lam_lo_um=0.25, lam_hi_um=2.5)
+        assert lam_big > lam_small
+
+    def test_range_validation(self):
+        with pytest.raises(ParameterError):
+            optimal_feature_size(1e6, lam_lo_um=1.0, lam_hi_um=0.5)
+
+
+class TestOptimalForDieArea:
+    def test_returns_feasible_point(self):
+        lam, cost = optimal_feature_size_for_die_area(0.5)
+        assert 0.25 <= lam <= 1.5
+        assert 0.0 < cost < math.inf
+
+    def test_larger_die_higher_min_cost(self):
+        _, c_small = optimal_feature_size_for_die_area(0.3)
+        _, c_large = optimal_feature_size_for_die_area(2.0)
+        assert c_large > c_small
+
+    def test_different_die_sizes_different_optima(self):
+        """'For each die size there is different lambda_opt'."""
+        lams = {optimal_feature_size_for_die_area(a)[0]
+                for a in (0.2, 0.8, 2.5)}
+        assert len(lams) >= 2
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            optimal_feature_size_for_die_area(-1.0)

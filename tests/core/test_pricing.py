@@ -1,0 +1,97 @@
+"""Learning-curve prices and margins."""
+
+import math
+
+import pytest
+
+from repro.core import LearningCurvePrice, MarginModel
+from repro.core.pricing import margin_squeeze_year
+from repro.errors import ParameterError
+
+
+class TestLearningCurvePrice:
+    def test_first_unit(self):
+        p = LearningCurvePrice(100.0, 0.7)
+        assert p.price(1.0) == pytest.approx(100.0)
+
+    def test_each_doubling_multiplies_by_learning_rate(self):
+        p = LearningCurvePrice(100.0, 0.7)
+        assert p.price(2.0) == pytest.approx(70.0)
+        assert p.price(4.0) == pytest.approx(49.0)
+        assert p.price(1024.0) == pytest.approx(100.0 * 0.7 ** 10)
+
+    def test_volume_for_price_roundtrip(self):
+        p = LearningCurvePrice(100.0, 0.72)
+        q = p.volume_for_price(10.0)
+        assert p.price(q) == pytest.approx(10.0)
+
+    def test_doublings_to_price(self):
+        p = LearningCurvePrice(100.0, 0.5)  # halves every doubling
+        assert p.doublings_to_price(12.5) == pytest.approx(3.0)
+
+    def test_price_monotone_decreasing(self):
+        p = LearningCurvePrice(100.0, 0.8)
+        prices = [p.price(q) for q in (1, 10, 100, 1000)]
+        assert prices == sorted(prices, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            LearningCurvePrice(100.0, 1.0)
+        with pytest.raises(ParameterError):
+            LearningCurvePrice(100.0, 0.7).price(0.5)
+        with pytest.raises(ParameterError):
+            LearningCurvePrice(100.0, 0.7).volume_for_price(200.0)
+
+
+class TestMarginModel:
+    def test_gross_margin(self):
+        m = MarginModel(unit_price_dollars=10.0, unit_cost_dollars=6.0)
+        assert m.gross_margin == pytest.approx(0.4)
+        assert m.markup == pytest.approx(10.0 / 6.0)
+
+    def test_under_water(self):
+        m = MarginModel(unit_price_dollars=5.0, unit_cost_dollars=6.0)
+        assert m.gross_margin < 0.0
+
+    def test_price_for_margin_roundtrip(self):
+        m = MarginModel(unit_price_dollars=10.0, unit_cost_dollars=6.0)
+        price = m.price_for_margin(0.5)
+        assert MarginModel(price, 6.0).gross_margin == pytest.approx(0.5)
+
+    def test_cost_ceiling(self):
+        m = MarginModel(unit_price_dollars=10.0, unit_cost_dollars=6.0)
+        assert m.cost_ceiling_for_margin(0.4) == pytest.approx(6.0)
+        assert m.cost_ceiling_for_margin(0.6) == pytest.approx(4.0)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            MarginModel(0.0, 1.0)
+        with pytest.raises(ParameterError):
+            MarginModel(10.0, 6.0).price_for_margin(1.0)
+
+
+class TestMarginSqueeze:
+    def test_squeeze_year_detected(self):
+        """Cost flat, price on a learning curve falling 10%/year: the
+        margin floor is crossed at a predictable year."""
+        def cost(year):
+            return 5.0
+
+        def price(year):
+            return 20.0 * 0.9 ** (year - 1985.0)
+
+        year = margin_squeeze_year(cost, price, floor_margin=0.2)
+        assert year is not None
+        # price(y)*0.8 < 5  =>  0.9^(y-1985) < 0.3125  =>  y ~ 1996
+        expected = 1985.0 + math.ceil(math.log(5.0 / (20.0 * 0.8))
+                                      / math.log(0.9))
+        assert abs(year - expected) <= 1.0
+
+    def test_healthy_margin_never_squeezed(self):
+        year = margin_squeeze_year(lambda y: 1.0, lambda y: 100.0,
+                                   floor_margin=0.2)
+        assert year is None
+
+    def test_bad_price_model_raises(self):
+        with pytest.raises(ParameterError):
+            margin_squeeze_year(lambda y: 1.0, lambda y: 0.0)

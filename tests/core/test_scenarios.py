@@ -1,0 +1,130 @@
+"""Scenario #1 vs Scenario #2 — the paper's central contrast."""
+
+import numpy as np
+import pytest
+
+from repro.core import SCENARIO_1, SCENARIO_2, Scenario
+from repro.core.scenarios import scenario1_cost_curve, scenario2_cost_curve
+from repro.errors import ParameterError
+
+LAMBDAS = np.linspace(0.3, 1.0, 15)
+
+
+class TestScenario1:
+    def test_paper_parameters(self):
+        assert SCENARIO_1.growth_rates == (1.1, 1.2, 1.3)
+        assert SCENARIO_1.design_density == 30.0
+        assert SCENARIO_1.reference_yield == 1.0
+
+    def test_cost_decreases_with_shrink(self):
+        """Fig. 6's message: for modest X, shrink keeps paying."""
+        for x in SCENARIO_1.growth_rates:
+            costs = [SCENARIO_1.cost_dollars(l, x) for l in LAMBDAS]
+            assert costs == sorted(costs)  # increasing in lambda
+
+    def test_higher_x_higher_cost_at_small_lambda(self):
+        c_low = SCENARIO_1.cost_dollars(0.35, 1.1)
+        c_high = SCENARIO_1.cost_dollars(0.35, 1.3)
+        assert c_high > c_low
+
+    def test_fig6_magnitude(self):
+        """At 1 um the eq.-(8) cost is C0*d_d/A_w ~ 0.85e-6 dollars."""
+        c = SCENARIO_1.cost_dollars(1.0, 1.2)
+        assert c == pytest.approx(0.85e-6, rel=0.02)
+
+    def test_no_interior_minimum(self):
+        assert SCENARIO_1.crossover_feature_size(1.2) is None
+
+
+class TestScenario2:
+    def test_paper_parameters(self):
+        assert SCENARIO_2.growth_rates == (1.8, 2.1, 2.4)
+        assert SCENARIO_2.design_density == 200.0
+        assert SCENARIO_2.reference_yield == 0.7
+
+    def test_cost_increases_with_shrink(self):
+        """Fig. 7's message: under realistic assumptions, a decrease in
+        the feature size causes an INCREASE in the transistor cost."""
+        for x in SCENARIO_2.growth_rates:
+            fine = SCENARIO_2.cost_dollars(0.3, x)
+            coarse = SCENARIO_2.cost_dollars(0.8, x)
+            assert fine > coarse
+
+    def test_steeper_x_steeper_increase(self):
+        ratio_18 = SCENARIO_2.cost_dollars(0.3, 1.8) / \
+            SCENARIO_2.cost_dollars(0.8, 1.8)
+        ratio_24 = SCENARIO_2.cost_dollars(0.3, 2.4) / \
+            SCENARIO_2.cost_dollars(0.8, 2.4)
+        assert ratio_24 > ratio_18 > 1.0
+
+    def test_scenario2_above_scenario1(self):
+        """Same lambda and X-range comparison: the realistic scenario is
+        always costlier (higher d_d, imperfect yield)."""
+        for lam in (0.4, 0.6, 0.8):
+            assert SCENARIO_2.cost_dollars(lam, 1.8) > \
+                SCENARIO_1.cost_dollars(lam, 1.3)
+
+    def test_interior_optimum_exists_at_moderate_x(self):
+        """At X = 1.8 the cost-minimizing lambda is interior (~0.8 um):
+        shrinking past it hurts.  (At X = 2.4 shrink is bad everywhere
+        in range and the optimum pins to the coarse edge.)"""
+        lam_opt = SCENARIO_2.crossover_feature_size(1.8, lam_lo_um=0.25,
+                                                    lam_hi_um=1.5)
+        assert lam_opt is not None
+        assert 0.5 < lam_opt < 1.2
+
+    def test_extreme_x_pins_optimum_to_coarse_edge(self):
+        assert SCENARIO_2.crossover_feature_size(2.4, lam_lo_um=0.25,
+                                                 lam_hi_um=1.5) is None
+
+
+class TestCurves:
+    def test_curves_keyed_by_x(self):
+        curves = SCENARIO_1.curves(LAMBDAS)
+        assert set(curves) == {1.1, 1.2, 1.3}
+        for ys in curves.values():
+            assert ys.shape == LAMBDAS.shape
+            assert np.all(ys > 0)
+
+    def test_convenience_wrappers(self):
+        s1 = scenario1_cost_curve(LAMBDAS, growth_rate=1.2)
+        s2 = scenario2_cost_curve(LAMBDAS, growth_rate=1.8)
+        assert s1.shape == s2.shape == LAMBDAS.shape
+        assert np.all(s2 > s1)
+
+    def test_wrapper_offlist_growth_rate(self):
+        custom = scenario1_cost_curve(LAMBDAS, growth_rate=1.25)
+        assert custom.shape == LAMBDAS.shape
+
+
+class TestCustomScenario:
+    def test_with_growth_rates(self):
+        s = SCENARIO_1.with_growth_rates((1.5, 1.6))
+        assert s.growth_rates == (1.5, 1.6)
+        assert s.design_density == SCENARIO_1.design_density
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            Scenario(name="bad", growth_rates=(), design_density=30.0)
+        with pytest.raises(ParameterError):
+            Scenario(name="bad", growth_rates=(0.9,), design_density=30.0)
+        with pytest.raises(ParameterError):
+            Scenario(name="bad", growth_rates=(1.2,), design_density=-1.0)
+
+    def test_perfect_yield_uses_eq8(self):
+        s = Scenario(name="custom", growth_rates=(1.3,),
+                     design_density=100.0, reference_yield=1.0)
+        model = s.model_for(1.3)
+        assert s.cost_dollars(0.5, 1.3) == pytest.approx(
+            model.scenario1_cost(0.5, 100.0))
+
+    def test_custom_die_area_function(self):
+        s = Scenario(name="flat-die", growth_rates=(1.8,),
+                     design_density=200.0, reference_yield=0.7,
+                     die_area_cm2_fn=lambda lam: 1.0)
+        # Constant 1 cm^2 die: yield is 0.7 everywhere, so the cost ratio
+        # between two lambdas reduces to the eq.-(8) ratio.
+        r = s.cost_dollars(0.5, 1.8) / s.cost_dollars(1.0, 1.8)
+        model = s.model_for(1.8)
+        r8 = model.scenario1_cost(0.5, 200.0) / model.scenario1_cost(1.0, 200.0)
+        assert r == pytest.approx(r8)

@@ -1,0 +1,125 @@
+"""Product shrink analysis (the [26] application)."""
+
+import pytest
+
+from repro.core import ShrinkAnalysis
+from repro.core.wafer_cost import WaferCostModel
+from repro.errors import ParameterError
+from repro.geometry import Wafer
+from repro.technology import PRODUCT_CATALOG
+from repro.yieldsim import YieldLearningCurve
+
+
+@pytest.fixture
+def analysis():
+    """A 1.2M-transistor logic product on a clean fab (X=1.4).
+
+    The density coefficient must be small: eq. (7)'s lambda^-p killer
+    scaling makes shrink punishing unless the fab is clean — with
+    D = 0.05 at 1 um, the 0.5 um node sees ~0.84 killers/cm^2.
+    """
+    return ShrinkAnalysis(
+        n_transistors=1.2e6, design_density=150.0,
+        wafer_cost=WaferCostModel(reference_cost_dollars=500.0,
+                                  cost_growth_rate=1.4),
+        mature_density_per_cm2=0.05)
+
+
+class TestNodeEvaluation:
+    def test_shrink_shrinks_the_die(self, analysis):
+        old = analysis.evaluate_node(0.8)
+        new = analysis.evaluate_node(0.5)
+        assert new.die_area_cm2 == pytest.approx(
+            old.die_area_cm2 * (0.5 / 0.8) ** 2)
+        assert new.dies_per_wafer > old.dies_per_wafer
+
+    def test_wafer_cost_rises_with_shrink(self, analysis):
+        assert analysis.evaluate_node(0.5).wafer_cost_dollars > \
+            analysis.evaluate_node(0.8).wafer_cost_dollars
+
+    def test_density_scaling_penalty(self, analysis):
+        # Mature density at finer node is worse at the node's own kill
+        # radius (lambda^(p-2) scaling).
+        assert analysis.mature_density_at(0.5) > \
+            analysis.mature_density_at(0.8)
+
+    def test_explicit_density_overrides_mature(self, analysis):
+        dirty = analysis.evaluate_node(0.5, defect_density_per_cm2=20.0)
+        mature = analysis.evaluate_node(0.5)
+        assert dirty.yield_value < mature.yield_value
+
+    def test_oversized_die_raises(self):
+        giant = ShrinkAnalysis(n_transistors=5e9, design_density=150.0)
+        with pytest.raises(ParameterError):
+            giant.evaluate_node(1.0)
+
+
+class TestShrinkDecision:
+    def test_moderate_shrink_pays_at_maturity(self, analysis):
+        gain = analysis.shrink_gain_at_maturity(0.8, 0.5)
+        assert gain > 1.0
+
+    def test_gain_direction_validation(self, analysis):
+        with pytest.raises(ParameterError):
+            analysis.shrink_gain_at_maturity(0.5, 0.8)
+
+    def test_best_node_interior_under_harsh_costs(self):
+        harsh = ShrinkAnalysis(
+            n_transistors=1.2e6, design_density=150.0,
+            wafer_cost=WaferCostModel(reference_cost_dollars=500.0,
+                                      cost_growth_rate=2.4),
+            mature_density_per_cm2=2.0)
+        lam, cost = harsh.best_node((1.0, 0.8, 0.65, 0.5, 0.35))
+        assert lam > 0.35  # smallest node is NOT optimal here
+        assert cost > 0.0
+
+    def test_best_node_skips_infeasible(self):
+        big = ShrinkAnalysis(n_transistors=3e7, design_density=150.0)
+        # 3.0 um die would exceed the wafer; finer nodes are feasible.
+        lam, _ = big.best_node((3.0, 0.5, 0.35))
+        assert lam < 3.0
+
+    def test_best_node_requires_candidates(self, analysis):
+        with pytest.raises(ParameterError):
+            analysis.best_node(())
+
+
+class TestLearningBreakeven:
+    def test_breakeven_exists_for_fast_learner(self, analysis):
+        curve = YieldLearningCurve(
+            initial_density_per_cm2=8.0,
+            mature_density_per_cm2=analysis.mature_density_at(0.5),
+            time_constant_months=6.0)
+        month = analysis.breakeven_month(0.8, 0.5, curve)
+        assert month is not None
+        assert 0.0 < month < 48.0
+
+    def test_faster_learning_earlier_breakeven(self, analysis):
+        floor = analysis.mature_density_at(0.5)
+        slow = YieldLearningCurve(8.0, floor, 12.0)
+        fast = YieldLearningCurve(8.0, floor, 3.0)
+        m_slow = analysis.breakeven_month(0.8, 0.5, slow)
+        m_fast = analysis.breakeven_month(0.8, 0.5, fast)
+        assert m_fast is not None and m_slow is not None
+        assert m_fast <= m_slow
+
+    def test_never_breaks_even_with_dirty_floor(self, analysis):
+        # Floor so dirty the shrunk node never beats the old node.
+        curve = YieldLearningCurve(20.0, 15.0, 6.0)
+        assert analysis.breakeven_month(0.8, 0.5, curve) is None
+
+
+class TestFromProductSpec:
+    def test_for_product_roundtrip(self):
+        spec = PRODUCT_CATALOG[0]
+        analysis = ShrinkAnalysis.for_product(spec)
+        assert analysis.n_transistors == spec.n_transistors
+        assert analysis.wafer.radius_cm == spec.wafer_radius_cm
+        node = analysis.evaluate_node(spec.feature_size_um)
+        assert node.die_area_cm2 == pytest.approx(spec.die_area_cm2)
+
+    def test_overrides_respected(self):
+        spec = PRODUCT_CATALOG[0]
+        analysis = ShrinkAnalysis.for_product(
+            spec, mature_density_per_cm2=0.5)
+        assert analysis.mature_density_per_cm2 == 0.5

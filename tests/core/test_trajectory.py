@@ -1,0 +1,86 @@
+"""Transistor cost versus calendar year."""
+
+import pytest
+
+from repro.core import (
+    CostTrajectory,
+    SCENARIO_1,
+    divergence_year,
+    optimistic_trajectory,
+    realistic_trajectory,
+)
+from repro.errors import ParameterError
+
+
+class TestOptimisticTrajectory:
+    def test_cost_falls_every_year(self):
+        traj = optimistic_trajectory()
+        years, costs = traj.series(1980.0, 2005.0)
+        assert all(b < a for a, b in zip(costs, costs[1:]))
+
+    def test_improvement_rate_healthy(self):
+        """The historical norm: double-digit % cost cut per year."""
+        traj = optimistic_trajectory()
+        for year in (1985.0, 1990.0, 1995.0):
+            assert traj.annual_improvement(year) > 0.10
+
+    def test_no_flattening_in_span(self):
+        traj = optimistic_trajectory()
+        assert traj.flattening_year(1985.0, 2005.0) is None
+        assert traj.reversal_year(1985.0, 2005.0) is None
+
+
+class TestRealisticTrajectory:
+    def test_cost_reverses_in_early_1990s(self):
+        """The paper (1994): 'Recently the situation has changed.  There
+        are some indications that the cost per transistor may no longer
+        decrease' — the Scenario-#2 trajectory reverses right around
+        when the paper was written."""
+        traj = realistic_trajectory(1.8)
+        reversal = traj.reversal_year(1985.0, 2005.0)
+        assert reversal is not None
+        assert 1988.0 <= reversal <= 1996.0
+
+    def test_higher_x_earlier_reversal(self):
+        mild = realistic_trajectory(1.8).reversal_year(1985.0, 2005.0)
+        harsh = realistic_trajectory(2.4).reversal_year(1985.0, 2005.0)
+        assert harsh is not None and mild is not None
+        assert harsh <= mild
+
+    def test_cost_rising_after_reversal(self):
+        traj = realistic_trajectory(2.1)
+        reversal = traj.reversal_year(1985.0, 2005.0)
+        assert traj.cost_at_year(reversal + 5.0) > \
+            traj.cost_at_year(reversal)
+
+
+class TestDivergence:
+    def test_divergence_year_exists(self):
+        year = divergence_year(ratio=4.0)
+        assert year is not None
+        assert 1985.0 <= year <= 2000.0
+
+    def test_larger_ratio_diverges_later(self):
+        y4 = divergence_year(ratio=4.0)
+        y20 = divergence_year(ratio=20.0)
+        assert y20 is None or (y4 is not None and y20 >= y4)
+
+    def test_unreachable_ratio_none(self):
+        assert divergence_year(ratio=1e9) is None
+
+
+class TestValidation:
+    def test_rejects_bad_growth_rate(self):
+        with pytest.raises(ParameterError):
+            CostTrajectory(scenario=SCENARIO_1, growth_rate=0.5)
+
+    def test_series_validation(self):
+        traj = optimistic_trajectory()
+        with pytest.raises(ParameterError):
+            traj.series(2000.0, 1990.0)
+        with pytest.raises(ParameterError):
+            traj.series(1990.0, 2000.0, n_points=1)
+
+    def test_flattening_threshold_validation(self):
+        with pytest.raises(ParameterError):
+            optimistic_trajectory().flattening_year(threshold=0.0)

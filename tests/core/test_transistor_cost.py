@@ -1,0 +1,130 @@
+"""The headline eq.-(1) composition and the eq.-(8)/(9) approximations."""
+
+import math
+
+import pytest
+
+from repro.core import TransistorCostModel, WaferCostModel
+from repro.errors import ParameterError
+from repro.geometry import Wafer
+from repro.units import wafer_area_cm2
+from repro.yieldsim import PoissonYield, ReferenceAreaYield
+
+
+@pytest.fixture
+def model():
+    return TransistorCostModel(
+        wafer_cost=WaferCostModel(reference_cost_dollars=700.0,
+                                  cost_growth_rate=1.8),
+        wafer=Wafer(radius_cm=7.5))
+
+
+class TestEvaluate:
+    def test_equation_one_composition(self, model):
+        """C_tr must equal C_w / (N_ch * N_tr * Y) from the breakdown's
+        own reported factors."""
+        b = model.evaluate(n_transistors=3.1e6, feature_size_um=0.8,
+                           design_density=150.0, yield_value=0.7)
+        recomposed = b.wafer_cost_dollars / (
+            b.dies_per_wafer * b.transistors_per_die * b.yield_value)
+        assert b.cost_per_transistor_dollars == pytest.approx(recomposed)
+
+    def test_fixed_yield_value_used_verbatim(self, model):
+        b = model.evaluate(n_transistors=1e6, feature_size_um=0.8,
+                           design_density=150.0, yield_value=0.42)
+        assert b.yield_value == 0.42
+
+    def test_reference_area_yield_path(self, model):
+        b = model.evaluate(n_transistors=3.1e6, feature_size_um=0.8,
+                           design_density=150.0,
+                           yield_model=ReferenceAreaYield(0.7, 1.0))
+        assert b.yield_value == pytest.approx(0.7 ** b.die_area_cm2)
+
+    def test_generic_yield_model_needs_density(self, model):
+        with pytest.raises(ParameterError):
+            model.evaluate(n_transistors=1e6, feature_size_um=0.8,
+                           design_density=150.0, yield_model=PoissonYield())
+
+    def test_generic_yield_model_with_density(self, model):
+        b = model.evaluate(n_transistors=1e6, feature_size_um=0.8,
+                           design_density=150.0, yield_model=PoissonYield(),
+                           defect_density_per_cm2=0.5)
+        assert b.yield_value == pytest.approx(math.exp(-0.5 * b.die_area_cm2))
+
+    def test_exactly_one_yield_specification(self, model):
+        with pytest.raises(ParameterError):
+            model.evaluate(n_transistors=1e6, feature_size_um=0.8,
+                           design_density=150.0)
+        with pytest.raises(ParameterError):
+            model.evaluate(n_transistors=1e6, feature_size_um=0.8,
+                           design_density=150.0, yield_value=0.5,
+                           yield_model=PoissonYield())
+
+    def test_die_too_big_raises(self, model):
+        with pytest.raises(ParameterError):
+            model.evaluate(n_transistors=5e9, feature_size_um=0.8,
+                           design_density=150.0, yield_value=0.9)
+
+    def test_cost_decreasing_in_yield(self, model):
+        costs = [model.evaluate(n_transistors=1e6, feature_size_um=0.8,
+                                design_density=150.0, yield_value=y)
+                 .cost_per_transistor_dollars for y in (0.4, 0.6, 0.9)]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_overhead_amortization(self):
+        base = TransistorCostModel(
+            wafer_cost=WaferCostModel(overhead_dollars=1.0e6),
+            wafer=Wafer(radius_cm=7.5))
+        amortized = TransistorCostModel(
+            wafer_cost=WaferCostModel(overhead_dollars=1.0e6),
+            wafer=Wafer(radius_cm=7.5), volume_wafers=10_000)
+        pure = base.wafer_cost_dollars(1.0)
+        with_ov = amortized.wafer_cost_dollars(1.0)
+        assert with_ov == pytest.approx(pure + 100.0)
+
+
+class TestBreakdownProperties:
+    def test_microdollars(self, model):
+        b = model.evaluate(n_transistors=3.1e6, feature_size_um=0.8,
+                           design_density=150.0, yield_value=0.7)
+        assert b.cost_per_transistor_microdollars == pytest.approx(
+            b.cost_per_transistor_dollars * 1e6)
+
+    def test_good_dies_and_cost_per_good_die(self, model):
+        b = model.evaluate(n_transistors=3.1e6, feature_size_um=0.8,
+                           design_density=150.0, yield_value=0.5)
+        assert b.good_dies_per_wafer == pytest.approx(b.dies_per_wafer * 0.5)
+        assert b.cost_per_good_die_dollars == pytest.approx(
+            b.wafer_cost_dollars / b.good_dies_per_wafer)
+
+
+class TestScenarioApproximations:
+    def test_equation_eight_hand_value(self, model):
+        """Eq. (8) at the reference node: C_tr = C0 * d_d * lam^2 / A_w."""
+        ctr = model.scenario1_cost(1.0, design_density=30.0)
+        expected = 700.0 * 30.0 * 1.0 / (wafer_area_cm2(7.5) * 1e8)
+        assert ctr == pytest.approx(expected)
+
+    def test_equation_nine_divides_by_yield(self, model):
+        s1 = model.scenario1_cost(0.5, design_density=200.0)
+        s2 = model.scenario2_cost(0.5, design_density=200.0,
+                                  reference_yield=0.7)
+        from repro.technology.roadmap import die_area_trend_cm2
+        y = 0.7 ** die_area_trend_cm2(0.5)
+        assert s2 == pytest.approx(s1 / y)
+
+    def test_equation_nine_custom_die_area(self, model):
+        s2 = model.scenario2_cost(0.5, design_density=200.0,
+                                  reference_yield=0.7, die_area_cm2=2.0)
+        s1 = model.scenario1_cost(0.5, design_density=200.0)
+        assert s2 == pytest.approx(s1 / 0.49)
+
+    def test_eq8_ignores_edge_loss(self, model):
+        """Eq. (8) uses gross wafer area: it must under-estimate the full
+        eq.-(1) cost, which pays for incomplete edge dies."""
+        full = model.evaluate(n_transistors=1e6, feature_size_um=0.8,
+                              design_density=30.0, yield_value=1.0)
+        approx = model.scenario1_cost(0.8, design_density=30.0)
+        assert approx < full.cost_per_transistor_dollars
+        # ... but for a small die, not by much.
+        assert approx > 0.7 * full.cost_per_transistor_dollars

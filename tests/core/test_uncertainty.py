@@ -1,0 +1,101 @@
+"""Monte Carlo uncertainty propagation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import InputDistribution, propagate
+from repro.core.scenarios import Scenario
+from repro.errors import ParameterError
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestInputDistribution:
+    def test_uniform_bounds(self, rng):
+        dist = InputDistribution(2.0, 5.0)
+        samples = dist.sample(5000, rng)
+        assert samples.min() >= 2.0
+        assert samples.max() <= 5.0
+        assert samples.mean() == pytest.approx(3.5, abs=0.1)
+
+    def test_triangular_mode_pulls_mean(self, rng):
+        left = InputDistribution(0.0, 10.0, mode=1.0).sample(8000, rng)
+        right = InputDistribution(0.0, 10.0, mode=9.0).sample(8000, rng)
+        assert left.mean() < right.mean()
+
+    def test_log_domain_bounds(self, rng):
+        dist = InputDistribution(1.2, 2.4, log_domain=True)
+        samples = dist.sample(5000, rng)
+        assert samples.min() >= 1.2
+        assert samples.max() <= 2.4
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            InputDistribution(2.0, 1.0)
+        with pytest.raises(ParameterError):
+            InputDistribution(1.0, 2.0, mode=3.0)
+        with pytest.raises(ParameterError):
+            InputDistribution(-1.0, 2.0, log_domain=True)
+
+
+class TestPropagation:
+    @staticmethod
+    def linear_cost(a=1.0, b=1.0):
+        return 2.0 * a + b
+
+    def test_mean_of_linear_function(self, rng):
+        result = propagate(self.linear_cost, {"b": 1.0},
+                           {"a": InputDistribution(0.0, 2.0)},
+                           n_samples=4000, rng=rng)
+        # E[2a + 1] = 2*1 + 1 = 3.
+        assert result.mean == pytest.approx(3.0, abs=0.1)
+
+    def test_percentiles_ordered(self, rng):
+        result = propagate(self.linear_cost, {"b": 0.0},
+                           {"a": InputDistribution(1.0, 3.0)},
+                           n_samples=2000, rng=rng)
+        assert result.percentile(10.0) < result.percentile(50.0) \
+            < result.percentile(90.0)
+        assert result.p10_p90_ratio > 1.0
+
+    def test_probability_above(self, rng):
+        result = propagate(self.linear_cost, {"b": 0.0},
+                           {"a": InputDistribution(0.0, 1.0)},
+                           n_samples=4000, rng=rng)
+        # 2a uniform on [0, 2]: P(>1) = 0.5.
+        assert result.probability_above(1.0) == pytest.approx(0.5, abs=0.05)
+
+    def test_scenario_cost_risk(self, rng):
+        """End-to-end: the X and Y0 uncertainty bands the paper quotes
+        produce a wide C_tr distribution (p90/p10 around 2x)."""
+        def cost(x=1.8, y0=0.7, lam=0.5):
+            scenario = Scenario(name="u", growth_rates=(x,),
+                                design_density=200.0, reference_yield=y0)
+            return scenario.cost_dollars(lam, x) * 1e6
+
+        result = propagate(cost, {"lam": 0.5}, {
+            "x": InputDistribution(1.2, 2.4, mode=1.8, log_domain=True),
+            "y0": InputDistribution(0.5, 0.9, mode=0.7),
+        }, n_samples=1200, rng=rng)
+        assert 1.5 < result.p10_p90_ratio < 4.0
+        assert result.std > 0.0
+
+    def test_mostly_infeasible_inputs_rejected(self, rng):
+        def fragile(a=1.0):
+            if a > 1.1:
+                raise ParameterError("infeasible")
+            return a
+
+        with pytest.raises(ParameterError):
+            propagate(fragile, {}, {"a": InputDistribution(1.0, 3.0)},
+                      n_samples=400, rng=rng)
+
+    def test_needs_uncertain_inputs(self, rng):
+        with pytest.raises(ParameterError):
+            propagate(self.linear_cost, {"a": 1.0, "b": 1.0}, {},
+                      n_samples=100, rng=rng)

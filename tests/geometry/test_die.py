@@ -1,0 +1,93 @@
+"""Die geometry: construction, eq. (5), scribe handling."""
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError, ParameterError
+from repro.geometry import Die
+
+
+class TestConstruction:
+    def test_square(self):
+        die = Die.square(1.2)
+        assert die.width_cm == die.height_cm == 1.2
+        assert die.area_cm2 == pytest.approx(1.44)
+
+    def test_from_area_square(self):
+        die = Die.from_area(2.25)
+        assert die.width_cm == pytest.approx(1.5)
+        assert die.aspect_ratio == pytest.approx(1.0)
+
+    def test_from_area_preserves_area_with_aspect(self):
+        die = Die.from_area(3.0, aspect_ratio=2.0)
+        assert die.area_cm2 == pytest.approx(3.0)
+        assert die.aspect_ratio == pytest.approx(2.0)
+
+    def test_rejects_nonpositive_dimensions(self):
+        with pytest.raises(ParameterError):
+            Die(width_cm=0.0, height_cm=1.0)
+        with pytest.raises(ParameterError):
+            Die(width_cm=1.0, height_cm=-1.0)
+
+    def test_rejects_negative_scribe(self):
+        with pytest.raises(ParameterError):
+            Die(width_cm=1.0, height_cm=1.0, scribe_cm=-0.01)
+
+
+class TestEquationFive:
+    def test_from_transistor_count_matches_hand_calc(self):
+        # 3.1M transistors at d_d=150, lambda=0.8: A = 3.1e6*150*0.64 um^2
+        die = Die.from_transistor_count(3.1e6, 150.0, 0.8)
+        expected_cm2 = 3.1e6 * 150.0 * 0.64 / 1e8
+        assert die.area_cm2 == pytest.approx(expected_cm2)
+
+    def test_transistor_count_inverts_from_transistor_count(self):
+        die = Die.from_transistor_count(1.0e6, 200.0, 0.5)
+        assert die.transistor_count(200.0, 0.5) == pytest.approx(1.0e6)
+
+    def test_count_scales_inverse_square_of_lambda(self):
+        die = Die.square(1.0)
+        n1 = die.transistor_count(100.0, 1.0)
+        n2 = die.transistor_count(100.0, 0.5)
+        assert n2 == pytest.approx(4.0 * n1)
+
+    def test_count_scales_inverse_of_density(self):
+        die = Die.square(1.0)
+        assert die.transistor_count(50.0, 1.0) == pytest.approx(
+            2.0 * die.transistor_count(100.0, 1.0))
+
+    def test_one_cm2_at_1um_dd1_is_1e8_transistors(self):
+        # 1 cm^2 = 1e8 um^2 = 1e8 lambda^2 squares at lambda = 1 um.
+        die = Die.square(1.0)
+        assert die.transistor_count(1.0, 1.0) == pytest.approx(1.0e8)
+
+
+class TestDerivedProperties:
+    def test_pitch_includes_scribe(self):
+        die = Die(width_cm=1.0, height_cm=0.8, scribe_cm=0.02)
+        assert die.pitch_x_cm == pytest.approx(1.02)
+        assert die.pitch_y_cm == pytest.approx(0.82)
+
+    def test_diagonal(self):
+        die = Die(width_cm=3.0, height_cm=4.0)
+        assert die.diagonal_cm == pytest.approx(5.0)
+
+    def test_area_mm2(self):
+        assert Die.square(1.0).area_mm2 == pytest.approx(100.0)
+
+    def test_rotated_swaps_dimensions(self):
+        die = Die(width_cm=2.0, height_cm=1.0, scribe_cm=0.05)
+        rot = die.rotated()
+        assert (rot.width_cm, rot.height_cm) == (1.0, 2.0)
+        assert rot.scribe_cm == 0.05
+        assert rot.area_cm2 == pytest.approx(die.area_cm2)
+
+
+class TestFitsRadius:
+    def test_fits(self):
+        Die(width_cm=3.0, height_cm=4.0).check_fits_radius(2.5)  # diag 5 = 2R
+
+    def test_does_not_fit(self):
+        with pytest.raises(GeometryError):
+            Die(width_cm=3.0, height_cm=4.0).check_fits_radius(2.49)

@@ -1,0 +1,123 @@
+"""Aspect-ratio optimization and multi-project wafers."""
+
+import pytest
+
+from repro.errors import GeometryError, ParameterError
+from repro.geometry import (
+    Die,
+    ProjectRequest,
+    Wafer,
+    aspect_ratio_penalty,
+    best_aspect_ratio,
+    dies_per_wafer_maly,
+    multi_project_allocation,
+    mpw_cost_per_die,
+)
+
+
+@pytest.fixture
+def wafer():
+    return Wafer(radius_cm=7.5)
+
+
+class TestAspectRatio:
+    def test_best_beats_or_ties_square(self, wafer):
+        for area in (0.5, 1.0, 2.0, 4.0):
+            ratio, count = best_aspect_ratio(wafer, area)
+            square = dies_per_wafer_maly(wafer, Die.from_area(area))
+            assert count >= square
+
+    def test_best_count_is_achievable(self, wafer):
+        ratio, count = best_aspect_ratio(wafer, 2.0)
+        die = Die.from_area(2.0, aspect_ratio=ratio)
+        assert dies_per_wafer_maly(wafer, die) == count
+
+    def test_penalty_zero_at_best(self, wafer):
+        ratio, _ = best_aspect_ratio(wafer, 1.5)
+        assert aspect_ratio_penalty(wafer, 1.5, ratio) == pytest.approx(0.0)
+
+    def test_extreme_ratio_penalized(self, wafer):
+        # A 16:1 sliver of 2 cm^2 wastes wafer edge badly.
+        penalty = aspect_ratio_penalty(wafer, 2.0, 16.0)
+        assert penalty > 0.05
+
+    def test_oversized_area_raises(self):
+        with pytest.raises(GeometryError):
+            best_aspect_ratio(Wafer(radius_cm=2.0), 50.0)
+
+    def test_validation(self, wafer):
+        with pytest.raises(ParameterError):
+            best_aspect_ratio(wafer, 1.0, ratio_lo=2.0, ratio_hi=1.0)
+        with pytest.raises(ParameterError):
+            best_aspect_ratio(wafer, 1.0, n_ratios=2)
+
+
+class TestMultiProjectWafer:
+    @pytest.fixture
+    def requests(self):
+        return (
+            ProjectRequest(name="asic-a", die=Die.square(1.0),
+                           dies_wanted=30),
+            ProjectRequest(name="asic-b", die=Die.square(0.7),
+                           dies_wanted=40),
+            ProjectRequest(name="testchip", die=Die.square(0.4),
+                           dies_wanted=50),
+        )
+
+    def test_everyone_served_on_big_wafer(self, wafer, requests):
+        allocations = multi_project_allocation(wafer, requests, 1500.0)
+        assert len(allocations) == 3
+        assert all(a.satisfied for a in allocations)
+
+    def test_cost_shares_sum_to_total_when_all_area_used(self, wafer, requests):
+        allocations = multi_project_allocation(wafer, requests, 1500.0)
+        total = sum(a.cost_share_dollars for a in allocations)
+        assert total == pytest.approx(1500.0, rel=1e-9)
+
+    def test_shares_proportional_to_silicon(self, wafer, requests):
+        allocations = multi_project_allocation(wafer, requests, 1000.0)
+        for a in allocations:
+            expected = a.dies_obtained * a.request.die.area_cm2
+            got_fraction = a.cost_share_dollars / 1000.0
+            total_area = sum(x.dies_obtained * x.request.die.area_cm2
+                             for x in allocations)
+            assert got_fraction == pytest.approx(expected / total_area)
+
+    def test_mpw_cost_per_die(self, wafer, requests):
+        allocations = multi_project_allocation(wafer, requests, 1500.0)
+        for a in allocations:
+            per_die = mpw_cost_per_die(a)
+            assert per_die == pytest.approx(
+                a.cost_share_dollars / a.dies_obtained)
+
+    def test_mpw_beats_solo_wafer_for_small_need(self, wafer):
+        """The Phase-2 story: a 30-die project sharing a wafer pays far
+        less than buying the whole wafer."""
+        req = ProjectRequest(name="solo", die=Die.square(1.0),
+                             dies_wanted=30)
+        filler = ProjectRequest(name="filler", die=Die.square(0.5),
+                                dies_wanted=300)
+        allocations = multi_project_allocation(wafer, (req, filler), 1500.0)
+        mine = next(a for a in allocations if a.request.name == "solo")
+        assert mine.satisfied
+        assert mine.cost_share_dollars < 1500.0 * 0.6
+
+    def test_empty_requests_rejected(self, wafer):
+        with pytest.raises(ParameterError):
+            multi_project_allocation(wafer, (), 1000.0)
+
+    def test_zero_dies_project_has_no_unit_cost(self, wafer):
+        huge = ProjectRequest(name="toolarge", die=Die.square(9.0),
+                              dies_wanted=1)
+        small = ProjectRequest(name="small", die=Die.square(0.5),
+                               dies_wanted=10)
+        allocations = multi_project_allocation(wafer, (huge, small), 1000.0)
+        big_alloc = next(a for a in allocations
+                         if a.request.name == "toolarge")
+        if big_alloc.dies_obtained == 0:
+            with pytest.raises(ParameterError):
+                mpw_cost_per_die(big_alloc)
+
+    def test_request_validation(self):
+        with pytest.raises(ParameterError):
+            ProjectRequest(name="bad", die=Die.square(1.0), dies_wanted=0)

@@ -1,0 +1,119 @@
+"""Cross-validation between independent implementations of the same physics.
+
+The repository deliberately contains redundant paths — closed forms,
+geometric counters, and Monte Carlo — precisely so they can check each
+other here.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    Die,
+    Wafer,
+    dies_per_wafer_area_approx,
+    dies_per_wafer_exact,
+    dies_per_wafer_maly,
+)
+from repro.yieldsim import (
+    DefectSizeDistribution,
+    PoissonYield,
+    RedundantMemoryYield,
+    ReferenceAreaYield,
+    SpotDefectSimulator,
+    scaled_poisson_yield,
+)
+from repro.yieldsim.critical_area import WirePattern, average_critical_area
+
+
+class TestGeometryCrossValidation:
+    @pytest.mark.parametrize("side", [0.4, 0.7, 1.0, 1.5, 2.2])
+    def test_three_counters_agree(self, side):
+        """Eq. (4) and the rigid-grid count differ only by packing slack.
+
+        Eq. (4) lets each row center its dies on the wafer chord
+        independently, so it can slightly BEAT a rigid rectangular grid
+        (by a few percent); conversely the phase-optimized grid can beat
+        eq. (4)'s bottom-anchored rows.  They must agree within 5%, and
+        the industry area approximation within 20% (it degrades for dies
+        approaching the wafer scale).
+        """
+        wafer = Wafer(radius_cm=7.5)
+        die = Die.square(side)
+        maly = dies_per_wafer_maly(wafer, die)
+        exact = dies_per_wafer_exact(wafer, die, optimize_offset=True)
+        approx = dies_per_wafer_area_approx(wafer, die, kind="industry")
+        assert abs(exact - maly) / maly < 0.05
+        assert abs(approx - maly) / maly < 0.20
+
+    def test_rectangular_die_consistency(self):
+        wafer = Wafer(radius_cm=7.5)
+        die = Die(width_cm=0.8, height_cm=1.4)
+        maly = dies_per_wafer_maly(wafer, die)
+        exact = dies_per_wafer_exact(wafer, die, optimize_offset=True)
+        assert abs(exact - maly) / maly < 0.05
+
+
+class TestYieldCrossValidation:
+    def test_eq7_equals_eq6_with_explicit_area_and_density(self):
+        """Eq. (7) is eq. (6) plus substitutions; verify the algebra for
+        several (N_tr, lambda) points."""
+        d_coeff, p, d_d = 1.72, 4.07, 152.0
+        for n_tr, lam in [(2e5, 1.0), (5e5, 0.7), (1e6, 0.5)]:
+            area_cm2 = n_tr * d_d * lam * lam / 1e8
+            d0 = d_coeff / lam ** p
+            direct = PoissonYield().yield_for_area(area_cm2, d0)
+            via_eq7 = scaled_poisson_yield(n_tr, d_d, d_coeff, lam, p)
+            assert via_eq7 == pytest.approx(direct, rel=1e-12)
+
+    def test_reference_area_law_is_poisson_in_disguise(self):
+        law = ReferenceAreaYield(reference_yield=0.7, reference_area_cm2=1.0)
+        d_implied = law.implied_defect_density_per_cm2
+        for area in (0.3, 1.0, 2.7):
+            assert law.yield_for_die_area(area) == pytest.approx(
+                PoissonYield().yield_for_area(area, d_implied))
+
+    def test_monte_carlo_validates_eq6_at_multiple_densities(self):
+        wafer, die = Wafer(radius_cm=7.5), Die.square(1.2)
+        rng = np.random.default_rng(17)
+        for d0 in (0.2, 0.6, 1.2):
+            sim = SpotDefectSimulator(wafer, die, defect_density_per_cm2=d0)
+            y_mc = sim.estimate_yield(50, rng)
+            y_cf = PoissonYield().yield_for_area(die.area_cm2, d0)
+            assert y_mc == pytest.approx(y_cf, abs=0.035)
+
+    def test_monte_carlo_wafer_maps_feed_redundancy_model(self):
+        """Per-die killer counts from the simulator reproduce the repair
+        model's block-level yield when blocks = 1."""
+        wafer, die = Wafer(radius_cm=7.5), Die.square(1.0)
+        d0 = 1.0
+        sim = SpotDefectSimulator(wafer, die, defect_density_per_cm2=d0)
+        rng = np.random.default_rng(23)
+        counts = np.concatenate(
+            [m.defect_counts for m in sim.simulate_lot(60, rng)])
+        spares = 2
+        mc_repairable = float(np.mean(counts <= spares))
+        model = RedundantMemoryYield(array_area_cm2=die.area_cm2,
+                                     n_blocks=1, spares_per_block=spares)
+        assert mc_repairable == pytest.approx(
+            model.yield_for_density(d0), abs=0.02)
+
+
+class TestCriticalAreaVsKillRadius:
+    def test_lumped_kill_radius_brackets_critical_area_model(self):
+        """The simulator's single kill radius is a step-function
+        approximation of the critical-area ramp; choosing the ramp's
+        midpoint radius should land the two fault expectations close."""
+        area_cm2 = 1.0
+        pattern = WirePattern(wire_width_um=1.0, wire_spacing_um=1.0,
+                              area_cm2=area_cm2)
+        dist = DefectSizeDistribution(r0_um=0.4, p=4.07)
+        d0 = 2.0
+        ca = sum(average_critical_area(pattern, dist, mechanism=m)
+                 for m in ("short", "open")) * d0
+        # Step approximation at the ramp onset and at saturation bracket it:
+        m_onset = d0 * area_cm2 * 2.0 * float(dist.survival(0.5))
+        m_sat = d0 * area_cm2 * 2.0 * float(dist.survival(1.5))
+        assert m_sat < ca < m_onset

@@ -1,0 +1,137 @@
+"""Consistency between the extension modules and the core reproduction.
+
+The extensions must not drift from the paper machinery they build on:
+trajectories must agree with scenario evaluations, shrink analysis with
+the Table-3 engine, the co-synthesis optimizer with the partitioning
+optimizer, and the bottom-up wafer cost with eq. (3).
+"""
+
+import math
+
+import pytest
+
+from repro.core import (
+    GenerationModel,
+    ShrinkAnalysis,
+    WaferCostModel,
+    evaluate_product,
+    optimistic_trajectory,
+)
+from repro.core.optimization import FIG8_FAB, transistor_cost_full
+from repro.core.scenarios import SCENARIO_1
+from repro.manufacturing import BottomUpWaferCost
+from repro.system import (
+    McmSubstrate,
+    SystemCostModel,
+    optimize_system,
+)
+from repro.system.partitioning import (
+    Partition,
+    PartitionedSystem,
+    optimize_partition_feature_sizes,
+)
+from repro.technology import PRODUCT_CATALOG, TechnologyRoadmap
+
+
+class TestTrajectoryVsScenario:
+    def test_trajectory_point_equals_scenario_point(self):
+        traj = optimistic_trajectory(1.2)
+        roadmap = TechnologyRoadmap()
+        for year in (1986.0, 1992.0, 1998.0):
+            lam = roadmap.feature_size_um(year)
+            assert traj.cost_at_year(year) == pytest.approx(
+                SCENARIO_1.cost_dollars(lam, 1.2))
+
+
+class TestShrinkVsDiversityEngine:
+    def test_shrink_analysis_matches_table3_row_at_own_node(self):
+        """Evaluating a Table-3 product at its published node through
+        ShrinkAnalysis (with the Y0^(A) density equivalence) reproduces
+        the diversity engine's cost."""
+        spec = PRODUCT_CATALOG[1]  # BiCMOS uP nominal
+        # The diversity engine uses Y = Y0^(A/A0); its Poisson-equivalent
+        # density is -ln(Y0)/A0, constant in lambda.
+        density = -math.log(spec.reference_yield)
+        analysis = ShrinkAnalysis.for_product(spec)
+        ctr = analysis.cost_per_transistor(spec.feature_size_um,
+                                           defect_density_per_cm2=density)
+        expected = evaluate_product(spec).breakdown \
+            .cost_per_transistor_dollars
+        assert ctr == pytest.approx(expected, rel=1e-9)
+
+    def test_best_node_consistent_with_full_cost_function(self):
+        """ShrinkAnalysis with the Fig.-8 fab's parameters ranks nodes
+        the same way transistor_cost_full does."""
+        analysis = ShrinkAnalysis(
+            n_transistors=5e5, design_density=FIG8_FAB.design_density,
+            wafer_cost=WaferCostModel(
+                reference_cost_dollars=FIG8_FAB.reference_cost_dollars,
+                cost_growth_rate=FIG8_FAB.cost_growth_rate),
+            mature_density_per_cm2=FIG8_FAB.defect_coefficient,
+            size_exponent_p=FIG8_FAB.size_exponent_p)
+        candidates = (0.5, 0.65, 0.8, 1.0, 1.2)
+        lam_shrink, _ = analysis.best_node(candidates)
+        full = {lam: transistor_cost_full(5e5, lam) for lam in candidates}
+        lam_full = min(full, key=full.get)
+        assert lam_shrink == lam_full
+
+    def test_shrink_costs_proportional_to_full_model(self):
+        """At equal parameters the two paths agree exactly, node by node."""
+        analysis = ShrinkAnalysis(
+            n_transistors=5e5, design_density=FIG8_FAB.design_density,
+            wafer_cost=WaferCostModel(
+                reference_cost_dollars=FIG8_FAB.reference_cost_dollars,
+                cost_growth_rate=FIG8_FAB.cost_growth_rate),
+            mature_density_per_cm2=FIG8_FAB.defect_coefficient,
+            size_exponent_p=FIG8_FAB.size_exponent_p)
+        for lam in (0.65, 0.8, 1.0):
+            # Both paths scale the killer density by lambda^-p (eq. 7)
+            # and the die area by lambda^2, so costs must match exactly.
+            assert analysis.cost_per_transistor(lam) == pytest.approx(
+                transistor_cost_full(5e5, lam), rel=1e-9)
+
+
+class TestCosynthesisVsPartitioning:
+    def test_cosynthesis_silicon_matches_partitioning_costs(self):
+        """With test and assembly terms made negligible, the joint
+        optimizer's silicon choices coincide with the pure partition
+        optimizer on the same lambda grid."""
+        partitions = (
+            Partition(name="a", n_transistors=4e5, design_density=100.0),
+            Partition(name="b", n_transistors=2e5, design_density=300.0),
+        )
+        substrate = McmSubstrate(name="free", cost_dollars=1e-6,
+                                 diagnosis_cost_dollars=0.0,
+                                 rework_success=0.99)
+        from repro.manufacturing.test_cost import TestCostModel
+        free_test = TestCostModel(tester_rate_dollars_per_hour=1e-6)
+        model = SystemCostModel(partitions=partitions, substrate=substrate,
+                                test_model=free_test,
+                                assembly_cost_dollars=0.0)
+        grid = (0.65, 0.8, 1.0, 1.2)
+        report = optimize_system(model, lambda_grid=grid,
+                                 coverage_grid=(0.99,))
+        system = PartitionedSystem(partitions=partitions)
+        choices = optimize_partition_feature_sizes(
+            system, lam_lo_um=min(grid), lam_hi_um=max(grid),
+            n_grid=len(grid))
+        # Both should pick from the cheap end; compare total silicon.
+        silicon_joint = report.silicon_dollars
+        silicon_split = sum(c.die_cost_dollars for c in choices)
+        assert silicon_joint == pytest.approx(silicon_split, rel=0.25)
+
+
+class TestBottomUpVsEquationThree:
+    def test_bottom_up_curve_fits_an_equation_three_model(self):
+        """Fitting eq. (3) to the bottom-up curve recovers the bottom-up
+        model's own effective X — the two parameterizations are mutually
+        consistent over the paper's lambda range."""
+        bottom_up = BottomUpWaferCost()
+        x = bottom_up.effective_growth_rate(0.35, 1.0)
+        fitted = WaferCostModel(
+            reference_cost_dollars=bottom_up.cost(1.0),
+            cost_growth_rate=x,
+            generation_model=GenerationModel.SHRINK_LOG)
+        for lam in (0.8, 0.65, 0.5, 0.35):
+            assert fitted.pure_cost(lam) == pytest.approx(
+                bottom_up.cost(lam), rel=0.12)

@@ -1,0 +1,148 @@
+"""End-to-end anchors: the claims a reader would check against the paper.
+
+Each test here corresponds to a quantitative statement in the paper and
+exercises the full model stack (no mocks, no shortcuts).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    SCENARIO_1,
+    SCENARIO_2,
+    TransistorCostModel,
+    WaferCostModel,
+    Wafer,
+    evaluate_catalog,
+)
+from repro.core.diversity import agreement_statistics
+from repro.core.optimization import optimal_feature_size_for_die_area
+from repro.manufacturing import TestCostModel, mix_cost_ratio
+from repro.manufacturing.equipment import ProcessFlow
+from repro.technology.fabline import WAFER_COST_HISTORY
+from repro.technology import extract_cost_growth_rate
+
+
+class TestHeadlineClaims:
+    def test_scenario1_transistor_cost_falls_with_shrink(self):
+        """Fig. 6: under optimistic assumptions shrink keeps paying."""
+        lams = np.linspace(0.25, 1.0, 16)
+        for x in (1.1, 1.2, 1.3):
+            costs = [SCENARIO_1.cost_dollars(l, x) for l in lams]
+            assert costs[0] < costs[-1]
+
+    def test_scenario2_transistor_cost_rises_with_shrink(self):
+        """Fig. 7: 'A decrease in the feature size causes an increase in
+        the transistor cost!'"""
+        for x in (1.8, 2.1, 2.4):
+            assert SCENARIO_2.cost_dollars(0.25, x) > \
+                SCENARIO_2.cost_dollars(1.0, x)
+
+    def test_scenario2_increase_is_dramatic_at_high_x(self):
+        ratio = SCENARIO_2.cost_dollars(0.25, 2.4) / \
+            SCENARIO_2.cost_dollars(1.0, 2.4)
+        assert ratio > 5.0
+
+    def test_table3_reproduced_within_band(self):
+        stats = agreement_statistics(evaluate_catalog())
+        assert stats["mean_abs_log_error"] < 0.30
+        assert stats["max_abs_log_error"] < math.log(1.7)
+
+    def test_cost_diversity_span(self):
+        """Table 3's 9th column spans 0.93 to 240 — two and a half
+        orders of magnitude of C_tr across products."""
+        results = evaluate_catalog()
+        values = [r.ctr_microdollars for r in results]
+        assert max(values) / min(values) > 100.0
+
+    def test_optimal_feature_size_is_die_size_dependent(self):
+        """Sec. IV.B: 'for each die size there is different lambda_opt
+        which minimizes the cost per transistor' and it is not the
+        smallest lambda."""
+        lam_small, _ = optimal_feature_size_for_die_area(0.25)
+        lam_large, _ = optimal_feature_size_for_die_area(2.5)
+        assert lam_small != lam_large
+        assert lam_large > 0.3  # not pinned to the aggressive end
+
+    def test_product_mix_penalty_reaches_paper_scale(self):
+        """Sec. III.A.d: low-volume multi-product wafer cost 'may reach
+        as high value as 7' times the mono-product reference."""
+        flows = tuple(ProcessFlow.generic_cmos(n_metal_layers=m,
+                                               name=f"p{m}")
+                      for m in (1, 2, 3, 4))
+        ratio = mix_cost_ratio(flows, wafers_per_week_each=20.0,
+                               reference_volume_per_week=5000.0)
+        assert ratio >= 5.0
+
+    def test_fig2_x_extraction_band(self):
+        """Sec. III.A.b: X extracted from Fig. 2 is between 1.2-1.4."""
+        assert 1.2 <= extract_cost_growth_rate(WAFER_COST_HISTORY) <= 1.4
+
+    def test_wafer_test_cost_can_rival_manufacturing(self):
+        """Sec. III.A.e: 'the cost of testing a wafer may be comparable
+        with the cost of manufacturing' for large dense dies on a
+        cheap process."""
+        model = TestCostModel(tester_rate_dollars_per_hour=500.0,
+                              probe_seconds_per_kilotransistor=0.01)
+        wafer_cost = WaferCostModel(reference_cost_dollars=500.0,
+                                    cost_growth_rate=1.2).pure_cost(0.8)
+        test_cost = model.wafer_test_cost(5.0e6, dies_per_wafer=60)
+        assert test_cost > 0.5 * wafer_cost
+
+
+class TestMemoryVsLogic:
+    def test_memory_rows_below_2_microdollars(self):
+        results = evaluate_catalog()
+        memory = [r for r in results if r.spec.product_class.has_redundancy]
+        assert all(r.ctr_microdollars < 3.0 for r in memory)
+
+    def test_logic_rows_above_5_microdollars(self):
+        results = evaluate_catalog()
+        logic = [r for r in results
+                 if not r.spec.product_class.has_redundancy]
+        assert all(r.ctr_microdollars > 5.0 for r in logic)
+
+    def test_do_not_extrapolate_memory_economics(self):
+        """Sec. IV.C conclusion: decisions based on memory cost data
+        'should not be extrapolated onto other types of ICs' — the
+        cheapest logic is still ~6x the dearest memory in the model."""
+        results = evaluate_catalog()
+        memory_max = max(r.ctr_microdollars for r in results
+                         if r.spec.product_class.has_redundancy)
+        logic_min = min(r.ctr_microdollars for r in results
+                        if not r.spec.product_class.has_redundancy)
+        assert logic_min / memory_max > 2.0
+
+
+class TestFullStackConsistency:
+    def test_table3_row_recomposes_through_public_api(self):
+        """Row 2 of Table 3 built by hand through the public API matches
+        the diversity engine's result."""
+        model = TransistorCostModel(
+            wafer_cost=WaferCostModel(reference_cost_dollars=700.0,
+                                      cost_growth_rate=1.8),
+            wafer=Wafer(radius_cm=7.5))
+        from repro.yieldsim import ReferenceAreaYield
+        b = model.evaluate(n_transistors=3.1e6, feature_size_um=0.8,
+                           design_density=150.0,
+                           yield_model=ReferenceAreaYield(0.7, 1.0))
+        results = evaluate_catalog()
+        assert b.cost_per_transistor_microdollars == pytest.approx(
+            results[1].ctr_microdollars)
+
+    def test_wafer_size_lever(self):
+        """Rows 13 vs 14 logic: larger wafers cut cost per transistor at
+        fixed yield, one of the paper's 'levers'."""
+        def cost(radius_cm):
+            model = TransistorCostModel(
+                wafer_cost=WaferCostModel(reference_cost_dollars=600.0,
+                                          cost_growth_rate=1.8),
+                wafer=Wafer(radius_cm=radius_cm))
+            return model.evaluate(
+                n_transistors=264e6, feature_size_um=0.25,
+                design_density=29.0, yield_value=0.9
+            ).cost_per_transistor_dollars
+
+        assert cost(10.0) < cost(7.5)

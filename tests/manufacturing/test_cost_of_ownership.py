@@ -1,0 +1,111 @@
+"""Bottom-up wafer cost (the [12] substrate)."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.manufacturing import BottomUpWaferCost, StepCost
+from repro.manufacturing.equipment import EquipmentType
+
+
+@pytest.fixture
+def model():
+    return BottomUpWaferCost()
+
+
+class TestStepCost:
+    def test_components_add_up(self):
+        step = StepCost(kind=EquipmentType.ETCH, tool_price_dollars=1.5e6,
+                        throughput_wafers_per_hour=60.0,
+                        labor_minutes=0.5, materials_dollars=2.0)
+        total = step.cost_per_wafer(depreciation_years=5.0,
+                                    maintenance_fraction_per_year=0.08,
+                                    utilization=0.85,
+                                    hours_per_year=7500.0,
+                                    labor_rate_per_hour=40.0)
+        annual = 1.5e6 / 5.0 + 1.5e6 * 0.08
+        equipment = annual / (60.0 * 7500.0 * 0.85)
+        assert total == pytest.approx(equipment + 40.0 * 0.5 / 60.0 + 2.0)
+
+    def test_idle_tool_costs_more_per_wafer(self):
+        step = StepCost(kind=EquipmentType.LITHOGRAPHY,
+                        tool_price_dollars=4e6,
+                        throughput_wafers_per_hour=50.0)
+        busy = step.cost_per_wafer(utilization=0.9)
+        idle = step.cost_per_wafer(utilization=0.3)
+        # Equipment share scales as 1/utilization (3x here); labor and
+        # materials do not, so the total lands between 2x and 3x.
+        assert 2.0 * busy < idle < 3.0 * busy
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            StepCost(kind=EquipmentType.ETCH, tool_price_dollars=0.0,
+                     throughput_wafers_per_hour=60.0)
+
+
+class TestBreakdown:
+    def test_reference_node_cost_in_paper_band(self, model):
+        """$500-800 for a 1 um 6-inch wafer [12, 13] — the bottom-up
+        build must land in the same ballpark without tuning."""
+        cost = model.cost(1.0)
+        assert 400.0 < cost < 1000.0
+
+    def test_cost_grows_under_shrink(self, model):
+        costs = [model.cost(l) for l in (1.0, 0.8, 0.65, 0.5, 0.35)]
+        assert costs == sorted(costs)
+
+    def test_step_count_follows_fig4(self, model):
+        assert model.breakdown(1.0).n_steps == pytest.approx(250, abs=2)
+        assert model.breakdown(0.5).n_steps > model.breakdown(1.0).n_steps
+
+    def test_equipment_share_grows_with_shrink(self, model):
+        """Capital intensification: equipment's share of wafer cost rises
+        each generation (the mechanism behind X)."""
+        share_1um = model.breakdown(1.0).share("equipment")
+        share_035 = model.breakdown(0.35).share("equipment")
+        assert share_035 > share_1um
+
+    def test_breakdown_components_sum(self, model):
+        b = model.breakdown(0.8)
+        assert b.total_dollars == pytest.approx(
+            b.equipment_dollars + b.labor_dollars + b.materials_dollars
+            + b.facility_dollars)
+
+    def test_share_validates_component(self, model):
+        with pytest.raises(ParameterError):
+            model.breakdown(1.0).share("magic")
+
+
+class TestEffectiveX:
+    def test_derived_x_in_published_band(self, model):
+        """The bottom-up build implies X in the published 1.2-2.4 range,
+        closing the loop between Fig. 4 and eq. (3)."""
+        x = model.effective_growth_rate()
+        assert 1.2 <= x <= 2.4
+
+    def test_contamination_crisis_raises_x(self, model):
+        """S.1.1: X grows 'at any juncture requiring quantum improvements
+        in contamination control'."""
+        crisis = model.with_contamination_crisis(facility_growth=1.8)
+        assert crisis.effective_growth_rate() > model.effective_growth_rate()
+
+    def test_x_direction_with_litho_inflation(self, model):
+        import dataclasses
+        growth = dict(model.tool_price_growth)
+        growth[EquipmentType.LITHOGRAPHY] = 2.0
+        hot = dataclasses.replace(model, tool_price_growth=growth)
+        assert hot.effective_growth_rate() > model.effective_growth_rate()
+
+    def test_x_validation(self, model):
+        with pytest.raises(ParameterError):
+            model.effective_growth_rate(lam_fine_um=1.0, lam_coarse_um=0.5)
+
+
+class TestValidation:
+    def test_step_mix_must_sum_to_one(self):
+        with pytest.raises(ParameterError):
+            BottomUpWaferCost(step_mix={EquipmentType.ETCH: 0.5})
+
+    def test_mix_needs_prices(self):
+        with pytest.raises(ParameterError):
+            BottomUpWaferCost(step_mix={EquipmentType.ETCH: 1.0},
+                              tool_prices={})

@@ -1,0 +1,96 @@
+"""Equipment groups, process flows, utilization."""
+
+import pytest
+
+from repro.errors import CapacityError, ParameterError
+from repro.manufacturing import Equipment, EquipmentType, ProcessFlow, ProcessStep
+from repro.manufacturing.equipment import utilization_by_type
+
+
+@pytest.fixture
+def litho():
+    return Equipment(kind=EquipmentType.LITHOGRAPHY, n_tools=2,
+                     hours_per_week=144.0,
+                     ownership_cost_per_week_dollars=80_000.0)
+
+
+class TestEquipment:
+    def test_capacity(self, litho):
+        assert litho.capacity_hours_per_week == pytest.approx(288.0)
+
+    def test_weekly_ownership(self, litho):
+        assert litho.weekly_ownership_cost_dollars == pytest.approx(160_000.0)
+
+    def test_rejects_zero_tools(self):
+        with pytest.raises(ParameterError):
+            Equipment(kind=EquipmentType.ETCH, n_tools=0)
+
+    def test_rejects_impossible_hours(self):
+        with pytest.raises(ParameterError):
+            Equipment(kind=EquipmentType.ETCH, n_tools=1, hours_per_week=169.0)
+
+
+class TestProcessFlow:
+    def test_demand_aggregation(self):
+        flow = ProcessFlow(name="toy", steps=(
+            ProcessStep(EquipmentType.LITHOGRAPHY, 0.02),
+            ProcessStep(EquipmentType.LITHOGRAPHY, 0.03),
+            ProcessStep(EquipmentType.ETCH, 0.01),
+        ))
+        demand = flow.demand_by_type()
+        assert demand[EquipmentType.LITHOGRAPHY] == pytest.approx(0.05)
+        assert demand[EquipmentType.ETCH] == pytest.approx(0.01)
+        assert flow.n_steps == 3
+
+    def test_empty_flow_rejected(self):
+        with pytest.raises(ParameterError):
+            ProcessFlow(name="empty", steps=())
+
+    def test_generic_cmos_scales_with_metal_layers(self):
+        two = ProcessFlow.generic_cmos(n_metal_layers=2)
+        four = ProcessFlow.generic_cmos(n_metal_layers=4)
+        assert four.n_steps > two.n_steps
+        d2 = two.demand_by_type()[EquipmentType.LITHOGRAPHY]
+        d4 = four.demand_by_type()[EquipmentType.LITHOGRAPHY]
+        assert d4 > d2
+
+    def test_generic_cmos_step_count_plausible(self):
+        """Fig.-4 scale: hundreds of steps for a 1990s CMOS flow."""
+        flow = ProcessFlow.generic_cmos(n_metal_layers=3)
+        assert 50 <= flow.n_steps <= 500
+
+    def test_generic_cmos_rejects_zero_layers(self):
+        with pytest.raises(ParameterError):
+            ProcessFlow.generic_cmos(n_metal_layers=0)
+
+
+class TestUtilization:
+    def test_basic(self, litho):
+        util = utilization_by_type((litho,),
+                                   {EquipmentType.LITHOGRAPHY: 144.0})
+        assert util[EquipmentType.LITHOGRAPHY] == pytest.approx(0.5)
+
+    def test_pools_same_type(self):
+        eq = (Equipment(EquipmentType.ETCH, n_tools=1),
+              Equipment(EquipmentType.ETCH, n_tools=1))
+        util = utilization_by_type(eq, {EquipmentType.ETCH: 144.0})
+        assert util[EquipmentType.ETCH] == pytest.approx(0.5)
+
+    def test_overload_raises(self, litho):
+        with pytest.raises(CapacityError):
+            utilization_by_type((litho,),
+                                {EquipmentType.LITHOGRAPHY: 289.0})
+
+    def test_missing_equipment_raises(self, litho):
+        with pytest.raises(CapacityError):
+            utilization_by_type((litho,), {EquipmentType.IMPLANT: 1.0})
+
+    def test_zero_demand_for_missing_type_ok(self, litho):
+        util = utilization_by_type((litho,), {EquipmentType.IMPLANT: 0.0})
+        assert util[EquipmentType.LITHOGRAPHY] == 0.0
+
+    def test_idle_types_reported_at_zero(self, litho):
+        idle = Equipment(EquipmentType.CMP, n_tools=1)
+        util = utilization_by_type((litho, idle),
+                                   {EquipmentType.LITHOGRAPHY: 100.0})
+        assert util[EquipmentType.CMP] == 0.0

@@ -1,0 +1,122 @@
+"""Fab investment: NPV, IRR, payback, breakeven margin."""
+
+import pytest
+
+from repro.errors import ConvergenceError, ParameterError
+from repro.manufacturing import FabInvestment, irr, npv
+
+
+class TestNpv:
+    def test_zero_rate_is_sum(self):
+        assert npv([-100.0, 60.0, 60.0], 0.0) == pytest.approx(20.0)
+
+    def test_known_value(self):
+        # -100 + 110/1.1 = 0 at 10%.
+        assert npv([-100.0, 110.0], 0.10) == pytest.approx(0.0)
+
+    def test_higher_rate_lower_npv_for_conventional(self):
+        flows = [-100.0, 50.0, 50.0, 50.0]
+        assert npv(flows, 0.05) > npv(flows, 0.20)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            npv([], 0.1)
+        with pytest.raises(ParameterError):
+            npv([-1.0, 2.0], -1.0)
+
+
+class TestIrr:
+    def test_known_irr(self):
+        assert irr([-100.0, 110.0]) == pytest.approx(0.10, abs=1e-6)
+
+    def test_multi_year(self):
+        # -100 now, 60 for two years: IRR solves 60/(1+r)+60/(1+r)^2=100.
+        rate = irr([-100.0, 60.0, 60.0])
+        assert npv([-100.0, 60.0, 60.0], rate) == pytest.approx(0.0, abs=1e-5)
+
+    def test_all_positive_flows_unbracketed(self):
+        with pytest.raises(ConvergenceError):
+            irr([100.0, 50.0])
+
+
+@pytest.fixture
+def megafab():
+    """A $1B fab shipping 120k wafers/year at $2500 margin (a mid-1990s
+    leading-edge wafer sold near $4-6k against ~$2k variable cost)."""
+    return FabInvestment(construction_cost_dollars=1.0e9,
+                         wafers_per_year=120_000,
+                         margin_per_wafer_dollars=2500.0,
+                         ramp_years=2, life_years=8)
+
+
+class TestFabInvestment:
+    def test_cash_flow_shape(self, megafab):
+        flows = megafab.cash_flows()
+        assert len(flows) == 9
+        assert flows[0] == -1.0e9
+        # Ramp: year 1 ships half of steady state.
+        assert flows[1] == pytest.approx(flows[2] / 2.0)
+        assert all(f > 0 for f in flows[1:])
+
+    def test_positive_npv_at_modest_hurdle(self, megafab):
+        assert megafab.npv(0.10) > 0.0
+
+    def test_irr_above_hurdle(self, megafab):
+        assert megafab.irr() > 0.10
+
+    def test_payback_within_life(self, megafab):
+        payback = megafab.discounted_payback_years(0.10)
+        assert payback is not None
+        assert 1 <= payback <= 8
+
+    def test_margin_erosion_kills_the_case(self):
+        eroding = FabInvestment(construction_cost_dollars=1.0e9,
+                                wafers_per_year=120_000,
+                                margin_per_wafer_dollars=2500.0,
+                                ramp_years=2, life_years=8,
+                                margin_erosion_per_year=0.35)
+        solid = FabInvestment(construction_cost_dollars=1.0e9,
+                              wafers_per_year=120_000,
+                              margin_per_wafer_dollars=2500.0,
+                              ramp_years=2, life_years=8)
+        assert eroding.npv(0.10) < solid.npv(0.10)
+        assert eroding.irr() < solid.irr()
+
+    def test_breakeven_margin_is_a_zero(self, megafab):
+        floor = megafab.breakeven_margin(0.12)
+        at_floor = FabInvestment(construction_cost_dollars=1.0e9,
+                                 wafers_per_year=120_000,
+                                 margin_per_wafer_dollars=floor,
+                                 ramp_years=2, life_years=8)
+        assert at_floor.npv(0.12) == pytest.approx(0.0, abs=1.0e4)
+        # Below the floor: negative NPV.
+        below = FabInvestment(construction_cost_dollars=1.0e9,
+                              wafers_per_year=120_000,
+                              margin_per_wafer_dollars=floor * 0.8,
+                              ramp_years=2, life_years=8)
+        assert below.npv(0.12) < 0.0
+
+    def test_phase1_story(self):
+        """The paper's Phase-1 asymmetry: the same margin stream that
+        justifies a megafab at high volume cannot justify it at niche
+        volume — capital indivisibility is the moat."""
+        mega = FabInvestment(construction_cost_dollars=1.0e9,
+                             wafers_per_year=120_000,
+                             margin_per_wafer_dollars=2500.0)
+        niche_in_megafab = FabInvestment(construction_cost_dollars=1.0e9,
+                                         wafers_per_year=20_000,
+                                         margin_per_wafer_dollars=2500.0)
+        assert mega.npv(0.10) > 0.0
+        assert niche_in_megafab.npv(0.10) < 0.0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            FabInvestment(construction_cost_dollars=1e9,
+                          wafers_per_year=1e5,
+                          margin_per_wafer_dollars=500.0,
+                          ramp_years=0)
+        with pytest.raises(ParameterError):
+            FabInvestment(construction_cost_dollars=1e9,
+                          wafers_per_year=1e5,
+                          margin_per_wafer_dollars=500.0,
+                          ramp_years=4, life_years=3)

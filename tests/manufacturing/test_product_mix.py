@@ -1,0 +1,96 @@
+"""Product-mix cost penalty (Sec. III.A.d / ref [12])."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.manufacturing import FabLoad, ProductDemand, mix_cost_ratio
+from repro.manufacturing.equipment import (
+    Equipment,
+    EquipmentType,
+    ProcessFlow,
+    ProcessStep,
+)
+from repro.manufacturing.product_mix import size_equipment_for_flow
+
+
+@pytest.fixture
+def flows():
+    return tuple(ProcessFlow.generic_cmos(n_metal_layers=m, name=f"cmos-{m}M")
+                 for m in (1, 2, 3, 4))
+
+
+class TestSizing:
+    def test_sized_fab_sustains_its_flow(self, flows):
+        flow = flows[1]
+        equipment = size_equipment_for_flow(flow, 1000.0)
+        load = FabLoad(equipment=equipment,
+                       demands=(ProductDemand(flow=flow, wafers_per_week=1000.0),))
+        utils = load.utilizations()  # must not raise CapacityError
+        assert all(0.0 < u <= 1.0 for u in utils.values())
+
+    def test_high_volume_fab_is_well_utilized(self, flows):
+        """The mono-product premise: near-full utilization at volume."""
+        flow = flows[1]
+        equipment = size_equipment_for_flow(flow, 5000.0)
+        load = FabLoad(equipment=equipment,
+                       demands=(ProductDemand(flow=flow, wafers_per_week=5000.0),))
+        assert load.mean_utilization() > 0.8
+
+    def test_low_volume_fab_poorly_utilized(self, flows):
+        flow = flows[1]
+        equipment = size_equipment_for_flow(flow, 10.0)
+        load = FabLoad(equipment=equipment,
+                       demands=(ProductDemand(flow=flow, wafers_per_week=10.0),))
+        assert load.mean_utilization() < 0.5
+
+
+class TestMixRatio:
+    def test_low_volume_multiproduct_penalty_large(self, flows):
+        """The [12] result: the penalty can reach ~7x (and beyond at
+        extreme volumes)."""
+        ratio = mix_cost_ratio(flows, wafers_per_week_each=20.0,
+                               reference_volume_per_week=5000.0)
+        assert ratio >= 5.0
+
+    def test_penalty_shrinks_with_volume(self, flows):
+        low = mix_cost_ratio(flows, 20.0, 5000.0)
+        mid = mix_cost_ratio(flows, 200.0, 5000.0)
+        high = mix_cost_ratio(flows, 1000.0, 5000.0)
+        assert low > mid > high
+
+    def test_high_volume_multiproduct_near_parity(self, flows):
+        ratio = mix_cost_ratio(flows, 2000.0, 5000.0)
+        assert ratio < 2.0
+
+    def test_single_flow_at_reference_volume_is_parity(self, flows):
+        ratio = mix_cost_ratio(flows[:1], 5000.0, 5000.0)
+        assert ratio == pytest.approx(1.0, abs=0.15)
+
+    def test_rejects_empty_flows(self):
+        with pytest.raises(ParameterError):
+            mix_cost_ratio((), 10.0, 1000.0)
+
+
+class TestFabLoad:
+    def test_ownership_cost_per_wafer(self):
+        eq = (Equipment(EquipmentType.LITHOGRAPHY, n_tools=1,
+                        ownership_cost_per_week_dollars=70_000.0),)
+        flow = ProcessFlow(name="f", steps=(
+            ProcessStep(EquipmentType.LITHOGRAPHY, 0.1),))
+        load = FabLoad(equipment=eq,
+                       demands=(ProductDemand(flow=flow, wafers_per_week=700.0),))
+        assert load.ownership_cost_per_wafer() == pytest.approx(100.0)
+
+    def test_overloaded_fab_has_no_cost(self):
+        eq = (Equipment(EquipmentType.LITHOGRAPHY, n_tools=1,
+                        hours_per_week=100.0),)
+        flow = ProcessFlow(name="f", steps=(
+            ProcessStep(EquipmentType.LITHOGRAPHY, 1.0),))
+        load = FabLoad(equipment=eq,
+                       demands=(ProductDemand(flow=flow, wafers_per_week=200.0),))
+        with pytest.raises(Exception):
+            load.ownership_cost_per_wafer()
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            FabLoad(equipment=(), demands=())

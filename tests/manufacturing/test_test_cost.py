@@ -1,0 +1,129 @@
+"""Test cost and DFT/BIST economics (Sec. III.A.e, Sec. VI)."""
+
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.manufacturing import TestCostModel, TestEconomics
+
+
+@pytest.fixture
+def model():
+    return TestCostModel()
+
+
+class TestTimes:
+    def test_probe_time_grows_with_size(self, model):
+        assert model.probe_seconds(3e6) > model.probe_seconds(1e5)
+
+    def test_probe_cost_is_time_times_rate(self, model):
+        n = 1e6
+        expected = model.probe_seconds(n) * 300.0 / 3600.0
+        assert model.probe_cost(n) == pytest.approx(expected)
+
+    def test_final_slower_than_probe(self, model):
+        # Packaged test runs longer vector sets per the configured model.
+        assert model.final_seconds(1e6) > model.probe_seconds(1e6)
+
+    def test_wafer_test_cost_scale(self, model):
+        """Paper: 'the cost of testing a wafer may be comparable with
+        the cost of manufacturing' — with a big die count and multi-
+        million-transistor dies, probe cost reaches hundreds of dollars."""
+        cost = model.wafer_test_cost(3.0e6, dies_per_wafer=50)
+        assert cost > 30.0  # same order as a cheap wafer's cost
+
+    def test_rejects_bad_die_count(self, model):
+        with pytest.raises(ParameterError):
+            model.wafer_test_cost(1e6, dies_per_wafer=0)
+
+
+class TestDefectLevel:
+    def test_full_coverage_ships_no_escapes(self):
+        econ = TestEconomics(yield_value=0.5, fault_coverage=1.0)
+        assert econ.defect_level == pytest.approx(0.0)
+
+    def test_zero_coverage_ships_everything(self):
+        econ = TestEconomics(yield_value=0.6, fault_coverage=0.0)
+        assert econ.defect_level == pytest.approx(0.4)
+        assert econ.shipped_fraction() == pytest.approx(1.0)
+
+    def test_williams_brown_value(self):
+        econ = TestEconomics(yield_value=0.5, fault_coverage=0.9)
+        assert econ.defect_level == pytest.approx(1.0 - 0.5 ** 0.1)
+
+    def test_defect_level_falls_with_coverage(self):
+        dls = [TestEconomics(yield_value=0.5, fault_coverage=c).defect_level
+               for c in (0.5, 0.8, 0.95, 0.99)]
+        assert dls == sorted(dls, reverse=True)
+
+    def test_shipped_fraction_identity(self):
+        """shipped = Y^c (pass probability) under Williams-Brown."""
+        econ = TestEconomics(yield_value=0.7, fault_coverage=0.85)
+        assert econ.shipped_fraction() == pytest.approx(0.7 ** 0.85)
+
+
+class TestCostPerShippedDie:
+    def test_higher_coverage_cuts_escape_cost(self):
+        low = TestEconomics(yield_value=0.6, fault_coverage=0.8,
+                            escape_cost_dollars=500.0)
+        high = TestEconomics(yield_value=0.6, fault_coverage=0.99,
+                             escape_cost_dollars=500.0)
+        assert high.cost_per_shipped_die(1e6, 20.0) < \
+            low.cost_per_shipped_die(1e6, 20.0)
+
+    def test_escape_cost_zero_favors_less_testing(self):
+        """With free escapes, extra coverage only adds cost, proving the
+        model prices coverage rather than assuming it is always good."""
+        low = TestEconomics(yield_value=0.6, fault_coverage=0.8,
+                            escape_cost_dollars=0.0)
+        high = TestEconomics(yield_value=0.6, fault_coverage=0.99,
+                             escape_cost_dollars=0.0)
+        # Higher coverage rejects more dies, raising cost per shipped die.
+        assert high.cost_per_shipped_die(1e6, 20.0) > \
+            low.cost_per_shipped_die(1e6, 20.0)
+
+    def test_die_cost_passthrough(self):
+        econ = TestEconomics(yield_value=1.0, fault_coverage=1.0,
+                             escape_cost_dollars=0.0)
+        base = econ.cost_per_shipped_die(1e5, 10.0)
+        more = econ.cost_per_shipped_die(1e5, 11.0)
+        assert more - base == pytest.approx(1.0)
+
+
+class TestDftDecision:
+    def test_dft_pays_when_escapes_expensive(self):
+        econ = TestEconomics(yield_value=0.6, fault_coverage=0.85,
+                             escape_cost_dollars=1000.0)
+        outcome = econ.with_dft(coverage_gain=0.12,
+                                area_overhead_fraction=0.05)
+        assert outcome.net_benefit_per_shipped_die(2e6, 25.0) > 0.0
+
+    def test_dft_does_not_pay_when_escapes_cheap(self):
+        econ = TestEconomics(yield_value=0.9, fault_coverage=0.95,
+                             escape_cost_dollars=1.0)
+        outcome = econ.with_dft(coverage_gain=0.04,
+                                area_overhead_fraction=0.10)
+        assert outcome.net_benefit_per_shipped_die(2e6, 25.0) < 0.0
+
+    def test_coverage_clamped_at_one(self):
+        econ = TestEconomics(yield_value=0.8, fault_coverage=0.95)
+        outcome = econ.with_dft(coverage_gain=0.5,
+                                area_overhead_fraction=0.02)
+        assert outcome.improved.fault_coverage == 1.0
+
+    def test_bist_compresses_test_time(self):
+        econ = TestEconomics(yield_value=0.8, fault_coverage=0.9)
+        outcome = econ.with_dft(coverage_gain=0.05,
+                                area_overhead_fraction=0.03,
+                                test_time_factor=0.25)
+        base_t = econ.test_model.probe_seconds(1e6)
+        new_t = outcome.improved.test_model.probe_seconds(1e6)
+        assert new_t == pytest.approx(0.25 * base_t)
+
+    def test_validation(self):
+        econ = TestEconomics(yield_value=0.8, fault_coverage=0.9)
+        with pytest.raises(ParameterError):
+            econ.with_dft(coverage_gain=0.05, area_overhead_fraction=1.0)
+        with pytest.raises(ParameterError):
+            TestEconomics(yield_value=0.0, fault_coverage=0.9)

@@ -1,0 +1,141 @@
+"""Fab queueing dynamics: cycle time, WIP, cost of time."""
+
+import pytest
+
+from repro.errors import CapacityError, ParameterError
+from repro.manufacturing import CycleTimeCost, FabDynamics, erlang_c, mmc_wait_hours
+from repro.manufacturing.equipment import ProcessFlow
+from repro.manufacturing.product_mix import size_equipment_for_flow
+
+
+class TestErlangC:
+    def test_single_server_known_value(self):
+        # M/M/1: P(wait) = rho.
+        assert erlang_c(1, 0.5) == pytest.approx(0.5)
+        assert erlang_c(1, 0.9) == pytest.approx(0.9)
+
+    def test_zero_load_never_waits(self):
+        assert erlang_c(4, 0.0) == 0.0
+
+    def test_more_servers_less_waiting(self):
+        # Same offered load spread over more servers.
+        assert erlang_c(4, 2.0) < erlang_c(3, 2.0)
+
+    def test_unstable_queue_raises(self):
+        with pytest.raises(CapacityError):
+            erlang_c(2, 2.0)
+
+    def test_probability_bounds(self):
+        for c, a in [(1, 0.3), (2, 1.5), (8, 7.0)]:
+            p = erlang_c(c, a)
+            assert 0.0 <= p <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            erlang_c(0, 0.5)
+
+
+class TestMmcWait:
+    def test_mm1_closed_form(self):
+        # M/M/1 wait: rho/(mu - lambda_arr) ... W_q = rho/(mu(1-rho)).
+        lam, mu = 0.5, 1.0
+        expected = (lam / mu) / (mu - lam)
+        assert mmc_wait_hours(1, lam, 1.0 / mu) == pytest.approx(expected)
+
+    def test_wait_explodes_near_saturation(self):
+        w_low = mmc_wait_hours(1, 0.5, 1.0)
+        w_high = mmc_wait_hours(1, 0.95, 1.0)
+        assert w_high > 10 * w_low
+
+
+@pytest.fixture
+def flow():
+    return ProcessFlow.generic_cmos(n_metal_layers=2)
+
+
+@pytest.fixture
+def equipment(flow):
+    return size_equipment_for_flow(flow, 3000.0)
+
+
+class TestFabDynamics:
+    def test_x_factor_at_least_one(self, flow, equipment):
+        dyn = FabDynamics(equipment=equipment, flow=flow,
+                          wafer_starts_per_hour=10.0)
+        assert dyn.x_factor() >= 1.0
+
+    def test_hockey_stick(self, flow, equipment):
+        """Cycle time grows nonlinearly as starts approach capacity."""
+        rates = (5.0, 10.0, 15.0, 17.0)
+        cycle_times = []
+        for rate in rates:
+            dyn = FabDynamics(equipment=equipment, flow=flow,
+                              wafer_starts_per_hour=rate)
+            cycle_times.append(dyn.cycle_time_hours())
+        assert cycle_times == sorted(cycle_times)
+        # Convexity: the last increment dwarfs the first.
+        assert (cycle_times[3] - cycle_times[2]) > \
+            2.0 * (cycle_times[1] - cycle_times[0])
+
+    def test_littles_law(self, flow, equipment):
+        dyn = FabDynamics(equipment=equipment, flow=flow,
+                          wafer_starts_per_hour=12.0)
+        assert dyn.wip_wafers() == pytest.approx(
+            12.0 * dyn.cycle_time_hours())
+
+    def test_bottleneck_is_most_utilized(self, flow, equipment):
+        dyn = FabDynamics(equipment=equipment, flow=flow,
+                          wafer_starts_per_hour=12.0)
+        stations = dyn.stations()
+        assert dyn.bottleneck().utilization == pytest.approx(
+            max(s.utilization for s in stations))
+
+    def test_overload_raises(self, flow, equipment):
+        dyn = FabDynamics(equipment=equipment, flow=flow,
+                          wafer_starts_per_hour=1000.0)
+        with pytest.raises(CapacityError):
+            dyn.cycle_time_hours()
+
+    def test_raw_process_time_is_flow_total(self, flow, equipment):
+        dyn = FabDynamics(equipment=equipment, flow=flow,
+                          wafer_starts_per_hour=5.0)
+        assert dyn.raw_process_hours() == pytest.approx(
+            sum(flow.demand_by_type().values()))
+
+    def test_validation(self, flow, equipment):
+        with pytest.raises(ParameterError):
+            FabDynamics(equipment=(), flow=flow, wafer_starts_per_hour=1.0)
+        with pytest.raises(ParameterError):
+            FabDynamics(equipment=equipment, flow=flow,
+                        wafer_starts_per_hour=0.0)
+
+
+class TestCycleTimeCost:
+    def test_zero_cycle_time_costs_nothing(self):
+        assert CycleTimeCost().cost_per_wafer(0.0) == pytest.approx(0.0)
+
+    def test_cost_monotone_in_cycle_time(self):
+        cost = CycleTimeCost()
+        values = [cost.cost_per_wafer(h) for h in (24, 240, 2400)]
+        assert values == sorted(values)
+
+    def test_erosion_dominates_carrying_for_products(self):
+        """For a priced product, time-to-market (price erosion) costs far
+        more than WIP carrying — the reason cycle time obsesses fabs."""
+        cost = CycleTimeCost(wip_value_dollars=1000.0,
+                             annual_carrying_rate=0.15,
+                             revenue_decay_per_month=0.03,
+                             revenue_per_wafer_dollars=5000.0)
+        month_hours = 24.0 * 30.0
+        carrying_only = CycleTimeCost(
+            wip_value_dollars=1000.0, annual_carrying_rate=0.15,
+            revenue_decay_per_month=1e-9,
+            revenue_per_wafer_dollars=5000.0).cost_per_wafer(month_hours)
+        total = cost.cost_per_wafer(month_hours)
+        assert total - carrying_only > 5.0 * carrying_only
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            CycleTimeCost(annual_carrying_rate=1.0)
+        with pytest.raises(ParameterError):
+            CycleTimeCost().cost_per_wafer(-1.0)

@@ -1,0 +1,92 @@
+"""Eq. (2): volume/overhead economics."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.manufacturing import VolumeCostCurve
+
+
+class TestCost:
+    def test_equation_two(self):
+        curve = VolumeCostCurve(pure_cost_dollars=500.0,
+                                overhead_dollars=1.0e6)
+        assert curve.cost(10_000) == pytest.approx(600.0)
+
+    def test_infinite_volume_limit_is_pure_cost(self):
+        curve = VolumeCostCurve(pure_cost_dollars=500.0,
+                                overhead_dollars=1.0e8)
+        assert curve.cost(1e12) == pytest.approx(500.0, rel=1e-3)
+
+    def test_low_volume_dominated_by_overhead(self):
+        """The paper's $100M uP overhead at ASIC-like volume is ruinous."""
+        micro = VolumeCostCurve(pure_cost_dollars=800.0,
+                                overhead_dollars=100.0e6)
+        assert micro.cost(1000) > 100 * micro.pure_cost_dollars
+
+    def test_cost_monotone_decreasing_in_volume(self):
+        curve = VolumeCostCurve(500.0, 5.0e6)
+        costs = [curve.cost(v) for v in (100, 1000, 10_000, 100_000)]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_rejects_zero_volume(self):
+        with pytest.raises(ParameterError):
+            VolumeCostCurve(500.0, 1e6).cost(0.0)
+
+
+class TestOverheadShare:
+    def test_half_share_volume(self):
+        curve = VolumeCostCurve(500.0, 1.0e6)
+        v = curve.volume_for_cost(1000.0)  # overhead = pure at this volume
+        assert curve.overhead_share(v) == pytest.approx(0.5)
+
+    def test_share_falls_with_volume(self):
+        curve = VolumeCostCurve(500.0, 1.0e6)
+        assert curve.overhead_share(1e5) < curve.overhead_share(1e3)
+
+    def test_zero_overhead_zero_share(self):
+        assert VolumeCostCurve(500.0).overhead_share(100.0) == 0.0
+
+
+class TestVolumeForCost:
+    def test_roundtrip(self):
+        curve = VolumeCostCurve(500.0, 2.0e6)
+        v = curve.volume_for_cost(700.0)
+        assert curve.cost(v) == pytest.approx(700.0)
+
+    def test_unreachable_target_raises(self):
+        curve = VolumeCostCurve(500.0, 1e6)
+        with pytest.raises(ParameterError):
+            curve.volume_for_cost(500.0)
+
+    def test_flat_curve_raises(self):
+        with pytest.raises(ParameterError):
+            VolumeCostCurve(500.0, 0.0).volume_for_cost(600.0)
+
+
+class TestBreakeven:
+    def test_make_vs_buy(self):
+        own_fab = VolumeCostCurve(pure_cost_dollars=400.0,
+                                  overhead_dollars=50.0e6)
+        foundry = VolumeCostCurve(pure_cost_dollars=900.0,
+                                  overhead_dollars=1.0e6)
+        v = own_fab.breakeven_volume(foundry)
+        assert own_fab.cost(v) == pytest.approx(foundry.cost(v))
+        # Below breakeven the foundry wins, above the own fab wins.
+        assert foundry.cost(v / 2) < own_fab.cost(v / 2)
+        assert own_fab.cost(v * 2) < foundry.cost(v * 2)
+
+    def test_breakeven_symmetric(self):
+        a = VolumeCostCurve(400.0, 5e7)
+        b = VolumeCostCurve(900.0, 1e6)
+        assert a.breakeven_volume(b) == pytest.approx(b.breakeven_volume(a))
+
+    def test_dominated_curves_raise(self):
+        cheap = VolumeCostCurve(400.0, 1e6)
+        dear = VolumeCostCurve(900.0, 5e7)
+        with pytest.raises(ParameterError):
+            cheap.breakeven_volume(dear)
+
+    def test_identical_curves_raise(self):
+        a = VolumeCostCurve(400.0, 1e6)
+        with pytest.raises(ParameterError):
+            a.breakeven_volume(VolumeCostCurve(400.0, 1e6))

@@ -1,0 +1,111 @@
+"""Property-based tests for the planning modules (budget, spatial,
+investment)."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.manufacturing import FabInvestment, npv
+from repro.yieldsim import (
+    LayerDefectivity,
+    RadialDefectProfile,
+    allocate_cleaning,
+)
+from repro.yieldsim.budget import total_density
+
+layer_st = st.builds(
+    LayerDefectivity,
+    name=st.sampled_from(["a", "b", "c", "d", "e"]),
+    density_per_cm2=st.floats(min_value=0.01, max_value=5.0),
+    cost_per_decade_dollars=st.floats(min_value=1e5, max_value=1e8),
+)
+
+
+class TestBudgetProperties:
+    @settings(max_examples=60)
+    @given(layers=st.lists(layer_st, min_size=1, max_size=6, unique_by=lambda l: l.name),
+           budget_frac=st.floats(min_value=0.05, max_value=0.95))
+    def test_allocation_meets_budget_and_monotone(self, layers, budget_frac):
+        layers = tuple(layers)
+        budget = total_density(layers) * budget_frac
+        allocations = allocate_cleaning(layers, budget)
+        achieved = sum(a.target_density_per_cm2 for a in allocations)
+        assert achieved <= budget * (1.0 + 1e-9)
+        for a in allocations:
+            # Never dirtier; never negative densities.
+            assert 0.0 < a.target_density_per_cm2 \
+                <= a.layer.density_per_cm2 + 1e-12
+            assert a.cleaning_cost_dollars >= -1e-9
+
+    @settings(max_examples=40)
+    @given(layers=st.lists(layer_st, min_size=2, max_size=5, unique_by=lambda l: l.name),
+           f1=st.floats(min_value=0.1, max_value=0.9),
+           f2=st.floats(min_value=0.1, max_value=0.9))
+    def test_tighter_budget_never_cheaper(self, layers, f1, f2):
+        assume(abs(f1 - f2) > 0.02)
+        layers = tuple(layers)
+        total = total_density(layers)
+        lo_frac, hi_frac = min(f1, f2), max(f1, f2)
+        cost_tight = sum(a.cleaning_cost_dollars
+                         for a in allocate_cleaning(layers, total * lo_frac))
+        cost_loose = sum(a.cleaning_cost_dollars
+                         for a in allocate_cleaning(layers, total * hi_frac))
+        assert cost_tight >= cost_loose - 1e-6
+
+
+class TestSpatialProperties:
+    @given(d0=st.floats(min_value=0.05, max_value=5.0),
+           g=st.floats(min_value=0.0, max_value=4.0),
+           r_frac=st.floats(min_value=0.0, max_value=1.0))
+    def test_density_between_center_and_edge(self, d0, g, r_frac):
+        profile = RadialDefectProfile(d0, g)
+        d = profile.density_at(r_frac * 7.5, 7.5)
+        assert d0 - 1e-12 <= d <= d0 * (1.0 + g) + 1e-12
+
+    @given(d0=st.floats(min_value=0.05, max_value=5.0),
+           g=st.floats(min_value=0.0, max_value=4.0))
+    def test_mean_density_between_extremes(self, d0, g):
+        profile = RadialDefectProfile(d0, g)
+        mean = profile.mean_density(7.5)
+        assert d0 <= mean <= d0 * (1.0 + g) + 1e-12
+
+
+class TestInvestmentProperties:
+    @settings(max_examples=40)
+    @given(capital=st.floats(min_value=1e8, max_value=5e9),
+           volume=st.floats(min_value=1e4, max_value=5e5),
+           margin=st.floats(min_value=100.0, max_value=5e3),
+           rate=st.floats(min_value=0.0, max_value=0.5))
+    def test_npv_decreasing_in_rate(self, capital, volume, margin, rate):
+        fab = FabInvestment(construction_cost_dollars=capital,
+                            wafers_per_year=volume,
+                            margin_per_wafer_dollars=margin)
+        assert fab.npv(rate) >= fab.npv(rate + 0.05) - 1e-6
+
+    @settings(max_examples=40)
+    @given(capital=st.floats(min_value=1e8, max_value=5e9),
+           volume=st.floats(min_value=1e4, max_value=5e5),
+           margin=st.floats(min_value=100.0, max_value=5e3))
+    def test_irr_zeroes_npv(self, capital, volume, margin):
+        fab = FabInvestment(construction_cost_dollars=capital,
+                            wafers_per_year=volume,
+                            margin_per_wafer_dollars=margin)
+        try:
+            rate = fab.irr()
+        except Exception:
+            return  # unbracketed IRR (hopeless or absurd projects)
+        assert abs(fab.npv(rate)) < max(1e-4 * capital, 1.0)
+
+    @settings(max_examples=30)
+    @given(margin=st.floats(min_value=200.0, max_value=5e3),
+           erosion=st.floats(min_value=0.0, max_value=0.5))
+    def test_erosion_never_helps(self, margin, erosion):
+        base = FabInvestment(construction_cost_dollars=1e9,
+                             wafers_per_year=1.2e5,
+                             margin_per_wafer_dollars=margin)
+        eroding = FabInvestment(construction_cost_dollars=1e9,
+                                wafers_per_year=1.2e5,
+                                margin_per_wafer_dollars=margin,
+                                margin_erosion_per_year=erosion)
+        assert eroding.npv(0.1) <= base.npv(0.1) + 1e-6

@@ -1,0 +1,222 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import GenerationModel, WaferCostModel
+from repro.core.optimization import FabCharacterization, transistor_cost_full
+from repro.geometry import (
+    Die,
+    Wafer,
+    dies_per_wafer_area_approx,
+    dies_per_wafer_maly,
+)
+from repro.manufacturing import VolumeCostCurve
+from repro.yieldsim import (
+    BoseEinsteinYield,
+    DefectSizeDistribution,
+    MurphyYield,
+    NegativeBinomialYield,
+    PoissonYield,
+    RedundantMemoryYield,
+    SeedsYield,
+)
+
+lam_st = st.floats(min_value=0.2, max_value=3.0)
+area_st = st.floats(min_value=1e-3, max_value=10.0)
+density_st = st.floats(min_value=0.0, max_value=20.0)
+m_st = st.floats(min_value=0.0, max_value=100.0)
+
+
+class TestYieldModelProperties:
+    @given(m=m_st)
+    def test_classical_ordering_everywhere(self, m):
+        p = PoissonYield().yield_from_expectation(m)
+        mu = MurphyYield().yield_from_expectation(m)
+        s = SeedsYield().yield_from_expectation(m)
+        assert p <= mu + 1e-12
+        assert mu <= s + 1e-12
+
+    @given(m=m_st, alpha=st.floats(min_value=0.1, max_value=50.0))
+    def test_negative_binomial_between_poisson_and_unity(self, m, alpha):
+        y = NegativeBinomialYield(alpha=alpha).yield_from_expectation(m)
+        p = PoissonYield().yield_from_expectation(m)
+        assert p - 1e-12 <= y <= 1.0
+
+    @given(m1=m_st, m2=m_st)
+    def test_monotone_in_expectation(self, m1, m2):
+        assume(m1 < m2)
+        for model in (PoissonYield(), MurphyYield(), SeedsYield(),
+                      BoseEinsteinYield(n_layers=4),
+                      NegativeBinomialYield(alpha=1.5)):
+            assert model.yield_from_expectation(m1) >= \
+                model.yield_from_expectation(m2)
+
+    @given(area=area_st, d=density_st,
+           target=st.floats(min_value=0.01, max_value=0.99))
+    def test_density_inversion_roundtrip(self, area, d, target):
+        model = MurphyYield()
+        density = model.defect_density_for_yield(area, target)
+        assert model.yield_for_area(area, density) == \
+            math.inf if False else True
+        assert abs(model.yield_for_area(area, density) - target) < 1e-6
+
+
+class TestDefectDistributionProperties:
+    @given(r0=st.floats(min_value=0.01, max_value=5.0),
+           p=st.floats(min_value=1.5, max_value=8.0),
+           r=st.floats(min_value=0.0, max_value=100.0))
+    def test_cdf_in_unit_interval(self, r0, p, r):
+        dist = DefectSizeDistribution(r0_um=r0, p=p)
+        c = float(dist.cdf(r))
+        assert -1e-12 <= c <= 1.0 + 1e-12
+
+    @given(r0=st.floats(min_value=0.01, max_value=5.0),
+           p=st.floats(min_value=1.5, max_value=8.0),
+           r1=st.floats(min_value=0.0, max_value=50.0),
+           r2=st.floats(min_value=0.0, max_value=50.0))
+    def test_cdf_monotone(self, r0, p, r1, r2):
+        assume(r1 < r2)
+        dist = DefectSizeDistribution(r0_um=r0, p=p)
+        assert float(dist.cdf(r1)) <= float(dist.cdf(r2)) + 1e-12
+
+    @given(r0=st.floats(min_value=0.05, max_value=2.0),
+           p=st.floats(min_value=2.2, max_value=6.0))
+    def test_mean_positive_and_above_mode_fraction(self, r0, p):
+        dist = DefectSizeDistribution(r0_um=r0, p=p)
+        mean = dist.mean_um()
+        assert mean > 0.0
+        # Mean exceeds a third of the mode radius (mass below R0 alone
+        # contributes c*R0/3 and c <= 2).
+        assert mean > r0 / 6.0
+
+
+class TestGeometryProperties:
+    @given(side=st.floats(min_value=0.2, max_value=4.0),
+           radius=st.floats(min_value=3.0, max_value=15.0))
+    def test_count_bounded_by_area(self, side, radius):
+        wafer = Wafer(radius_cm=radius)
+        die = Die.square(side)
+        count = dies_per_wafer_maly(wafer, die)
+        assert 0 <= count <= wafer.area_cm2 / die.area_cm2
+
+    @given(side=st.floats(min_value=0.2, max_value=2.0),
+           radius=st.floats(min_value=4.0, max_value=12.0))
+    def test_gross_approx_upper_bounds_maly(self, side, radius):
+        wafer = Wafer(radius_cm=radius)
+        die = Die.square(side)
+        assert dies_per_wafer_maly(wafer, die) <= \
+            dies_per_wafer_area_approx(wafer, die, kind="gross")
+
+    @given(side=st.floats(min_value=0.2, max_value=2.0),
+           radius=st.floats(min_value=4.0, max_value=12.0),
+           scale=st.floats(min_value=0.5, max_value=2.0))
+    def test_scale_invariance(self, side, radius, scale):
+        """Scaling die and wafer together leaves the count unchanged up
+        to floor-function jitter at cell boundaries (float rounding can
+        tip a marginal die in or out of a row)."""
+        base = dies_per_wafer_maly(Wafer(radius_cm=radius), Die.square(side))
+        scaled = dies_per_wafer_maly(Wafer(radius_cm=radius * scale),
+                                     Die.square(side * scale))
+        assert abs(base - scaled) <= max(2, int(0.02 * max(base, scaled)))
+
+    @given(side=st.floats(min_value=0.3, max_value=2.0),
+           r1=st.floats(min_value=4.0, max_value=9.0),
+           r2=st.floats(min_value=4.0, max_value=9.0))
+    def test_monotone_in_radius(self, side, r1, r2):
+        assume(r1 < r2)
+        die = Die.square(side)
+        assert dies_per_wafer_maly(Wafer(radius_cm=r1), die) <= \
+            dies_per_wafer_maly(Wafer(radius_cm=r2), die)
+
+
+class TestWaferCostProperties:
+    @given(lam=lam_st, x=st.floats(min_value=1.0, max_value=3.0))
+    def test_cost_positive(self, lam, x):
+        model = WaferCostModel(cost_growth_rate=x)
+        assert model.pure_cost(lam) > 0.0
+
+    @given(lam1=lam_st, lam2=lam_st,
+           x=st.floats(min_value=1.01, max_value=3.0))
+    def test_monotone_decreasing_in_lambda(self, lam1, lam2, x):
+        assume(lam1 < lam2)
+        model = WaferCostModel(cost_growth_rate=x)
+        assert model.pure_cost(lam1) >= model.pure_cost(lam2)
+
+    @given(lam=st.floats(min_value=0.2, max_value=0.999),
+           x1=st.floats(min_value=1.0, max_value=3.0),
+           x2=st.floats(min_value=1.0, max_value=3.0))
+    def test_monotone_in_x_below_reference(self, lam, x1, x2):
+        assume(x1 < x2)
+        m1 = WaferCostModel(cost_growth_rate=x1)
+        m2 = WaferCostModel(cost_growth_rate=x2)
+        # <= up to one ulp of rounding when x1 and x2 are adjacent floats.
+        assert m1.pure_cost(lam) <= m2.pure_cost(lam) * (1.0 + 1e-12)
+
+    @given(lam=lam_st)
+    def test_generation_laws_agree_at_reference(self, lam):
+        for law in GenerationModel:
+            model = WaferCostModel(generation_model=law)
+            assert model.pure_cost(1.0) == model.reference_cost_dollars
+
+
+class TestVolumeCurveProperties:
+    @given(pure=st.floats(min_value=1.0, max_value=1e4),
+           over=st.floats(min_value=0.0, max_value=1e9),
+           v1=st.floats(min_value=1.0, max_value=1e7),
+           v2=st.floats(min_value=1.0, max_value=1e7))
+    def test_monotone_decreasing_in_volume(self, pure, over, v1, v2):
+        assume(v1 < v2)
+        curve = VolumeCostCurve(pure, over)
+        assert curve.cost(v1) >= curve.cost(v2)
+
+    @given(pure=st.floats(min_value=1.0, max_value=1e4),
+           over=st.floats(min_value=1.0, max_value=1e9),
+           v=st.floats(min_value=1.0, max_value=1e7))
+    def test_cost_above_pure_floor(self, pure, over, v):
+        curve = VolumeCostCurve(pure, over)
+        assert curve.cost(v) > pure
+
+
+class TestRedundancyProperties:
+    @given(area=st.floats(min_value=0.05, max_value=3.0),
+           d=st.floats(min_value=0.0, max_value=10.0),
+           spares=st.integers(min_value=0, max_value=20),
+           blocks=st.integers(min_value=1, max_value=64))
+    def test_repair_never_hurts(self, area, d, spares, blocks):
+        mem = RedundantMemoryYield(array_area_cm2=area, n_blocks=blocks,
+                                   spares_per_block=spares)
+        assert mem.yield_for_density(d) >= mem.unrepaired_yield(d) - 1e-12
+
+    @given(area=st.floats(min_value=0.05, max_value=3.0),
+           d=st.floats(min_value=0.0, max_value=10.0),
+           spares=st.integers(min_value=0, max_value=10))
+    def test_yield_in_unit_interval(self, area, d, spares):
+        mem = RedundantMemoryYield(array_area_cm2=area, n_blocks=4,
+                                   spares_per_block=spares)
+        y = mem.yield_for_density(d)
+        assert 0.0 <= y <= 1.0
+
+
+class TestFullCostProperties:
+    @settings(max_examples=40)
+    @given(n_tr=st.floats(min_value=1e5, max_value=2e6),
+           lam=st.floats(min_value=0.4, max_value=1.5))
+    def test_cost_positive_or_infeasible(self, n_tr, lam):
+        c = transistor_cost_full(n_tr, lam)
+        assert c > 0.0  # inf counts as positive
+
+    @settings(max_examples=40)
+    @given(n_tr=st.floats(min_value=1e5, max_value=1e6),
+           lam=st.floats(min_value=0.5, max_value=1.5),
+           scale=st.floats(min_value=1.1, max_value=2.0))
+    def test_cheaper_fab_cheaper_transistors(self, n_tr, lam, scale):
+        base = FabCharacterization()
+        dearer = FabCharacterization(
+            reference_cost_dollars=base.reference_cost_dollars * scale)
+        c_base = transistor_cost_full(n_tr, lam, base)
+        c_dear = transistor_cost_full(n_tr, lam, dearer)
+        assume(math.isfinite(c_base))
+        assert c_dear >= c_base

@@ -1,0 +1,118 @@
+"""The Fig.-10 integrated system cost optimizer."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.system import (
+    McmSubstrate,
+    PartitionDesign,
+    SystemCostModel,
+    optimize_system,
+    silicon_only_baseline,
+)
+from repro.system.partitioning import Partition
+
+
+@pytest.fixture
+def model():
+    partitions = (
+        Partition(name="cache", n_transistors=1.2e6, design_density=45.0),
+        Partition(name="logic", n_transistors=3.0e5, design_density=250.0),
+        Partition(name="io", n_transistors=5.0e4, design_density=400.0),
+    )
+    substrate = McmSubstrate(name="smart", cost_dollars=150.0,
+                             self_test=True, diagnosis_cost_dollars=5.0,
+                             rework_success=0.9)
+    return SystemCostModel(partitions=partitions, substrate=substrate)
+
+
+class TestEvaluate:
+    def test_report_structure(self, model):
+        designs = [PartitionDesign(partition=p, feature_size_um=0.8,
+                                   test_coverage=0.95)
+                   for p in model.partitions]
+        report = model.evaluate(designs)
+        assert report.silicon_dollars > 0.0
+        assert report.test_dollars > 0.0
+        assert 0.0 < report.module_yield <= 1.0
+        assert report.cost_per_good_system > report.silicon_dollars
+
+    def test_wrong_design_count_rejected(self, model):
+        with pytest.raises(ParameterError):
+            model.evaluate([])
+
+    def test_infeasible_lambda_rejected(self, model):
+        designs = [PartitionDesign(partition=p, feature_size_um=0.3,
+                                   test_coverage=0.95)
+                   for p in model.partitions]
+        # cache at 0.3 um with 1.2M tr: tiny die... may be feasible; use
+        # a genuinely infeasible case: huge partition.
+        big = SystemCostModel(
+            partitions=(Partition(name="huge", n_transistors=5e8,
+                                  design_density=250.0),),
+            substrate=model.substrate)
+        with pytest.raises(ParameterError):
+            big.evaluate([PartitionDesign(partition=big.partitions[0],
+                                          feature_size_um=1.2,
+                                          test_coverage=0.95)])
+
+    def test_higher_coverage_better_quality_costlier_test(self, model):
+        low = model.evaluate([PartitionDesign(partition=p,
+                                              feature_size_um=0.8,
+                                              test_coverage=0.85)
+                              for p in model.partitions])
+        high = model.evaluate([PartitionDesign(partition=p,
+                                               feature_size_um=0.8,
+                                               test_coverage=0.999)
+                               for p in model.partitions])
+        assert high.module_yield > low.module_yield
+        assert high.test_dollars > low.test_dollars
+
+
+class TestOptimization:
+    def test_joint_opt_never_worse_than_baseline(self, model):
+        base = silicon_only_baseline(model)
+        opt = optimize_system(model)
+        assert opt.cost_per_good_system <= base.cost_per_good_system + 1e-9
+
+    def test_optimizer_output_on_grid(self, model):
+        grid_l = (0.65, 0.8, 1.0)
+        grid_c = (0.9, 0.99)
+        report = optimize_system(model, lambda_grid=grid_l,
+                                 coverage_grid=grid_c)
+        for design in report.designs:
+            assert design.feature_size_um in grid_l
+            assert design.test_coverage in grid_c
+
+    def test_partitions_get_individual_lambdas(self, model):
+        """With densities spanning 45-400, the jointly optimal lambdas
+        need not be uniform."""
+        report = optimize_system(
+            model, lambda_grid=(0.5, 0.65, 0.8, 1.0, 1.2, 1.5))
+        lams = {d.partition.name: d.feature_size_um for d in report.designs}
+        assert len(lams) == 3  # all partitions present
+
+    def test_empty_grid_rejected(self, model):
+        with pytest.raises(ParameterError):
+            optimize_system(model, lambda_grid=())
+
+    def test_baseline_requires_feasible_partition(self):
+        substrate = McmSubstrate(name="s", cost_dollars=50.0)
+        model = SystemCostModel(
+            partitions=(Partition(name="huge", n_transistors=5e8,
+                                  design_density=250.0),),
+            substrate=substrate)
+        with pytest.raises(ParameterError):
+            silicon_only_baseline(model)
+
+
+class TestDesignValidation:
+    def test_rejects_bad_coverage(self, model):
+        with pytest.raises(ParameterError):
+            PartitionDesign(partition=model.partitions[0],
+                            feature_size_um=0.8, test_coverage=1.5)
+
+    def test_rejects_bad_lambda(self, model):
+        with pytest.raises(ParameterError):
+            PartitionDesign(partition=model.partitions[0],
+                            feature_size_um=0.0, test_coverage=0.9)

@@ -1,0 +1,92 @@
+"""Known-good-die economics (ref [31])."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.system import KgdEconomics, McmSubstrate
+from repro.system.kgd import incoming_quality
+
+
+@pytest.fixture
+def substrate():
+    return McmSubstrate(name="passive", cost_dollars=60.0,
+                        diagnosis_cost_dollars=300.0, rework_success=0.7)
+
+
+def economics(substrate, n_dies=8, die_yield=0.8, kgd_cost=15.0):
+    return KgdEconomics(
+        die_yield=die_yield, probe_coverage=0.90, kgd_coverage=0.99,
+        kgd_test_cost_dollars=kgd_cost, die_cost_dollars=60.0,
+        n_dies=n_dies, substrate=substrate)
+
+
+class TestIncomingQuality:
+    def test_williams_brown_form(self):
+        assert incoming_quality(0.8, 0.9) == pytest.approx(0.8 ** 0.1)
+
+    def test_full_coverage_perfect_quality(self):
+        assert incoming_quality(0.3, 1.0) == pytest.approx(1.0)
+
+    def test_zero_coverage_quality_is_yield(self):
+        assert incoming_quality(0.55, 0.0) == pytest.approx(0.55)
+
+    def test_monotone_in_coverage(self):
+        qs = [incoming_quality(0.7, c) for c in (0.0, 0.5, 0.9, 0.99)]
+        assert qs == sorted(qs)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            incoming_quality(0.0, 0.9)
+        with pytest.raises(ParameterError):
+            incoming_quality(0.5, 1.1)
+
+
+class TestKgdDecision:
+    def test_kgd_pays_for_large_modules(self, substrate):
+        econ = economics(substrate, n_dies=40)
+        assert econ.kgd_premium_worth_paying() > 0.0
+
+    def test_kgd_wasteful_for_single_die(self, substrate):
+        econ = economics(substrate, n_dies=1)
+        assert econ.kgd_premium_worth_paying() < 0.0
+
+    def test_breakeven_is_a_threshold(self, substrate):
+        econ = economics(substrate)
+        n_star = econ.breakeven_module_size(max_dies=64)
+        assert n_star is not None and n_star > 1
+        below = economics(substrate, n_dies=n_star - 1)
+        at = economics(substrate, n_dies=n_star)
+        assert below.kgd_premium_worth_paying() <= 0.0
+        assert at.kgd_premium_worth_paying() > 0.0
+
+    def test_free_kgd_always_pays_beyond_one_die(self, substrate):
+        econ = economics(substrate, n_dies=4, kgd_cost=0.0)
+        assert econ.kgd_premium_worth_paying() > 0.0
+
+    def test_exorbitant_kgd_never_pays(self, substrate):
+        econ = economics(substrate, kgd_cost=100_000.0)
+        assert econ.breakeven_module_size(max_dies=32) is None
+
+    def test_low_yield_die_raises_kgd_value(self, substrate):
+        """Worse silicon means more escapes at probe, so KGD testing is
+        worth more per module."""
+        good = economics(substrate, n_dies=16, die_yield=0.9)
+        bad = economics(substrate, n_dies=16, die_yield=0.6)
+        assert bad.kgd_premium_worth_paying() > \
+            good.kgd_premium_worth_paying()
+
+
+class TestValidation:
+    def test_kgd_coverage_must_dominate_probe(self, substrate):
+        with pytest.raises(ParameterError):
+            KgdEconomics(die_yield=0.8, probe_coverage=0.95,
+                         kgd_coverage=0.90, kgd_test_cost_dollars=10.0,
+                         die_cost_dollars=50.0, n_dies=4,
+                         substrate=substrate)
+
+    def test_rejects_zero_dies(self, substrate):
+        with pytest.raises(ParameterError):
+            KgdEconomics(die_yield=0.8, probe_coverage=0.9,
+                         kgd_coverage=0.99, kgd_test_cost_dollars=10.0,
+                         die_cost_dollars=50.0, n_dies=0,
+                         substrate=substrate)

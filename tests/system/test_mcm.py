@@ -1,0 +1,118 @@
+"""MCM substrate economics (Sec. VI, refs [30, 31])."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.system import McmCostModel, McmSubstrate
+from repro.system.mcm import compare_substrates
+
+
+@pytest.fixture
+def passive():
+    return McmSubstrate(name="passive ceramic", cost_dollars=50.0,
+                        diagnosis_cost_dollars=400.0, rework_success=0.6)
+
+
+@pytest.fixture
+def smart():
+    return McmSubstrate(name="active silicon", cost_dollars=250.0,
+                        self_test=True, diagnosis_cost_dollars=5.0,
+                        rework_success=0.95)
+
+
+def module(substrate, n_dies=8, quality=0.95, die_cost=80.0):
+    return McmCostModel(substrate=substrate, n_dies=n_dies,
+                        die_cost_dollars=die_cost, incoming_quality=quality)
+
+
+class TestFirstPassYield:
+    def test_compounding(self, passive):
+        m = module(passive, n_dies=8, quality=0.95)
+        assert m.first_pass_module_yield == pytest.approx(0.95 ** 8)
+
+    def test_single_die_module(self, passive):
+        m = module(passive, n_dies=1, quality=0.9)
+        assert m.first_pass_module_yield == pytest.approx(0.9)
+
+    def test_perfect_quality_perfect_module(self, passive):
+        m = module(passive, quality=1.0 - 1e-12)
+        assert m.first_pass_module_yield == pytest.approx(1.0, abs=1e-9)
+
+
+class TestCostPerGoodModule:
+    def test_rework_helps(self, passive):
+        no_rework = McmCostModel(substrate=passive, n_dies=8,
+                                 die_cost_dollars=80.0,
+                                 incoming_quality=0.9,
+                                 max_rework_attempts=0)
+        with_rework = McmCostModel(substrate=passive, n_dies=8,
+                                   die_cost_dollars=80.0,
+                                   incoming_quality=0.9,
+                                   max_rework_attempts=2)
+        assert with_rework.cost_per_good_module() < \
+            no_rework.cost_per_good_module()
+
+    def test_more_dies_cost_more(self, smart):
+        c4 = module(smart, n_dies=4).cost_per_good_module()
+        c12 = module(smart, n_dies=12).cost_per_good_module()
+        assert c12 > c4
+
+    def test_lower_quality_costs_more(self, smart):
+        good = module(smart, quality=0.99).cost_per_good_module()
+        bad = module(smart, quality=0.90).cost_per_good_module()
+        assert bad > good
+
+    def test_cost_yield_pair_consistent(self, passive):
+        m = module(passive)
+        cost, y = m.expected_cost_and_yield()
+        assert 0.0 < y <= 1.0
+        assert m.cost_per_good_module() == pytest.approx(cost / y)
+
+    def test_final_yield_at_least_first_pass(self, passive):
+        m = module(passive)
+        _, y = m.expected_cost_and_yield()
+        assert y >= m.first_pass_module_yield
+
+
+class TestSmartSubstrateArgument:
+    def test_expensive_smart_substrate_wins_at_system_level(self, passive, smart):
+        """The paper's Sec.-VI claim: 'very expensive substrate' can
+        'minimize the overall system cost' — substrate 5x dearer, module
+        cheaper."""
+        result = compare_substrates(module(passive), module(smart))
+        assert result["smart_substrate_dollars"] > \
+            result["passive_substrate_dollars"]
+        assert result["smart_saves"] > 0.0
+
+    def test_smart_does_not_pay_for_tiny_modules(self, passive, smart):
+        """With 2 near-perfect dies there is little to diagnose; the
+        substrate premium dominates and passive wins."""
+        result = compare_substrates(
+            module(passive, n_dies=2, quality=0.999),
+            module(smart, n_dies=2, quality=0.999))
+        assert result["smart_saves"] < 0.0
+
+
+class TestValidation:
+    def test_substrate_validation(self):
+        with pytest.raises(ParameterError):
+            McmSubstrate(name="x", cost_dollars=0.0)
+        with pytest.raises(ParameterError):
+            McmSubstrate(name="x", cost_dollars=10.0, rework_success=0.0)
+
+    def test_model_validation(self, passive):
+        with pytest.raises(ParameterError):
+            McmCostModel(substrate=passive, n_dies=0, die_cost_dollars=10.0,
+                         incoming_quality=0.9)
+        with pytest.raises(ParameterError):
+            McmCostModel(substrate=passive, n_dies=4, die_cost_dollars=10.0,
+                         incoming_quality=0.0)
+
+    def test_replacement_die_cost_override(self, passive):
+        m = McmCostModel(substrate=passive, n_dies=4, die_cost_dollars=10.0,
+                         incoming_quality=0.9,
+                         replacement_die_cost_dollars=99.0)
+        cheaper = McmCostModel(substrate=passive, n_dies=4,
+                               die_cost_dollars=10.0, incoming_quality=0.9,
+                               replacement_die_cost_dollars=1.0)
+        assert m.cost_per_good_module() > cheaper.cost_per_good_module()

@@ -1,0 +1,92 @@
+"""Packaging-strategy crossovers (single chip / MCM / board)."""
+
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.system import PackagingCostModel, PackagingStrategy, crossover_points
+
+
+@pytest.fixture(scope="module")
+def model():
+    return PackagingCostModel()
+
+
+class TestStrategyCosts:
+    def test_all_strategies_priced_for_midsize(self, model):
+        for strategy in PackagingStrategy:
+            cost = model.packaging_cost(strategy, 2.0e6)
+            assert 0.0 < cost < math.inf
+
+    def test_single_chip_cheapest_for_small_systems(self, model):
+        winner, _ = model.best_strategy(1.0e5)
+        assert winner is PackagingStrategy.SINGLE_CHIP
+
+    def test_mcm_wins_the_middle(self, model):
+        """Sec. VI: MCMs are dismissed for small systems but win once a
+        single die would yield terribly."""
+        winner, _ = model.best_strategy(3.0e6)
+        assert winner is PackagingStrategy.MCM
+
+    def test_single_chip_collapses_for_large_systems(self, model):
+        single = model.packaging_cost(PackagingStrategy.SINGLE_CHIP, 8.0e6)
+        mcm = model.packaging_cost(PackagingStrategy.MCM, 8.0e6)
+        assert single > 100.0 * mcm
+
+    def test_substrate_premium_pushes_small_systems_away_from_mcm(self, model):
+        small = 2.0e5
+        mcm = model.packaging_cost(PackagingStrategy.MCM, small)
+        single = model.packaging_cost(PackagingStrategy.SINGLE_CHIP, small)
+        assert mcm > single + model.mcm_substrate.cost_dollars / 2.0
+
+    def test_board_vs_mcm_ordering_flips_with_substrate_cost(self):
+        import dataclasses
+        from repro.system.mcm import McmSubstrate
+        cheap_sub = PackagingCostModel(mcm_substrate=McmSubstrate(
+            name="cheap", cost_dollars=20.0, self_test=True,
+            diagnosis_cost_dollars=10.0, rework_success=0.9))
+        dear_sub = PackagingCostModel(mcm_substrate=McmSubstrate(
+            name="dear", cost_dollars=3000.0,
+            diagnosis_cost_dollars=10.0, rework_success=0.9))
+        budget = 3.0e6
+        assert cheap_sub.packaging_cost(PackagingStrategy.MCM, budget) < \
+            cheap_sub.packaging_cost(PackagingStrategy.BOARD, budget)
+        assert dear_sub.packaging_cost(PackagingStrategy.MCM, budget) > \
+            dear_sub.packaging_cost(PackagingStrategy.BOARD, budget)
+
+
+class TestCrossoverSweep:
+    def test_winner_sequence_is_ordered(self, model):
+        budgets = (1e5, 5e5, 2e6, 5e6, 8e6)
+        results = crossover_points(model, budgets)
+        winners = [w for _, w, _ in results]
+        # Single chip first, then multi-die strategies; single chip
+        # never returns once abandoned.
+        seen_multi = False
+        for w in winners:
+            if w is not PackagingStrategy.SINGLE_CHIP:
+                seen_multi = True
+            else:
+                assert not seen_multi, "single chip returned after multi-die"
+        assert winners[0] is PackagingStrategy.SINGLE_CHIP
+        assert seen_multi
+
+    def test_costs_grow_with_system_size(self, model):
+        results = crossover_points(model, (1e5, 1e6, 5e6))
+        costs = [c for _, _, c in results]
+        assert costs == sorted(costs)
+
+    def test_empty_budgets_rejected(self, model):
+        with pytest.raises(ParameterError):
+            crossover_points(model, ())
+
+
+class TestValidation:
+    def test_bad_quality_rejected(self):
+        with pytest.raises(ParameterError):
+            PackagingCostModel(die_quality=0.0)
+
+    def test_unreachable_budget_raises(self, model):
+        with pytest.raises(ParameterError):
+            model.best_strategy(1.0e12)

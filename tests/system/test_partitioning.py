@@ -1,0 +1,106 @@
+"""System partitioning with per-partition feature size (Sec. IV.B)."""
+
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.system import (
+    Partition,
+    PartitionedSystem,
+    optimal_partition_count,
+    optimize_partition_feature_sizes,
+)
+
+
+@pytest.fixture
+def cpu_like_system():
+    """A Table-1-flavored system: dense caches plus sparse control."""
+    return PartitionedSystem(partitions=(
+        Partition(name="i-cache", n_transistors=1.2e6, design_density=43.2),
+        Partition(name="d-cache", n_transistors=1.1e6, design_density=50.7),
+        Partition(name="fpu", n_transistors=3.2e5, design_density=222.3),
+        Partition(name="integer", n_transistors=2.3e5, design_density=257.9),
+        Partition(name="bus", n_transistors=5.0e4, design_density=399.0),
+    ))
+
+
+class TestOptimizePerPartition:
+    def test_one_choice_per_partition(self, cpu_like_system):
+        choices = optimize_partition_feature_sizes(cpu_like_system)
+        assert len(choices) == 5
+        for choice in choices:
+            assert 0.3 <= choice.feature_size_um <= 1.2
+            assert choice.cost_per_transistor_dollars > 0.0
+
+    def test_per_partition_beats_uniform_lambda(self, cpu_like_system):
+        """The Sec.-IV.B claim: freeing lambda per partition can only
+        reduce total cost relative to the best single lambda."""
+        choices = optimize_partition_feature_sizes(cpu_like_system)
+        split_cost = sum(c.die_cost_dollars for c in choices)
+        uniform_costs = []
+        for lam in [0.3 + 0.05 * k for k in range(19)]:
+            try:
+                uniform_costs.append(cpu_like_system.cost_at_uniform_lambda(lam))
+            except ParameterError:
+                continue
+        assert split_cost <= min(uniform_costs) + 1e-12
+
+    def test_optimum_not_minimum_lambda_for_all(self, cpu_like_system):
+        """At least some partitions prefer a coarser-than-minimum node."""
+        choices = optimize_partition_feature_sizes(cpu_like_system)
+        assert any(c.feature_size_um > 0.35 for c in choices)
+
+    def test_die_cost_consistency(self, cpu_like_system):
+        choice = optimize_partition_feature_sizes(cpu_like_system)[0]
+        assert choice.die_cost_dollars == pytest.approx(
+            choice.cost_per_transistor_dollars
+            * choice.partition.n_transistors)
+
+    def test_grid_validation(self, cpu_like_system):
+        with pytest.raises(ParameterError):
+            optimize_partition_feature_sizes(cpu_like_system,
+                                             lam_lo_um=1.0, lam_hi_um=0.5)
+        with pytest.raises(ParameterError):
+            optimize_partition_feature_sizes(cpu_like_system, n_grid=2)
+
+
+class TestSystem:
+    def test_total_transistors(self, cpu_like_system):
+        assert cpu_like_system.total_transistors == pytest.approx(2.9e6)
+
+    def test_empty_system_rejected(self):
+        with pytest.raises(ParameterError):
+            PartitionedSystem(partitions=())
+
+    def test_partition_validation(self):
+        with pytest.raises(ParameterError):
+            Partition(name="x", n_transistors=0.0, design_density=100.0)
+
+
+class TestPartitionCountSweep:
+    def test_splitting_large_design_pays(self):
+        """A 5M-transistor monolith at d_d=152 yields terribly; splitting
+        into several dies must cut total cost (cheap assembly)."""
+        best_n, best_cost, single_cost = optimal_partition_count(
+            5.0e6, 152.0, per_die_assembly_cost=2.0, max_partitions=8)
+        assert best_n > 1
+        assert best_cost < single_cost
+
+    def test_expensive_assembly_discourages_splitting(self):
+        cheap_n, _, _ = optimal_partition_count(
+            5.0e6, 152.0, per_die_assembly_cost=0.0, max_partitions=8)
+        dear_n, _, _ = optimal_partition_count(
+            5.0e6, 152.0, per_die_assembly_cost=10_000.0, max_partitions=8)
+        assert dear_n <= cheap_n
+
+    def test_small_design_stays_monolithic(self):
+        best_n, _, _ = optimal_partition_count(
+            1.0e5, 152.0, per_die_assembly_cost=50.0, max_partitions=8)
+        assert best_n == 1
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            optimal_partition_count(0.0, 152.0)
+        with pytest.raises(ParameterError):
+            optimal_partition_count(1e6, 152.0, max_partitions=0)

@@ -1,0 +1,98 @@
+"""Design densities — Tables 1 and 2."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.technology import (
+    FUNCTIONAL_BLOCK_DENSITIES,
+    PRODUCT_DENSITIES,
+    density_from_area_and_count,
+)
+from repro.technology.density import (
+    DesignDensity,
+    TABLE1_FEATURE_SIZE_UM,
+    density_class,
+    table1_recomputed,
+)
+
+
+class TestEstimator:
+    def test_hand_calculation(self):
+        # 33.2 mm^2, 1.2M transistors at 0.8 um:
+        # d_d = 33.2e6 um^2 / (1.2e6 * 0.64) = 43.2
+        d = density_from_area_and_count(33.2, 1.2e6, 0.8)
+        assert d == pytest.approx(43.2, abs=0.1)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ParameterError):
+            density_from_area_and_count(0.0, 1e6, 0.8)
+
+
+class TestTable1:
+    def test_six_blocks(self):
+        assert len(FUNCTIONAL_BLOCK_DENSITIES) == 6
+
+    def test_recomputed_matches_published(self):
+        """Eq. (5) applied to the tabulated areas/counts reproduces the
+        published d_d column — validating the 0.8 um attribution."""
+        for row in table1_recomputed():
+            assert row["d_d_recomputed"] == pytest.approx(
+                row["d_d_published"], rel=0.01), row["name"]
+
+    def test_caches_densest(self):
+        """The paper's narrative: caches pack far denser than logic."""
+        by_name = {b.name: b.d_d for b in FUNCTIONAL_BLOCK_DENSITIES}
+        assert by_name["I-cache"] < by_name["Integer unit"]
+        assert by_name["D-cache"] < by_name["Bus unit"]
+
+    def test_table1_feature_size_is_08(self):
+        assert TABLE1_FEATURE_SIZE_UM == 0.8
+
+
+class TestTable2:
+    def test_seventeen_products(self):
+        assert len(PRODUCT_DENSITIES) == 17
+
+    def test_verbatim_extremes(self):
+        dds = [p.d_d for p in PRODUCT_DENSITIES]
+        assert min(dds) == pytest.approx(17.80)   # 16Mb SRAM
+        assert max(dds) == pytest.approx(2631.04)  # PLD
+
+    def test_memories_denser_than_processors(self):
+        memories = [p.d_d for p in PRODUCT_DENSITIES
+                    if "RAM" in p.name]
+        processors = [p.d_d for p in PRODUCT_DENSITIES
+                      if p.name.startswith("uP")]
+        assert max(memories) < min(processors)
+
+    def test_all_records_validate(self):
+        for rec in PRODUCT_DENSITIES:
+            assert rec.d_d > 0
+            assert rec.feature_size_um > 0
+
+
+class TestClassification:
+    @pytest.mark.parametrize("d_d,expected", [
+        (22.3, "memory"),
+        (36.0, "memory"),
+        (150.0, "logic"),
+        (400.0, "logic"),
+        (507.7, "semi-custom"),
+        (2631.0, "programmable"),
+    ])
+    def test_classes(self, d_d, expected):
+        assert density_class(d_d) == expected
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ParameterError):
+            density_class(0.0)
+
+
+class TestRecordValidation:
+    def test_rejects_bad_density(self):
+        with pytest.raises(ParameterError):
+            DesignDensity(name="x", d_d=-1.0)
+
+    def test_optional_fields_validated_when_present(self):
+        with pytest.raises(ParameterError):
+            DesignDensity(name="x", d_d=10.0, area_mm2=-3.0)

@@ -1,0 +1,93 @@
+"""Fabline cost trend (Fig. 2) and capital cost allocation."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.technology import FABLINE_COST_HISTORY, FabLine, extract_cost_growth_rate
+from repro.technology.fabline import WAFER_COST_HISTORY
+
+
+class TestHistory:
+    def test_history_is_chronological_and_growing(self):
+        for history in (FABLINE_COST_HISTORY, WAFER_COST_HISTORY):
+            years = [y for y, _ in history]
+            costs = [c for _, c in history]
+            assert years == sorted(years)
+            assert costs == sorted(costs)
+
+    def test_billion_dollar_endpoint(self):
+        # The paper: fab cost "estimated soon to reach 1 billion dollars".
+        assert FABLINE_COST_HISTORY[-1][1] == pytest.approx(1000.0)
+
+    def test_wafer_cost_anchor_1990(self):
+        # The paper quotes $500-800 for a 6-inch 1 um wafer [12, 13].
+        anchors = dict(WAFER_COST_HISTORY)
+        assert 500.0 <= anchors[1989.0] <= 800.0
+
+
+class TestExtraction:
+    def test_wafer_x_lands_in_papers_band(self):
+        """The paper reads X = 1.2-1.4 off Fig. 2's wafer-cost curve."""
+        x = extract_cost_growth_rate(WAFER_COST_HISTORY)
+        assert 1.2 <= x <= 1.4
+
+    def test_fabline_capital_grows_faster_than_wafer_cost(self):
+        x_fab = extract_cost_growth_rate(FABLINE_COST_HISTORY)
+        x_wafer = extract_cost_growth_rate(WAFER_COST_HISTORY)
+        assert x_fab > x_wafer
+        assert x_fab > 1.5
+
+    def test_x_scales_with_generation_cadence(self):
+        x3 = extract_cost_growth_rate(years_per_generation=3.0)
+        x6 = extract_cost_growth_rate(years_per_generation=6.0)
+        assert x6 == pytest.approx(x3 ** 2, rel=1e-9)
+
+    def test_perfect_exponential_recovered_exactly(self):
+        history = tuple((1970.0 + 3 * k, 10.0 * 1.5 ** k) for k in range(8))
+        assert extract_cost_growth_rate(history) == pytest.approx(1.5)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ParameterError):
+            extract_cost_growth_rate(((1990.0, 100.0),))
+
+    def test_rejects_nonpositive_costs(self):
+        with pytest.raises(ParameterError):
+            extract_cost_growth_rate(((1990.0, 100.0), (1993.0, -5.0)))
+
+
+class TestFabLine:
+    def test_annualized_cost(self):
+        fab = FabLine(construction_cost_dollars=1.0e9,
+                      wafer_starts_per_month=10_000,
+                      depreciation_years=5.0,
+                      operating_cost_per_year=50.0e6)
+        assert fab.annualized_cost_dollars == pytest.approx(250.0e6)
+
+    def test_capital_cost_per_wafer_at_full_utilization(self):
+        fab = FabLine(construction_cost_dollars=600.0e6,
+                      wafer_starts_per_month=10_000,
+                      depreciation_years=5.0)
+        # 120e6/yr over 120k wafers/yr = $1000/wafer.
+        assert fab.capital_cost_per_wafer(1.0) == pytest.approx(1000.0)
+
+    def test_idle_capacity_still_costs(self):
+        """The paper's ownership-cost point: cost/wafer ~ 1/utilization."""
+        fab = FabLine(construction_cost_dollars=600.0e6,
+                      wafer_starts_per_month=10_000)
+        full = fab.capital_cost_per_wafer(1.0)
+        half = fab.capital_cost_per_wafer(0.5)
+        assert half == pytest.approx(2.0 * full)
+
+    def test_rejects_bad_utilization(self):
+        fab = FabLine(construction_cost_dollars=1e8,
+                      wafer_starts_per_month=1000)
+        with pytest.raises(ParameterError):
+            fab.capital_cost_per_wafer(0.0)
+        with pytest.raises(ParameterError):
+            fab.capital_cost_per_wafer(1.1)
+
+    def test_rejects_negative_operating_cost(self):
+        with pytest.raises(ParameterError):
+            FabLine(construction_cost_dollars=1e8,
+                    wafer_starts_per_month=1000,
+                    operating_cost_per_year=-1.0)

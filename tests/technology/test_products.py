@@ -1,0 +1,87 @@
+"""The Table-3 product catalog."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.technology import PRODUCT_CATALOG, ProductClass, ProductSpec
+from repro.technology.products import catalog_by_class, memory_vs_logic_cost_gap
+
+
+class TestCatalogIntegrity:
+    def test_seventeen_rows(self):
+        assert len(PRODUCT_CATALOG) == 17
+
+    def test_published_values_span_paper_range(self):
+        published = [p.published_ctr_microdollars for p in PRODUCT_CATALOG]
+        assert min(published) == pytest.approx(0.93)   # 1Mb SRAM
+        assert max(published) == pytest.approx(240.0)  # PLD
+
+    def test_exactly_two_reconstructed_rows(self):
+        reconstructed = [p for p in PRODUCT_CATALOG if p.reconstructed]
+        assert len(reconstructed) == 2
+
+    def test_row_2_and_6_identical_inputs(self):
+        """The paper repeats the nominal BiCMOS uP row."""
+        r2, r6 = PRODUCT_CATALOG[1], PRODUCT_CATALOG[5]
+        assert (r2.n_transistors, r2.feature_size_um, r2.design_density,
+                r2.reference_yield, r2.cost_growth_rate) == \
+               (r6.n_transistors, r6.feature_size_um, r6.design_density,
+                r6.reference_yield, r6.cost_growth_rate)
+        assert r2.published_ctr_microdollars == r6.published_ctr_microdollars
+
+    def test_only_8inch_row_is_dram(self):
+        big_wafer = [p for p in PRODUCT_CATALOG if p.wafer_radius_cm > 7.5]
+        assert len(big_wafer) == 1
+        assert big_wafer[0].product_class is ProductClass.DRAM
+
+    def test_die_area_property(self):
+        row1 = PRODUCT_CATALOG[0]
+        expected = 3.1e6 * 150.0 * 0.64 / 1e8
+        assert row1.die_area_cm2 == pytest.approx(expected)
+
+
+class TestProductClass:
+    def test_memories_have_redundancy(self):
+        assert ProductClass.DRAM.has_redundancy
+        assert ProductClass.SRAM.has_redundancy
+
+    @pytest.mark.parametrize("cls", [
+        ProductClass.MICROPROCESSOR, ProductClass.GATE_ARRAY,
+        ProductClass.SEA_OF_GATES, ProductClass.PLD,
+        ProductClass.SIGNAL_PROCESSOR,
+    ])
+    def test_non_memories_do_not(self, cls):
+        assert not cls.has_redundancy
+
+    def test_catalog_by_class(self):
+        drams = catalog_by_class(ProductClass.DRAM)
+        assert len(drams) == 3
+        assert all(p.product_class is ProductClass.DRAM for p in drams)
+
+
+class TestMemoryLogicGap:
+    def test_gap_is_large(self):
+        """Paper conclusion 1 of Sec. IV.C: memory C_tr is 'much lower
+        than for all other IC types' — even the cheapest logic row is
+        several times the cheapest memory row."""
+        assert memory_vs_logic_cost_gap() > 5.0
+
+
+class TestSpecValidation:
+    def test_rejects_x_below_one(self):
+        with pytest.raises(ParameterError):
+            ProductSpec(name="bad", product_class=ProductClass.DRAM,
+                        n_transistors=1e6, feature_size_um=0.5,
+                        design_density=30.0, wafer_radius_cm=7.5,
+                        reference_yield=0.9,
+                        reference_wafer_cost_dollars=500.0,
+                        cost_growth_rate=0.9)
+
+    def test_rejects_zero_yield(self):
+        with pytest.raises(ParameterError):
+            ProductSpec(name="bad", product_class=ProductClass.DRAM,
+                        n_transistors=1e6, feature_size_um=0.5,
+                        design_density=30.0, wafer_radius_cm=7.5,
+                        reference_yield=0.0,
+                        reference_wafer_cost_dollars=500.0,
+                        cost_growth_rate=1.8)

@@ -1,0 +1,107 @@
+"""Technology roadmap trends (Figs. 1, 3, 4)."""
+
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.technology import GENERATIONS_UM, TechnologyRoadmap, die_area_trend_cm2
+
+
+@pytest.fixture
+def roadmap():
+    return TechnologyRoadmap()
+
+
+class TestDieAreaTrend:
+    def test_published_fit_values(self):
+        # A_ch(lambda) = 16.5 exp(-5.3 lambda): spot values.
+        assert die_area_trend_cm2(1.0) == pytest.approx(16.5 * math.exp(-5.3))
+        assert die_area_trend_cm2(0.8) == pytest.approx(16.5 * math.exp(-4.24))
+
+    def test_die_grows_as_feature_shrinks(self):
+        areas = [die_area_trend_cm2(l) for l in (1.0, 0.8, 0.5, 0.25)]
+        assert areas == sorted(areas)
+
+    def test_scenario2_anchor_point(self):
+        # At 0.5 um the trend predicts a ~1.17 cm^2 die — the scale at
+        # which the 70%-per-cm^2 yield assumption starts to bite.
+        assert die_area_trend_cm2(0.5) == pytest.approx(1.166, abs=0.01)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ParameterError):
+            die_area_trend_cm2(0.0)
+
+
+class TestFeatureSizeTrend:
+    def test_reference_anchor(self, roadmap):
+        assert roadmap.feature_size_um(1989.0) == pytest.approx(1.0)
+
+    def test_one_generation_is_07x(self, roadmap):
+        assert roadmap.feature_size_um(1992.0) == pytest.approx(0.7)
+
+    def test_monotone_decreasing(self, roadmap):
+        sizes = [roadmap.feature_size_um(y) for y in range(1970, 2001, 5)]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_inverse_roundtrip(self, roadmap):
+        for lam in (0.25, 0.5, 0.8, 1.5, 3.0):
+            year = roadmap.year_of_feature_size(lam)
+            assert roadmap.feature_size_um(year) == pytest.approx(lam)
+
+    def test_generation_index_signs(self, roadmap):
+        assert roadmap.generation_index(1.0) == pytest.approx(0.0)
+        assert roadmap.generation_index(0.7) == pytest.approx(1.0)
+        assert roadmap.generation_index(2.0) < 0.0
+
+    def test_generation_index_additivity(self, roadmap):
+        g_direct = roadmap.generation_index(0.49)
+        assert g_direct == pytest.approx(2.0)  # 0.7 * 0.7
+
+
+class TestProcessSteps:
+    def test_steps_increase_with_shrink(self, roadmap):
+        steps = [roadmap.process_steps(l) for l in (1.0, 0.8, 0.5, 0.35)]
+        assert steps == sorted(steps)
+
+    def test_reference_value(self, roadmap):
+        assert roadmap.process_steps(1.0) == pytest.approx(250.0)
+
+    def test_degenerate_coarse_node_raises(self):
+        # Far enough back, the linear model would go negative.
+        roadmap = TechnologyRoadmap(steps_at_reference=100.0,
+                                    steps_per_generation=60.0)
+        with pytest.raises(ParameterError):
+            roadmap.process_steps(20.0)
+
+
+class TestRequiredDefectDensity:
+    def test_falls_steeply_with_shrink(self, roadmap):
+        ds = [roadmap.required_defect_density(l) for l in (1.0, 0.8, 0.5, 0.35)]
+        assert ds == sorted(ds, reverse=True)
+        # Fig. 4's message: orders of magnitude, not percent.
+        assert ds[0] / ds[-1] > 10.0
+
+    def test_higher_target_yield_needs_cleaner_fab(self, roadmap):
+        strict = roadmap.required_defect_density(0.5, target_yield=0.9)
+        loose = roadmap.required_defect_density(0.5, target_yield=0.5)
+        assert strict < loose
+
+    def test_explicit_transistor_count_respected(self, roadmap):
+        small = roadmap.required_defect_density(0.5, n_transistors=1e5)
+        big = roadmap.required_defect_density(0.5, n_transistors=1e7)
+        assert big < small  # bigger die tolerates fewer defects/cm^2
+
+
+class TestSeries:
+    def test_series_covers_generations(self, roadmap):
+        rows = roadmap.series()
+        assert len(rows) == len(GENERATIONS_UM)
+        assert all({"feature_size_um", "year", "process_steps",
+                    "required_defect_density_per_cm2"} <= set(r) for r in rows)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            TechnologyRoadmap(shrink_per_generation=1.2)
+        with pytest.raises(ParameterError):
+            TechnologyRoadmap(years_per_generation=0.0)

@@ -1,0 +1,87 @@
+"""Device scaling rules and performance-per-dollar."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.technology import (
+    CONSTANT_VOLTAGE,
+    DENNARD,
+    ScalingRules,
+    performance_per_dollar,
+    tolerable_cost_increase,
+)
+
+
+class TestDennard:
+    def test_identity_at_same_node(self):
+        assert DENNARD.delay_factor(0.8, 0.8) == pytest.approx(1.0)
+        assert DENNARD.power_density_factor(0.8, 0.8) == pytest.approx(1.0)
+
+    def test_classic_factors_for_07_shrink(self):
+        s = 0.7
+        assert DENNARD.delay_factor(0.7, 1.0) == pytest.approx(s)
+        assert DENNARD.frequency_factor(0.7, 1.0) == pytest.approx(1.0 / s)
+        assert DENNARD.transistor_power_factor(0.7, 1.0) == \
+            pytest.approx(s * s)
+
+    def test_power_density_constant(self):
+        """The defining Dennard property."""
+        for lam in (0.8, 0.5, 0.35, 0.25):
+            assert DENNARD.power_density_factor(lam, 1.0) == \
+                pytest.approx(1.0)
+
+    def test_throughput_gain(self):
+        # density 1/s^2 times frequency 1/s = 1/s^3.
+        assert DENNARD.throughput_factor(0.5, 1.0) == pytest.approx(8.0)
+
+
+class TestConstantVoltage:
+    def test_power_density_explodes(self):
+        """The 5 V era's thermal wall: shrink at constant voltage raises
+        power density."""
+        assert CONSTANT_VOLTAGE.power_density_factor(0.5, 1.0) > 1.5
+
+    def test_per_transistor_power_static(self):
+        # P ~ s * 1 * 1/s = 1: per transistor power flat.
+        assert CONSTANT_VOLTAGE.transistor_power_factor(0.5, 1.0) == \
+            pytest.approx(1.0)
+
+    def test_generalized_between_regimes(self):
+        mid = ScalingRules(voltage_exponent=0.5)
+        pd = mid.power_density_factor(0.5, 1.0)
+        assert 1.0 < pd < CONSTANT_VOLTAGE.power_density_factor(0.5, 1.0)
+
+
+class TestPerformancePerDollar:
+    def test_flat_cost_shrink_always_pays(self):
+        ratio = performance_per_dollar(1.0, 1.0, 1.0, 0.7)
+        assert ratio == pytest.approx(1.0 / 0.7)
+
+    def test_cost_increase_can_erase_performance_gain(self):
+        """The paper's two-sided warning in one number: with Scenario-#2
+        style cost growth (3x over a 0.7 shrink... here stylized), the
+        shrink loses performance-per-dollar."""
+        ratio = performance_per_dollar(1.0, 3.0, 1.0, 0.7)
+        assert ratio < 1.0
+
+    def test_tolerable_increase_is_frequency_gain(self):
+        assert tolerable_cost_increase(1.0, 0.7) == pytest.approx(1.0 / 0.7)
+        # Breakeven check: cost growing exactly that much gives parity.
+        parity = performance_per_dollar(1.0, tolerable_cost_increase(1.0, 0.7),
+                                        1.0, 0.7)
+        assert parity == pytest.approx(1.0)
+
+    def test_scenario2_cost_growth_vs_tolerance(self):
+        """Join to the cost model: Scenario-#2 C_tr growth from 1.0 to
+        0.5 um exceeds what performance can absorb at X = 2.4."""
+        from repro.core import SCENARIO_2
+        c_old = SCENARIO_2.cost_dollars(1.0, 2.4)
+        c_new = SCENARIO_2.cost_dollars(0.5, 2.4)
+        tolerance = tolerable_cost_increase(1.0, 0.5)
+        assert c_new / c_old > tolerance  # shrink irrational even for speed
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            ScalingRules(voltage_exponent=-0.1)
+        with pytest.raises(ParameterError):
+            performance_per_dollar(0.0, 1.0, 1.0, 0.7)

@@ -1,0 +1,71 @@
+"""The SIA 1993 roadmap table (ref [17])."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.technology import SIA_1993_NODES, SiaNode, TechnologyRoadmap
+from repro.technology.sia_roadmap import (
+    dram_bits_growth_per_node,
+    dram_generation_cadence_years,
+    fab_cost_growth_per_node,
+    node_for_feature_size,
+    roadmap_agreement_with,
+)
+
+
+class TestTable:
+    def test_five_nodes_in_order(self):
+        assert len(SIA_1993_NODES) == 5
+        sizes = [n.feature_size_um for n in SIA_1993_NODES]
+        years = [n.first_production_year for n in SIA_1993_NODES]
+        assert sizes == sorted(sizes, reverse=True)
+        assert years == sorted(years)
+
+    def test_035_node(self):
+        node = SIA_1993_NODES[0]
+        assert node.feature_size_um == 0.35
+        assert node.first_production_year == 1995
+        assert node.dram_bits_per_chip == 64e6
+
+    def test_wafer_radius_property(self):
+        assert SIA_1993_NODES[0].wafer_radius_cm == pytest.approx(10.0)
+        assert SIA_1993_NODES[2].wafer_radius_cm == pytest.approx(15.0)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            SiaNode(0.35, 1995, 64e6, 175, 1500.0)  # non-standard wafer
+
+
+class TestDerivedTrends:
+    def test_three_year_cadence(self):
+        assert dram_generation_cadence_years() == pytest.approx(3.0)
+
+    def test_4x_bits_per_node(self):
+        assert dram_bits_growth_per_node() == pytest.approx(4.0, rel=0.05)
+
+    def test_fab_cost_growth_matches_fig2_scale(self):
+        """The roadmap's own fab-cost escalation sits in the band the
+        paper extracts from Fig. 2 history (fabline curve ~1.5-1.9)."""
+        growth = fab_cost_growth_per_node()
+        assert 1.3 <= growth <= 2.0
+
+    def test_nearest_node_lookup(self):
+        assert node_for_feature_size(0.3).feature_size_um == 0.35
+        assert node_for_feature_size(0.2).feature_size_um in (0.18, 0.25)
+        assert node_for_feature_size(0.1).feature_size_um == 0.10
+
+
+class TestAgreement:
+    def test_anchored_roadmap_tracks_sia_years(self):
+        """Our parametric trend, anchored at 1 um in production 1987,
+        hits every SIA first-production year within 2.5 years."""
+        roadmap = TechnologyRoadmap(reference_year=1987.0)
+        assert roadmap_agreement_with(roadmap)
+
+    def test_badly_anchored_roadmap_fails(self):
+        roadmap = TechnologyRoadmap(reference_year=1979.0)
+        assert not roadmap_agreement_with(roadmap)
+
+    def test_tolerance_validation(self):
+        with pytest.raises(ParameterError):
+            roadmap_agreement_with(TechnologyRoadmap(), tolerance_years=0.0)

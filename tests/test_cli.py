@@ -1,0 +1,111 @@
+"""CLI entry points."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_choices(self):
+        args = build_parser().parse_args(["figure", "fig6"])
+        assert args.name == "fig6"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+    def test_cost_defaults(self):
+        args = build_parser().parse_args([
+            "cost", "--transistors", "1e6", "--feature-size", "0.8",
+            "--density", "150"])
+        assert args.yield0 == 0.7
+        assert args.c0 == 500.0
+        assert args.wafer_radius == 7.5
+
+
+class TestCommands:
+    @pytest.mark.parametrize("fig", ["fig1", "fig3", "fig5", "fig6", "fig7"])
+    def test_figures_render(self, fig, capsys):
+        assert main(["figure", fig]) == 0
+        out = capsys.readouterr().out
+        assert "Fig." in out
+        assert len(out.splitlines()) > 10
+
+    def test_fig8_renders_contours(self, capsys):
+        assert main(["figure", "fig8"]) == 0
+        out = capsys.readouterr().out
+        assert "levels:" in out
+
+    @pytest.mark.parametrize("table", ["table1", "table2", "table3"])
+    def test_tables_render(self, table, capsys):
+        assert main(["table", table]) == 0
+        out = capsys.readouterr().out
+        assert "Table" in out
+
+    def test_cost_command(self, capsys):
+        rc = main(["cost", "--transistors", "3.1e6", "--feature-size", "0.8",
+                   "--density", "150", "--c0", "700", "--x", "1.8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cost per transistor" in out
+        # The Table-3 row-2 value should appear (20.5 x 1e-6).
+        assert "20.5" in out
+
+    def test_cost_command_bad_parameters_exit_2(self, capsys):
+        rc = main(["cost", "--transistors", "5e9", "--feature-size", "0.8",
+                   "--density", "150"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_optimize_command(self, capsys):
+        assert main(["optimize", "--die-area", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "optimal feature size" in out
+
+    def test_scenarios_command(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "scen1" in out and "scen2" in out
+
+    def test_module_invocation(self):
+        import subprocess
+        import sys
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "table", "table1"],
+            capture_output=True, text=True, timeout=120)
+        assert result.returncode == 0
+        assert "I-cache" in result.stdout
+
+    def test_shrink_command(self, capsys):
+        rc = main(["shrink", "--transistors", "1.2e6", "--density", "150",
+                   "--from-node", "0.8", "--to-node", "0.5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mature cost gain" in out
+        assert "dies per wafer" in out
+
+    def test_shrink_command_infeasible_exit_2(self, capsys):
+        rc = main(["shrink", "--transistors", "5e9", "--density", "150",
+                   "--from-node", "1.0", "--to-node", "0.5"])
+        assert rc == 2
+
+    def test_wafermap_command(self, capsys):
+        rc = main(["wafermap", "--die-side", "1.2",
+                   "--defect-density", "0.6", "--seed", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "good" in out
+        assert "X" in out or "." in out
+
+    def test_wafermap_counts_mode(self, capsys):
+        rc = main(["wafermap", "--die-side", "1.2",
+                   "--defect-density", "1.5", "--counts"])
+        assert rc == 0
+        assert "good" in capsys.readouterr().out
+
+    def test_report_command_to_file(self, tmp_path, capsys):
+        target = tmp_path / "r.md"
+        assert main(["report", str(target)]) == 0
+        assert "Headline checks" in target.read_text()

@@ -1,0 +1,40 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro.errors import (
+    CapacityError,
+    ConvergenceError,
+    GeometryError,
+    ParameterError,
+    ReproError,
+)
+
+
+@pytest.mark.parametrize("exc", [
+    ParameterError, GeometryError, ConvergenceError, CapacityError,
+])
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+
+
+def test_parameter_error_is_value_error():
+    # Callers used to stdlib semantics can still catch ValueError.
+    assert issubclass(ParameterError, ValueError)
+
+
+def test_geometry_error_is_value_error():
+    assert issubclass(GeometryError, ValueError)
+
+
+def test_convergence_error_is_runtime_error():
+    assert issubclass(ConvergenceError, RuntimeError)
+
+
+def test_capacity_error_is_value_error():
+    assert issubclass(CapacityError, ValueError)
+
+
+def test_catching_base_catches_all():
+    with pytest.raises(ReproError):
+        raise GeometryError("die too big")

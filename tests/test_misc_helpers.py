@@ -1,0 +1,88 @@
+"""Coverage for small public helpers not exercised elsewhere."""
+
+import pytest
+
+from repro.core.transistor_cost import silicon_utilization
+from repro.core import TransistorCostModel, WaferCostModel
+from repro.geometry import Wafer
+from repro.manufacturing import FabDynamics
+from repro.manufacturing.equipment import ProcessFlow
+from repro.manufacturing.product_mix import size_equipment_for_flow
+from repro.manufacturing.test_cost import TestEconomics
+from repro.technology.sia_roadmap import node_for_feature_size
+
+
+class TestSiliconUtilization:
+    def test_fraction_of_wafer_area(self):
+        wafer = Wafer(radius_cm=7.5)
+        model = TransistorCostModel(wafer_cost=WaferCostModel(), wafer=wafer)
+        b = model.evaluate(n_transistors=1e6, feature_size_um=0.8,
+                           design_density=150.0, yield_value=0.9)
+        util = silicon_utilization(b, wafer)
+        assert 0.5 < util < 1.0
+        assert util == pytest.approx(
+            b.dies_per_wafer * b.die_area_cm2 / wafer.area_cm2)
+
+    def test_small_die_utilizes_more(self):
+        wafer = Wafer(radius_cm=7.5)
+        model = TransistorCostModel(wafer_cost=WaferCostModel(), wafer=wafer)
+        small = model.evaluate(n_transistors=2e5, feature_size_um=0.8,
+                               design_density=150.0, yield_value=0.9)
+        big = model.evaluate(n_transistors=4e6, feature_size_um=0.8,
+                             design_density=150.0, yield_value=0.9)
+        assert silicon_utilization(small, wafer) > \
+            silicon_utilization(big, wafer)
+
+
+class TestQueueingMultiplier:
+    def test_multiplier_grows_with_load(self):
+        flow = ProcessFlow.generic_cmos(n_metal_layers=2)
+        equipment = size_equipment_for_flow(flow, 3000.0)
+        light = FabDynamics(equipment=equipment, flow=flow,
+                            wafer_starts_per_hour=5.0)
+        heavy = FabDynamics(equipment=equipment, flow=flow,
+                            wafer_starts_per_hour=19.0)
+        m_light = max(s.queueing_multiplier for s in light.stations())
+        m_heavy = max(s.queueing_multiplier for s in heavy.stations())
+        assert m_heavy > m_light >= 1.0
+
+    def test_cycle_hours_composition(self):
+        flow = ProcessFlow.generic_cmos(n_metal_layers=2)
+        equipment = size_equipment_for_flow(flow, 3000.0)
+        dyn = FabDynamics(equipment=equipment, flow=flow,
+                          wafer_starts_per_hour=10.0)
+        for station in dyn.stations():
+            assert station.cycle_hours_per_visit == pytest.approx(
+                station.wait_hours_per_visit
+                + station.service_hours_per_visit)
+
+
+class TestDftOutcomeDetails:
+    def test_outcome_carries_both_sides(self):
+        econ = TestEconomics(yield_value=0.7, fault_coverage=0.9,
+                             escape_cost_dollars=300.0)
+        outcome = econ.with_dft(coverage_gain=0.05,
+                                area_overhead_fraction=0.04)
+        assert outcome.baseline is econ
+        assert outcome.improved.fault_coverage == pytest.approx(0.95)
+        assert outcome.area_overhead_fraction == 0.04
+
+    def test_net_benefit_sign_flips_with_escape_cost(self):
+        cheap_escapes = TestEconomics(yield_value=0.8, fault_coverage=0.9,
+                                      escape_cost_dollars=0.5)
+        dear_escapes = TestEconomics(yield_value=0.8, fault_coverage=0.9,
+                                     escape_cost_dollars=5000.0)
+        kwargs = dict(coverage_gain=0.09, area_overhead_fraction=0.06)
+        assert cheap_escapes.with_dft(**kwargs) \
+            .net_benefit_per_shipped_die(2e6, 30.0) < 0.0
+        assert dear_escapes.with_dft(**kwargs) \
+            .net_benefit_per_shipped_die(2e6, 30.0) > 0.0
+
+
+class TestSiaLookup:
+    def test_exact_match(self):
+        assert node_for_feature_size(0.25).first_production_year == 1998
+
+    def test_log_scale_nearest(self):
+        # 0.29 um is log-nearer to 0.25 than to 0.35.
+        assert node_for_feature_size(0.29).feature_size_um == 0.25

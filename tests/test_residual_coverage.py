@@ -1,0 +1,77 @@
+"""Residual coverage: dispatch paths and small branches not hit elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.core import CostLandscape
+from repro.core.optimization import FabCharacterization
+from repro.errors import ParameterError
+from repro.geometry import Die, Wafer
+from repro.manufacturing.equipment import ProcessFlow
+
+
+class TestWaferDispatch:
+    def test_ferris_prabhu_dispatch(self):
+        wafer = Wafer(radius_cm=7.5)
+        die = Die.square(1.0)
+        count = wafer.dies(die, method="ferris-prabhu")
+        assert isinstance(count, int)
+        assert 0 < count < wafer.area_cm2 / die.area_cm2
+
+    def test_unknown_method_raises(self):
+        wafer = Wafer(radius_cm=7.5)
+        with pytest.raises(ParameterError):
+            wafer.dies(Die.square(1.0), method="astrology")
+
+
+class TestLandscapeEdges:
+    def test_all_infeasible_rows_skipped(self):
+        """Rows whose every cell is infeasible must not appear in the
+        optima list (huge transistor counts at a dirty fab)."""
+        landscape = CostLandscape(
+            fab=FabCharacterization(defect_coefficient=50.0),
+            feature_sizes_um=np.linspace(0.3, 0.6, 5),
+            transistor_counts=np.geomspace(1e8, 1e9, 4))
+        assert landscape.optimal_lambda_per_count() == []
+
+    def test_contour_levels_raise_on_empty_landscape(self):
+        landscape = CostLandscape(
+            fab=FabCharacterization(defect_coefficient=50.0),
+            feature_sizes_um=np.linspace(0.3, 0.6, 4),
+            transistor_counts=np.geomspace(1e8, 1e9, 4))
+        with pytest.raises(ParameterError):
+            landscape.contour_levels()
+
+
+class TestFlowNaming:
+    def test_generic_cmos_custom_name(self):
+        flow = ProcessFlow.generic_cmos(n_metal_layers=2, name="proc-X")
+        assert flow.name == "proc-X"
+
+    def test_step_names_unique(self):
+        flow = ProcessFlow.generic_cmos(n_metal_layers=3)
+        names = [s.name for s in flow.steps]
+        assert len(names) == len(set(names))
+
+
+class TestChartTicks:
+    def test_y_ticks_present_and_ordered(self):
+        from repro.analysis import ascii_chart
+        x = np.linspace(0, 10, 20)
+        out = ascii_chart(x, {"s": x * 3.0 + 1.0}, height=15)
+        ticks = []
+        for line in out.splitlines():
+            head = line.split("|")[0].strip()
+            if head:
+                try:
+                    ticks.append(float(head))
+                except ValueError:
+                    pass
+        assert len(ticks) >= 3
+        assert ticks == sorted(ticks, reverse=True)
+
+    def test_x_axis_endpoints_labeled(self):
+        from repro.analysis import ascii_chart
+        x = np.linspace(2.5, 7.5, 10)
+        out = ascii_chart(x, {"s": x})
+        assert "2.5" in out and "7.5" in out

@@ -1,0 +1,105 @@
+"""Unit conversions and validators."""
+
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro import units
+
+
+class TestLengthConversions:
+    def test_um_to_cm_roundtrip(self):
+        assert units.cm_to_um(units.um_to_cm(1234.5)) == pytest.approx(1234.5)
+
+    def test_one_cm_is_ten_thousand_um(self):
+        assert units.cm_to_um(1.0) == 1.0e4
+
+    def test_inch_to_cm_exact(self):
+        assert units.inch_to_cm(1.0) == 2.54
+
+    def test_six_inch_wafer_radius(self):
+        assert units.wafer_diameter_inch_to_radius_cm(6.0) == pytest.approx(7.62)
+
+    def test_eight_inch_wafer_radius(self):
+        assert units.wafer_diameter_inch_to_radius_cm(8.0) == pytest.approx(10.16)
+
+
+class TestAreaConversions:
+    def test_um2_to_cm2_roundtrip(self):
+        assert units.cm2_to_um2(units.um2_to_cm2(7.0e7)) == pytest.approx(7.0e7)
+
+    def test_one_cm2_is_1e8_um2(self):
+        assert units.cm2_to_um2(1.0) == 1.0e8
+
+    def test_mm2_cm2(self):
+        assert units.mm2_to_cm2(100.0) == pytest.approx(1.0)
+        assert units.cm2_to_mm2(1.0) == pytest.approx(100.0)
+
+    def test_wafer_area_six_inch(self):
+        # pi * 7.5^2 = 176.71 cm^2, the area used throughout the paper.
+        assert units.wafer_area_cm2(7.5) == pytest.approx(176.714, abs=1e-2)
+
+    def test_wafer_area_rejects_zero_radius(self):
+        with pytest.raises(ParameterError):
+            units.wafer_area_cm2(0.0)
+
+
+class TestDollarConversions:
+    def test_microdollars_roundtrip(self):
+        assert units.microdollars_to_dollars(
+            units.dollars_to_microdollars(0.0255)) == pytest.approx(0.0255)
+
+    def test_table3_unit(self):
+        # 25.5e-6 dollars is the paper's "25.50" in $1e-6 units.
+        assert units.dollars_to_microdollars(25.5e-6) == pytest.approx(25.5)
+
+
+class TestValidators:
+    def test_require_positive_accepts(self):
+        assert units.require_positive("x", 0.1) == 0.1
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_require_positive_rejects(self, bad):
+        with pytest.raises(ParameterError):
+            units.require_positive("x", bad)
+
+    def test_require_positive_rejects_non_numeric(self):
+        with pytest.raises(ParameterError):
+            units.require_positive("x", "abc")
+
+    def test_require_nonnegative_accepts_zero(self):
+        assert units.require_nonnegative("x", 0.0) == 0.0
+
+    def test_require_nonnegative_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            units.require_nonnegative("x", -1e-9)
+
+    def test_require_fraction_inclusive_bounds(self):
+        assert units.require_fraction("y", 0.0) == 0.0
+        assert units.require_fraction("y", 1.0) == 1.0
+
+    def test_require_fraction_exclusive_low(self):
+        with pytest.raises(ParameterError):
+            units.require_fraction("y", 0.0, inclusive_low=False)
+
+    def test_require_fraction_exclusive_high(self):
+        with pytest.raises(ParameterError):
+            units.require_fraction("y", 1.0, inclusive_high=False)
+
+    def test_require_fraction_rejects_above_one(self):
+        with pytest.raises(ParameterError):
+            units.require_fraction("y", 1.0001)
+
+    def test_require_fraction_rejects_nan(self):
+        with pytest.raises(ParameterError):
+            units.require_fraction("y", float("nan"))
+
+    def test_require_at_least(self):
+        assert units.require_at_least("x", 1.8, 1.0) == 1.8
+        with pytest.raises(ParameterError):
+            units.require_at_least("x", 0.99, 1.0)
+
+    def test_error_message_names_parameter(self):
+        with pytest.raises(ParameterError, match="my_param"):
+            units.require_positive("my_param", -5)

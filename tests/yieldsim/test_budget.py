@@ -1,0 +1,127 @@
+"""Defect-density budgeting (the Fig.-4 planning tool)."""
+
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.yieldsim import (
+    LayerDefectivity,
+    allocate_cleaning,
+    plan_for_yield,
+    required_total_density,
+)
+from repro.yieldsim.budget import total_density
+
+
+@pytest.fixture
+def layers():
+    """A 4-layer stack: metal is dirty and cheap to clean, gate dirty
+    and expensive, the rest moderate."""
+    return (
+        LayerDefectivity(name="metal1", density_per_cm2=1.2,
+                         cost_per_decade_dollars=2.0e6),
+        LayerDefectivity(name="gate", density_per_cm2=0.8,
+                         cost_per_decade_dollars=8.0e6),
+        LayerDefectivity(name="contact", density_per_cm2=0.5,
+                         cost_per_decade_dollars=3.0e6),
+        LayerDefectivity(name="implant", density_per_cm2=0.1,
+                         cost_per_decade_dollars=5.0e6),
+    )
+
+
+class TestRequiredDensity:
+    def test_poisson_inversion(self):
+        d = required_total_density(1.0, 0.7)
+        assert math.exp(-d) == pytest.approx(0.7)
+
+    def test_bigger_die_needs_cleaner_fab(self):
+        assert required_total_density(2.0, 0.7) == pytest.approx(
+            required_total_density(1.0, 0.7) / 2.0)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            required_total_density(1.0, 1.0)
+
+
+class TestAllocation:
+    def test_budget_met_exactly(self, layers):
+        budget = 1.0
+        allocations = allocate_cleaning(layers, budget)
+        achieved = sum(a.target_density_per_cm2 for a in allocations)
+        assert achieved == pytest.approx(budget)
+
+    def test_no_layer_made_dirtier(self, layers):
+        allocations = allocate_cleaning(layers, 1.0)
+        for a in allocations:
+            assert a.target_density_per_cm2 <= a.layer.density_per_cm2 + 1e-12
+            assert a.decades_cleaned >= -1e-12
+
+    def test_generous_budget_cleans_nothing(self, layers):
+        budget = total_density(layers) * 1.5
+        allocations = allocate_cleaning(layers, budget)
+        for a in allocations:
+            assert a.target_density_per_cm2 == a.layer.density_per_cm2
+            assert a.cleaning_cost_dollars == pytest.approx(0.0)
+
+    def test_cheap_layers_cleaned_harder(self, layers):
+        """Water-filling: target density proportional to cost rate, so
+        the cheap-to-clean metal ends *relatively* cleaner than gate."""
+        allocations = {a.layer.name: a for a in allocate_cleaning(layers, 0.8)}
+        metal = allocations["metal1"]
+        gate = allocations["gate"]
+        # Both active: targets proportional to cost rates.
+        assert metal.target_density_per_cm2 / gate.target_density_per_cm2 \
+            == pytest.approx(2.0e6 / 8.0e6, rel=1e-6)
+        # And the cheap layer is cleaned by more decades.
+        assert metal.decades_cleaned > gate.decades_cleaned
+
+    def test_already_clean_layer_frozen(self, layers):
+        """The implant layer (0.1/cm^2) is below its water level at a
+        loose budget and must be left untouched."""
+        allocations = {a.layer.name: a
+                       for a in allocate_cleaning(layers, 1.5)}
+        assert allocations["implant"].target_density_per_cm2 == \
+            pytest.approx(0.1)
+        assert allocations["implant"].cleaning_cost_dollars == \
+            pytest.approx(0.0)
+
+    def test_tighter_budget_costs_more(self, layers):
+        def cost(budget):
+            return sum(a.cleaning_cost_dollars
+                       for a in allocate_cleaning(layers, budget))
+        assert cost(0.5) > cost(1.0) > cost(2.0)
+
+    def test_validation(self, layers):
+        with pytest.raises(ParameterError):
+            allocate_cleaning((), 1.0)
+        with pytest.raises(ParameterError):
+            allocate_cleaning(layers, 0.0)
+
+
+class TestPlanForYield:
+    def test_plan_achieves_yield(self, layers):
+        allocations, cost = plan_for_yield(layers, die_area_cm2=1.0,
+                                           target_yield=0.6)
+        achieved_density = sum(a.target_density_per_cm2
+                               for a in allocations)
+        assert math.exp(-achieved_density) >= 0.6 - 1e-9
+        assert cost > 0.0
+
+    def test_higher_yield_target_costs_more(self, layers):
+        _, cost_60 = plan_for_yield(layers, 1.0, 0.6)
+        _, cost_80 = plan_for_yield(layers, 1.0, 0.8)
+        assert cost_80 > cost_60
+
+    def test_optimality_against_uniform_split(self, layers):
+        """The water-filling plan beats splitting the budget equally."""
+        budget = required_total_density(1.0, 0.7)
+        optimal = sum(a.cleaning_cost_dollars
+                      for a in allocate_cleaning(layers, budget))
+        per_layer = budget / len(layers)
+        uniform = 0.0
+        for layer in layers:
+            target = min(per_layer, layer.density_per_cm2)
+            uniform += layer.cost_per_decade_dollars \
+                * math.log10(layer.density_per_cm2 / target)
+        assert optimal <= uniform + 1e-6

@@ -1,0 +1,132 @@
+"""Critical-area model for shorts and opens."""
+
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.yieldsim import (
+    DefectSizeDistribution,
+    WirePattern,
+    average_critical_area,
+    critical_area_open,
+    critical_area_short,
+)
+from repro.yieldsim.critical_area import (
+    effective_density_scaling_exponent,
+    fault_expectation,
+)
+
+
+@pytest.fixture
+def pattern():
+    """1 um wires at 1 um spacing over 0.1 cm^2 (a minimum-pitch block)."""
+    return WirePattern(wire_width_um=1.0, wire_spacing_um=1.0, area_cm2=0.1)
+
+
+class TestSingleRadius:
+    def test_no_short_below_spacing(self, pattern):
+        # A disk with diameter <= spacing cannot bridge two wires.
+        assert critical_area_short(pattern, 0.49) == 0.0
+        assert critical_area_short(pattern, 0.5) == 0.0
+
+    def test_short_grows_linearly_above_onset(self, pattern):
+        a1 = critical_area_short(pattern, 0.6)
+        a2 = critical_area_short(pattern, 0.7)
+        a3 = critical_area_short(pattern, 0.8)
+        assert a1 < a2 < a3
+        assert (a3 - a2) == pytest.approx(a2 - a1, rel=1e-9)
+
+    def test_short_saturates_at_pattern_area(self, pattern):
+        assert critical_area_short(pattern, 50.0) == pytest.approx(
+            pattern.area_cm2)
+
+    def test_open_mirrors_short_for_symmetric_pattern(self, pattern):
+        # width == spacing: opens and shorts have identical geometry.
+        for r in (0.3, 0.6, 1.0, 2.0):
+            assert critical_area_open(pattern, r) == pytest.approx(
+                critical_area_short(pattern, r))
+
+    def test_asymmetric_pattern_breaks_symmetry(self):
+        pat = WirePattern(wire_width_um=2.0, wire_spacing_um=0.5, area_cm2=0.1)
+        r = 0.5  # diameter 1.0: bridges the 0.5 gap, cannot sever 2.0 wire
+        assert critical_area_short(pat, r) > 0.0
+        assert critical_area_open(pat, r) == 0.0
+
+    def test_negative_radius_rejected(self, pattern):
+        with pytest.raises(ParameterError):
+            critical_area_short(pattern, -0.1)
+
+
+class TestPatternValidation:
+    def test_at_feature_size(self):
+        pat = WirePattern.at_feature_size(0.5, 0.2)
+        assert pat.wire_width_um == pat.wire_spacing_um == 0.5
+        assert pat.pitch_um == pytest.approx(1.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ParameterError):
+            WirePattern(wire_width_um=0.0, wire_spacing_um=1.0, area_cm2=0.1)
+
+
+class TestAverageCriticalArea:
+    def test_bounded_by_pattern_area(self, pattern):
+        dist = DefectSizeDistribution(r0_um=0.2, p=4.07)
+        ac = average_critical_area(pattern, dist, mechanism="short")
+        assert 0.0 < ac < pattern.area_cm2
+
+    def test_larger_defects_mean_more_critical_area(self, pattern):
+        small = DefectSizeDistribution(r0_um=0.1, p=4.07)
+        large = DefectSizeDistribution(r0_um=0.8, p=4.07)
+        ac_small = average_critical_area(pattern, small)
+        ac_large = average_critical_area(pattern, large)
+        assert ac_large > ac_small
+
+    def test_denser_pattern_more_sensitive(self):
+        dist = DefectSizeDistribution(r0_um=0.2, p=4.07)
+        coarse = WirePattern.at_feature_size(1.0, 0.1)
+        fine = WirePattern.at_feature_size(0.4, 0.1)
+        assert average_critical_area(fine, dist) > \
+            average_critical_area(coarse, dist)
+
+    def test_unknown_mechanism_rejected(self, pattern):
+        dist = DefectSizeDistribution(r0_um=0.2, p=4.07)
+        with pytest.raises(ParameterError):
+            average_critical_area(pattern, dist, mechanism="latchup")
+
+    def test_fault_expectation_linear_in_density(self, pattern):
+        dist = DefectSizeDistribution(r0_um=0.2, p=4.07)
+        m1 = fault_expectation(pattern, dist, 1.0)
+        m2 = fault_expectation(pattern, dist, 2.0)
+        assert m2 == pytest.approx(2.0 * m1)
+
+
+class TestBridgeToEquationSeven:
+    def test_scaling_exponent_is_p_minus_one(self):
+        """The layout-level model derives a power-of-lambda yield penalty.
+
+        For minimum-pitch wires (both dimensions proportional to lambda)
+        deep in the 1/R^p tail, substituting R = lambda*u into the
+        critical-area integral gives A_c ~ lambda^(1-p): the fault
+        density at fixed area scales as lambda^-(p-1).  (The paper's
+        D/lambda^p substitution is one power steeper; see the function
+        docstring for why.)
+        """
+        dist = DefectSizeDistribution(r0_um=0.05, p=4.07)
+        q = effective_density_scaling_exponent(dist, lam_low_um=0.4,
+                                               lam_high_um=1.0)
+        assert q == pytest.approx(4.07 - 1.0, abs=0.15)
+
+    def test_exponent_grows_with_p(self):
+        qs = []
+        for p in (3.0, 4.0, 5.0):
+            dist = DefectSizeDistribution(r0_um=0.05, p=p)
+            qs.append(effective_density_scaling_exponent(
+                dist, lam_low_um=0.4, lam_high_um=1.0))
+        assert qs == sorted(qs)
+
+    def test_exponent_validation(self):
+        dist = DefectSizeDistribution(r0_um=0.1, p=4.0)
+        with pytest.raises(ParameterError):
+            effective_density_scaling_exponent(dist, lam_low_um=1.0,
+                                               lam_high_um=0.5)

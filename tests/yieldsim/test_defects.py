@@ -1,0 +1,148 @@
+"""Defect size distribution (Fig. 5)."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import integrate
+
+from repro.errors import ParameterError
+from repro.yieldsim import DefectSizeDistribution
+
+
+@pytest.fixture
+def dist():
+    """The paper's fitted parameters: p = 4.07, peak at 0.2 um."""
+    return DefectSizeDistribution(r0_um=0.2, p=4.07)
+
+
+class TestNormalization:
+    def test_pdf_integrates_to_one(self, dist):
+        total, _ = integrate.quad(lambda r: float(dist.pdf(r)), 0.0, 200.0,
+                                  limit=300)
+        assert total == pytest.approx(1.0, abs=1e-5)
+
+    @pytest.mark.parametrize("p", [2.5, 3.0, 4.07, 5.0])
+    def test_normalization_across_p(self, p):
+        d = DefectSizeDistribution(r0_um=0.5, p=p)
+        total, _ = integrate.quad(lambda r: float(d.pdf(r)), 0.0, 5000.0,
+                                  limit=400)
+        assert total == pytest.approx(1.0, abs=1e-4)
+
+    def test_cdf_limits(self, dist):
+        assert float(dist.cdf(0.0)) == pytest.approx(0.0)
+        assert float(dist.cdf(1e4)) == pytest.approx(1.0, abs=1e-9)
+
+    def test_cdf_monotone(self, dist):
+        r = np.linspace(0.0, 3.0, 200)
+        c = np.asarray(dist.cdf(r))
+        assert np.all(np.diff(c) >= -1e-12)
+
+    def test_cdf_matches_pdf_integral(self, dist):
+        for r_hi in (0.1, 0.2, 0.5, 1.0):
+            num, _ = integrate.quad(lambda r: float(dist.pdf(r)), 0.0, r_hi)
+            assert float(dist.cdf(r_hi)) == pytest.approx(num, abs=1e-8)
+
+
+class TestShape:
+    def test_peak_at_r0(self, dist):
+        # The density rises linearly to R0 then falls; R0 is the mode.
+        below = float(dist.pdf(0.19))
+        at = float(dist.pdf(0.2))
+        above = float(dist.pdf(0.21))
+        assert at > below and at > above
+
+    def test_pdf_continuous_at_r0(self, dist):
+        eps = 1e-9
+        assert float(dist.pdf(0.2 - eps)) == pytest.approx(
+            float(dist.pdf(0.2 + eps)), rel=1e-5)
+
+    def test_tail_power_law(self, dist):
+        # f(2r)/f(r) = 2^-p deep in the tail.
+        r = 5.0
+        ratio = float(dist.pdf(2 * r)) / float(dist.pdf(r))
+        assert ratio == pytest.approx(2.0 ** (-4.07), rel=1e-9)
+
+    def test_rejects_negative_radius(self, dist):
+        with pytest.raises(ParameterError):
+            dist.pdf(-0.1)
+        with pytest.raises(ParameterError):
+            dist.cdf(-0.1)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            DefectSizeDistribution(r0_um=0.0, p=4.0)
+        with pytest.raises(ParameterError):
+            DefectSizeDistribution(r0_um=0.2, p=1.0)
+
+
+class TestMoments:
+    def test_mean_matches_numeric(self, dist):
+        num, _ = integrate.quad(lambda r: r * float(dist.pdf(r)), 0.0, 1000.0,
+                                limit=400)
+        assert dist.mean_um() == pytest.approx(num, rel=1e-5)
+
+    def test_first_moment_equals_mean(self, dist):
+        assert dist.moment_um(1) == pytest.approx(dist.mean_um())
+
+    def test_second_moment_matches_numeric(self, dist):
+        num, _ = integrate.quad(lambda r: r * r * float(dist.pdf(r)),
+                                0.0, 2000.0, limit=400)
+        assert dist.moment_um(2) == pytest.approx(num, rel=1e-4)
+
+    def test_mean_requires_p_above_two(self):
+        d = DefectSizeDistribution(r0_um=0.2, p=1.9)
+        with pytest.raises(ParameterError):
+            d.mean_um()
+
+    def test_high_moment_requires_heavy_p(self, dist):
+        with pytest.raises(ParameterError):
+            dist.moment_um(4)  # needs p > 5, we have 4.07
+
+
+class TestSampling:
+    def test_sample_matches_cdf(self, dist):
+        rng = np.random.default_rng(42)
+        samples = dist.sample(200_000, rng)
+        for q in (0.05, 0.2, 0.5, 1.0):
+            empirical = float(np.mean(samples <= q))
+            assert empirical == pytest.approx(float(dist.cdf(q)), abs=0.01)
+
+    def test_sample_mean_converges(self, dist):
+        rng = np.random.default_rng(7)
+        samples = dist.sample(400_000, rng)
+        assert float(samples.mean()) == pytest.approx(dist.mean_um(), rel=0.05)
+
+    def test_sample_size_zero(self, dist):
+        rng = np.random.default_rng(0)
+        assert dist.sample(0, rng).shape == (0,)
+
+    def test_sample_rejects_negative_n(self, dist):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ParameterError):
+            dist.sample(-1, rng)
+
+    def test_samples_nonnegative(self, dist):
+        rng = np.random.default_rng(3)
+        assert np.all(dist.sample(10_000, rng) >= 0.0)
+
+
+class TestCriticalFraction:
+    def test_survival_complements_cdf(self, dist):
+        for r in (0.1, 0.3, 1.0):
+            assert float(dist.survival(r)) == pytest.approx(
+                1.0 - float(dist.cdf(r)))
+
+    def test_shrink_multiplies_fault_density(self, dist):
+        """The Fig.-5 observation: smaller features, many more killers."""
+        scale = dist.fault_density_scale(kill_radius_um=0.25,
+                                         reference_kill_radius_um=0.5)
+        assert scale > 2.0  # halving the kill radius more than doubles killers
+
+    def test_tail_scale_approaches_power_law(self, dist):
+        # Deep in the tail: survival(r) ~ r^-(p-1).
+        scale = dist.fault_density_scale(2.0, 4.0)
+        assert scale == pytest.approx(2.0 ** (4.07 - 1.0), rel=0.02)
+
+    def test_scale_identity(self, dist):
+        assert dist.fault_density_scale(0.4, 0.4) == pytest.approx(1.0)

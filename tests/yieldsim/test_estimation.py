@@ -1,0 +1,140 @@
+"""Parameter estimation from wafer maps — closing the [26] loop."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.geometry import Die, Wafer
+from repro.yieldsim import (
+    SpotDefectSimulator,
+    clustering_detected,
+    estimate_clustering_alpha,
+    estimate_density_from_yield,
+    estimate_density_poisson,
+    fit_lot,
+    pooled_window_method,
+    window_method,
+)
+
+
+@pytest.fixture(scope="module")
+def geometry():
+    return Wafer(radius_cm=7.5), Die.square(1.0)
+
+
+@pytest.fixture(scope="module")
+def poisson_lot(geometry):
+    wafer, die = geometry
+    sim = SpotDefectSimulator(wafer, die, defect_density_per_cm2=1.0)
+    return sim.simulate_lot(40, np.random.default_rng(101))
+
+
+@pytest.fixture(scope="module")
+def clustered_lot(geometry):
+    wafer, die = geometry
+    sim = SpotDefectSimulator(wafer, die, defect_density_per_cm2=1.0,
+                              clustering_alpha=1.0)
+    return sim.simulate_lot(80, np.random.default_rng(202))
+
+
+class TestDensityEstimation:
+    def test_mle_recovers_true_density(self, poisson_lot, geometry):
+        _, die = geometry
+        d = estimate_density_poisson(poisson_lot, die.area_cm2)
+        assert d == pytest.approx(1.0, abs=0.06)
+
+    def test_yield_inversion_recovers_density(self, poisson_lot, geometry):
+        _, die = geometry
+        d = estimate_density_from_yield(poisson_lot, die.area_cm2)
+        assert d == pytest.approx(1.0, abs=0.08)
+
+    def test_two_estimators_agree_for_poisson(self, poisson_lot, geometry):
+        _, die = geometry
+        mle = estimate_density_poisson(poisson_lot, die.area_cm2)
+        inv = estimate_density_from_yield(poisson_lot, die.area_cm2)
+        assert inv == pytest.approx(mle, rel=0.1)
+
+    def test_yield_inversion_underestimates_for_clustered(self, clustered_lot,
+                                                          geometry):
+        """Clustering concentrates defects, so the pass/fail inversion
+        under-reads the true density — a classic pitfall."""
+        _, die = geometry
+        mle = estimate_density_poisson(clustered_lot, die.area_cm2)
+        inv = estimate_density_from_yield(clustered_lot, die.area_cm2)
+        assert inv < mle
+
+    def test_zero_defect_lot(self, geometry):
+        wafer, die = geometry
+        sim = SpotDefectSimulator(wafer, die, defect_density_per_cm2=0.0)
+        maps = sim.simulate_lot(3, np.random.default_rng(0))
+        assert estimate_density_poisson(maps, die.area_cm2) == 0.0
+        assert estimate_density_from_yield(maps, die.area_cm2) == 0.0
+
+    def test_empty_maps_rejected(self, geometry):
+        _, die = geometry
+        with pytest.raises(ParameterError):
+            estimate_density_poisson([], die.area_cm2)
+
+
+class TestAlphaEstimation:
+    def test_poisson_lot_reports_infinite_alpha(self, poisson_lot):
+        assert math.isinf(estimate_clustering_alpha(poisson_lot))
+
+    def test_clustered_lot_recovers_alpha(self, clustered_lot):
+        alpha = estimate_clustering_alpha(clustered_lot)
+        assert 0.5 < alpha < 2.0  # true value 1.0
+
+    def test_no_defects_raises(self, geometry):
+        wafer, die = geometry
+        sim = SpotDefectSimulator(wafer, die, defect_density_per_cm2=0.0)
+        maps = sim.simulate_lot(2, np.random.default_rng(0))
+        with pytest.raises(ParameterError):
+            estimate_clustering_alpha(maps)
+
+
+class TestWindowMethod:
+    def test_single_map_points_structure(self, poisson_lot):
+        points = window_method(poisson_lot[0], window_sizes=(1, 2, 4))
+        assert [p.window_dies for p in points] == [1, 2, 4]
+        for p in points:
+            assert 0.0 <= p.observed_yield <= 1.0
+        # k=1 is its own prediction.
+        assert points[0].observed_yield == pytest.approx(
+            points[0].poisson_prediction)
+
+    def test_pooled_poisson_signal_small(self, poisson_lot):
+        points = pooled_window_method(poisson_lot)
+        assert abs(points[-1].clustering_signal) < 0.05
+
+    def test_pooled_clustered_signal_positive(self, clustered_lot):
+        points = pooled_window_method(clustered_lot)
+        assert points[-1].clustering_signal > 0.05
+
+    def test_clustering_verdicts(self, poisson_lot, clustered_lot):
+        assert not clustering_detected(poisson_lot)
+        assert clustering_detected(clustered_lot)
+
+    def test_bad_window_sizes(self, poisson_lot):
+        with pytest.raises(ParameterError):
+            window_method(poisson_lot[0], window_sizes=())
+        with pytest.raises(ParameterError):
+            window_method(poisson_lot[0], window_sizes=(0,))
+
+
+class TestFitLot:
+    def test_report_bundles_everything(self, clustered_lot, geometry):
+        _, die = geometry
+        report = fit_lot(clustered_lot, die.area_cm2)
+        assert report.n_wafers == 80
+        assert report.n_dies > 1000
+        assert report.is_clustered
+        # Gamma mixing with alpha=1 makes the lot-mean density noisy
+        # (relative std ~ 1/sqrt(n_wafers)); allow a wide band.
+        assert report.density_mle_per_cm2 == pytest.approx(1.0, abs=0.3)
+
+    def test_poisson_report_not_clustered(self, poisson_lot, geometry):
+        _, die = geometry
+        report = fit_lot(poisson_lot, die.area_cm2)
+        assert not report.is_clustered

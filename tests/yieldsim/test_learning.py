@@ -1,0 +1,128 @@
+"""Yield learning curves and ramp economics."""
+
+import math
+
+import pytest
+
+from repro.errors import ConvergenceError, ParameterError
+from repro.yieldsim import RampEconomics, YieldLearningCurve
+from repro.yieldsim.models import NegativeBinomialYield
+
+
+@pytest.fixture
+def curve():
+    """A typical ramp: 5 /cm^2 at intro, 0.5 /cm^2 mature, tau = 6 months."""
+    return YieldLearningCurve(initial_density_per_cm2=5.0,
+                              mature_density_per_cm2=0.5,
+                              time_constant_months=6.0)
+
+
+class TestCurve:
+    def test_boundary_values(self, curve):
+        assert curve.density(0.0) == pytest.approx(5.0)
+        assert curve.density(1000.0) == pytest.approx(0.5, abs=1e-9)
+
+    def test_density_monotone_decreasing(self, curve):
+        ds = [curve.density(t) for t in (0, 3, 6, 12, 24, 48)]
+        assert ds == sorted(ds, reverse=True)
+
+    def test_one_tau_covers_63_percent(self, curve):
+        d = curve.density(6.0)
+        assert d == pytest.approx(0.5 + 4.5 * math.exp(-1.0))
+
+    def test_yield_improves_over_time(self, curve):
+        ys = [curve.yield_at(t, 1.0) for t in (0, 6, 12, 24)]
+        assert ys == sorted(ys)
+
+    def test_months_to_density_roundtrip(self, curve):
+        t = curve.months_to_density(1.0)
+        assert curve.density(t) == pytest.approx(1.0)
+
+    def test_months_to_density_at_or_below_floor(self, curve):
+        with pytest.raises(ParameterError):
+            curve.months_to_density(0.5)
+        assert curve.months_to_density(6.0) == 0.0  # already there
+
+    def test_months_to_yield_roundtrip(self, curve):
+        t = curve.months_to_yield(0.5, 1.0)
+        assert curve.yield_at(t, 1.0) == pytest.approx(0.5, rel=1e-6)
+
+    def test_unreachable_yield_raises(self, curve):
+        # Mature yield for a 1 cm^2 die: exp(-0.5) = 0.607.
+        with pytest.raises(ConvergenceError):
+            curve.months_to_yield(0.7, 1.0)
+
+    def test_accelerated_learning(self, curve):
+        fast = curve.accelerated(2.0)
+        assert fast.time_constant_months == pytest.approx(3.0)
+        assert fast.yield_at(6.0, 1.0) > curve.yield_at(6.0, 1.0)
+
+    def test_non_poisson_model(self):
+        c = YieldLearningCurve(5.0, 0.5, 6.0,
+                               yield_model=NegativeBinomialYield(alpha=1.0))
+        assert c.yield_at(0.0, 1.0) > \
+            YieldLearningCurve(5.0, 0.5, 6.0).yield_at(0.0, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            YieldLearningCurve(1.0, 2.0, 6.0)  # mature above initial
+        with pytest.raises(ParameterError):
+            YieldLearningCurve(5.0, 0.5, 0.0)
+
+
+@pytest.fixture
+def ramp(curve):
+    """A profitable memory-like ramp."""
+    return RampEconomics(curve=curve, die_area_cm2=1.0, dies_per_wafer=120,
+                         wafers_per_month=2000.0,
+                         wafer_cost_dollars=800.0,
+                         die_price_dollars=40.0, window_months=24.0)
+
+
+class TestRampEconomics:
+    def test_cumulative_good_dies_monotone(self, ramp):
+        g6 = ramp.good_dies_through(6.0)
+        g12 = ramp.good_dies_through(12.0)
+        g24 = ramp.good_dies_through(24.0)
+        assert 0.0 < g6 < g12 < g24
+
+    def test_second_year_outproduces_first(self, ramp):
+        first = ramp.good_dies_through(12.0)
+        both = ramp.good_dies_through(24.0)
+        assert both - first > first  # yield is higher in year two
+
+    def test_program_profit_positive_here(self, ramp):
+        assert ramp.program_profit() > 0.0
+
+    def test_faster_learning_always_worth_something(self, ramp):
+        assert ramp.value_of_faster_learning(2.0) > 0.0
+        assert ramp.value_of_faster_learning(1.0) == pytest.approx(0.0)
+
+    def test_faster_learning_value_saturates(self, ramp):
+        v2 = ramp.value_of_faster_learning(2.0)
+        v8 = ramp.value_of_faster_learning(8.0)
+        v64 = ramp.value_of_faster_learning(64.0)
+        assert v2 < v8 < v64
+        # Diminishing returns: 8 -> 64 adds less than 1 -> 8 did.
+        assert (v64 - v8) < v8
+
+    def test_breakeven_month_exists_and_is_consistent(self, ramp):
+        t = ramp.breakeven_month()
+        assert t is not None
+        revenue = ramp.good_dies_through(t) * ramp.die_price_dollars
+        cost = ramp.wafer_cost_dollars * ramp.wafers_per_month * t
+        assert revenue >= cost
+
+    def test_hopeless_ramp_never_breaks_even(self, curve):
+        loser = RampEconomics(curve=curve, die_area_cm2=1.0,
+                              dies_per_wafer=120, wafers_per_month=2000.0,
+                              wafer_cost_dollars=800.0,
+                              die_price_dollars=1.0, window_months=24.0)
+        assert loser.breakeven_month() is None
+        assert loser.program_profit() < 0.0
+
+    def test_validation(self, curve):
+        with pytest.raises(ParameterError):
+            RampEconomics(curve=curve, die_area_cm2=1.0, dies_per_wafer=0,
+                          wafers_per_month=100.0, wafer_cost_dollars=500.0,
+                          die_price_dollars=10.0)

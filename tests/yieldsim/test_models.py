@@ -1,0 +1,185 @@
+"""Yield models: eqs. (6)-(7) and the classical baselines."""
+
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.yieldsim import (
+    BoseEinsteinYield,
+    MurphyYield,
+    NegativeBinomialYield,
+    PoissonYield,
+    ReferenceAreaYield,
+    SeedsYield,
+    poisson_yield,
+    scaled_poisson_yield,
+)
+
+ALL_MODELS = [
+    PoissonYield(),
+    MurphyYield(),
+    SeedsYield(),
+    BoseEinsteinYield(n_layers=3),
+    NegativeBinomialYield(alpha=2.0),
+]
+
+
+class TestSharedContract:
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: type(m).__name__)
+    def test_zero_faults_means_unity_yield(self, model):
+        assert model.yield_from_expectation(0.0) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: type(m).__name__)
+    def test_yield_decreases_with_expectation(self, model):
+        ys = [model.yield_from_expectation(m) for m in (0.0, 0.5, 1.0, 2.0, 5.0)]
+        assert ys == sorted(ys, reverse=True)
+        assert ys[-1] < ys[0]
+
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: type(m).__name__)
+    def test_yield_in_unit_interval(self, model):
+        for m in (0.01, 0.7, 3.0, 50.0):
+            assert 0.0 < model.yield_from_expectation(m) <= 1.0
+
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: type(m).__name__)
+    def test_negative_expectation_rejected(self, model):
+        with pytest.raises(ParameterError):
+            model.yield_from_expectation(-0.1)
+
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: type(m).__name__)
+    def test_yield_for_area_composes(self, model):
+        direct = model.yield_from_expectation(0.6)
+        composed = model.yield_for_area(2.0, 0.3)
+        assert composed == pytest.approx(direct)
+
+
+class TestPoisson:
+    def test_equation_six_value(self):
+        # Y = exp(-A D0): A=1 cm^2, D0=0.7 -> exp(-0.7).
+        assert poisson_yield(1.0, 0.7) == pytest.approx(math.exp(-0.7))
+
+    def test_area_additivity(self):
+        # Poisson factorizes over area: Y(A1+A2) = Y(A1)*Y(A2).
+        y_sum = poisson_yield(3.0, 0.5)
+        y_parts = poisson_yield(1.0, 0.5) * poisson_yield(2.0, 0.5)
+        assert y_sum == pytest.approx(y_parts)
+
+
+class TestClassicalOrdering:
+    def test_poisson_most_pessimistic(self):
+        """For the same m, Poisson <= Murphy <= Seeds (clustering helps)."""
+        for m in (0.3, 1.0, 3.0, 10.0):
+            p = PoissonYield().yield_from_expectation(m)
+            mu = MurphyYield().yield_from_expectation(m)
+            s = SeedsYield().yield_from_expectation(m)
+            assert p <= mu <= s
+
+    def test_negative_binomial_limits(self):
+        m = 1.7
+        nb_large = NegativeBinomialYield(alpha=1e6).yield_from_expectation(m)
+        assert nb_large == pytest.approx(
+            PoissonYield().yield_from_expectation(m), rel=1e-4)
+        nb_one = NegativeBinomialYield(alpha=1.0).yield_from_expectation(m)
+        assert nb_one == pytest.approx(SeedsYield().yield_from_expectation(m))
+
+    def test_bose_einstein_one_layer_is_seeds(self):
+        m = 2.3
+        assert BoseEinsteinYield(n_layers=1).yield_from_expectation(m) == \
+            pytest.approx(SeedsYield().yield_from_expectation(m))
+
+    def test_murphy_small_m_expansion(self):
+        # ((1-e^-m)/m)^2 -> 1 - m + ... for small m.
+        m = 1e-4
+        assert MurphyYield().yield_from_expectation(m) == pytest.approx(
+            1.0 - m, rel=1e-3)
+
+
+class TestParameterValidation:
+    def test_bose_einstein_rejects_zero_layers(self):
+        with pytest.raises(ParameterError):
+            BoseEinsteinYield(n_layers=0)
+
+    def test_negative_binomial_rejects_nonpositive_alpha(self):
+        with pytest.raises(ParameterError):
+            NegativeBinomialYield(alpha=0.0)
+
+    def test_fault_expectation_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            PoissonYield().yield_for_area(-1.0, 0.5)
+
+
+class TestDensityInversion:
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: type(m).__name__)
+    def test_roundtrip(self, model):
+        area = 1.4
+        d = model.defect_density_for_yield(area, 0.63)
+        assert model.yield_for_area(area, d) == pytest.approx(0.63, rel=1e-6)
+
+    def test_perfect_yield_needs_zero_density(self):
+        assert PoissonYield().defect_density_for_yield(2.0, 1.0) == 0.0
+
+    def test_smaller_target_allows_more_defects(self):
+        d_high = PoissonYield().defect_density_for_yield(1.0, 0.9)
+        d_low = PoissonYield().defect_density_for_yield(1.0, 0.5)
+        assert d_low > d_high
+
+
+class TestReferenceArea:
+    def test_scenario2_anchor(self):
+        # Y0 = 70% at A0 = 1 cm^2: a 1 cm^2 die yields exactly 0.7.
+        law = ReferenceAreaYield(reference_yield=0.7, reference_area_cm2=1.0)
+        assert law.yield_for_die_area(1.0) == pytest.approx(0.7)
+
+    def test_exponential_in_area(self):
+        law = ReferenceAreaYield(reference_yield=0.7)
+        assert law.yield_for_die_area(2.0) == pytest.approx(0.49)
+        assert law.yield_for_die_area(0.5) == pytest.approx(math.sqrt(0.7))
+
+    def test_implied_density_consistency(self):
+        law = ReferenceAreaYield(reference_yield=0.7, reference_area_cm2=1.0)
+        d = law.implied_defect_density_per_cm2
+        assert math.exp(-1.0 * d) == pytest.approx(0.7)
+
+    def test_rejects_degenerate_reference(self):
+        with pytest.raises(ParameterError):
+            ReferenceAreaYield(reference_yield=0.0)
+
+
+class TestScaledPoisson:
+    """Eq. (7) with the Sec.-IV.B fitted fab constants."""
+
+    FAB = dict(design_density=152.0, defect_coefficient=1.72, p=4.07)
+
+    def test_yield_decreases_with_transistor_count(self):
+        ys = [scaled_poisson_yield(n, self.FAB["design_density"],
+                                   self.FAB["defect_coefficient"], 0.8,
+                                   self.FAB["p"])
+              for n in (1e5, 5e5, 1e6, 5e6)]
+        assert ys == sorted(ys, reverse=True)
+
+    def test_yield_decreases_with_shrink_at_fixed_count(self):
+        # A D0 = N d_d D / lambda^(p-2): shrink raises the exponent.
+        ys = [scaled_poisson_yield(1e6, 152.0, 1.72, lam, 4.07)
+              for lam in (1.0, 0.8, 0.65, 0.5)]
+        assert ys == sorted(ys, reverse=True)
+
+    def test_consistent_with_plain_poisson(self):
+        # At lambda = 1 um, D0 = D; eq. (7) must equal eq. (6) on the area.
+        n_tr, d_d, d_coeff = 2.5e5, 152.0, 1.72
+        area_cm2 = n_tr * d_d * 1.0 / 1e8
+        expected = poisson_yield(area_cm2, d_coeff)
+        got = scaled_poisson_yield(n_tr, d_d, d_coeff, 1.0, 4.07)
+        assert got == pytest.approx(expected)
+
+    def test_zero_defect_coefficient_gives_unity(self):
+        assert scaled_poisson_yield(1e6, 152.0, 0.0, 0.5, 4.07) == 1.0
+
+    def test_underflow_clamped_positive(self):
+        y = scaled_poisson_yield(1e9, 152.0, 1.72, 0.3, 4.07)
+        assert y > 0.0
+
+    def test_p_exponent_controls_shrink_penalty(self):
+        # Larger p punishes shrink harder (below the 1 um reference).
+        y_p4 = scaled_poisson_yield(1e6, 152.0, 1.72, 0.5, 4.0)
+        y_p5 = scaled_poisson_yield(1e6, 152.0, 1.72, 0.5, 5.0)
+        assert y_p5 < y_p4

@@ -1,0 +1,136 @@
+"""Monte Carlo wafer-map simulator vs. the closed-form models."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.geometry import Die, Wafer
+from repro.yieldsim import (
+    DefectSizeDistribution,
+    NegativeBinomialYield,
+    PoissonYield,
+    SpotDefectSimulator,
+)
+
+
+@pytest.fixture
+def wafer():
+    return Wafer(radius_cm=7.5)
+
+
+@pytest.fixture
+def die():
+    return Die.square(1.0)
+
+
+class TestConstruction:
+    def test_rejects_oversized_die(self, wafer):
+        with pytest.raises(ParameterError):
+            SpotDefectSimulator(wafer, Die.square(20.0),
+                                defect_density_per_cm2=1.0)
+
+    def test_rejects_negative_density(self, wafer, die):
+        with pytest.raises(ParameterError):
+            SpotDefectSimulator(wafer, die, defect_density_per_cm2=-1.0)
+
+
+class TestWaferMap:
+    def test_zero_density_all_good(self, wafer, die):
+        sim = SpotDefectSimulator(wafer, die, defect_density_per_cm2=0.0)
+        wmap = sim.simulate_wafer(np.random.default_rng(0))
+        assert wmap.n_good == wmap.n_dies > 100
+        assert wmap.yield_fraction == 1.0
+        assert wmap.n_defects_total == 0
+
+    def test_die_centers_inside_wafer(self, wafer, die):
+        sim = SpotDefectSimulator(wafer, die, defect_density_per_cm2=0.1)
+        wmap = sim.simulate_wafer(np.random.default_rng(1))
+        radii = np.hypot(wmap.die_centers_cm[:, 0], wmap.die_centers_cm[:, 1])
+        # Centers must be within the wafer minus half the die diagonal.
+        assert np.all(radii <= wafer.radius_cm)
+
+    def test_counts_shape_matches_centers(self, wafer, die):
+        sim = SpotDefectSimulator(wafer, die, defect_density_per_cm2=0.5)
+        wmap = sim.simulate_wafer(np.random.default_rng(2))
+        assert wmap.defect_counts.shape[0] == wmap.die_centers_cm.shape[0]
+
+    def test_lot_size(self, wafer, die):
+        sim = SpotDefectSimulator(wafer, die, defect_density_per_cm2=0.1)
+        lot = sim.simulate_lot(5, np.random.default_rng(3))
+        assert len(lot) == 5
+
+    def test_lot_rejects_negative(self, wafer, die):
+        sim = SpotDefectSimulator(wafer, die, defect_density_per_cm2=0.1)
+        with pytest.raises(ParameterError):
+            sim.simulate_lot(-1, np.random.default_rng(0))
+
+
+class TestConvergenceToPoisson:
+    def test_yield_matches_equation_six(self, wafer, die):
+        """Homogeneous defects with no size filter -> eq. (6) exactly."""
+        d0 = 0.8
+        sim = SpotDefectSimulator(wafer, die, defect_density_per_cm2=d0)
+        y_mc = sim.estimate_yield(60, np.random.default_rng(11))
+        y_poisson = PoissonYield().yield_for_area(die.area_cm2, d0)
+        assert y_mc == pytest.approx(y_poisson, abs=0.02)
+
+    def test_size_filter_reduces_to_effective_density(self, wafer, die):
+        """With a kill radius, only tail defects kill: D_eff = D*P(R>r)."""
+        dist = DefectSizeDistribution(r0_um=0.3, p=4.07)
+        sim = SpotDefectSimulator(
+            wafer, die, defect_density_per_cm2=3.0,
+            size_distribution=dist, kill_radius_um=0.5)
+        d_eff = sim.expected_killer_density()
+        assert d_eff < 3.0
+        y_mc = sim.estimate_yield(60, np.random.default_rng(12))
+        y_expected = PoissonYield().yield_for_area(die.area_cm2, d_eff)
+        assert y_mc == pytest.approx(y_expected, abs=0.025)
+
+    def test_larger_kill_radius_improves_yield(self, wafer, die):
+        dist = DefectSizeDistribution(r0_um=0.3, p=4.07)
+        rng = np.random.default_rng(5)
+        ys = []
+        for kill in (0.2, 0.5, 1.0):
+            sim = SpotDefectSimulator(
+                wafer, die, defect_density_per_cm2=3.0,
+                size_distribution=dist, kill_radius_um=kill)
+            ys.append(sim.estimate_yield(40, rng))
+        assert ys[0] < ys[1] < ys[2]
+
+
+class TestClustering:
+    def test_clustered_yield_above_poisson(self, wafer, die):
+        """Gamma-mixed density -> negative-binomial; beats Poisson at same mean."""
+        d0 = 1.2
+        alpha = 1.0
+        sim = SpotDefectSimulator(wafer, die, defect_density_per_cm2=d0,
+                                  clustering_alpha=alpha)
+        y_mc = sim.estimate_yield(250, np.random.default_rng(21))
+        y_poisson = PoissonYield().yield_for_area(die.area_cm2, d0)
+        assert y_mc > y_poisson
+
+    def test_clustered_yield_matches_negative_binomial(self, wafer, die):
+        d0, alpha = 1.2, 1.0
+        sim = SpotDefectSimulator(wafer, die, defect_density_per_cm2=d0,
+                                  clustering_alpha=alpha)
+        y_mc = sim.estimate_yield(400, np.random.default_rng(22))
+        y_nb = NegativeBinomialYield(alpha=alpha).yield_for_area(
+            die.area_cm2, d0)
+        assert y_mc == pytest.approx(y_nb, abs=0.03)
+
+    def test_rejects_nonpositive_alpha(self, wafer, die):
+        with pytest.raises(ParameterError):
+            SpotDefectSimulator(wafer, die, defect_density_per_cm2=1.0,
+                                clustering_alpha=0.0)
+
+
+class TestConservation:
+    def test_killer_hits_bounded_by_defects_thrown(self, wafer):
+        # Dies are disjoint, so total die-hits <= defects thrown.
+        sim = SpotDefectSimulator(wafer, Die.square(2.0),
+                                  defect_density_per_cm2=1.0)
+        for seed in range(5):
+            wmap = sim.simulate_wafer(np.random.default_rng(seed))
+            assert wmap.defect_counts.sum() <= wmap.n_defects_total

@@ -1,0 +1,104 @@
+"""Parametric yield and the Y = Y_fnc * Y_par factorization."""
+
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.yieldsim import CompositeYield, ParametricYield
+from repro.yieldsim.parametric import PerformanceSpec
+
+
+class TestPerformanceSpec:
+    def test_centered_two_sided_spec_pass_rate(self):
+        # Nominal at window center, window = +-2 sigma: P = Phi(2)-Phi(-2).
+        spec = PerformanceSpec(name="delay", nominal=10.0, sigma=1.0,
+                               lower=8.0, upper=12.0)
+        expected = math.erf(2.0 / math.sqrt(2.0))
+        assert spec.pass_probability == pytest.approx(expected)
+
+    def test_one_sided_spec(self):
+        spec = PerformanceSpec(name="power", nominal=0.0, sigma=1.0,
+                               upper=1.0)
+        # P(g <= 1 sigma) = Phi(1) ~ 0.8413
+        assert spec.pass_probability == pytest.approx(0.8413, abs=1e-3)
+
+    def test_off_center_nominal_loses_yield(self):
+        centered = PerformanceSpec("d", nominal=10.0, sigma=1.0,
+                                   lower=8.0, upper=12.0)
+        skewed = PerformanceSpec("d", nominal=11.0, sigma=1.0,
+                                 lower=8.0, upper=12.0)
+        assert skewed.pass_probability < centered.pass_probability
+
+    def test_centering_recovers_yield(self):
+        skewed = PerformanceSpec("d", nominal=11.5, sigma=1.0,
+                                 lower=8.0, upper=12.0)
+        centered = skewed.centered()
+        assert centered.nominal == pytest.approx(10.0)
+        assert centered.pass_probability > skewed.pass_probability
+
+    def test_centering_leaves_one_sided_alone(self):
+        spec = PerformanceSpec("p", nominal=0.5, sigma=1.0, upper=2.0)
+        assert spec.centered() is spec
+
+    def test_rejects_inverted_window(self):
+        with pytest.raises(ParameterError):
+            PerformanceSpec("x", nominal=0.0, sigma=1.0, lower=2.0, upper=1.0)
+
+    def test_rejects_zero_sigma(self):
+        with pytest.raises(ParameterError):
+            PerformanceSpec("x", nominal=0.0, sigma=0.0, upper=1.0)
+
+
+class TestParametricYield:
+    def test_empty_specs_yield_one(self):
+        """The paper's working assumption: Y_par not of primary importance."""
+        assert ParametricYield().value == 1.0
+
+    def test_product_of_specs(self):
+        s1 = PerformanceSpec("a", 0.0, 1.0, upper=1.0)
+        s2 = PerformanceSpec("b", 0.0, 1.0, upper=2.0)
+        py = ParametricYield.from_specs([s1, s2])
+        assert py.value == pytest.approx(
+            s1.pass_probability * s2.pass_probability)
+
+    def test_dominant_loss(self):
+        tight = PerformanceSpec("tight", 0.0, 1.0, lower=-0.5, upper=0.5)
+        loose = PerformanceSpec("loose", 0.0, 1.0, lower=-3.0, upper=3.0)
+        py = ParametricYield.from_specs([loose, tight])
+        assert py.dominant_loss().name == "tight"
+
+    def test_dominant_loss_empty(self):
+        assert ParametricYield().dominant_loss() is None
+
+    def test_centering_never_hurts(self):
+        specs = [
+            PerformanceSpec("a", 1.4, 1.0, lower=0.0, upper=2.0),
+            PerformanceSpec("b", -0.2, 0.5, lower=-1.0, upper=1.0),
+        ]
+        py = ParametricYield.from_specs(specs)
+        assert py.centered().value >= py.value
+
+
+class TestCompositeYield:
+    def test_factorization(self):
+        spec = PerformanceSpec("d", 10.0, 1.0, lower=8.0, upper=12.0)
+        comp = CompositeYield(functional=0.8,
+                              parametric=ParametricYield.from_specs([spec]))
+        assert comp.value == pytest.approx(0.8 * spec.pass_probability)
+
+    def test_paper_default_parametric_is_transparent(self):
+        comp = CompositeYield(functional=0.67)
+        assert comp.value == pytest.approx(0.67)
+        assert comp.parametric_share_of_loss == 0.0
+
+    def test_parametric_share_of_loss(self):
+        spec = PerformanceSpec("d", 0.0, 1.0, lower=-1.0, upper=1.0)
+        comp = CompositeYield(functional=1.0,
+                              parametric=ParametricYield.from_specs([spec]))
+        # All loss is parametric when functional yield is perfect.
+        assert comp.parametric_share_of_loss == pytest.approx(1.0)
+
+    def test_rejects_bad_functional(self):
+        with pytest.raises(ParameterError):
+            CompositeYield(functional=1.2)
