@@ -1,0 +1,141 @@
+"""Perf engine — batched Fig.-8 evaluation vs. the scalar reference.
+
+The claim under test: evaluating the full cost model — eqs. (1), (3),
+(4) and (7) — over a 36×36 (λ, N_tr) grid with
+:func:`repro.batch.transistor_cost_batch` is at least **20× faster**
+than the cell-by-cell scalar loop, while producing the *same* grid:
+identical infeasibility masks, identical eq.-(4) die counts, and
+finite cells matching to 1e-12 relative (the scalar path feeds libm
+transcendentals where NumPy's SIMD kernels may differ by 1 ulp).
+
+Results land in ``benchmarks/BENCH_engine.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from pathlib import Path
+
+import numpy as np
+
+from conftest import emit, emit_json
+from repro.batch import BatchCache, transistor_cost_batch
+from repro.core.optimization import FIG8_FAB, transistor_cost_full
+from repro.core.wafer_cost import WaferCostModel
+from repro.geometry import Die, Wafer, dies_per_wafer_maly
+from repro.yieldsim.models import scaled_poisson_yield
+
+LAM = np.linspace(0.3, 2.0, 36)
+NTR = np.geomspace(1e5, 1e7, 36)
+
+MIN_SPEEDUP = 20.0
+_BENCH_ENGINE_JSON = Path(__file__).resolve().parent / "BENCH_engine.json"
+
+
+def _scalar_grid() -> tuple[np.ndarray, np.ndarray]:
+    """The reference loop: cost grid plus eq.-(4) die counts."""
+    costs = np.empty((NTR.size, LAM.size))
+    dies = np.empty((NTR.size, LAM.size), dtype=np.int64)
+    wafer = Wafer(radius_cm=FIG8_FAB.wafer_radius_cm)
+    for i, n_tr in enumerate(NTR):
+        for j, lam in enumerate(LAM):
+            costs[i, j] = transistor_cost_full(float(n_tr), float(lam))
+            die = Die.from_transistor_count(float(n_tr),
+                                            FIG8_FAB.design_density,
+                                            float(lam))
+            dies[i, j] = dies_per_wafer_maly(wafer, die)
+    return costs, dies
+
+
+def _batch_grid():
+    return transistor_cost_batch(NTR[:, None], LAM[None, :], cache=None)
+
+
+def _time_best_of(fn, reps: int) -> float:
+    best = math.inf
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_perf_engine_equivalence_and_speedup(benchmark):
+    scalar_costs, scalar_dies = _scalar_grid()
+    result = benchmark(_batch_grid)
+
+    # --- equal output -------------------------------------------------
+    batch_costs = result.cost_per_transistor_dollars
+    scalar_mask = np.isinf(scalar_costs)
+    batch_mask = np.isinf(batch_costs)
+    assert np.array_equal(scalar_mask, batch_mask), \
+        "infeasible cells differ between scalar and batch"
+    assert np.array_equal(scalar_dies, result.dies_per_wafer), \
+        "eq.-(4) die counts differ between scalar and batch"
+
+    feasible = ~scalar_mask
+    rel = np.abs(batch_costs[feasible] - scalar_costs[feasible]) \
+        / scalar_costs[feasible]
+    max_rel = float(rel.max()) if rel.size else 0.0
+    assert max_rel < 1e-12, f"finite cells diverge: max rel {max_rel:.3e}"
+
+    # Spot-check full bitwise parity where no transcendental intervenes:
+    # dies-per-wafer already matched exactly above; yields must match
+    # the scalar function to the same 1e-12 contract.
+    i, j = np.argwhere(feasible)[0]
+    y_scalar = scaled_poisson_yield(float(NTR[i]), FIG8_FAB.design_density,
+                                    FIG8_FAB.defect_coefficient,
+                                    float(LAM[j]), FIG8_FAB.size_exponent_p)
+    assert math.isclose(y_scalar, float(result.yield_value[i, j]),
+                        rel_tol=1e-12)
+    c_w = WaferCostModel(
+        reference_cost_dollars=FIG8_FAB.reference_cost_dollars,
+        cost_growth_rate=FIG8_FAB.cost_growth_rate).pure_cost(float(LAM[j]))
+    assert math.isclose(c_w, float(result.wafer_cost_dollars[i, j]),
+                        rel_tol=1e-12)
+
+    # --- speedup ------------------------------------------------------
+    t_scalar = _time_best_of(lambda: transistor_cost_full(1e6, 1.0), 3)  # warm
+    t_scalar = _time_best_of(_scalar_grid, 3)
+    t_batch = _time_best_of(_batch_grid, 10)
+    speedup = t_scalar / t_batch
+    assert speedup >= MIN_SPEEDUP, \
+        f"batch speedup {speedup:.1f}x < required {MIN_SPEEDUP}x"
+
+    # Warm-cache replay: dies-per-wafer and wafer-cost sub-results are
+    # memoized, so a repeated sweep over the same grid is cheaper still.
+    cache = BatchCache()
+    transistor_cost_batch(NTR[:, None], LAM[None, :], cache=cache)
+    t_warm = _time_best_of(
+        lambda: transistor_cost_batch(NTR[:, None], LAM[None, :],
+                                      cache=cache), 10)
+
+    record = {
+        "kind": "perf_engine",
+        "grid": [int(NTR.size), int(LAM.size)],
+        "n_feasible": int(result.n_feasible),
+        "scalar_s": t_scalar,
+        "batch_s": t_batch,
+        "batch_warm_cache_s": t_warm,
+        "speedup": speedup,
+        "warm_speedup": t_scalar / t_warm,
+        "max_rel_diff_feasible": max_rel,
+        "min_required_speedup": MIN_SPEEDUP,
+        "cache_stats": {"hits": cache.stats.hits,
+                        "misses": cache.stats.misses,
+                        "entries": cache.stats.entries},
+    }
+    _BENCH_ENGINE_JSON.write_text(json.dumps(record, indent=2) + "\n")
+    emit_json(record)
+    emit("Perf engine — batched eq.-(1)/(3)/(4)/(7) grid vs scalar loop",
+         f"grid               : {NTR.size} x {LAM.size} "
+         f"({result.n_feasible} feasible cells)\n"
+         f"scalar loop        : {t_scalar * 1e3:9.2f} ms\n"
+         f"batch (cold cache) : {t_batch * 1e3:9.2f} ms   "
+         f"({speedup:7.1f}x)\n"
+         f"batch (warm cache) : {t_warm * 1e3:9.2f} ms   "
+         f"({t_scalar / t_warm:7.1f}x)\n"
+         f"max rel diff       : {max_rel:.2e} (finite cells; "
+         f"masks and die counts identical)")

@@ -67,6 +67,16 @@ from .technology import (
     ProductSpec,
     TechnologyRoadmap,
 )
+from .batch import (
+    BatchCache,
+    BatchCostResult,
+    default_cache,
+    dies_per_wafer_batch,
+    evaluate_batch,
+    scaled_poisson_yield_batch,
+    transistor_cost_batch,
+    wafer_cost_batch,
+)
 
 __version__ = "1.0.0"
 
@@ -108,5 +118,13 @@ __all__ = [
     "ProductSpec",
     "PRODUCT_CATALOG",
     "TechnologyRoadmap",
+    "BatchCache",
+    "BatchCostResult",
+    "default_cache",
+    "dies_per_wafer_batch",
+    "evaluate_batch",
+    "scaled_poisson_yield_batch",
+    "transistor_cost_batch",
+    "wafer_cost_batch",
     "__version__",
 ]

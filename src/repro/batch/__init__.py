@@ -1,0 +1,62 @@
+"""repro.batch — the NumPy-vectorized batch-evaluation engine.
+
+The scalar models in :mod:`repro.core`, :mod:`repro.geometry` and
+:mod:`repro.yieldsim` are the reference semantics; this subsystem
+evaluates them over arrays of (λ, N_tr, die geometry) in one pass and
+is what the sweep-shaped consumers (the Fig.-8 landscape, the scenario
+curves, the geometry optimizers, the Monte Carlo lot simulator) run on.
+
+Entry points:
+
+* :func:`transistor_cost_batch` — eq. (1) for the Fig.-8 fab form,
+* :func:`evaluate_batch` — eq. (1) for any
+  :class:`~repro.core.transistor_cost.TransistorCostModel`,
+* :func:`scenario1_cost_batch` / :func:`scenario2_cost_batch` —
+  eqs. (8)/(9),
+* the substrate kernels ``wafer_cost_batch`` (eq. 3),
+  ``dies_per_wafer_batch`` (eq. 4), ``transistors_per_die_batch``
+  (eq. 5), ``poisson_yield_batch`` / ``scaled_poisson_yield_batch`` /
+  ``yield_for_area_batch`` (eqs. 6–7),
+* :class:`~repro.batch.cache.BatchCache` — the keyed memoization layer
+  shared across sweeps (see :func:`~repro.batch.cache.default_cache`).
+
+See ``docs/performance.md`` for the parity contract and measured
+speedups.
+"""
+
+from .cache import BatchCache, CacheStats, array_fingerprint, default_cache
+from .engine import (
+    USE_DEFAULT_CACHE,
+    BatchCostResult,
+    dies_per_wafer_batch,
+    evaluate_batch,
+    generations_batch,
+    poisson_yield_batch,
+    scaled_poisson_yield_batch,
+    scenario1_cost_batch,
+    scenario2_cost_batch,
+    transistor_cost_batch,
+    transistors_per_die_batch,
+    wafer_cost_batch,
+    yield_for_area_batch,
+)
+
+__all__ = [
+    "BatchCache",
+    "CacheStats",
+    "array_fingerprint",
+    "default_cache",
+    "USE_DEFAULT_CACHE",
+    "BatchCostResult",
+    "generations_batch",
+    "wafer_cost_batch",
+    "dies_per_wafer_batch",
+    "transistors_per_die_batch",
+    "poisson_yield_batch",
+    "scaled_poisson_yield_batch",
+    "yield_for_area_batch",
+    "transistor_cost_batch",
+    "evaluate_batch",
+    "scenario1_cost_batch",
+    "scenario2_cost_batch",
+]

@@ -1,0 +1,113 @@
+"""Keyed memoization for batch sub-results shared across sweeps.
+
+The batch engine's two expensive sub-computations — dies-per-wafer
+(eq. 4, a per-row reduction over every die in the batch) and wafer cost
+(eq. 3, a transcendental per λ) — recur verbatim across sweeps: every
+Fig.-8 landscape over the same (λ, N_tr) axes needs the same die-count
+array, every scenario curve over the same λ grid needs the same wafer
+costs.  :class:`BatchCache` memoizes them under exact keys built from
+the model parameters plus the raw bytes of the input arrays, so a hit
+requires bit-identical inputs — there is no approximate matching and
+therefore no way for the cache to change results.
+
+Cached arrays are stored (and returned) with ``writeable=False`` so a
+consumer cannot corrupt entries in place; callers that need to mutate
+must copy.  Eviction is LRU with a bounded entry count, and the cache
+is lock-protected so concurrent sweeps (the ROADMAP's service-style
+workloads) can share one instance safely.
+
+``default_cache()`` returns the process-wide instance the engine uses
+unless a call site supplies its own (or ``None`` to disable caching).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable
+
+import numpy as np
+
+from ..errors import ParameterError
+
+
+def array_fingerprint(arr: np.ndarray) -> tuple:
+    """An exact, hashable key component for an ndarray's full contents."""
+    a = np.ascontiguousarray(arr)
+    return (a.shape, a.dtype.str, a.tobytes())
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters for one :class:`BatchCache`."""
+
+    hits: int
+    misses: int
+    entries: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over total lookups (0.0 when the cache is untouched)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class BatchCache:
+    """A bounded, thread-safe, LRU map from exact keys to result arrays."""
+
+    def __init__(self, max_entries: int = 128) -> None:
+        if max_entries < 1:
+            raise ParameterError(
+                f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    def get_or_compute(self, key: Hashable,
+                       compute: Callable[[], np.ndarray]) -> np.ndarray:
+        """Return the cached array for ``key``, computing it on a miss.
+
+        The computed array is frozen (``writeable=False``) before being
+        stored and returned; the same frozen array object is handed to
+        every subsequent hit.
+        """
+        with self._lock:
+            if key in self._entries:
+                self._hits += 1
+                self._entries.move_to_end(key)
+                return self._entries[key]
+        value = np.asarray(compute())
+        value.flags.writeable = False
+        with self._lock:
+            self._misses += 1
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+        return value
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def stats(self) -> CacheStats:
+        """A snapshot of the hit/miss counters."""
+        with self._lock:
+            return CacheStats(hits=self._hits, misses=self._misses,
+                              entries=len(self._entries))
+
+
+_DEFAULT_CACHE = BatchCache()
+
+
+def default_cache() -> BatchCache:
+    """The process-wide cache used by the engine unless told otherwise."""
+    return _DEFAULT_CACHE

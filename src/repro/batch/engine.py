@@ -1,0 +1,616 @@
+"""NumPy-vectorized batch evaluation of the paper's cost model.
+
+Every headline result of the paper is a *sweep* — Fig. 8 evaluates
+eqs. (1)+(3)+(4)+(7) over the whole (λ, N_tr) plane, Figs. 6/7 sweep λ,
+the optimizers sweep die geometry.  The scalar functions in
+:mod:`repro.core`, :mod:`repro.geometry` and :mod:`repro.yieldsim` are
+the *reference semantics*; this module recomputes them over arrays in
+one pass:
+
+* :func:`wafer_cost_batch` — eq. (3) under all four
+  :class:`~repro.core.wafer_cost.GenerationModel` laws (plus the
+  eq.-(2) volume term),
+* :func:`dies_per_wafer_batch` — eq. (4) with the per-row chord sum
+  expressed as array reductions over a batch of die sizes,
+* :func:`transistors_per_die_batch` — eq. (5),
+* :func:`scaled_poisson_yield_batch` / :func:`poisson_yield_batch` /
+  :func:`yield_for_area_batch` — eqs. (6)–(7) and the classical
+  clustering baselines,
+* :func:`transistor_cost_batch` / :func:`evaluate_batch` — eq. (1)
+  composed, returning every :class:`~repro.core.transistor_cost.
+  CostBreakdown` intermediate as an array,
+* :func:`scenario1_cost_batch` / :func:`scenario2_cost_batch` —
+  eqs. (8) and (9).
+
+Parity contract with the scalar reference
+-----------------------------------------
+Pure-arithmetic quantities (die dimensions, areas, the eq.-(4) die
+counts, feasibility masks) replicate the scalar code's operations in
+the same order and are **bit-for-bit identical** — IEEE-754 multiply,
+divide, sqrt and floor are exactly rounded in both NumPy and the C
+library.  Quantities passing through transcendental functions (``pow``,
+``exp``, ``log``) may differ in the last ulp because NumPy's SIMD
+kernels and libm round those independently; they agree to
+``np.allclose(rtol=1e-12)`` (observed ≤ 3e-16 relative).  Infeasible
+cells — die does not fit the wafer, or eq.-(7) yield underflow — are
+masked to ``inf`` exactly like :func:`repro.core.optimization.
+transistor_cost_full`.
+
+Caching
+-------
+The dies-per-wafer and wafer-cost sub-results are memoized in a
+:class:`~repro.batch.cache.BatchCache` keyed on the exact input bytes,
+shared across sweeps.  Pass ``cache=None`` to disable, or a private
+:class:`BatchCache` to isolate; by default the process-wide cache from
+:func:`~repro.batch.cache.default_cache` is used.  Cached arrays are
+read-only.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..geometry.wafer import Wafer
+from ..core.wafer_cost import GenerationModel, WaferCostModel
+from ..core.transistor_cost import TransistorCostModel
+from ..units import UM2_PER_CM2, require_nonnegative
+from ..yieldsim.models import (
+    BoseEinsteinYield,
+    MurphyYield,
+    NegativeBinomialYield,
+    PoissonYield,
+    ReferenceAreaYield,
+    SeedsYield,
+    YieldModel,
+)
+from .cache import BatchCache, array_fingerprint, default_cache
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle with core.optimization
+    from ..core.optimization import FabCharacterization
+
+#: Eq.-(7) exponent above which exp() underflows; the scalar reference
+#: clamps the yield to the smallest positive denormal there.
+_EXPONENT_CLAMP = 700.0
+_TINY_YIELD = 5e-324
+
+#: Yields below this are treated as economically infeasible cells,
+#: matching ``transistor_cost_full``.
+_YIELD_CUTOFF = 1e-250
+
+#: Refuse eq.-(4) batches whose row reduction would exceed this many
+#: rows for a single die (the scalar loop would effectively hang too).
+_MAX_ROWS = 100_000_000
+
+#: Upper bound on elements per temporary in the chunked row reduction.
+_ROW_CHUNK_BUDGET = 1 << 22
+
+#: Sentinel: "use the process-wide default cache".
+USE_DEFAULT_CACHE: Any = object()
+
+
+def _resolve_cache(cache: Any) -> BatchCache | None:
+    if cache is USE_DEFAULT_CACHE:
+        return default_cache()
+    if cache is None or isinstance(cache, BatchCache):
+        return cache
+    raise ParameterError(
+        f"cache must be a BatchCache, None, or USE_DEFAULT_CACHE; "
+        f"got {cache!r}")
+
+
+def _cached(cache: BatchCache | None, key, compute) -> np.ndarray:
+    if cache is None:
+        return np.asarray(compute())
+    return cache.get_or_compute(key, compute)
+
+
+def _as_float_array(name: str, value) -> np.ndarray:
+    arr = np.asarray(value, dtype=float)
+    if arr.dtype != np.float64:  # pragma: no cover - asarray guarantees
+        arr = arr.astype(np.float64)
+    return arr
+
+
+def _require_all_positive(name: str, arr: np.ndarray) -> None:
+    # Mirrors require_positive elementwise: raises on value <= 0 (NaN
+    # propagates, as in the scalar code, rather than raising).
+    if bool((arr <= 0).any()):
+        raise ParameterError(f"{name} must be > 0 for every element")
+
+
+def _require_all_fraction(name: str, arr: np.ndarray) -> None:
+    if bool(((arr <= 0) | (arr > 1.0)).any()):
+        raise ParameterError(f"{name} must be in (0, 1] for every element")
+
+
+# ---------------------------------------------------------------------------
+# eq. (3) — wafer cost
+# ---------------------------------------------------------------------------
+
+def generations_batch(feature_sizes_um, reference_um: float = 1.0, *,
+                      model: GenerationModel = GenerationModel.SHRINK_LOG,
+                      shrink: float = 0.7,
+                      linear_step_um: float = 0.15) -> np.ndarray:
+    """g(λ) over an array of feature sizes — all four laws of
+    :class:`~repro.core.wafer_cost.GenerationModel`."""
+    lam = _as_float_array("feature_sizes_um", feature_sizes_um)
+    _require_all_positive("feature_sizes_um", lam)
+    if reference_um <= 0:
+        raise ParameterError(f"reference_um must be > 0, got {reference_um}")
+    ratio = reference_um / lam
+    if model is GenerationModel.SHRINK_LOG:
+        if not 0.0 < shrink < 1.0:
+            raise ParameterError(f"shrink must be in (0, 1), got {shrink}")
+        return np.log(ratio) / math.log(1.0 / shrink)
+    if model is GenerationModel.LINEAR:
+        if linear_step_um <= 0:
+            raise ParameterError(
+                f"linear_step_um must be > 0, got {linear_step_um}")
+        return (reference_um - lam) / linear_step_um
+    if model is GenerationModel.INVERSE:
+        return 2.0 * (ratio - 1.0)
+    if model is GenerationModel.PRINTED:
+        return 0.5 * (1.0 - lam / reference_um)
+    raise ParameterError(f"unknown generation model {model!r}")
+
+
+def wafer_cost_batch(model: WaferCostModel, feature_sizes_um, *,
+                     volume_wafers: float | None = None,
+                     cache: Any = USE_DEFAULT_CACHE) -> np.ndarray:
+    """Eq. (3) — C'_w(λ) over an array of λ, optionally with the
+    eq.-(2) overhead term at ``volume_wafers``.
+
+    Matches :meth:`WaferCostModel.pure_cost` /
+    :meth:`WaferCostModel.cost_at_volume` elementwise to 1e-12.
+    """
+    lam = _as_float_array("feature_sizes_um", feature_sizes_um)
+    _require_all_positive("feature_sizes_um", lam)
+    if volume_wafers is not None and volume_wafers <= 0:
+        raise ParameterError(
+            f"volume_wafers must be > 0, got {volume_wafers}")
+    cache = _resolve_cache(cache)
+    key = ("wafer_cost", model.reference_cost_dollars,
+           model.cost_growth_rate, model.reference_feature_um,
+           model.overhead_dollars, model.generation_model,
+           model.shrink, model.linear_step_um, volume_wafers,
+           array_fingerprint(lam))
+
+    def compute() -> np.ndarray:
+        g = generations_batch(lam, model.reference_feature_um,
+                              model=model.generation_model,
+                              shrink=model.shrink,
+                              linear_step_um=model.linear_step_um)
+        pure = model.reference_cost_dollars * model.cost_growth_rate ** g
+        if volume_wafers is None:
+            return pure
+        return pure + model.overhead_dollars / volume_wafers
+
+    return _cached(cache, key, compute)
+
+
+# ---------------------------------------------------------------------------
+# eq. (4) — dies per wafer
+# ---------------------------------------------------------------------------
+
+def dies_per_wafer_batch(wafer: Wafer, width_cm, height_cm, *,
+                         scribe_cm: float = 0.0,
+                         cache: Any = USE_DEFAULT_CACHE) -> np.ndarray:
+    """Eq. (4) over arrays of die sizes — exact integer parity with
+    :func:`repro.geometry.wafer.dies_per_wafer_maly`.
+
+    ``width_cm`` and ``height_cm`` broadcast together; the result is an
+    int64 array of that broadcast shape (0 where the die does not fit).
+    The per-row chord sum runs as array reductions, chunked so no
+    temporary exceeds a fixed element budget regardless of batch size.
+    """
+    w = _as_float_array("width_cm", width_cm)
+    h = _as_float_array("height_cm", height_cm)
+    w, h = np.broadcast_arrays(w, h)
+    _require_all_positive("width_cm", w)
+    _require_all_positive("height_cm", h)
+    require_nonnegative("scribe_cm", scribe_cm)
+    cache = _resolve_cache(cache)
+    key = ("dies_per_wafer", wafer.radius_cm, wafer.edge_exclusion_cm,
+           float(scribe_cm), array_fingerprint(w), array_fingerprint(h))
+
+    def compute() -> np.ndarray:
+        return _dies_per_wafer_rows(wafer.usable_radius_cm,
+                                    w.ravel(), h.ravel(),
+                                    float(scribe_cm)).reshape(w.shape)
+
+    return _cached(cache, key, compute)
+
+
+def _dies_per_wafer_rows(radius: float, w: np.ndarray, h: np.ndarray,
+                         scribe: float) -> np.ndarray:
+    # Same operations, same order, as the scalar row loop: pitch
+    # a = w + scribe, b = h + scribe; floor(2R/b) rows; each row holds
+    # floor(2·min(R_j, R_{j+1})/a) dies with R_j = sqrt(R² − (jb − R)²).
+    a = w + scribe
+    b = h + scribe
+    n = w.size
+    counts = np.zeros(n, dtype=np.int64)
+    if n == 0:
+        return counts
+    fits = ~((w > 2.0 * radius) | (h > 2.0 * radius))
+    rows = np.zeros(n, dtype=np.int64)
+    rows[fits] = np.floor(2.0 * radius / b[fits]).astype(np.int64)
+    if bool((rows > _MAX_ROWS).any()):
+        raise ParameterError(
+            f"a die in the batch implies more than {_MAX_ROWS} wafer rows; "
+            f"refusing the (intractable) eq.-(4) reduction")
+    order = np.argsort(rows, kind="stable")
+    rows_sorted = rows[order]
+    r2 = radius * radius
+    pos = int(np.searchsorted(rows_sorted, 1))  # zero-row dies stay 0
+    if pos >= n:
+        return counts
+    active = order[pos:]
+    r_active = rows_sorted[pos:]
+    # Dies are padded to their chunk's max row count (rows past a die's
+    # own floor(2R/b) contribute exactly 0: the chord at offset
+    # (j+1)·b − R already lies outside the circle).  Chunk boundaries
+    # group dies whose row counts agree within ×1.5 so that padding
+    # wastes at most ~50% of each chunk's row matrix, and each chunk is
+    # further split to keep its temporaries under the element budget.
+    bucket = np.floor(np.log(r_active.astype(np.float64))
+                      / math.log(1.5)).astype(np.int64)
+    cuts = np.flatnonzero(np.diff(bucket)) + 1
+    starts = np.concatenate(([0], cuts))
+    ends = np.concatenate((cuts, [r_active.size]))
+    for start, end in zip(starts, ends):
+        max_size = max(1, _ROW_CHUNK_BUDGET // (int(r_active[end - 1]) + 2))
+        for lo in range(start, end, max_size):
+            hi = min(lo + max_size, end)
+            sel = active[lo:hi]
+            r_chunk = int(r_active[hi - 1])
+            j = np.arange(r_chunk + 1, dtype=np.float64)
+            offset = j[None, :] * b[sel, None] - radius
+            inside = r2 - offset * offset
+            chord = np.sqrt(np.maximum(inside, 0.0))
+            row_chord = np.minimum(chord[:, :-1], chord[:, 1:])
+            per_row = np.floor(2.0 * row_chord / a[sel, None])
+            counts[sel] = per_row.sum(axis=1).astype(np.int64)
+    return counts
+
+
+# ---------------------------------------------------------------------------
+# eq. (5) — transistors per die
+# ---------------------------------------------------------------------------
+
+def transistors_per_die_batch(die_area_cm2, design_density,
+                              feature_sizes_um) -> np.ndarray:
+    """Eq. (5): ``N_tr = A_ch / (d_d · λ²)`` over arrays.
+
+    Matches :meth:`repro.geometry.die.Die.transistor_count` bit-for-bit.
+    """
+    area = _as_float_array("die_area_cm2", die_area_cm2)
+    d = _as_float_array("design_density", design_density)
+    lam = _as_float_array("feature_sizes_um", feature_sizes_um)
+    _require_all_positive("die_area_cm2", area)
+    _require_all_positive("design_density", d)
+    _require_all_positive("feature_sizes_um", lam)
+    area_um2 = area * UM2_PER_CM2
+    return area_um2 / (d * (lam * lam))
+
+
+# ---------------------------------------------------------------------------
+# eqs. (6)–(7) — yield
+# ---------------------------------------------------------------------------
+
+def poisson_yield_batch(area_cm2, defect_density_per_cm2) -> np.ndarray:
+    """Eq. (6): ``Y = exp(−A·D₀)`` over arrays."""
+    area = _as_float_array("area_cm2", area_cm2)
+    density = _as_float_array("defect_density_per_cm2",
+                              defect_density_per_cm2)
+    if bool((area < 0).any()) or bool((density < 0).any()):
+        raise ParameterError("areas and densities must be >= 0")
+    return np.exp(-(area * density))
+
+
+def scaled_poisson_yield_batch(n_transistors, design_density,
+                               defect_coefficient, feature_sizes_um,
+                               p) -> np.ndarray:
+    """Eq. (7): ``Y = exp[−N_tr·d_d·D / λ^{p−2}]`` over arrays.
+
+    Preserves the scalar reference's underflow clamp: cells whose
+    exponent exceeds 700 return the smallest positive denormal rather
+    than 0.0, so callers dividing by Y never hit a zero division.
+    """
+    n = _as_float_array("n_transistors", n_transistors)
+    d = _as_float_array("design_density", design_density)
+    lam = _as_float_array("feature_sizes_um", feature_sizes_um)
+    p_arr = _as_float_array("p", p)
+    coeff = _as_float_array("defect_coefficient", defect_coefficient)
+    _require_all_positive("n_transistors", n)
+    _require_all_positive("design_density", d)
+    _require_all_positive("feature_sizes_um", lam)
+    _require_all_positive("p", p_arr)
+    if bool((coeff < 0).any()):
+        raise ParameterError("defect_coefficient must be >= 0 everywhere")
+    area_cm2 = n * d * (lam * lam) * 1.0e-8
+    d0_per_cm2 = coeff / lam ** p_arr
+    exponent = area_cm2 * d0_per_cm2
+    with np.errstate(under="ignore"):
+        y = np.exp(-exponent)
+    return np.where(exponent > _EXPONENT_CLAMP, _TINY_YIELD, y)
+
+
+def yield_for_area_batch(model: YieldModel, area_cm2,
+                         defect_density_per_cm2) -> np.ndarray:
+    """Any :class:`YieldModel` evaluated over arrays of (area, density).
+
+    The classical models are dispatched to closed-form array kernels;
+    unknown subclasses fall back to a per-element loop so every custom
+    model keeps working.
+    """
+    area = _as_float_array("area_cm2", area_cm2)
+    density = _as_float_array("defect_density_per_cm2",
+                              defect_density_per_cm2)
+    if bool((area < 0).any()) or bool((density < 0).any()):
+        raise ParameterError("areas and densities must be >= 0")
+    m = area * density
+    return _yield_from_expectation_batch(model, m)
+
+
+def _yield_from_expectation_batch(model: YieldModel,
+                                  m: np.ndarray) -> np.ndarray:
+    if isinstance(model, (PoissonYield, ReferenceAreaYield)):
+        return np.exp(-m)
+    if isinstance(model, MurphyYield):
+        safe_m = np.where(m == 0.0, 1.0, m)
+        with np.errstate(under="ignore"):
+            y = (-np.expm1(-m) / safe_m) ** 2
+        return np.where(m == 0.0, 1.0, y)
+    if isinstance(model, SeedsYield):
+        return 1.0 / (1.0 + m)
+    if isinstance(model, BoseEinsteinYield):
+        return (1.0 + m / model.n_layers) ** (-model.n_layers)
+    if isinstance(model, NegativeBinomialYield):
+        return (1.0 + m / model.alpha) ** (-model.alpha)
+    flat = np.array([model.yield_from_expectation(float(v))
+                     for v in m.ravel()], dtype=np.float64)
+    return flat.reshape(m.shape)
+
+
+# ---------------------------------------------------------------------------
+# eq. (1) composed
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BatchCostResult:
+    """Array-valued analog of :class:`~repro.core.transistor_cost.
+    CostBreakdown` for one batched eq.-(1) evaluation.
+
+    All arrays share one broadcast shape.  ``feasible`` is False where
+    the die does not fit the wafer or the eq.-(7) yield underflows; at
+    those cells ``cost_per_transistor_dollars`` is ``inf`` (matching
+    :func:`~repro.core.optimization.transistor_cost_full`) while the
+    intermediates keep their computed values for auditing.  Arrays that
+    came out of the shared cache are read-only; copy before mutating.
+    """
+
+    feature_size_um: np.ndarray
+    wafer_cost_dollars: np.ndarray
+    die_area_cm2: np.ndarray
+    dies_per_wafer: np.ndarray
+    transistors_per_die: np.ndarray
+    yield_value: np.ndarray
+    cost_per_transistor_dollars: np.ndarray
+    feasible: np.ndarray
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """The common broadcast shape of every array field."""
+        return self.cost_per_transistor_dollars.shape
+
+    @property
+    def n_feasible(self) -> int:
+        """Number of cells with a finite cost."""
+        return int(np.count_nonzero(self.feasible))
+
+    @property
+    def cost_per_transistor_microdollars(self) -> np.ndarray:
+        """C_tr in the paper's Table-3 unit, $·10⁻⁶ (inf where masked)."""
+        return self.cost_per_transistor_dollars * 1.0e6
+
+    @property
+    def good_dies_per_wafer(self) -> np.ndarray:
+        """Expected functioning dies per wafer: N_ch · Y."""
+        return self.dies_per_wafer * self.yield_value
+
+    @property
+    def cost_per_good_die_dollars(self) -> np.ndarray:
+        """Wafer cost spread over functioning dies (inf where none fit)."""
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out = self.wafer_cost_dollars / self.good_dies_per_wafer
+        return np.where(self.dies_per_wafer >= 1, out, np.inf)
+
+
+def _die_geometry(n: np.ndarray, design_density: float, lam: np.ndarray,
+                  aspect_ratio: float
+                  ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    # Die.from_transistor_count → Die.from_area, same operation order.
+    area_um2 = n * design_density * (lam * lam)
+    area_cm2 = area_um2 / UM2_PER_CM2
+    height = np.sqrt(area_cm2 / aspect_ratio)
+    width = area_cm2 / height
+    # Report the area the way Die.area_cm2 does — recomposed from the
+    # rounded dimensions — so it matches the scalar breakdown bit-for-bit
+    # (width · height re-rounds and can differ from area_cm2 by 1 ulp).
+    return width, height, width * height
+
+
+def transistor_cost_batch(n_transistors, feature_sizes_um,
+                          fab: "FabCharacterization | None" = None, *,
+                          cache: Any = USE_DEFAULT_CACHE
+                          ) -> BatchCostResult:
+    """Batched eqs. (1)+(3)+(4)+(7) — the vector form of
+    :func:`repro.core.optimization.transistor_cost_full`.
+
+    ``n_transistors`` and ``feature_sizes_um`` broadcast together, so a
+    full (λ, N_tr) landscape is one call with ``counts[:, None]`` and
+    ``lams[None, :]``.  ``fab`` defaults to the Fig.-8 fitted fab.
+    """
+    from ..core.optimization import FIG8_FAB
+    if fab is None:
+        fab = FIG8_FAB
+    n = _as_float_array("n_transistors", n_transistors)
+    lam = _as_float_array("feature_sizes_um", feature_sizes_um)
+    n, lam = np.broadcast_arrays(n, lam)
+    _require_all_positive("n_transistors", n)
+    _require_all_positive("feature_sizes_um", lam)
+    cache = _resolve_cache(cache)
+
+    wafer = Wafer(radius_cm=fab.wafer_radius_cm)
+    wafer_cost_model = WaferCostModel(
+        reference_cost_dollars=fab.reference_cost_dollars,
+        cost_growth_rate=fab.cost_growth_rate)
+    width, height, area_cm2 = _die_geometry(n, fab.design_density, lam, 1.0)
+    n_ch = dies_per_wafer_batch(wafer, width, height, cache=cache)
+    y = scaled_poisson_yield_batch(n, fab.design_density,
+                                   fab.defect_coefficient, lam,
+                                   fab.size_exponent_p)
+    c_w = wafer_cost_batch(wafer_cost_model, lam, cache=cache)
+    with np.errstate(divide="ignore", over="ignore", invalid="ignore",
+                     under="ignore"):
+        cost = c_w / (n_ch * n * y)
+    feasible = (n_ch >= 1) & (y >= _YIELD_CUTOFF)
+    cost = np.where(feasible, cost, np.inf)
+    return BatchCostResult(
+        feature_size_um=lam,
+        wafer_cost_dollars=np.broadcast_to(c_w, cost.shape),
+        die_area_cm2=area_cm2,
+        dies_per_wafer=n_ch,
+        transistors_per_die=n,
+        yield_value=y,
+        cost_per_transistor_dollars=cost,
+        feasible=feasible)
+
+
+def evaluate_batch(model: TransistorCostModel, *, n_transistors,
+                   feature_sizes_um, design_density: float,
+                   yield_model: YieldModel | None = None,
+                   defect_density_per_cm2: float | None = None,
+                   yield_value=None,
+                   aspect_ratio: float = 1.0,
+                   cache: Any = USE_DEFAULT_CACHE) -> BatchCostResult:
+    """Batched :meth:`TransistorCostModel.evaluate` over arrays.
+
+    Yield is specified exactly one of three ways, as in the scalar
+    method; ``yield_value`` may itself be an array.  Where the scalar
+    method *raises* because the die does not fit the wafer, the batch
+    form masks the cell to ``inf`` instead (``feasible=False``), so
+    aggressive sweeps need no per-cell exception handling.
+    """
+    n = _as_float_array("n_transistors", n_transistors)
+    lam = _as_float_array("feature_sizes_um", feature_sizes_um)
+    n, lam = np.broadcast_arrays(n, lam)
+    _require_all_positive("n_transistors", n)
+    _require_all_positive("feature_sizes_um", lam)
+    if design_density <= 0:
+        raise ParameterError(
+            f"design_density must be > 0, got {design_density}")
+    if aspect_ratio <= 0:
+        raise ParameterError(
+            f"aspect_ratio must be > 0, got {aspect_ratio}")
+    cache = _resolve_cache(cache)
+
+    width, height, area_cm2 = _die_geometry(n, design_density, lam,
+                                            aspect_ratio)
+    n_ch = dies_per_wafer_batch(model.wafer, width, height, cache=cache)
+    y = _resolve_yield_batch(area_cm2, yield_model, defect_density_per_cm2,
+                             yield_value)
+    c_w = wafer_cost_batch(model.wafer_cost, lam,
+                           volume_wafers=model.volume_wafers, cache=cache)
+    with np.errstate(divide="ignore", over="ignore", invalid="ignore",
+                     under="ignore"):
+        cost = c_w / (n_ch * n * y)
+    feasible = n_ch >= 1
+    cost = np.where(feasible, cost, np.inf)
+    return BatchCostResult(
+        feature_size_um=lam,
+        wafer_cost_dollars=np.broadcast_to(c_w, cost.shape),
+        die_area_cm2=area_cm2,
+        dies_per_wafer=n_ch,
+        transistors_per_die=n,
+        yield_value=np.broadcast_to(y, cost.shape),
+        cost_per_transistor_dollars=cost,
+        feasible=feasible)
+
+
+def _resolve_yield_batch(die_area_cm2: np.ndarray,
+                         yield_model: YieldModel | None,
+                         defect_density_per_cm2: float | None,
+                         yield_value) -> np.ndarray:
+    given = [yield_model is not None, yield_value is not None]
+    if sum(given) != 1:
+        raise ParameterError(
+            "specify exactly one of yield_model or yield_value")
+    if yield_value is not None:
+        y = _as_float_array("yield_value", yield_value)
+        _require_all_fraction("yield_value", y)
+        return y
+    assert yield_model is not None
+    if isinstance(yield_model, ReferenceAreaYield):
+        return yield_model.reference_yield ** (
+            die_area_cm2 / yield_model.reference_area_cm2)
+    if defect_density_per_cm2 is None:
+        raise ParameterError(
+            "defect_density_per_cm2 is required with this yield model")
+    return yield_for_area_batch(yield_model, die_area_cm2,
+                                defect_density_per_cm2)
+
+
+# ---------------------------------------------------------------------------
+# eqs. (8) and (9) — the scenario approximations
+# ---------------------------------------------------------------------------
+
+def scenario1_cost_batch(model: TransistorCostModel, feature_sizes_um,
+                         design_density: float, *,
+                         cache: Any = USE_DEFAULT_CACHE) -> np.ndarray:
+    """Eq. (8) over an array of λ: ``C_tr = C_w(λ)·d_d·λ² / A_w``.
+
+    The vector form of :meth:`TransistorCostModel.scenario1_cost`.
+    """
+    lam = _as_float_array("feature_sizes_um", feature_sizes_um)
+    _require_all_positive("feature_sizes_um", lam)
+    if design_density <= 0:
+        raise ParameterError(
+            f"design_density must be > 0, got {design_density}")
+    c_w = wafer_cost_batch(model.wafer_cost, lam,
+                           volume_wafers=model.volume_wafers, cache=cache)
+    wafer_area_um2 = model.wafer.area_cm2 * UM2_PER_CM2
+    return c_w * design_density * (lam * lam) / wafer_area_um2
+
+
+def scenario2_cost_batch(model: TransistorCostModel, feature_sizes_um,
+                         design_density: float, *,
+                         reference_yield: float = 0.7,
+                         reference_area_cm2: float = 1.0,
+                         die_area_cm2=None,
+                         cache: Any = USE_DEFAULT_CACHE) -> np.ndarray:
+    """Eq. (9) over an array of λ: eq. (8) divided by ``Y₀^{A(λ)/A₀}``.
+
+    ``die_area_cm2`` may be an array aligned with λ; the default is the
+    Fig.-3 trend evaluated per λ, exactly as the scalar
+    :meth:`TransistorCostModel.scenario2_cost` does.
+    """
+    lam = _as_float_array("feature_sizes_um", feature_sizes_um)
+    _require_all_positive("feature_sizes_um", lam)
+    law = ReferenceAreaYield(reference_yield, reference_area_cm2)
+    if die_area_cm2 is None:
+        from ..technology.roadmap import die_area_trend_cm2
+        area = np.array([die_area_trend_cm2(float(l)) for l in lam.ravel()],
+                        dtype=np.float64).reshape(lam.shape)
+    else:
+        area = _as_float_array("die_area_cm2", die_area_cm2)
+    _require_all_positive("die_area_cm2", area)
+    y = law.reference_yield ** (area / law.reference_area_cm2)
+    return scenario1_cost_batch(model, lam, design_density,
+                                cache=cache) / y

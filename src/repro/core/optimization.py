@@ -21,6 +21,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..batch.engine import BatchCostResult, transistor_cost_batch
 from ..errors import ConvergenceError, ParameterError
 from ..geometry import Die, Wafer, dies_per_wafer_maly
 from ..units import require_positive
@@ -94,19 +95,24 @@ class CostLandscape:
         default_factory=lambda: np.linspace(0.3, 2.0, 46))
     transistor_counts: np.ndarray = field(
         default_factory=lambda: np.geomspace(1e5, 1e7, 47))
-    _grid: np.ndarray | None = field(default=None, repr=False)
+    _result: BatchCostResult | None = field(default=None, repr=False)
+
+    def breakdown(self) -> BatchCostResult:
+        """The full batched evaluation: costs plus every intermediate.
+
+        One :func:`repro.batch.transistor_cost_batch` call over the
+        whole plane; cached for the landscape's lifetime.
+        """
+        if self._result is None:
+            counts = np.asarray(self.transistor_counts, dtype=float)
+            lams = np.asarray(self.feature_sizes_um, dtype=float)
+            self._result = transistor_cost_batch(
+                counts[:, None], lams[None, :], self.fab)
+        return self._result
 
     def grid(self) -> np.ndarray:
         """Cost array of shape (len(transistor_counts), len(feature_sizes))."""
-        if self._grid is None:
-            out = np.empty((len(self.transistor_counts),
-                            len(self.feature_sizes_um)))
-            for i, n_tr in enumerate(self.transistor_counts):
-                for j, lam in enumerate(self.feature_sizes_um):
-                    out[i, j] = transistor_cost_full(float(n_tr), float(lam),
-                                                     self.fab)
-            self._grid = out
-        return self._grid
+        return self.breakdown().cost_per_transistor_dollars
 
     def optimal_lambda_per_count(self) -> list[tuple[float, float, float]]:
         """For each N_tr row: (N_tr, λ_opt, C_tr at optimum).
@@ -200,9 +206,11 @@ def optimal_feature_size(n_transistors: float,
     def f(lam: float) -> float:
         return transistor_cost_full(n_transistors, lam, fab)
 
-    # Coarse scan to pick the best bracket among possible multiple valleys.
+    # Coarse scan (batched) to pick the best bracket among possible
+    # multiple valleys; the golden-section refinement stays scalar.
     lams = np.linspace(lam_lo_um, lam_hi_um, 61)
-    costs = np.array([f(l) for l in lams])
+    costs = transistor_cost_batch(n_transistors, lams,
+                                  fab).cost_per_transistor_dollars
     if not np.isfinite(costs).any():
         raise ConvergenceError("no feasible feature size in the given range")
     k = int(np.argmin(np.where(np.isfinite(costs), costs, np.inf)))
@@ -238,11 +246,10 @@ def optimal_feature_size_for_die_area(die_area_cm2: float,
     """
     require_positive("die_area_cm2", die_area_cm2)
 
-    def n_tr(lam: float) -> float:
-        return die_area_cm2 * 1.0e8 / (fab.design_density * lam * lam)
-
     lams = np.linspace(lam_lo_um, lam_hi_um, 241)
-    costs = np.array([transistor_cost_full(n_tr(l), l, fab) for l in lams])
+    n_tr = die_area_cm2 * 1.0e8 / (fab.design_density * lams * lams)
+    costs = transistor_cost_batch(n_tr, lams,
+                                  fab).cost_per_transistor_dollars
     if not np.isfinite(costs).any():
         raise ConvergenceError("no feasible feature size for this die area")
     k = int(np.argmin(np.where(np.isfinite(costs), costs, np.inf)))

@@ -31,6 +31,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from ..batch.engine import scenario1_cost_batch, scenario2_cost_batch
 from ..errors import ParameterError
 from ..geometry import Wafer
 from ..technology.roadmap import die_area_trend_cm2
@@ -116,14 +117,27 @@ class Scenario:
             die_area_cm2=self.die_area_cm2_fn(feature_size_um))
 
     def curves(self, feature_sizes_um: Sequence[float]) -> dict[float, np.ndarray]:
-        """One C_tr(λ) array (dollars) per configured X."""
-        lams = list(feature_sizes_um)
+        """One C_tr(λ) array (dollars) per configured X.
+
+        Runs on :mod:`repro.batch` — one vectorized eq.-(8)/(9) sweep
+        per X; :meth:`cost_dollars` is the scalar reference.
+        """
+        lams = np.asarray(list(feature_sizes_um), dtype=float)
         for lam in lams:
-            require_positive("feature_size_um", lam)
-        return {
-            x: np.array([self.cost_dollars(lam, x) for lam in lams])
-            for x in self.growth_rates
-        }
+            require_positive("feature_size_um", float(lam))
+        return {x: self._curve(lams, x) for x in self.growth_rates}
+
+    def _curve(self, lams: np.ndarray, growth_rate: float) -> np.ndarray:
+        model = self.model_for(growth_rate)
+        if self.reference_yield >= 1.0:
+            return scenario1_cost_batch(model, lams, self.design_density)
+        areas = np.array([self.die_area_cm2_fn(float(l)) for l in lams],
+                         dtype=float)
+        return scenario2_cost_batch(
+            model, lams, self.design_density,
+            reference_yield=self.reference_yield,
+            reference_area_cm2=self.reference_area_cm2,
+            die_area_cm2=areas)
 
     def with_growth_rates(self, growth_rates: Sequence[float]) -> "Scenario":
         """Copy of the scenario with different X values."""
@@ -141,7 +155,7 @@ class Scenario:
         e.g. Scenario #1).
         """
         lams = np.linspace(lam_lo_um, lam_hi_um, n_points)
-        costs = np.array([self.cost_dollars(l, growth_rate) for l in lams])
+        costs = self._curve(lams, growth_rate)
         idx = int(np.argmin(costs))
         if idx in (0, len(lams) - 1):
             return None
@@ -171,14 +185,16 @@ SCENARIO_2 = Scenario(
 def scenario1_cost_curve(feature_sizes_um: Sequence[float],
                          growth_rate: float = 1.2) -> np.ndarray:
     """Fig.-6 convenience: one eq.-(8) cost curve, dollars per transistor."""
-    return SCENARIO_1.curves(feature_sizes_um).get(growth_rate) \
-        if growth_rate in SCENARIO_1.growth_rates \
-        else np.array([SCENARIO_1.cost_dollars(l, growth_rate)
-                       for l in feature_sizes_um])
+    lams = np.asarray(list(feature_sizes_um), dtype=float)
+    for lam in lams:
+        require_positive("feature_size_um", float(lam))
+    return SCENARIO_1._curve(lams, growth_rate)
 
 
 def scenario2_cost_curve(feature_sizes_um: Sequence[float],
                          growth_rate: float = 1.8) -> np.ndarray:
     """Fig.-7 convenience: one eq.-(9) cost curve, dollars per transistor."""
-    return np.array([SCENARIO_2.cost_dollars(l, growth_rate)
-                     for l in feature_sizes_um])
+    lams = np.asarray(list(feature_sizes_um), dtype=float)
+    for lam in lams:
+        require_positive("feature_size_um", float(lam))
+    return SCENARIO_2._curve(lams, growth_rate)

@@ -193,7 +193,8 @@ class TransistorCostModel:
         require_positive("design_density", design_density)
         c_w = self.wafer_cost_dollars(feature_size_um)
         wafer_area_um2 = cm2_to_um2(self.wafer.area_cm2)
-        return c_w * design_density * feature_size_um ** 2 / wafer_area_um2
+        return c_w * design_density \
+            * (feature_size_um * feature_size_um) / wafer_area_um2
 
     def scenario2_cost(self, feature_size_um: float, design_density: float,
                        *, reference_yield: float = 0.7,

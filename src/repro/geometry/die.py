@@ -76,7 +76,10 @@ class Die:
         require_positive("n_transistors", n_transistors)
         require_positive("design_density", design_density)
         require_positive("feature_size_um", feature_size_um)
-        area_um2 = n_transistors * design_density * feature_size_um ** 2
+        # (λ·λ) rather than λ**2: exact product, shared bit-for-bit with
+        # the vectorized path in repro.batch (libm pow is not).
+        area_um2 = n_transistors * design_density \
+            * (feature_size_um * feature_size_um)
         return cls.from_area(um2_to_cm2(area_um2), aspect_ratio=aspect_ratio,
                              scribe_cm=scribe_cm)
 
@@ -120,7 +123,7 @@ class Die:
         require_positive("design_density", design_density)
         require_positive("feature_size_um", feature_size_um)
         area_um2 = self.area_cm2 * 1.0e8
-        return area_um2 / (design_density * feature_size_um ** 2)
+        return area_um2 / (design_density * (feature_size_um * feature_size_um))
 
     def rotated(self) -> "Die":
         """The same die with width and height exchanged."""

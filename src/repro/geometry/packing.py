@@ -36,25 +36,32 @@ def best_aspect_ratio(wafer: Wafer, die_area_cm2: float, *,
     The count function is symmetric-ish but not exactly (rows run
     horizontally in eq. 4), so the sweep covers both elongations.
     """
+    from ..batch.engine import dies_per_wafer_batch
+
     require_positive("die_area_cm2", die_area_cm2)
     if not 0.0 < ratio_lo < ratio_hi:
         raise ParameterError("need 0 < ratio_lo < ratio_hi")
     if n_ratios < 3:
         raise ParameterError("n_ratios must be >= 3")
-    best = (1.0, -1)
+    # Ratios and dimensions come from the same scalar arithmetic as the
+    # reference loop; only the eq.-(4) row reduction is batched.
+    dies = []
     for k in range(n_ratios):
         ratio = ratio_lo * (ratio_hi / ratio_lo) ** (k / (n_ratios - 1))
         die = Die.from_area(die_area_cm2, aspect_ratio=ratio,
                             scribe_cm=scribe_cm)
         if die.diagonal_cm > 2.0 * wafer.usable_radius_cm:
             continue
-        count = dies_per_wafer_maly(wafer, die)
-        if count > best[1]:
-            best = (ratio, count)
-    if best[1] < 0:
+        dies.append((ratio, die))
+    if not dies:
         raise GeometryError(
             f"no aspect ratio fits area {die_area_cm2} cm2 on this wafer")
-    return best
+    widths = [die.width_cm for _, die in dies]
+    heights = [die.height_cm for _, die in dies]
+    counts = dies_per_wafer_batch(wafer, widths, heights,
+                                  scribe_cm=scribe_cm)
+    k_best = int(counts.argmax())
+    return dies[k_best][0], int(counts[k_best])
 
 
 def aspect_ratio_penalty(wafer: Wafer, die_area_cm2: float,

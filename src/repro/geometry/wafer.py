@@ -183,12 +183,7 @@ def dies_per_wafer_exact(wafer: Wafer, die: Die, *,
 
     if not optimize_offset:
         return count(offset_x, offset_y)
-
-    best = 0
-    for si in range(offset_steps):
-        for sj in range(offset_steps):
-            best = max(best, count(si * px / offset_steps, sj * py / offset_steps))
-    return best
+    return best_grid_offset(wafer, die, steps=offset_steps)[2]
 
 
 def dies_per_wafer_area_approx(wafer: Wafer, die: Die, *,

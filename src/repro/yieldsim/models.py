@@ -230,7 +230,8 @@ def scaled_poisson_yield(n_transistors: float, design_density: float,
     require_nonnegative("defect_coefficient", defect_coefficient)
     require_positive("feature_size_um", feature_size_um)
     require_positive("p", p)
-    area_cm2 = n_transistors * design_density * feature_size_um ** 2 * 1.0e-8
+    area_cm2 = n_transistors * design_density \
+        * (feature_size_um * feature_size_um) * 1.0e-8
     d0_per_cm2 = defect_coefficient / feature_size_um ** p
     exponent = area_cm2 * d0_per_cm2
     # Guard against underflow-to-zero surprising callers that divide by Y:

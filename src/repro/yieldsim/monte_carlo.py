@@ -128,46 +128,69 @@ class SpotDefectSimulator:
 
     def simulate_wafer(self, rng: np.random.Generator) -> WaferMap:
         """Simulate one wafer and return its map."""
+        return self.simulate_lot(1, rng)[0]
+
+    def simulate_lot(self, n_wafers: int, rng: np.random.Generator) -> list[WaferMap]:
+        """Simulate ``n_wafers`` independent wafers, grading the lot at once.
+
+        Random draws (gamma density mixing, Poisson count, rejection-
+        sampled positions, defect radii) advance the generator in the
+        same per-wafer order as :meth:`simulate_wafer`, so a seeded
+        lot is bitwise-reproducible regardless of batch size.  The
+        expensive part — testing every killer defect against every die
+        — is batched across the whole lot in one chunked pass instead
+        of one ``defects × dies`` matrix per wafer.
+        """
+        if n_wafers < 0:
+            raise ParameterError(f"n_wafers must be >= 0, got {n_wafers}")
         centers = self._die_centers()
         n_dies = centers.shape[0]
         area = self.wafer.area_cm2
-        density = self.defect_density_per_cm2
-        if self.clustering_alpha is not None and density > 0:
-            density = density * rng.gamma(self.clustering_alpha,
-                                          1.0 / self.clustering_alpha)
-        n_defects = rng.poisson(density * area) if density > 0 else 0
+        radius = self.wafer.radius_cm
 
-        counts = np.zeros(n_dies, dtype=int)
-        if n_defects > 0 and n_dies > 0:
-            # Rejection-sample uniform positions in the circle.
+        n_thrown: list[int] = []
+        killer_pos: list[np.ndarray] = []
+        for _ in range(n_wafers):
+            density = self.defect_density_per_cm2
+            if self.clustering_alpha is not None and density > 0:
+                density = density * rng.gamma(self.clustering_alpha,
+                                              1.0 / self.clustering_alpha)
+            n_defects = int(rng.poisson(density * area)) if density > 0 else 0
+            n_thrown.append(n_defects)
+
             pos = np.empty((0, 2))
-            radius = self.wafer.radius_cm
-            while pos.shape[0] < n_defects:
-                cand = rng.uniform(-radius, radius, size=(2 * n_defects, 2))
-                cand = cand[np.einsum("ij,ij->i", cand, cand) <= radius * radius]
-                pos = np.vstack([pos, cand])
-            pos = pos[:n_defects]
+            if n_defects > 0 and n_dies > 0:
+                # Rejection-sample uniform positions in the circle.
+                while pos.shape[0] < n_defects:
+                    cand = rng.uniform(-radius, radius,
+                                       size=(2 * n_defects, 2))
+                    cand = cand[np.einsum("ij,ij->i", cand, cand)
+                                <= radius * radius]
+                    pos = np.vstack([pos, cand])
+                pos = pos[:n_defects]
+                if self.size_distribution is not None:
+                    radii = self.size_distribution.sample(n_defects, rng)
+                    pos = pos[radii > self.kill_radius_um]
+            killer_pos.append(pos)
 
-            if self.size_distribution is not None:
-                radii = self.size_distribution.sample(n_defects, rng)
-                killers = radii > self.kill_radius_um
-                pos = pos[killers]
-
-            if pos.shape[0] > 0:
-                half_w = self.die.width_cm / 2.0
-                half_h = self.die.height_cm / 2.0
-                dx = np.abs(pos[:, 0:1] - centers[:, 0][None, :])
-                dy = np.abs(pos[:, 1:2] - centers[:, 1][None, :])
-                hits = (dx <= half_w) & (dy <= half_h)
-                counts = hits.sum(axis=0).astype(int)
-        return WaferMap(die_centers_cm=centers, defect_counts=counts,
-                        n_defects_total=int(n_defects))
-
-    def simulate_lot(self, n_wafers: int, rng: np.random.Generator) -> list[WaferMap]:
-        """Simulate ``n_wafers`` independent wafers."""
-        if n_wafers < 0:
-            raise ParameterError(f"n_wafers must be >= 0, got {n_wafers}")
-        return [self.simulate_wafer(rng) for _ in range(n_wafers)]
+        counts = np.zeros((n_wafers, n_dies), dtype=int)
+        per_wafer = np.array([p.shape[0] for p in killer_pos], dtype=np.int64)
+        if per_wafer.sum() > 0:
+            pos = np.concatenate(killer_pos, axis=0)
+            wafer_ids = np.repeat(np.arange(n_wafers), per_wafer)
+            half_w = self.die.width_cm / 2.0
+            half_h = self.die.height_cm / 2.0
+            # Bound the (defects, dies) boolean temporary to ~4M cells.
+            chunk = max(1, (1 << 22) // max(n_dies, 1))
+            for lo in range(0, pos.shape[0], chunk):
+                hi = lo + chunk
+                dx = np.abs(pos[lo:hi, 0:1] - centers[:, 0][None, :])
+                dy = np.abs(pos[lo:hi, 1:2] - centers[:, 1][None, :])
+                d_idx, die_idx = np.nonzero((dx <= half_w) & (dy <= half_h))
+                np.add.at(counts, (wafer_ids[lo:hi][d_idx], die_idx), 1)
+        return [WaferMap(die_centers_cm=centers, defect_counts=counts[i],
+                         n_defects_total=n_thrown[i])
+                for i in range(n_wafers)]
 
     def estimate_yield(self, n_wafers: int, rng: np.random.Generator) -> float:
         """Pooled yield estimate over a simulated lot."""

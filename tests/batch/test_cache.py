@@ -1,0 +1,87 @@
+"""Tests for :mod:`repro.batch.cache`."""
+
+import numpy as np
+import pytest
+
+from repro.batch import BatchCache, default_cache
+from repro.batch.cache import array_fingerprint
+from repro.errors import ParameterError
+
+
+class TestArrayFingerprint:
+    def test_equal_content_equal_key(self):
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([1.0, 2.0, 3.0])
+        assert array_fingerprint(a) == array_fingerprint(b)
+
+    def test_shape_distinguishes(self):
+        a = np.arange(6.0)
+        assert array_fingerprint(a) != array_fingerprint(a.reshape(2, 3))
+
+    def test_dtype_distinguishes(self):
+        a = np.array([1, 2, 3], dtype=np.int64)
+        assert array_fingerprint(a) != array_fingerprint(a.astype(float))
+
+    def test_non_contiguous_ok(self):
+        a = np.arange(10.0)[::2]
+        assert array_fingerprint(a) == array_fingerprint(a.copy())
+
+
+class TestBatchCache:
+    def test_miss_then_hit_returns_same_object(self):
+        cache = BatchCache()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return np.array([1.0, 2.0])
+
+        first = cache.get_or_compute("k", compute)
+        second = cache.get_or_compute("k", compute)
+        assert first is second
+        assert len(calls) == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_cached_arrays_are_read_only(self):
+        cache = BatchCache()
+        arr = cache.get_or_compute("k", lambda: np.array([1.0]))
+        with pytest.raises(ValueError):
+            arr[0] = 9.0
+
+    def test_distinct_keys_distinct_entries(self):
+        cache = BatchCache()
+        a = cache.get_or_compute(("x", 1), lambda: np.array([1.0]))
+        b = cache.get_or_compute(("x", 2), lambda: np.array([2.0]))
+        assert a[0] == 1.0 and b[0] == 2.0
+        assert len(cache) == 2
+
+    def test_lru_eviction(self):
+        cache = BatchCache(max_entries=2)
+        cache.get_or_compute("a", lambda: np.array([1.0]))
+        cache.get_or_compute("b", lambda: np.array([2.0]))
+        cache.get_or_compute("a", lambda: np.array([1.0]))  # refresh "a"
+        cache.get_or_compute("c", lambda: np.array([3.0]))  # evicts "b"
+        calls = []
+        cache.get_or_compute("a", lambda: calls.append(1) or np.array([1.0]))
+        assert not calls  # "a" survived
+        cache.get_or_compute("b", lambda: calls.append(1) or np.array([2.0]))
+        assert calls  # "b" was evicted
+
+    def test_clear_keeps_counters(self):
+        cache = BatchCache()
+        cache.get_or_compute("k", lambda: np.array([1.0]))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.misses == 1
+
+    def test_untouched_hit_rate_zero(self):
+        assert BatchCache().stats.hit_rate == 0.0
+
+    def test_invalid_max_entries(self):
+        with pytest.raises(ParameterError):
+            BatchCache(max_entries=0)
+
+    def test_default_cache_is_singleton(self):
+        assert default_cache() is default_cache()
