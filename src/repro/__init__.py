@@ -35,6 +35,7 @@ from .geometry import Die, Wafer, dies_per_wafer_maly
 from .yieldsim import (
     BoseEinsteinYield,
     DefectSizeDistribution,
+    LotResult,
     MurphyYield,
     NegativeBinomialYield,
     ParametricYield,
@@ -70,6 +71,7 @@ from .technology import (
 from .batch import (
     BatchCache,
     BatchCostResult,
+    cross_validate_yield_batch,
     default_cache,
     dies_per_wafer_batch,
     evaluate_batch,
@@ -98,6 +100,7 @@ __all__ = [
     "RedundantMemoryYield",
     "ParametricYield",
     "SpotDefectSimulator",
+    "LotResult",
     "DefectSizeDistribution",
     "poisson_yield",
     "scaled_poisson_yield",
@@ -121,6 +124,7 @@ __all__ = [
     "BatchCache",
     "BatchCostResult",
     "default_cache",
+    "cross_validate_yield_batch",
     "dies_per_wafer_batch",
     "evaluate_batch",
     "scaled_poisson_yield_batch",

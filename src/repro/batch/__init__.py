@@ -18,13 +18,18 @@ Entry points:
   (eq. 5), ``poisson_yield_batch`` / ``scaled_poisson_yield_batch`` /
   ``yield_for_area_batch`` (eqs. 6–7),
 * :class:`~repro.batch.cache.BatchCache` — the keyed memoization layer
-  shared across sweeps (see :func:`~repro.batch.cache.default_cache`).
+  shared across sweeps (see :func:`~repro.batch.cache.default_cache`),
+* :func:`~repro.batch.crossval.cross_validate_yield_batch` — the
+  closed-form-vs-Monte-Carlo consumer: one density sweep through the
+  batched yield kernels and through process-sharded simulator lots
+  (``workers=`` forwards to :mod:`repro.yieldsim.parallel`).
 
 See ``docs/performance.md`` for the parity contract and measured
 speedups.
 """
 
 from .cache import BatchCache, CacheStats, array_fingerprint, default_cache
+from .crossval import YieldCrossValidation, cross_validate_yield_batch
 from .engine import (
     USE_DEFAULT_CACHE,
     BatchCostResult,
@@ -59,4 +64,6 @@ __all__ = [
     "evaluate_batch",
     "scenario1_cost_batch",
     "scenario2_cost_batch",
+    "YieldCrossValidation",
+    "cross_validate_yield_batch",
 ]

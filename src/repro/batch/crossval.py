@@ -1,0 +1,123 @@
+"""Monte Carlo cross-validation of the batched yield kernels.
+
+The closed-form yield curves that :func:`~repro.batch.engine.
+yield_for_area_batch` evaluates over arrays (eq. 6, the clustering
+baselines) are certified against an *independent* implementation of the
+same physics: the spot-defect Monte Carlo simulator.  This module is
+the ``repro.batch`` consumer of that check — it sweeps an array of
+defect densities through the batched closed form and through sharded
+Monte Carlo lots in one call, so the comparison scales to the lot sizes
+that make the statistical bounds tight.
+
+The Monte Carlo side runs on spawned seed streams
+(:mod:`repro.yieldsim.parallel`): one child stream per density point,
+each expanded into per-wafer streams, so the sweep is reproducible and
+bitwise independent of the ``workers`` knob that shards it across
+processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..geometry.die import Die
+from ..geometry.wafer import Wafer
+from ..yieldsim.defects import DefectSizeDistribution
+from ..yieldsim.models import NegativeBinomialYield, PoissonYield, YieldModel
+from ..yieldsim.monte_carlo import SpotDefectSimulator
+from .engine import yield_for_area_batch
+
+
+@dataclass(frozen=True)
+class YieldCrossValidation:
+    """One density sweep: batched closed form vs Monte Carlo, aligned.
+
+    All arrays share the shape of the density sweep.  ``workers`` and
+    ``n_wafers`` record how the Monte Carlo side was run (results are
+    bitwise independent of ``workers``; ``n_wafers`` sets the
+    statistical error bar).
+    """
+
+    defect_densities_per_cm2: np.ndarray
+    effective_densities_per_cm2: np.ndarray
+    closed_form_yield: np.ndarray
+    mc_yield: np.ndarray
+    n_wafers: int
+    workers: int | None
+
+    @property
+    def abs_error(self) -> np.ndarray:
+        """Per-density |Monte Carlo − closed form|."""
+        return np.abs(self.mc_yield - self.closed_form_yield)
+
+    @property
+    def max_abs_error(self) -> float:
+        """Worst disagreement over the sweep (0.0 for an empty sweep)."""
+        return float(self.abs_error.max()) if self.abs_error.size else 0.0
+
+    def within(self, tol: float) -> bool:
+        """True when every density point agrees to ``tol`` absolute."""
+        return bool(self.max_abs_error <= tol)
+
+
+def cross_validate_yield_batch(wafer: Wafer, die: Die, defect_densities, *,
+                               n_wafers: int = 40,
+                               seed: int | np.random.SeedSequence = 0,
+                               workers: int | None = None,
+                               clustering_alpha: float | None = None,
+                               size_distribution: DefectSizeDistribution
+                               | None = None,
+                               kill_radius_um: float = 0.0,
+                               yield_model: YieldModel | None = None
+                               ) -> YieldCrossValidation:
+    """Sweep densities through the batched closed form and Monte Carlo.
+
+    For each density ``D`` the closed form is evaluated at the
+    effective killer density ``D_eff = D · survival(kill_radius)`` via
+    :func:`~repro.batch.engine.yield_for_area_batch` (one array call
+    for the whole sweep), and a lot of ``n_wafers`` wafers is simulated
+    with :meth:`SpotDefectSimulator.simulate_lot` on spawned seed
+    streams, sharded over ``workers`` processes when given.
+
+    ``yield_model`` defaults to the model the simulator's statistics
+    converge to: :class:`PoissonYield` for homogeneous defects, or
+    :class:`NegativeBinomialYield` with ``clustering_alpha`` when the
+    wafer-to-wafer density is gamma-mixed.
+    """
+    if n_wafers <= 0:
+        raise ParameterError(f"n_wafers must be > 0, got {n_wafers}")
+    densities = np.asarray(defect_densities, dtype=float).ravel()
+    if densities.size == 0:
+        raise ParameterError("defect_densities must not be empty")
+    if bool((densities < 0).any()):
+        raise ParameterError("defect_densities must be >= 0 everywhere")
+
+    if yield_model is None:
+        yield_model = (PoissonYield() if clustering_alpha is None
+                       else NegativeBinomialYield(alpha=clustering_alpha))
+    survival = 1.0 if size_distribution is None \
+        else float(size_distribution.survival(kill_radius_um))
+    d_eff = densities * survival
+    closed = yield_for_area_batch(yield_model, die.area_cm2, d_eff)
+
+    root = seed if isinstance(seed, np.random.SeedSequence) \
+        else np.random.SeedSequence(seed)
+    children = root.spawn(densities.size)
+    mc = np.empty_like(densities)
+    for i, (d0, child) in enumerate(zip(densities, children)):
+        sim = SpotDefectSimulator(
+            wafer, die, defect_density_per_cm2=float(d0),
+            size_distribution=size_distribution,
+            kill_radius_um=kill_radius_um,
+            clustering_alpha=clustering_alpha)
+        mc[i] = sim.estimate_yield(n_wafers, seed=child, workers=workers)
+    return YieldCrossValidation(
+        defect_densities_per_cm2=densities,
+        effective_densities_per_cm2=d_eff,
+        closed_form_yield=closed,
+        mc_yield=mc,
+        n_wafers=n_wafers,
+        workers=workers)

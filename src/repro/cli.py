@@ -8,6 +8,7 @@ Usage::
         --density 150 --yield0 0.7 --c0 700 --x 1.8
     python -m repro optimize --die-area 1.0
     python -m repro scenarios --lam-lo 0.25 --lam-hi 1.0
+    python -m repro simulate --lot-size 25 --workers 4 --seed 7
 
 Everything prints plain text (ASCII charts/tables); exit code 0 on
 success, 2 on bad arguments.
@@ -166,6 +167,37 @@ def _cmd_wafermap(args: argparse.Namespace) -> None:
     print(render_wafer_map(wmap, show_counts=args.counts))
 
 
+def _cmd_simulate(args: argparse.Namespace) -> None:
+    from .analysis import render_lot_summary
+    from .geometry import Die
+    from .yieldsim import (
+        NegativeBinomialYield,
+        PoissonYield,
+        SpotDefectSimulator,
+    )
+    sim = SpotDefectSimulator(
+        Wafer(radius_cm=args.wafer_radius),
+        Die.square(args.die_side),
+        defect_density_per_cm2=args.defect_density,
+        clustering_alpha=args.alpha)
+    lot = sim.simulate_lot(args.lot_size, seed=args.seed,
+                           workers=args.workers)
+    print(render_lot_summary(lot))
+    model = PoissonYield() if args.alpha is None \
+        else NegativeBinomialYield(alpha=args.alpha)
+    y_cf = model.yield_for_area(sim.die.area_cm2,
+                                sim.expected_killer_density())
+    print(ascii_table(("quantity", "value"), [
+        ("wafers", float(lot.n_wafers)),
+        ("workers", float(args.workers if args.workers else 1)),
+        ("dies per wafer", float(lot[0].n_dies if len(lot) else 0)),
+        ("defects thrown", float(lot.n_defects_total)),
+        ("lot yield (Monte Carlo)", lot.yield_fraction),
+        ("closed-form yield", y_cf),
+        ("abs difference", abs(lot.yield_fraction - y_cf)),
+    ]))
+
+
 def _cmd_report(args: argparse.Namespace) -> None:
     from .analysis.reproduce import main as report_main
     report_main([args.output] if args.output else [])
@@ -235,6 +267,24 @@ def build_parser() -> argparse.ArgumentParser:
     wmap.add_argument("--counts", action="store_true",
                       help="print defect counts instead of pass/fail")
 
+    simulate = sub.add_parser(
+        "simulate",
+        help="Monte Carlo a whole lot, optionally sharded across processes")
+    simulate.add_argument("--lot-size", type=int, default=10,
+                          help="number of wafers in the lot")
+    simulate.add_argument("--die-side", type=float, default=1.0,
+                          help="square die side [cm]")
+    simulate.add_argument("--defect-density", type=float, default=0.8,
+                          help="killer defects per cm^2")
+    simulate.add_argument("--wafer-radius", type=float, default=7.5)
+    simulate.add_argument("--alpha", type=float, default=None,
+                          help="gamma clustering parameter (omit = Poisson)")
+    simulate.add_argument("--seed", type=int, default=0,
+                          help="root seed; wafers get spawned child streams")
+    simulate.add_argument("--workers", type=int, default=None,
+                          help="process count for lot sharding (results are "
+                               "identical for any value)")
+
     report = sub.add_parser("report",
                             help="write the full reproduction report")
     report.add_argument("output", nargs="?", default=None,
@@ -261,6 +311,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             _cmd_shrink(args)
         elif args.command == "wafermap":
             _cmd_wafermap(args)
+        elif args.command == "simulate":
+            _cmd_simulate(args)
         elif args.command == "report":
             _cmd_report(args)
     except ReproError as exc:

@@ -14,6 +14,9 @@ package implements:
   shorts and opens in parallel-wire layouts.
 * :mod:`~repro.yieldsim.monte_carlo` — a spot-defect wafer-map simulator
   used to cross-validate the closed forms.
+* :mod:`~repro.yieldsim.parallel` — process-sharded Monte Carlo lots on
+  ``SeedSequence.spawn`` child streams (bitwise independent of worker
+  count), with the :class:`~repro.yieldsim.parallel.LotResult` container.
 * :mod:`~repro.yieldsim.redundancy` — row/column spare repair for
   memories (Scenario #1's "appropriately designed redundant components").
 * :mod:`~repro.yieldsim.parametric` — Gaussian parametric yield.
@@ -38,6 +41,12 @@ from .critical_area import (
     WirePattern,
 )
 from .monte_carlo import SpotDefectSimulator, WaferMap
+from .parallel import (
+    LotResult,
+    ParallelExecutionWarning,
+    simulate_lot_sharded,
+    spawn_wafer_seeds,
+)
 from .redundancy import RedundantMemoryYield
 from .parametric import ParametricYield, CompositeYield
 from .learning import RampEconomics, YieldLearningCurve
@@ -81,6 +90,10 @@ __all__ = [
     "average_critical_area",
     "SpotDefectSimulator",
     "WaferMap",
+    "LotResult",
+    "ParallelExecutionWarning",
+    "simulate_lot_sharded",
+    "spawn_wafer_seeds",
     "RedundantMemoryYield",
     "ParametricYield",
     "CompositeYield",

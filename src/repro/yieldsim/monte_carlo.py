@@ -7,10 +7,17 @@ with a radius exceeding the die's kill threshold.  With a homogeneous
 Poisson process the simulated yield must converge to eq. (6) with
 ``D_eff = D · survival(kill_radius)``; with gamma-mixed density it must
 converge to the negative-binomial model — both convergences are asserted
-in ``tests/yieldsim/test_monte_carlo.py``.
+in ``tests/yieldsim/test_monte_carlo.py`` (single-stream path) and
+``tests/yieldsim/test_parallel.py`` (sharded path, at the larger lot
+sizes the process-parallel runner makes affordable).
 
 The simulator also produces per-die defect counts (a *wafer map*),
-which downstream consumers use for redundancy/repair studies.
+which downstream consumers use for redundancy/repair studies.  Lots can
+be sharded across processes on spawned seed streams via
+:mod:`repro.yieldsim.parallel` — ``simulate_lot(n, seed=s, workers=k)``
+is bitwise independent of ``k``; that contract is pinned by
+``tests/yieldsim/test_parallel.py`` and
+``tests/property_based/test_parallel_parity.py``.
 """
 
 from __future__ import annotations
@@ -130,51 +137,54 @@ class SpotDefectSimulator:
         """Simulate one wafer and return its map."""
         return self.simulate_lot(1, rng)[0]
 
-    def simulate_lot(self, n_wafers: int, rng: np.random.Generator) -> list[WaferMap]:
-        """Simulate ``n_wafers`` independent wafers, grading the lot at once.
+    def _throw_wafer_defects(self, rng: np.random.Generator,
+                             n_dies: int) -> tuple[int, np.ndarray]:
+        """One wafer's random draws, in the canonical order.
 
-        Random draws (gamma density mixing, Poisson count, rejection-
-        sampled positions, defect radii) advance the generator in the
-        same per-wafer order as :meth:`simulate_wafer`, so a seeded
-        lot is bitwise-reproducible regardless of batch size.  The
-        expensive part — testing every killer defect against every die
-        — is batched across the whole lot in one chunked pass instead
-        of one ``defects × dies`` matrix per wafer.
+        Gamma density mixing, Poisson count, rejection-sampled
+        positions, then the defect-radius kill filter — exactly the
+        draw order of :meth:`simulate_wafer`, so any path that feeds
+        each wafer its own generator (sequential batch or spawned
+        child stream) produces bitwise-identical wafers.  Returns
+        ``(defects thrown, killer positions)``.
         """
-        if n_wafers < 0:
-            raise ParameterError(f"n_wafers must be >= 0, got {n_wafers}")
-        centers = self._die_centers()
-        n_dies = centers.shape[0]
         area = self.wafer.area_cm2
         radius = self.wafer.radius_cm
+        density = self.defect_density_per_cm2
+        if self.clustering_alpha is not None and density > 0:
+            density = density * rng.gamma(self.clustering_alpha,
+                                          1.0 / self.clustering_alpha)
+        n_defects = int(rng.poisson(density * area)) if density > 0 else 0
 
-        n_thrown: list[int] = []
-        killer_pos: list[np.ndarray] = []
-        for _ in range(n_wafers):
-            density = self.defect_density_per_cm2
-            if self.clustering_alpha is not None and density > 0:
-                density = density * rng.gamma(self.clustering_alpha,
-                                              1.0 / self.clustering_alpha)
-            n_defects = int(rng.poisson(density * area)) if density > 0 else 0
-            n_thrown.append(n_defects)
+        pos = np.empty((0, 2))
+        if n_defects > 0 and n_dies > 0:
+            # Rejection-sample uniform positions in the circle.
+            while pos.shape[0] < n_defects:
+                cand = rng.uniform(-radius, radius,
+                                   size=(2 * n_defects, 2))
+                cand = cand[np.einsum("ij,ij->i", cand, cand)
+                            <= radius * radius]
+                pos = np.vstack([pos, cand])
+            pos = pos[:n_defects]
+            if self.size_distribution is not None:
+                radii = self.size_distribution.sample(n_defects, rng)
+                pos = pos[radii > self.kill_radius_um]
+        return n_defects, pos
 
-            pos = np.empty((0, 2))
-            if n_defects > 0 and n_dies > 0:
-                # Rejection-sample uniform positions in the circle.
-                while pos.shape[0] < n_defects:
-                    cand = rng.uniform(-radius, radius,
-                                       size=(2 * n_defects, 2))
-                    cand = cand[np.einsum("ij,ij->i", cand, cand)
-                                <= radius * radius]
-                    pos = np.vstack([pos, cand])
-                pos = pos[:n_defects]
-                if self.size_distribution is not None:
-                    radii = self.size_distribution.sample(n_defects, rng)
-                    pos = pos[radii > self.kill_radius_um]
-            killer_pos.append(pos)
+    def _grade_lot(self, killer_pos: list[np.ndarray],
+                   centers: np.ndarray) -> np.ndarray:
+        """Batched defect-vs-die grading for a lot (or a shard of one).
 
+        Returns per-die killer counts of shape ``(len(killer_pos),
+        len(centers))``.  Counts are exact integer accumulations, so
+        the result does not depend on how the lot was batched or
+        chunked.
+        """
+        n_dies = centers.shape[0]
+        n_wafers = len(killer_pos)
         counts = np.zeros((n_wafers, n_dies), dtype=int)
-        per_wafer = np.array([p.shape[0] for p in killer_pos], dtype=np.int64)
+        per_wafer = np.array([p.shape[0] for p in killer_pos],
+                             dtype=np.int64)
         if per_wafer.sum() > 0:
             pos = np.concatenate(killer_pos, axis=0)
             wafer_ids = np.repeat(np.arange(n_wafers), per_wafer)
@@ -188,13 +198,81 @@ class SpotDefectSimulator:
                 dy = np.abs(pos[lo:hi, 1:2] - centers[:, 1][None, :])
                 d_idx, die_idx = np.nonzero((dx <= half_w) & (dy <= half_h))
                 np.add.at(counts, (wafer_ids[lo:hi][d_idx], die_idx), 1)
-        return [WaferMap(die_centers_cm=centers, defect_counts=counts[i],
-                         n_defects_total=n_thrown[i])
-                for i in range(n_wafers)]
+        return counts
 
-    def estimate_yield(self, n_wafers: int, rng: np.random.Generator) -> float:
-        """Pooled yield estimate over a simulated lot."""
-        maps = self.simulate_lot(n_wafers, rng)
+    def simulate_lot(self, n_wafers: int,
+                     rng: np.random.Generator | None = None, *,
+                     seed: "int | np.random.SeedSequence | None" = None,
+                     workers: int | None = None) -> "LotResult":
+        """Simulate ``n_wafers`` independent wafers, grading the lot at once.
+
+        Two seeding disciplines, selected by which argument is given
+        (exactly one of ``rng``/``seed`` is required):
+
+        ``rng``
+            Legacy single-stream lot: random draws (gamma density
+            mixing, Poisson count, rejection-sampled positions, defect
+            radii) advance the one generator in the same per-wafer
+            order as :meth:`simulate_wafer`, so a seeded lot is
+            bitwise-reproducible regardless of batch size.  The
+            expensive part — testing every killer defect against every
+            die — is batched across the whole lot in one chunked pass.
+        ``seed``
+            Spawned per-wafer streams (``SeedSequence.spawn``), which
+            makes the result bitwise independent of ``workers``:
+            ``workers=k`` shards the lot over a process pool via
+            :func:`repro.yieldsim.parallel.simulate_lot_sharded`,
+            ``workers=1``/``None`` runs the identical schedule
+            in-process, and a pool failure falls back to sequential
+            with one warning.
+
+        ``workers`` requires ``seed`` — a shared generator stream
+        cannot be split across processes without changing results.
+        Returns a :class:`~repro.yieldsim.parallel.LotResult`, an
+        immutable sequence of :class:`WaferMap` with lot-level
+        aggregates.
+        """
+        from .parallel import LotResult, simulate_lot_sharded
+
+        if (rng is None) == (seed is None):
+            raise ParameterError(
+                "specify exactly one of rng (single-stream lot) or "
+                "seed (spawned per-wafer streams)")
+        if workers is not None and seed is None:
+            raise ParameterError(
+                "workers requires seed=...: sharding needs spawned "
+                "per-wafer streams to stay independent of worker count")
+        if seed is not None:
+            return simulate_lot_sharded(self, n_wafers, seed,
+                                        workers=workers)
+        if n_wafers < 0:
+            raise ParameterError(f"n_wafers must be >= 0, got {n_wafers}")
+        centers = self._die_centers()
+        n_dies = centers.shape[0]
+
+        n_thrown: list[int] = []
+        killer_pos: list[np.ndarray] = []
+        for _ in range(n_wafers):
+            thrown, pos = self._throw_wafer_defects(rng, n_dies)
+            n_thrown.append(thrown)
+            killer_pos.append(pos)
+
+        counts = self._grade_lot(killer_pos, centers)
+        return LotResult(tuple(
+            WaferMap(die_centers_cm=centers, defect_counts=counts[i],
+                     n_defects_total=n_thrown[i])
+            for i in range(n_wafers)))
+
+    def estimate_yield(self, n_wafers: int,
+                       rng: np.random.Generator | None = None, *,
+                       seed: "int | np.random.SeedSequence | None" = None,
+                       workers: int | None = None) -> float:
+        """Pooled yield estimate over a simulated lot.
+
+        Seeding/sharding arguments are forwarded to
+        :meth:`simulate_lot` unchanged.
+        """
+        maps = self.simulate_lot(n_wafers, rng, seed=seed, workers=workers)
         good = sum(m.n_good for m in maps)
         total = sum(m.n_dies for m in maps)
         return good / total if total else 0.0

@@ -1,0 +1,86 @@
+"""Property-based parity: sharded Monte Carlo lots vs the sequential path.
+
+Hypothesis sweeps die geometry, defect density, clustering, lot size
+and worker count; for every draw the sharded merge must preserve wafer
+order, drop or duplicate nothing, stay bitwise identical to the
+sequential per-wafer reference (``simulate_wafer`` on each spawned
+child stream), and aggregate so that the lot-level ``yield_fraction``
+equals the mean of the per-wafer yields.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Die, Wafer
+from repro.yieldsim import (
+    LotResult,
+    SpotDefectSimulator,
+    spawn_wafer_seeds,
+)
+
+# Process pools are slow relative to these tiny lots, so the example
+# budget is modest; the golden suite in tests/yieldsim/test_parallel.py
+# covers the fixed worker-count matrix exhaustively.
+side_strategy = st.floats(min_value=0.6, max_value=2.0)
+density_strategy = st.floats(min_value=0.0, max_value=2.5)
+alpha_strategy = st.none() | st.floats(min_value=0.5, max_value=4.0)
+lot_strategy = st.integers(min_value=0, max_value=5)
+workers_strategy = st.integers(min_value=1, max_value=3)
+seed_strategy = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@settings(max_examples=20, deadline=None)
+@given(width=side_strategy, height=side_strategy,
+       density=density_strategy, alpha=alpha_strategy,
+       n_wafers=lot_strategy, workers=workers_strategy,
+       seed=seed_strategy)
+def test_sharded_lot_matches_sequential_reference(width, height, density,
+                                                  alpha, n_wafers, workers,
+                                                  seed):
+    sim = SpotDefectSimulator(Wafer(radius_cm=7.5),
+                              Die(width_cm=width, height_cm=height),
+                              defect_density_per_cm2=density,
+                              clustering_alpha=alpha)
+    lot = sim.simulate_lot(n_wafers, seed=seed, workers=workers)
+
+    # No wafer dropped or duplicated, order preserved: wafer i of the
+    # merged lot is bitwise wafer i of the sequential reference.
+    assert isinstance(lot, LotResult)
+    assert len(lot) == n_wafers
+    reference = [sim.simulate_wafer(np.random.default_rng(ss))
+                 for ss in spawn_wafer_seeds(seed, n_wafers)]
+    for merged, ref in zip(lot, reference):
+        assert np.array_equal(merged.die_centers_cm, ref.die_centers_cm)
+        assert np.array_equal(merged.defect_counts, ref.defect_counts)
+        assert merged.n_defects_total == ref.n_defects_total
+
+    # Lot-level aggregation: pooled yield == mean of per-wafer yields
+    # (each wafer carries the same die grid), and the stacked counts
+    # matrix is consistent with the per-wafer maps.
+    if n_wafers:
+        assert lot.yield_fraction == pytest.approx(
+            float(lot.per_wafer_yields.mean()), abs=1e-12)
+        assert lot.defect_counts.shape == (n_wafers, lot[0].n_dies)
+    else:
+        assert lot.yield_fraction == 0.0
+
+
+@settings(max_examples=15, deadline=None)
+@given(density=density_strategy, alpha=alpha_strategy,
+       n_wafers=st.integers(min_value=1, max_value=6),
+       workers_a=workers_strategy, workers_b=workers_strategy,
+       seed=seed_strategy)
+def test_worker_count_never_changes_results(density, alpha, n_wafers,
+                                            workers_a, workers_b, seed):
+    sim = SpotDefectSimulator(Wafer(radius_cm=7.5), Die.square(1.0),
+                              defect_density_per_cm2=density,
+                              clustering_alpha=alpha)
+    lot_a = sim.simulate_lot(n_wafers, seed=seed, workers=workers_a)
+    lot_b = sim.simulate_lot(n_wafers, seed=seed, workers=workers_b)
+    assert len(lot_a) == len(lot_b) == n_wafers
+    for ma, mb in zip(lot_a, lot_b):
+        assert np.array_equal(ma.defect_counts, mb.defect_counts)
+        assert ma.n_defects_total == mb.n_defects_total
+    assert lot_a.yield_fraction == lot_b.yield_fraction

@@ -16,6 +16,12 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figure", "fig99"])
 
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.lot_size == 10
+        assert args.seed == 0
+        assert args.workers is None
+
     def test_cost_defaults(self):
         args = build_parser().parse_args([
             "cost", "--transistors", "1e6", "--feature-size", "0.8",
@@ -104,6 +110,39 @@ class TestCommands:
                    "--defect-density", "1.5", "--counts"])
         assert rc == 0
         assert "good" in capsys.readouterr().out
+
+    def test_simulate_command(self, capsys):
+        rc = main(["simulate", "--lot-size", "4", "--die-side", "1.2",
+                   "--defect-density", "0.6", "--seed", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "lot yield (Monte Carlo)" in out
+        assert "closed-form yield" in out
+        wafer_rows = [l for l in out.splitlines() if l.startswith("wafer ")]
+        assert len(wafer_rows) == 4
+
+    def test_simulate_command_workers_do_not_change_output(self, capsys):
+        args = ["simulate", "--lot-size", "4", "--die-side", "1.2",
+                "--defect-density", "0.8", "--seed", "9"]
+        assert main(args) == 0
+        sequential = capsys.readouterr().out
+        assert main(args + ["--workers", "2"]) == 0
+        sharded = capsys.readouterr().out
+        # Everything except the echoed worker count must be identical.
+        strip = [l for l in sequential.splitlines() if "workers" not in l]
+        assert strip == [l for l in sharded.splitlines()
+                         if "workers" not in l]
+
+    def test_simulate_command_clustered(self, capsys):
+        rc = main(["simulate", "--lot-size", "3", "--alpha", "1.5",
+                   "--defect-density", "1.0", "--seed", "2"])
+        assert rc == 0
+        assert "closed-form yield" in capsys.readouterr().out
+
+    def test_simulate_command_bad_workers_exit_2(self, capsys):
+        rc = main(["simulate", "--lot-size", "2", "--workers", "0"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
 
     def test_report_command_to_file(self, tmp_path, capsys):
         target = tmp_path / "r.md"

@@ -21,6 +21,7 @@ SUBPACKAGES = [
     "repro.manufacturing",
     "repro.system",
     "repro.analysis",
+    "repro.batch",
 ]
 
 MODULES = [
@@ -43,12 +44,16 @@ MODULES = [
     "repro.yieldsim.defects",
     "repro.yieldsim.critical_area",
     "repro.yieldsim.monte_carlo",
+    "repro.yieldsim.parallel",
     "repro.yieldsim.redundancy",
     "repro.yieldsim.parametric",
     "repro.yieldsim.learning",
     "repro.yieldsim.estimation",
     "repro.yieldsim.budget",
     "repro.yieldsim.spatial",
+    "repro.batch.engine",
+    "repro.batch.cache",
+    "repro.batch.crossval",
     "repro.technology.roadmap",
     "repro.technology.fabline",
     "repro.technology.density",
@@ -123,7 +128,8 @@ def test_every_public_item_has_docstring(name):
 def test_top_level_reexports():
     for name in ("TransistorCostModel", "WaferCostModel", "Wafer", "Die",
                  "PoissonYield", "SCENARIO_1", "SCENARIO_2",
-                 "evaluate_catalog", "GenerationModel"):
+                 "evaluate_catalog", "GenerationModel", "LotResult",
+                 "cross_validate_yield_batch"):
         assert hasattr(repro, name)
 
 
