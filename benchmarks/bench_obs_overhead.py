@@ -1,0 +1,169 @@
+"""Observability overhead — the disabled hooks must be (near) free.
+
+The ``repro.obs`` contract: with tracing and metrics **off** (the
+default), the span/metric hooks threaded through the batch engine and
+the Monte Carlo lot runner cost less than **3%** of wall time against
+an uninstrumented baseline.  The baseline is produced by monkeypatching
+the modules' hook bindings (``_span``, ``_metrics``, the state probes,
+the capture protocol) with the cheapest possible no-ops — the same code
+paths minus any observability logic.
+
+Timings are interleaved best-of-N so both variants see the same host
+noise; the minimum is the standard robust estimator for "how fast can
+this code go".  Results land in ``benchmarks/BENCH_obs.json`` and, via
+the shared ``emit_json`` hook, in ``benchmarks/BENCH_repro.json``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import math
+import time
+from pathlib import Path
+
+import numpy as np
+
+from conftest import emit, emit_json
+from repro import obs
+from repro.batch import engine as engine_mod
+from repro.batch import evaluate_batch
+from repro.core import TransistorCostModel, WaferCostModel
+from repro.geometry import Die, Wafer
+from repro.yieldsim import PoissonYield, SpotDefectSimulator
+from repro.yieldsim import parallel as parallel_mod
+
+MAX_DISABLED_OVERHEAD = 0.03
+REPS = 7
+_BENCH_OBS_JSON = Path(__file__).resolve().parent / "BENCH_obs.json"
+
+_NULL_CTX = contextlib.nullcontext()
+
+
+def _null_span(name, **attrs):
+    return _NULL_CTX
+
+
+class _NullMetrics:
+    """Writer surface of MetricsRegistry with every call a no-op."""
+
+    @staticmethod
+    def inc(name, amount=1):
+        return None
+
+    @staticmethod
+    def set_gauge(name, value):
+        return None
+
+    @staticmethod
+    def observe(name, value):
+        return None
+
+
+def _batch_workload():
+    model = TransistorCostModel(
+        wafer_cost=WaferCostModel(reference_cost_dollars=500.0,
+                                  cost_growth_rate=1.4),
+        wafer=Wafer(radius_cm=7.5))
+    counts = np.geomspace(1e5, 1e8, 320)
+    lams = np.linspace(0.35, 1.2, 320)
+
+    def run():
+        evaluate_batch(model, n_transistors=counts[:, None],
+                       feature_sizes_um=lams[None, :],
+                       design_density=150.0, yield_model=PoissonYield(),
+                       defect_density_per_cm2=0.5, cache=None)
+
+    return run
+
+
+def _mc_workload():
+    sim = SpotDefectSimulator(Wafer(radius_cm=7.5), Die.square(0.7),
+                              defect_density_per_cm2=25.0)
+
+    def run():
+        sim.simulate_lot(4, seed=404, workers=1)
+
+    return run
+
+
+def _patch_out_hooks(monkeypatch):
+    false = lambda: False  # noqa: E731 - tiniest possible state probe
+    monkeypatch.setattr(engine_mod, "_span", _null_span)
+    monkeypatch.setattr(engine_mod, "_metrics", _NullMetrics)
+    monkeypatch.setattr(engine_mod, "_obs_enabled", false)
+    monkeypatch.setattr(engine_mod, "_tracing_enabled", false)
+    monkeypatch.setattr(parallel_mod, "_span", _null_span)
+    monkeypatch.setattr(parallel_mod, "_metrics", _NullMetrics)
+    monkeypatch.setattr(parallel_mod, "capture_flags", lambda: None)
+    monkeypatch.setattr(parallel_mod, "absorb", lambda payload: None)
+
+
+def _interleaved_best_of(instrumented, baseline, reps):
+    t_inst = t_base = math.inf
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        instrumented()
+        t_inst = min(t_inst, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        baseline()
+        t_base = min(t_base, time.perf_counter() - t0)
+    return t_inst, t_base
+
+
+def test_disabled_observability_overhead(monkeypatch):
+    obs.disable()
+    batch = _batch_workload()
+    mc = _mc_workload()
+    batch()  # warm up numpy/scipy dispatch before timing
+    mc()
+
+    class _Patch:
+        """Scoped monkeypatch so hooks come back between timing legs."""
+
+        def __enter__(self):
+            from _pytest.monkeypatch import MonkeyPatch
+            self._mp = MonkeyPatch()
+            _patch_out_hooks(self._mp)
+
+        def __exit__(self, *exc):
+            self._mp.undo()
+
+    def timed(workload):
+        def baseline():
+            with _Patch():
+                workload()
+        return _interleaved_best_of(workload, baseline, REPS)
+
+    batch_inst, batch_base = timed(batch)
+    mc_inst, mc_base = timed(mc)
+    batch_ratio = batch_inst / batch_base
+    mc_ratio = mc_inst / mc_base
+
+    record = {
+        "kind": "obs_overhead",
+        "max_allowed_overhead": MAX_DISABLED_OVERHEAD,
+        "reps": REPS,
+        "batch": {"instrumented_s": batch_inst, "baseline_s": batch_base,
+                  "ratio": batch_ratio},
+        "monte_carlo": {"instrumented_s": mc_inst, "baseline_s": mc_base,
+                        "ratio": mc_ratio},
+    }
+    _BENCH_OBS_JSON.write_text(json.dumps(record, indent=2) + "\n")
+    emit_json(record)
+    emit("Observability overhead — disabled hooks vs uninstrumented",
+         f"batch engine : {batch_inst * 1e3:8.2f} ms instrumented vs "
+         f"{batch_base * 1e3:8.2f} ms baseline  "
+         f"(ratio {batch_ratio:6.4f})\n"
+         f"monte carlo  : {mc_inst * 1e3:8.2f} ms instrumented vs "
+         f"{mc_base * 1e3:8.2f} ms baseline  "
+         f"(ratio {mc_ratio:6.4f})\n"
+         f"contract     : ratio < {1.0 + MAX_DISABLED_OVERHEAD}")
+
+    limit = 1.0 + MAX_DISABLED_OVERHEAD
+    assert batch_ratio < limit, \
+        f"disabled obs costs {(batch_ratio - 1) * 100:.1f}% on the " \
+        f"batch engine (limit {MAX_DISABLED_OVERHEAD * 100:.0f}%)"
+    assert mc_ratio < limit, \
+        f"disabled obs costs {(mc_ratio - 1) * 100:.1f}% on the " \
+        f"Monte Carlo path (limit {MAX_DISABLED_OVERHEAD * 100:.0f}%)"

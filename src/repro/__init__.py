@@ -79,6 +79,8 @@ from .batch import (
     transistor_cost_batch,
     wafer_cost_batch,
 )
+from . import obs
+from .obs import get_trace, metrics, span
 
 __version__ = "1.0.0"
 
@@ -130,5 +132,9 @@ __all__ = [
     "scaled_poisson_yield_batch",
     "transistor_cost_batch",
     "wafer_cost_batch",
+    "obs",
+    "span",
+    "metrics",
+    "get_trace",
     "__version__",
 ]

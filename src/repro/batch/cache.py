@@ -30,27 +30,38 @@ from typing import Any, Callable, Hashable
 import numpy as np
 
 from ..errors import ParameterError
-
-
-def array_fingerprint(arr: np.ndarray) -> tuple:
-    """An exact, hashable key component for an ndarray's full contents."""
-    a = np.ascontiguousarray(arr)
-    return (a.shape, a.dtype.str, a.tobytes())
+from ..obs import metrics as _metrics
 
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Hit/miss counters for one :class:`BatchCache`."""
+    """Lifetime traffic counters for one :class:`BatchCache`.
+
+    ``hits``, ``misses`` and ``evictions`` count every lookup/eviction
+    since the cache was *constructed* — they are lifetime totals and
+    deliberately survive :meth:`BatchCache.clear`, which resets the
+    stored entries only.  ``entries`` is the one live quantity: the
+    number of arrays currently held.  When metrics are enabled
+    (:mod:`repro.obs`), the same traffic also lands on the
+    process-wide ``batch.cache.{hits,misses,evictions}`` counters.
+    """
 
     hits: int
     misses: int
     entries: int
+    evictions: int = 0
 
     @property
     def hit_rate(self) -> float:
         """Hits over total lookups (0.0 when the cache is untouched)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+
+def array_fingerprint(arr: np.ndarray) -> tuple:
+    """An exact, hashable key component for an ndarray's full contents."""
+    a = np.ascontiguousarray(arr)
+    return (a.shape, a.dtype.str, a.tobytes())
 
 
 class BatchCache:
@@ -65,6 +76,7 @@ class BatchCache:
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
 
     def get_or_compute(self, key: Hashable,
                        compute: Callable[[], np.ndarray]) -> np.ndarray:
@@ -78,19 +90,34 @@ class BatchCache:
             if key in self._entries:
                 self._hits += 1
                 self._entries.move_to_end(key)
-                return self._entries[key]
+                value = self._entries[key]
+                _metrics.inc("batch.cache.hits")
+                return value
         value = np.asarray(compute())
         value.flags.writeable = False
+        evicted = 0
         with self._lock:
             self._misses += 1
             self._entries[key] = value
             self._entries.move_to_end(key)
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
+                self._evictions += 1
+                evicted += 1
+        _metrics.inc("batch.cache.misses")
+        if evicted:
+            _metrics.inc("batch.cache.evictions", evicted)
         return value
 
     def clear(self) -> None:
-        """Drop every entry (counters are kept)."""
+        """Drop every stored entry; lifetime counters are preserved.
+
+        Only the *entries* reset — the hit/miss/eviction counters in
+        :attr:`stats` keep counting across clears, so a long-lived
+        service can clear for memory without losing its traffic
+        history.  (Cleared entries do not count as evictions; the
+        eviction counter tracks LRU capacity pressure only.)
+        """
         with self._lock:
             self._entries.clear()
 
@@ -99,10 +126,11 @@ class BatchCache:
 
     @property
     def stats(self) -> CacheStats:
-        """A snapshot of the hit/miss counters."""
+        """A snapshot: lifetime hit/miss/eviction counters + live entries."""
         with self._lock:
             return CacheStats(hits=self._hits, misses=self._misses,
-                              entries=len(self._entries))
+                              entries=len(self._entries),
+                              evictions=self._evictions)
 
 
 _DEFAULT_CACHE = BatchCache()

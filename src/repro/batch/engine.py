@@ -49,12 +49,16 @@ read-only.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from ..errors import ParameterError
+from ..obs import metrics as _metrics, span as _span
+from ..obs.state import enabled as _obs_enabled, \
+    tracing_enabled as _tracing_enabled
 from ..geometry.wafer import Wafer
 from ..core.wafer_cost import GenerationModel, WaferCostModel
 from ..core.transistor_cost import TransistorCostModel
@@ -104,6 +108,16 @@ def _resolve_cache(cache: Any) -> BatchCache | None:
 
 
 def _cached(cache: BatchCache | None, key, compute) -> np.ndarray:
+    if _tracing_enabled():
+        # A span per *computed* sub-result (cache hits record nothing):
+        # key[0] names the kernel ("wafer_cost", "dies_per_wafer").
+        kind = key[0] if isinstance(key, tuple) and key else "anonymous"
+        inner = compute
+
+        def compute() -> np.ndarray:
+            with _span(f"batch.compute.{kind}"):
+                return inner()
+
     if cache is None:
         return np.asarray(compute())
     return cache.get_or_compute(key, compute)
@@ -467,21 +481,29 @@ def transistor_cost_batch(n_transistors, feature_sizes_um,
     _require_all_positive("feature_sizes_um", lam)
     cache = _resolve_cache(cache)
 
-    wafer = Wafer(radius_cm=fab.wafer_radius_cm)
-    wafer_cost_model = WaferCostModel(
-        reference_cost_dollars=fab.reference_cost_dollars,
-        cost_growth_rate=fab.cost_growth_rate)
-    width, height, area_cm2 = _die_geometry(n, fab.design_density, lam, 1.0)
-    n_ch = dies_per_wafer_batch(wafer, width, height, cache=cache)
-    y = scaled_poisson_yield_batch(n, fab.design_density,
-                                   fab.defect_coefficient, lam,
-                                   fab.size_exponent_p)
-    c_w = wafer_cost_batch(wafer_cost_model, lam, cache=cache)
-    with np.errstate(divide="ignore", over="ignore", invalid="ignore",
-                     under="ignore"):
-        cost = c_w / (n_ch * n * y)
-    feasible = (n_ch >= 1) & (y >= _YIELD_CUTOFF)
-    cost = np.where(feasible, cost, np.inf)
+    obs_on = _obs_enabled()
+    t0 = time.perf_counter() if obs_on else 0.0
+    with _span("batch.transistor_cost", cells=int(n.size)):
+        wafer = Wafer(radius_cm=fab.wafer_radius_cm)
+        wafer_cost_model = WaferCostModel(
+            reference_cost_dollars=fab.reference_cost_dollars,
+            cost_growth_rate=fab.cost_growth_rate)
+        width, height, area_cm2 = _die_geometry(n, fab.design_density,
+                                                lam, 1.0)
+        n_ch = dies_per_wafer_batch(wafer, width, height, cache=cache)
+        y = scaled_poisson_yield_batch(n, fab.design_density,
+                                       fab.defect_coefficient, lam,
+                                       fab.size_exponent_p)
+        c_w = wafer_cost_batch(wafer_cost_model, lam, cache=cache)
+        with np.errstate(divide="ignore", over="ignore", invalid="ignore",
+                         under="ignore"):
+            cost = c_w / (n_ch * n * y)
+        feasible = (n_ch >= 1) & (y >= _YIELD_CUTOFF)
+        cost = np.where(feasible, cost, np.inf)
+    if obs_on:
+        _metrics.inc("batch.evaluate.calls")
+        _metrics.inc("batch.evaluate.cells", int(n.size))
+        _metrics.observe("batch.evaluate.seconds", time.perf_counter() - t0)
     return BatchCostResult(
         feature_size_um=lam,
         wafer_cost_dollars=np.broadcast_to(c_w, cost.shape),
@@ -521,18 +543,25 @@ def evaluate_batch(model: TransistorCostModel, *, n_transistors,
             f"aspect_ratio must be > 0, got {aspect_ratio}")
     cache = _resolve_cache(cache)
 
-    width, height, area_cm2 = _die_geometry(n, design_density, lam,
-                                            aspect_ratio)
-    n_ch = dies_per_wafer_batch(model.wafer, width, height, cache=cache)
-    y = _resolve_yield_batch(area_cm2, yield_model, defect_density_per_cm2,
-                             yield_value)
-    c_w = wafer_cost_batch(model.wafer_cost, lam,
-                           volume_wafers=model.volume_wafers, cache=cache)
-    with np.errstate(divide="ignore", over="ignore", invalid="ignore",
-                     under="ignore"):
-        cost = c_w / (n_ch * n * y)
-    feasible = n_ch >= 1
-    cost = np.where(feasible, cost, np.inf)
+    obs_on = _obs_enabled()
+    t0 = time.perf_counter() if obs_on else 0.0
+    with _span("batch.evaluate", cells=int(n.size)):
+        width, height, area_cm2 = _die_geometry(n, design_density, lam,
+                                                aspect_ratio)
+        n_ch = dies_per_wafer_batch(model.wafer, width, height, cache=cache)
+        y = _resolve_yield_batch(area_cm2, yield_model,
+                                 defect_density_per_cm2, yield_value)
+        c_w = wafer_cost_batch(model.wafer_cost, lam,
+                               volume_wafers=model.volume_wafers, cache=cache)
+        with np.errstate(divide="ignore", over="ignore", invalid="ignore",
+                         under="ignore"):
+            cost = c_w / (n_ch * n * y)
+        feasible = n_ch >= 1
+        cost = np.where(feasible, cost, np.inf)
+    if obs_on:
+        _metrics.inc("batch.evaluate.calls")
+        _metrics.inc("batch.evaluate.cells", int(n.size))
+        _metrics.observe("batch.evaluate.seconds", time.perf_counter() - t0)
     return BatchCostResult(
         feature_size_um=lam,
         wafer_cost_dollars=np.broadcast_to(c_w, cost.shape),

@@ -12,6 +12,12 @@ Usage::
 
 Everything prints plain text (ASCII charts/tables); exit code 0 on
 success, 2 on bad arguments.
+
+Every command also accepts the observability flags from
+``docs/observability.md``: ``--trace FILE`` writes the run's span tree
+as JSON lines, ``--metrics`` prints the metrics table after the
+command's own output.  ``REPRO_TRACE=1`` / ``REPRO_METRICS=1`` in the
+environment enable the same instrumentation.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ import argparse
 import sys
 from typing import Sequence
 
+from . import obs as _obs
 from .analysis import (
     ascii_chart,
     ascii_table,
@@ -169,6 +176,7 @@ def _cmd_wafermap(args: argparse.Namespace) -> None:
 
 def _cmd_simulate(args: argparse.Namespace) -> None:
     from .analysis import render_lot_summary
+    from .batch import dies_per_wafer_batch
     from .geometry import Die
     from .yieldsim import (
         NegativeBinomialYield,
@@ -187,10 +195,16 @@ def _cmd_simulate(args: argparse.Namespace) -> None:
         else NegativeBinomialYield(alpha=args.alpha)
     y_cf = model.yield_for_area(sim.die.area_cm2,
                                 sim.expected_killer_density())
+    # The eq.-(4) centered-grid count, for comparison against the
+    # simulator's phase-optimized placement (runs on the batch engine,
+    # so the shared BatchCache sees this lookup).
+    n_eq4 = int(dies_per_wafer_batch(sim.wafer, sim.die.width_cm,
+                                     sim.die.height_cm)[()])
     print(ascii_table(("quantity", "value"), [
         ("wafers", float(lot.n_wafers)),
         ("workers", float(args.workers if args.workers else 1)),
         ("dies per wafer", float(lot[0].n_dies if len(lot) else 0)),
+        ("dies per wafer (eq. 4 grid)", float(n_eq4)),
         ("defects thrown", float(lot.n_defects_total)),
         ("lot yield (Monte Carlo)", lot.yield_fraction),
         ("closed-form yield", y_cf),
@@ -210,13 +224,23 @@ def build_parser() -> argparse.ArgumentParser:
         description="Maly DAC-1994 silicon cost model — reproduction CLI")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    fig = sub.add_parser("figure", help="print a reproduced figure")
+    # Observability flags shared by every subcommand (docs/observability.md).
+    obs_args = argparse.ArgumentParser(add_help=False)
+    obs_args.add_argument("--trace", metavar="FILE", default=None,
+                          help="write the run's span trace as JSON lines")
+    obs_args.add_argument("--metrics", action="store_true",
+                          help="print the metrics table after the command")
+
+    def add_parser(name, **kwargs):
+        return sub.add_parser(name, parents=[obs_args], **kwargs)
+
+    fig = add_parser("figure", help="print a reproduced figure")
     fig.add_argument("name", choices=sorted(_FIGURES) + ["fig8"])
 
-    tab = sub.add_parser("table", help="print a reproduced table")
+    tab = add_parser("table", help="print a reproduced table")
     tab.add_argument("name", choices=sorted(_TABLES))
 
-    cost = sub.add_parser("cost", help="price a design with eq. (1)")
+    cost = add_parser("cost", help="price a design with eq. (1)")
     cost.add_argument("--transistors", type=float, required=True)
     cost.add_argument("--feature-size", type=float, required=True,
                       help="lambda in microns")
@@ -231,17 +255,17 @@ def build_parser() -> argparse.ArgumentParser:
     cost.add_argument("--wafer-radius", type=float, default=7.5,
                       help="wafer radius [cm]")
 
-    opt = sub.add_parser("optimize",
+    opt = add_parser("optimize",
                          help="cost-optimal feature size for a die area")
     opt.add_argument("--die-area", type=float, required=True,
                      help="die area [cm^2]")
 
-    scen = sub.add_parser("scenarios",
+    scen = add_parser("scenarios",
                           help="Scenario #1 vs #2 cost sweep")
     scen.add_argument("--lam-lo", type=float, default=0.25)
     scen.add_argument("--lam-hi", type=float, default=1.0)
 
-    shrink = sub.add_parser("shrink",
+    shrink = add_parser("shrink",
                             help="evaluate moving a product between nodes")
     shrink.add_argument("--transistors", type=float, required=True)
     shrink.add_argument("--density", type=float, required=True)
@@ -254,7 +278,7 @@ def build_parser() -> argparse.ArgumentParser:
     shrink.add_argument("--c0", type=float, default=500.0)
     shrink.add_argument("--x", type=float, default=1.4)
 
-    wmap = sub.add_parser("wafermap",
+    wmap = add_parser("wafermap",
                           help="simulate and draw one wafer map")
     wmap.add_argument("--die-side", type=float, default=1.0,
                       help="square die side [cm]")
@@ -267,7 +291,7 @@ def build_parser() -> argparse.ArgumentParser:
     wmap.add_argument("--counts", action="store_true",
                       help="print defect counts instead of pass/fail")
 
-    simulate = sub.add_parser(
+    simulate = add_parser(
         "simulate",
         help="Monte Carlo a whole lot, optionally sharded across processes")
     simulate.add_argument("--lot-size", type=int, default=10,
@@ -285,40 +309,62 @@ def build_parser() -> argparse.ArgumentParser:
                           help="process count for lot sharding (results are "
                                "identical for any value)")
 
-    report = sub.add_parser("report",
-                            help="write the full reproduction report")
+    report = add_parser("report",
+                        help="write the full reproduction report")
     report.add_argument("output", nargs="?", default=None,
                         help="output file (default: stdout)")
     return parser
+
+
+def _emit_observability(args: argparse.Namespace) -> None:
+    # Trace file and metrics table, after the command's own output.
+    # Runs even when the command errored — a partial trace of a failed
+    # run is exactly when you want one.
+    if args.trace and _obs.tracing_enabled():
+        n = _obs.write_trace_jsonl(args.trace)
+        print(f"wrote {n} spans to {args.trace}", file=sys.stderr)
+    if _obs.metrics_enabled():
+        rows = [(name, float(value)) for name, value in _obs.metrics.rows()]
+        print()
+        if rows:
+            print(ascii_table(("metric", "value"), rows))
+        else:
+            print("(no metrics recorded)")
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.trace or args.metrics:
+        _obs.enable(trace=_obs.tracing_enabled() or bool(args.trace),
+                    metrics=_obs.metrics_enabled() or args.metrics)
+    status = 0
     try:
-        if args.command == "figure":
-            _print_figure(args.name)
-        elif args.command == "table":
-            _print_table(args.name)
-        elif args.command == "cost":
-            _cmd_cost(args)
-        elif args.command == "optimize":
-            _cmd_optimize(args)
-        elif args.command == "scenarios":
-            _cmd_scenarios(args)
-        elif args.command == "shrink":
-            _cmd_shrink(args)
-        elif args.command == "wafermap":
-            _cmd_wafermap(args)
-        elif args.command == "simulate":
-            _cmd_simulate(args)
-        elif args.command == "report":
-            _cmd_report(args)
+        with _obs.span(f"cli.{args.command}"):
+            if args.command == "figure":
+                _print_figure(args.name)
+            elif args.command == "table":
+                _print_table(args.name)
+            elif args.command == "cost":
+                _cmd_cost(args)
+            elif args.command == "optimize":
+                _cmd_optimize(args)
+            elif args.command == "scenarios":
+                _cmd_scenarios(args)
+            elif args.command == "shrink":
+                _cmd_shrink(args)
+            elif args.command == "wafermap":
+                _cmd_wafermap(args)
+            elif args.command == "simulate":
+                _cmd_simulate(args)
+            elif args.command == "report":
+                _cmd_report(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
-    return 0
+        status = 2
+    _emit_observability(args)
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -24,6 +24,7 @@ import numpy as np
 from ..batch.engine import BatchCostResult, transistor_cost_batch
 from ..errors import ConvergenceError, ParameterError
 from ..geometry import Die, Wafer, dies_per_wafer_maly
+from ..obs import metrics as _metrics, span as _span
 from ..units import require_positive
 from ..yieldsim.models import scaled_poisson_yield
 from .wafer_cost import WaferCostModel
@@ -106,8 +107,11 @@ class CostLandscape:
         if self._result is None:
             counts = np.asarray(self.transistor_counts, dtype=float)
             lams = np.asarray(self.feature_sizes_um, dtype=float)
-            self._result = transistor_cost_batch(
-                counts[:, None], lams[None, :], self.fab)
+            with _span("core.landscape.grid",
+                       shape=(counts.size, lams.size)):
+                self._result = transistor_cost_batch(
+                    counts[:, None], lams[None, :], self.fab)
+            _metrics.inc("core.landscape.grids")
         return self._result
 
     def grid(self) -> np.ndarray:
@@ -206,31 +210,34 @@ def optimal_feature_size(n_transistors: float,
     def f(lam: float) -> float:
         return transistor_cost_full(n_transistors, lam, fab)
 
-    # Coarse scan (batched) to pick the best bracket among possible
-    # multiple valleys; the golden-section refinement stays scalar.
-    lams = np.linspace(lam_lo_um, lam_hi_um, 61)
-    costs = transistor_cost_batch(n_transistors, lams,
-                                  fab).cost_per_transistor_dollars
-    if not np.isfinite(costs).any():
-        raise ConvergenceError("no feasible feature size in the given range")
-    k = int(np.argmin(np.where(np.isfinite(costs), costs, np.inf)))
-    lo = lams[max(k - 1, 0)]
-    hi = lams[min(k + 1, len(lams) - 1)]
+    with _span("core.optimal_feature_size", n_transistors=n_transistors):
+        # Coarse scan (batched) to pick the best bracket among possible
+        # multiple valleys; the golden-section refinement stays scalar.
+        lams = np.linspace(lam_lo_um, lam_hi_um, 61)
+        costs = transistor_cost_batch(n_transistors, lams,
+                                      fab).cost_per_transistor_dollars
+        if not np.isfinite(costs).any():
+            raise ConvergenceError(
+                "no feasible feature size in the given range")
+        k = int(np.argmin(np.where(np.isfinite(costs), costs, np.inf)))
+        lo = lams[max(k - 1, 0)]
+        hi = lams[min(k + 1, len(lams) - 1)]
 
-    phi = (math.sqrt(5.0) - 1.0) / 2.0
-    a, b = lo, hi
-    c = b - phi * (b - a)
-    d = a + phi * (b - a)
-    fc, fd = f(c), f(d)
-    while b - a > tol_um:
-        if fc < fd:
-            b, d, fd = d, c, fc
-            c = b - phi * (b - a)
-            fc = f(c)
-        else:
-            a, c, fc = c, d, fd
-            d = a + phi * (b - a)
-            fd = f(d)
+        phi = (math.sqrt(5.0) - 1.0) / 2.0
+        a, b = lo, hi
+        c = b - phi * (b - a)
+        d = a + phi * (b - a)
+        fc, fd = f(c), f(d)
+        while b - a > tol_um:
+            if fc < fd:
+                b, d, fd = d, c, fc
+                c = b - phi * (b - a)
+                fc = f(c)
+            else:
+                a, c, fc = c, d, fd
+                d = a + phi * (b - a)
+                fd = f(d)
+    _metrics.inc("core.optimize.calls")
     return 0.5 * (a + b)
 
 

@@ -1,0 +1,80 @@
+"""Enablement state for :mod:`repro.obs` — the disabled fast path.
+
+All instrumentation in the hot paths (the batch engine, the cache, the
+Monte Carlo shards) is guarded by the two booleans held here, so the
+cost of *disabled* observability is one attribute read per hook.  The
+flags initialize from the environment (``REPRO_TRACE=1`` /
+``REPRO_METRICS=1``) so a traced run needs no code changes, and can be
+flipped programmatically via :func:`enable` / :func:`disable` (which is
+what the CLI's ``--trace`` / ``--metrics`` flags do).
+
+The ``<3%`` disabled-overhead contract is asserted by
+``benchmarks/bench_obs_overhead.py``.
+"""
+
+from __future__ import annotations
+
+import os
+
+_FALSEY = ("", "0", "false", "no", "off")
+
+
+def _env_flag(name: str) -> bool:
+    return os.environ.get(name, "").strip().lower() not in _FALSEY
+
+
+class ObsState:
+    """The two observability switches: span tracing and metrics.
+
+    A plain two-slot object rather than module globals so the hot-path
+    guards (``STATE.tracing`` / ``STATE.metrics``) stay a single
+    attribute read and the whole state can be saved/restored atomically
+    by the cross-process capture machinery.
+    """
+
+    __slots__ = ("tracing", "metrics")
+
+    def __init__(self, tracing: bool = False, metrics: bool = False) -> None:
+        self.tracing = tracing
+        self.metrics = metrics
+
+
+#: Process-wide switches, initialized from REPRO_TRACE / REPRO_METRICS.
+STATE = ObsState(tracing=_env_flag("REPRO_TRACE"),
+                 metrics=_env_flag("REPRO_METRICS"))
+
+
+def enabled() -> bool:
+    """True when *any* instrumentation (tracing or metrics) is active.
+
+    This is the fast-path guard the hot call sites use to decide
+    whether to time themselves at all.
+    """
+    return STATE.tracing or STATE.metrics
+
+
+def tracing_enabled() -> bool:
+    """True when span tracing is active."""
+    return STATE.tracing
+
+
+def metrics_enabled() -> bool:
+    """True when the metrics registry is recording."""
+    return STATE.metrics
+
+
+def enable(*, trace: bool = True, metrics: bool = True) -> None:
+    """Turn instrumentation on (both kinds by default).
+
+    ``enable(trace=False, metrics=True)`` records metrics only; the
+    span hooks stay no-ops.  Assigns both flags — it does not OR them
+    into the current state.
+    """
+    STATE.tracing = bool(trace)
+    STATE.metrics = bool(metrics)
+
+
+def disable() -> None:
+    """Turn all instrumentation off (the default state)."""
+    STATE.tracing = False
+    STATE.metrics = False

@@ -29,6 +29,7 @@ import numpy as np
 
 from ..errors import ParameterError
 from ..geometry import Die, Wafer, best_grid_offset
+from ..obs import metrics as _metrics, span as _span
 from ..units import require_nonnegative, require_positive
 from .defects import DefectSizeDistribution
 
@@ -250,14 +251,18 @@ class SpotDefectSimulator:
         centers = self._die_centers()
         n_dies = centers.shape[0]
 
-        n_thrown: list[int] = []
-        killer_pos: list[np.ndarray] = []
-        for _ in range(n_wafers):
-            thrown, pos = self._throw_wafer_defects(rng, n_dies)
-            n_thrown.append(thrown)
-            killer_pos.append(pos)
-
-        counts = self._grade_lot(killer_pos, centers)
+        with _span("mc.simulate_lot", n_wafers=n_wafers, workers=1):
+            n_thrown: list[int] = []
+            killer_pos: list[np.ndarray] = []
+            for i in range(n_wafers):
+                with _span("mc.wafer", wafer=i):
+                    thrown, pos = self._throw_wafer_defects(rng, n_dies)
+                n_thrown.append(thrown)
+                killer_pos.append(pos)
+                _metrics.inc("mc.wafers_simulated")
+                _metrics.inc("mc.defects_thrown", thrown)
+            counts = self._grade_lot(killer_pos, centers)
+        _metrics.inc("mc.lots_simulated")
         return LotResult(tuple(
             WaferMap(die_centers_cm=centers, defect_counts=counts[i],
                      n_defects_total=n_thrown[i])

@@ -32,14 +32,17 @@ timed by ``benchmarks/bench_mc_shard.py``.
 from __future__ import annotations
 
 import pickle
+import time
 from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterator, Union, overload
+from typing import TYPE_CHECKING, Callable, Iterator, Union, overload
 
 import numpy as np
 
 from ..errors import ParameterError
+from ..obs import metrics as _metrics, span as _span
+from ..obs.capture import absorb, begin_capture, capture_flags, end_capture
 from .monte_carlo import WaferMap
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle with monte_carlo
@@ -158,21 +161,40 @@ def spawn_wafer_seeds(seed: SeedLike,
 
 def _simulate_shard(sim: "SpotDefectSimulator",
                     seeds: list[np.random.SeedSequence],
-                    n_dies: int) -> tuple[list[int], np.ndarray]:
+                    n_dies: int, first_wafer: int = 0,
+                    obs_capture: tuple[bool, bool] | None = None
+                    ) -> tuple[list[int], np.ndarray, dict | None]:
     # One worker's unit: draw each wafer from its own child stream (in
     # exactly simulate_wafer's draw order), then grade the whole shard
     # in one batched defect-vs-die pass.  Returns (defects thrown per
-    # wafer, counts array of shape (len(seeds), n_dies)) — centers are
-    # NOT shipped back; the parent re-attaches its own copy.
-    n_thrown: list[int] = []
-    killer_pos: list[np.ndarray] = []
-    for ss in seeds:
-        rng = np.random.default_rng(ss)
-        thrown, pos = sim._throw_wafer_defects(rng, n_dies)
-        n_thrown.append(thrown)
-        killer_pos.append(pos)
-    counts = sim._grade_lot(killer_pos, sim._die_centers())
-    return n_thrown, counts
+    # wafer, counts array of shape (len(seeds), n_dies), observability
+    # payload or None) — centers are NOT shipped back; the parent
+    # re-attaches its own copy.  ``obs_capture`` carries the parent's
+    # obs flags (None when off); spans/metrics recorded under it are
+    # returned in the payload for the parent to absorb, which works
+    # identically in-process and across a spawn/fork pool boundary.
+    frame = begin_capture(obs_capture) if obs_capture else None
+    try:
+        t0 = time.perf_counter() if obs_capture else 0.0
+        with _span("mc.shard", first_wafer=first_wafer,
+                   n_wafers=len(seeds)):
+            n_thrown: list[int] = []
+            killer_pos: list[np.ndarray] = []
+            for i, ss in enumerate(seeds):
+                with _span("mc.wafer", wafer=first_wafer + i):
+                    rng = np.random.default_rng(ss)
+                    thrown, pos = sim._throw_wafer_defects(rng, n_dies)
+                n_thrown.append(thrown)
+                killer_pos.append(pos)
+                _metrics.inc("mc.wafers_simulated")
+                _metrics.inc("mc.defects_thrown", thrown)
+            counts = sim._grade_lot(killer_pos, sim._die_centers())
+        if obs_capture:
+            _metrics.observe("mc.worker.wall_seconds",
+                             time.perf_counter() - t0)
+    finally:
+        payload = end_capture(frame) if frame else None
+    return n_thrown, counts, payload
 
 
 def _shard_slices(n_wafers: int, workers: int) -> list[slice]:
@@ -215,11 +237,18 @@ def simulate_lot_sharded(sim: "SpotDefectSimulator", n_wafers: int,
     seeds = spawn_wafer_seeds(seed, n_wafers)
 
     n_workers = 1 if workers is None else min(workers, max(n_wafers, 1))
-    if n_workers <= 1:
-        parts = [_simulate_shard(sim, seeds, n_dies)]
-    else:
-        shards = [seeds[s] for s in _shard_slices(n_wafers, n_workers)]
-        parts = _run_shards(sim, shards, n_dies)
+    flags = capture_flags()
+    with _span("mc.simulate_lot", n_wafers=n_wafers, workers=n_workers):
+        if n_workers <= 1:
+            parts = [_simulate_shard(sim, seeds, n_dies, 0, flags)]
+        else:
+            slices = _shard_slices(n_wafers, n_workers)
+            parts = _run_pool(
+                _simulate_shard,
+                [(sim, seeds[s], n_dies, s.start, flags) for s in slices])
+        for part in parts:
+            absorb(part[2])
+    _metrics.inc("mc.lots_simulated")
 
     n_thrown = [t for part in parts for t in part[0]]
     counts = np.concatenate([part[1] for part in parts], axis=0) \
@@ -230,19 +259,18 @@ def simulate_lot_sharded(sim: "SpotDefectSimulator", n_wafers: int,
         for i in range(n_wafers)))
 
 
-def _run_shards(sim: "SpotDefectSimulator",
-                shards: list[list[np.random.SeedSequence]],
-                n_dies: int) -> list[tuple[list[int], np.ndarray]]:
+def _run_pool(fn: Callable, argsets: list[tuple]) -> list:
+    # Submit fn(*args) per argset on a process pool, one worker each.
     # Infrastructure failures (pool cannot fork/spawn, payload cannot
     # pickle, pool dies mid-flight) degrade to the sequential schedule;
     # model errors raised inside a worker propagate unchanged because
-    # they are not in the caught set.
+    # they are not in the caught set.  Shared by the sharded MC paths
+    # here and in :mod:`repro.yieldsim.spatial`.
     import warnings
 
     try:
-        with ProcessPoolExecutor(max_workers=len(shards)) as pool:
-            futures = [pool.submit(_simulate_shard, sim, shard, n_dies)
-                       for shard in shards]
+        with ProcessPoolExecutor(max_workers=len(argsets)) as pool:
+            futures = [pool.submit(fn, *args) for args in argsets]
             return [f.result() for f in futures]
     except (OSError, RuntimeError, ImportError, pickle.PicklingError,
             TypeError) as exc:
@@ -250,4 +278,4 @@ def _run_shards(sim: "SpotDefectSimulator",
             f"process-pool sharding unavailable ({exc!r}); "
             f"simulating the lot sequentially on the same seed schedule",
             ParallelExecutionWarning, stacklevel=2)
-        return [_simulate_shard(sim, shard, n_dies) for shard in shards]
+        return [fn(*args) for args in argsets]

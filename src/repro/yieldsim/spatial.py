@@ -17,15 +17,19 @@ wafer-size productivity gain the gradient claws back.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..errors import ParameterError
 from ..geometry import Die, Wafer
+from ..obs import metrics as _metrics, span as _span
+from ..obs.capture import absorb, begin_capture, capture_flags, end_capture
 from ..units import require_nonnegative, require_positive
 from .models import PoissonYield, YieldModel
 from .monte_carlo import SpotDefectSimulator, WaferMap
+from .parallel import SeedLike, _run_pool, _shard_slices, spawn_wafer_seeds
 
 
 @dataclass(frozen=True)
@@ -143,41 +147,142 @@ def wafer_size_penalty(profile: RadialDefectProfile, die: Die, *,
     return 1.0 - actual_gain / ideal_gain
 
 
+def _radial_wafer(profile: RadialDefectProfile, wafer: Wafer, die: Die,
+                  centers: np.ndarray,
+                  rng: np.random.Generator) -> tuple[np.ndarray, int]:
+    # One wafer's draws in the canonical order: Poisson count at the
+    # max (edge) density, per-defect rejection into the circle, then
+    # thinning against D(r)/D(edge).  Any path that hands each wafer
+    # its own generator — the legacy shared-stream loop or a spawned
+    # child stream — replays this order exactly.
+    max_density = profile.density_at(wafer.radius_cm, wafer.radius_cm)
+    radius = wafer.radius_cm
+    half_w, half_h = die.width_cm / 2.0, die.height_cm / 2.0
+    n_defects = rng.poisson(max_density * wafer.area_cm2)
+    counts = np.zeros(centers.shape[0], dtype=int)
+    kept = 0
+    for _k in range(n_defects):
+        while True:
+            x, y = rng.uniform(-radius, radius, size=2)
+            if x * x + y * y <= radius * radius:
+                break
+        r = math.hypot(x, y)
+        accept = profile.density_at(r, radius) / max_density
+        if rng.random() > accept:
+            continue
+        kept += 1
+        dx = np.abs(x - centers[:, 0])
+        dy = np.abs(y - centers[:, 1])
+        counts += ((dx <= half_w) & (dy <= half_h)).astype(int)
+    return counts, kept
+
+
+def _radial_centers(profile: RadialDefectProfile, wafer: Wafer,
+                    die: Die) -> np.ndarray:
+    max_density = profile.density_at(wafer.radius_cm, wafer.radius_cm)
+    base = SpotDefectSimulator(wafer, die,
+                               defect_density_per_cm2=max_density)
+    return base._die_centers()
+
+
+def _radial_shard(profile: RadialDefectProfile, wafer: Wafer, die: Die,
+                  seeds: list, first_wafer: int = 0,
+                  obs_capture: tuple[bool, bool] | None = None
+                  ) -> tuple[list[np.ndarray], list[int], dict | None]:
+    # One worker's unit of a sharded radial lot — the radial analog of
+    # repro.yieldsim.parallel._simulate_shard, with the same capture
+    # protocol (spans/metrics come back in the payload for the parent
+    # to absorb).  Centers are recomputed in the worker and not shipped
+    # back; the parent re-attaches its own copy.
+    frame = begin_capture(obs_capture) if obs_capture else None
+    try:
+        t0 = time.perf_counter() if obs_capture else 0.0
+        with _span("mc.shard", first_wafer=first_wafer,
+                   n_wafers=len(seeds)):
+            centers = _radial_centers(profile, wafer, die)
+            counts_list: list[np.ndarray] = []
+            kept_list: list[int] = []
+            for i, ss in enumerate(seeds):
+                with _span("mc.wafer", wafer=first_wafer + i):
+                    rng = np.random.default_rng(ss)
+                    counts, kept = _radial_wafer(profile, wafer, die,
+                                                 centers, rng)
+                counts_list.append(counts)
+                kept_list.append(kept)
+                _metrics.inc("mc.wafers_simulated")
+                _metrics.inc("mc.defects_thrown", kept)
+        if obs_capture:
+            _metrics.observe("mc.worker.wall_seconds",
+                             time.perf_counter() - t0)
+    finally:
+        payload = end_capture(frame) if frame else None
+    return counts_list, kept_list, payload
+
+
 def simulate_radial_lot(profile: RadialDefectProfile, wafer: Wafer, die: Die,
                         n_wafers: int,
-                        rng: np.random.Generator) -> list[WaferMap]:
+                        rng: np.random.Generator | None = None, *,
+                        seed: SeedLike | None = None,
+                        workers: int | None = None) -> list[WaferMap]:
     """Monte Carlo lot under the radial profile.
 
     Defect positions are drawn by rejection against D(r)/D(edge)
     (thinning a homogeneous process at the max density); die grading as
     in :class:`SpotDefectSimulator`.
+
+    Seeding follows :meth:`SpotDefectSimulator.simulate_lot`: pass
+    exactly one of ``rng`` (legacy single-stream lot, one generator
+    advanced wafer by wafer) or ``seed`` (per-wafer spawned streams).
+    ``workers=k`` requires ``seed`` and shards the lot over a process
+    pool with the same worker-count invariance and sequential-fallback
+    behavior as the homogeneous simulator; the same ``mc.*``
+    spans/metrics are emitted when observability is on.
     """
     if n_wafers < 0:
         raise ParameterError("n_wafers must be >= 0")
-    max_density = profile.density_at(wafer.radius_cm, wafer.radius_cm)
-    base = SpotDefectSimulator(wafer, die,
-                               defect_density_per_cm2=max_density)
-    centers = base._die_centers()
-    out = []
-    radius = wafer.radius_cm
-    half_w, half_h = die.width_cm / 2.0, die.height_cm / 2.0
-    for _ in range(n_wafers):
-        n_defects = rng.poisson(max_density * wafer.area_cm2)
-        counts = np.zeros(centers.shape[0], dtype=int)
-        kept = 0
-        for _k in range(n_defects):
-            while True:
-                x, y = rng.uniform(-radius, radius, size=2)
-                if x * x + y * y <= radius * radius:
-                    break
-            r = math.hypot(x, y)
-            accept = profile.density_at(r, radius) / max_density
-            if rng.random() > accept:
-                continue
-            kept += 1
-            dx = np.abs(x - centers[:, 0])
-            dy = np.abs(y - centers[:, 1])
-            counts += ((dx <= half_w) & (dy <= half_h)).astype(int)
-        out.append(WaferMap(die_centers_cm=centers, defect_counts=counts,
-                            n_defects_total=kept))
-    return out
+    if (rng is None) == (seed is None):
+        raise ParameterError(
+            "specify exactly one of rng (single-stream lot) or "
+            "seed (spawned per-wafer streams)")
+    if workers is not None and seed is None:
+        raise ParameterError(
+            "workers requires seed=...: sharding needs spawned "
+            "per-wafer streams to stay independent of worker count")
+    if workers is not None and workers < 1:
+        raise ParameterError(f"workers must be >= 1, got {workers}")
+    centers = _radial_centers(profile, wafer, die)
+
+    if rng is not None:
+        with _span("mc.simulate_lot", n_wafers=n_wafers, workers=1):
+            parts = []
+            for i in range(n_wafers):
+                with _span("mc.wafer", wafer=i):
+                    parts.append(_radial_wafer(profile, wafer, die,
+                                               centers, rng))
+                _metrics.inc("mc.wafers_simulated")
+                _metrics.inc("mc.defects_thrown", parts[-1][1])
+        _metrics.inc("mc.lots_simulated")
+        return [WaferMap(die_centers_cm=centers, defect_counts=counts,
+                         n_defects_total=kept)
+                for counts, kept in parts]
+
+    seeds = spawn_wafer_seeds(seed, n_wafers)
+    n_workers = 1 if workers is None else min(workers, max(n_wafers, 1))
+    flags = capture_flags()
+    with _span("mc.simulate_lot", n_wafers=n_wafers, workers=n_workers):
+        if n_workers <= 1:
+            shards = [_radial_shard(profile, wafer, die, seeds, 0, flags)]
+        else:
+            slices = _shard_slices(n_wafers, n_workers)
+            shards = _run_pool(
+                _radial_shard,
+                [(profile, wafer, die, seeds[s], s.start, flags)
+                 for s in slices])
+        for shard in shards:
+            absorb(shard[2])
+    _metrics.inc("mc.lots_simulated")
+    counts_list = [c for shard in shards for c in shard[0]]
+    kept_list = [k for shard in shards for k in shard[1]]
+    return [WaferMap(die_centers_cm=centers, defect_counts=counts_list[i],
+                     n_defects_total=kept_list[i])
+            for i in range(n_wafers)]

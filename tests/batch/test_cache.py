@@ -76,6 +76,33 @@ class TestBatchCache:
         assert len(cache) == 0
         assert cache.stats.misses == 1
 
+    def test_evictions_counted_under_lru_pressure(self):
+        cache = BatchCache(max_entries=2)
+        for key in ("a", "b", "c", "d"):
+            cache.get_or_compute(key, lambda: np.array([1.0]))
+        assert cache.stats.evictions == 2
+        assert cache.stats.misses == 4
+
+    def test_no_pressure_no_evictions(self):
+        cache = BatchCache(max_entries=8)
+        for key in ("a", "b", "c"):
+            cache.get_or_compute(key, lambda: np.array([1.0]))
+        assert cache.stats.evictions == 0
+
+    def test_clear_is_not_an_eviction(self):
+        cache = BatchCache(max_entries=2)
+        cache.get_or_compute("a", lambda: np.array([1.0]))
+        cache.get_or_compute("b", lambda: np.array([2.0]))
+        cache.clear()
+        assert cache.stats.evictions == 0
+
+    def test_evictions_survive_clear(self):
+        cache = BatchCache(max_entries=1)
+        cache.get_or_compute("a", lambda: np.array([1.0]))
+        cache.get_or_compute("b", lambda: np.array([2.0]))  # evicts "a"
+        cache.clear()
+        assert cache.stats.evictions == 1
+
     def test_untouched_hit_rate_zero(self):
         assert BatchCache().stats.hit_rate == 0.0
 

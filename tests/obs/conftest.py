@@ -1,0 +1,33 @@
+"""Shared fixtures for the observability suite.
+
+Every test in this directory starts from a known-clean observability
+state (instrumentation off, empty trace, empty registry) regardless of
+``REPRO_TRACE``/``REPRO_METRICS`` in the surrounding environment, and
+restores the pre-test flags afterwards so the rest of the suite is
+unaffected.
+"""
+
+import pytest
+
+from repro import obs
+from repro.obs import state as obs_state
+
+
+@pytest.fixture(autouse=True)
+def _obs_clean_state():
+    prev = (obs_state.STATE.tracing, obs_state.STATE.metrics)
+    obs.disable()
+    obs.clear_trace()
+    obs.metrics.reset()
+    yield
+    obs_state.STATE.tracing, obs_state.STATE.metrics = prev
+    obs.clear_trace()
+    obs.metrics.reset()
+
+
+@pytest.fixture
+def obs_on():
+    """Tracing + metrics enabled on clean storage for one test."""
+    obs.enable()
+    yield
+    obs.disable()

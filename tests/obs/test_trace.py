@@ -1,0 +1,207 @@
+"""Span tracer semantics: nesting, no-op-when-off, export, adoption."""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs import (
+    SpanRecord,
+    adopt_spans,
+    clear_trace,
+    current_span_id,
+    format_trace_tree,
+    get_trace,
+    span,
+    write_trace_jsonl,
+)
+
+
+def _by_name(records):
+    return {r.name: r for r in records}
+
+
+class TestSpanBasics:
+    def test_disabled_span_records_nothing(self):
+        with span("quiet", x=1):
+            assert current_span_id() is None
+        assert get_trace() == []
+
+    def test_single_span_recorded(self, obs_on):
+        with span("work", kind="unit"):
+            pass
+        (rec,) = get_trace()
+        assert rec.name == "work"
+        assert rec.attrs == {"kind": "unit"}
+        assert rec.parent_id is None
+        assert rec.duration_s >= 0.0
+        assert rec.pid == os.getpid()
+        assert rec.error is None
+
+    def test_nested_spans_link_parents(self, obs_on):
+        with span("outer"):
+            with span("middle"):
+                with span("inner"):
+                    pass
+        recs = _by_name(get_trace())
+        assert recs["inner"].parent_id == recs["middle"].span_id
+        assert recs["middle"].parent_id == recs["outer"].span_id
+        assert recs["outer"].parent_id is None
+
+    def test_siblings_share_parent(self, obs_on):
+        with span("lot"):
+            with span("wafer", i=0):
+                pass
+            with span("wafer", i=1):
+                pass
+        recs = get_trace()
+        lot = _by_name(recs)["lot"]
+        wafers = [r for r in recs if r.name == "wafer"]
+        assert len(wafers) == 2
+        assert all(w.parent_id == lot.span_id for w in wafers)
+
+    def test_current_span_id_tracks_nesting(self, obs_on):
+        assert current_span_id() is None
+        with span("a") as a:
+            assert current_span_id() == a._span_id
+            with span("b") as b:
+                assert current_span_id() == b._span_id
+            assert current_span_id() == a._span_id
+        assert current_span_id() is None
+
+    def test_exception_recorded_and_propagated(self, obs_on):
+        with pytest.raises(ValueError):
+            with span("failing"):
+                raise ValueError("boom")
+        (rec,) = get_trace()
+        assert rec.error == "ValueError"
+
+    def test_decorator_traces_each_call(self, obs_on):
+        @span("fn.traced", flavor="decorated")
+        def fn(x):
+            """Doc."""
+            return x + 1
+
+        assert fn(1) == 2
+        assert fn(2) == 3
+        recs = get_trace()
+        assert [r.name for r in recs] == ["fn.traced", "fn.traced"]
+        assert recs[0].attrs == {"flavor": "decorated"}
+
+    def test_decorator_respects_runtime_disable(self):
+        @span("fn.sometimes")
+        def fn():
+            """Doc."""
+            return 7
+
+        assert fn() == 7
+        assert get_trace() == []
+        obs.enable()
+        try:
+            fn()
+        finally:
+            obs.disable()
+        assert len(get_trace()) == 1
+
+    def test_clear_trace(self, obs_on):
+        with span("x"):
+            pass
+        assert get_trace()
+        clear_trace()
+        assert get_trace() == []
+
+    def test_threads_keep_independent_ancestry(self, obs_on):
+        seen = {}
+
+        def worker(tag):
+            with span(f"thread.{tag}") as s:
+                seen[tag] = (s._parent_id, current_span_id())
+
+        with span("main"):
+            threads = [threading.Thread(target=worker, args=(i,))
+                       for i in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        # Spans opened in fresh threads are roots, not children of the
+        # span open in the main thread.
+        assert seen[0][0] is None
+        assert seen[1][0] is None
+
+
+class TestExport:
+    def test_write_trace_jsonl_roundtrip(self, obs_on, tmp_path):
+        with span("outer", n=2):
+            with span("inner"):
+                pass
+        path = tmp_path / "trace.jsonl"
+        n = write_trace_jsonl(path)
+        assert n == 2
+        lines = [json.loads(line)
+                 for line in path.read_text().splitlines()]
+        assert {rec["name"] for rec in lines} == {"outer", "inner"}
+        inner = next(r for r in lines if r["name"] == "inner")
+        outer = next(r for r in lines if r["name"] == "outer")
+        assert inner["parent_id"] == outer["span_id"]
+
+    def test_unserializable_attrs_are_stringified(self, obs_on, tmp_path):
+        with span("odd", obj=object()):
+            pass
+        path = tmp_path / "trace.jsonl"
+        assert write_trace_jsonl(path) == 1
+        (rec,) = [json.loads(line)
+                  for line in path.read_text().splitlines()]
+        assert isinstance(rec["attrs"]["obj"], str)
+
+    def test_format_trace_tree_structure(self, obs_on):
+        with span("root", run=1):
+            with span("child.a"):
+                pass
+            with span("child.b"):
+                pass
+        tree = format_trace_tree()
+        lines = tree.splitlines()
+        assert lines[0].startswith("root")
+        assert "run=1" in lines[0]
+        assert any(line.startswith("├─ child.a") for line in lines)
+        assert any(line.startswith("└─ child.b") for line in lines)
+
+    def test_format_trace_tree_empty(self):
+        assert format_trace_tree() == "(no spans recorded)"
+
+    def test_format_trace_tree_marks_errors(self, obs_on):
+        with pytest.raises(RuntimeError):
+            with span("bad"):
+                raise RuntimeError
+        assert "!RuntimeError" in format_trace_tree()
+
+
+class TestAdoption:
+    def test_adopt_reparents_child_roots_under_current_span(self, obs_on):
+        wire = [
+            SpanRecord(span_id=1, parent_id=None, name="shard",
+                       start_s=0.0, duration_s=1.0, pid=999).to_dict(),
+            SpanRecord(span_id=2, parent_id=1, name="wafer",
+                       start_s=0.1, duration_s=0.2, pid=999).to_dict(),
+        ]
+        with span("lot"):
+            adopt_spans(wire)
+        recs = _by_name(get_trace())
+        assert recs["shard"].parent_id == recs["lot"].span_id
+        assert recs["wafer"].parent_id == recs["shard"].span_id
+        assert recs["wafer"].pid == 999  # executing process preserved
+
+    def test_adopt_remaps_colliding_ids(self, obs_on):
+        with span("own"):
+            pass
+        own = get_trace()[0]
+        # The child numbered its span with an id the parent already used.
+        wire = [SpanRecord(span_id=own.span_id, parent_id=None,
+                           name="foreign", start_s=0.0,
+                           duration_s=0.1).to_dict()]
+        adopt_spans(wire, parent_id=None)
+        recs = _by_name(get_trace())
+        assert recs["foreign"].span_id != own.span_id

@@ -22,6 +22,7 @@ SUBPACKAGES = [
     "repro.system",
     "repro.analysis",
     "repro.batch",
+    "repro.obs",
 ]
 
 MODULES = [
@@ -54,6 +55,10 @@ MODULES = [
     "repro.batch.engine",
     "repro.batch.cache",
     "repro.batch.crossval",
+    "repro.obs.state",
+    "repro.obs.trace",
+    "repro.obs.registry",
+    "repro.obs.capture",
     "repro.technology.roadmap",
     "repro.technology.fabline",
     "repro.technology.density",
@@ -129,7 +134,8 @@ def test_top_level_reexports():
     for name in ("TransistorCostModel", "WaferCostModel", "Wafer", "Die",
                  "PoissonYield", "SCENARIO_1", "SCENARIO_2",
                  "evaluate_catalog", "GenerationModel", "LotResult",
-                 "cross_validate_yield_batch"):
+                 "cross_validate_yield_batch",
+                 "obs", "span", "metrics", "get_trace"):
         assert hasattr(repro, name)
 
 

@@ -1,6 +1,7 @@
 """Parameter estimation from wafer maps — closing the [26] loop."""
 
 import math
+import os
 
 import numpy as np
 import pytest
@@ -24,11 +25,17 @@ def geometry():
     return Wafer(radius_cm=7.5), Die.square(1.0)
 
 
+# The fixtures ride the sharded seed path so estimation results are
+# worker-count independent; CI's REPRO_TEST_WORKERS=2 makes them
+# exercise real multi-process lots without changing a single draw.
+_WORKERS = int(os.environ.get("REPRO_TEST_WORKERS", "0")) or None
+
+
 @pytest.fixture(scope="module")
 def poisson_lot(geometry):
     wafer, die = geometry
     sim = SpotDefectSimulator(wafer, die, defect_density_per_cm2=1.0)
-    return sim.simulate_lot(40, np.random.default_rng(101))
+    return sim.simulate_lot(40, seed=116, workers=_WORKERS)
 
 
 @pytest.fixture(scope="module")
@@ -36,7 +43,7 @@ def clustered_lot(geometry):
     wafer, die = geometry
     sim = SpotDefectSimulator(wafer, die, defect_density_per_cm2=1.0,
                               clustering_alpha=1.0)
-    return sim.simulate_lot(80, np.random.default_rng(202))
+    return sim.simulate_lot(80, seed=202, workers=_WORKERS)
 
 
 class TestDensityEstimation:

@@ -1,6 +1,7 @@
 """Radial defect gradients (the S.1.1 wafer-size caveat)."""
 
 import math
+import os
 
 import numpy as np
 import pytest
@@ -8,10 +9,15 @@ import pytest
 from repro.errors import ParameterError
 from repro.geometry import Die, Wafer
 from repro.yieldsim import (
+    ParallelExecutionWarning,
     RadialDefectProfile,
     simulate_radial_lot,
     wafer_size_penalty,
 )
+from repro.yieldsim import parallel as parallel_mod
+
+_ENV_WORKERS = int(os.environ.get("REPRO_TEST_WORKERS", "0"))
+WORKER_COUNTS = sorted({1, 2, 4} | ({_ENV_WORKERS} if _ENV_WORKERS else set()))
 
 
 @pytest.fixture
@@ -121,3 +127,76 @@ class TestRadialMonteCarlo:
     def test_zero_wafer_lot(self, profile, wafer, die):
         assert simulate_radial_lot(profile, wafer, die, 0,
                                    np.random.default_rng(0)) == []
+
+
+def _assert_radial_lots_equal(a, b):
+    assert len(a) == len(b)
+    for ma, mb in zip(a, b):
+        assert ma.n_defects_total == mb.n_defects_total
+        np.testing.assert_array_equal(ma.defect_counts, mb.defect_counts)
+        np.testing.assert_array_equal(ma.die_centers_cm, mb.die_centers_cm)
+
+
+class TestShardedRadialLot:
+    def test_seed_path_reproducible(self, profile, wafer, die):
+        a = simulate_radial_lot(profile, wafer, die, 6, seed=11)
+        b = simulate_radial_lot(profile, wafer, die, 6, seed=11)
+        _assert_radial_lots_equal(a, b)
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_worker_count_invariance(self, profile, wafer, die, workers):
+        reference = simulate_radial_lot(profile, wafer, die, 6, seed=11)
+        sharded = simulate_radial_lot(profile, wafer, die, 6, seed=11,
+                                      workers=workers)
+        _assert_radial_lots_equal(reference, sharded)
+
+    def test_seed_path_matches_analytic_yield(self, profile, wafer, die):
+        lot = simulate_radial_lot(profile, wafer, die, 25, seed=77,
+                                  workers=2)
+        good = sum(m.n_good for m in lot)
+        total = sum(m.n_dies for m in lot)
+        assert good / total == pytest.approx(
+            profile.wafer_yield(wafer, die), abs=0.03)
+
+    def test_fallback_preserves_results(self, profile, wafer, die,
+                                        monkeypatch):
+        reference = simulate_radial_lot(profile, wafer, die, 4, seed=5,
+                                        workers=2)
+        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor",
+                            _ExplodingExecutor)
+        with pytest.warns(ParallelExecutionWarning):
+            fallback = simulate_radial_lot(profile, wafer, die, 4, seed=5,
+                                           workers=2)
+        _assert_radial_lots_equal(reference, fallback)
+
+    def test_zero_wafer_seed_lot(self, profile, wafer, die):
+        assert simulate_radial_lot(profile, wafer, die, 0, seed=1) == []
+
+    def test_rng_and_seed_both_rejected(self, profile, wafer, die):
+        with pytest.raises(ParameterError):
+            simulate_radial_lot(profile, wafer, die, 2,
+                                np.random.default_rng(0), seed=1)
+
+    def test_neither_rng_nor_seed_rejected(self, profile, wafer, die):
+        with pytest.raises(ParameterError):
+            simulate_radial_lot(profile, wafer, die, 2)
+
+    def test_workers_require_seed(self, profile, wafer, die):
+        with pytest.raises(ParameterError):
+            simulate_radial_lot(profile, wafer, die, 2,
+                                np.random.default_rng(0), workers=2)
+
+    def test_workers_below_one_rejected(self, profile, wafer, die):
+        with pytest.raises(ParameterError):
+            simulate_radial_lot(profile, wafer, die, 2, seed=1, workers=0)
+
+    def test_negative_wafers_rejected(self, profile, wafer, die):
+        with pytest.raises(ParameterError):
+            simulate_radial_lot(profile, wafer, die, -1, seed=1)
+
+
+class _ExplodingExecutor:
+    """Stand-in for a fork-restricted host: pool creation is denied."""
+
+    def __init__(self, *args, **kwargs):
+        raise PermissionError("process spawning disabled in this sandbox")
