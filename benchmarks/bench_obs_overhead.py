@@ -1,9 +1,10 @@
 """Observability overhead — the disabled hooks must be (near) free.
 
 The ``repro.obs`` contract: with tracing and metrics **off** (the
-default), the span/metric hooks threaded through the batch engine and
-the Monte Carlo lot runner cost less than **3%** of wall time against
-an uninstrumented baseline.  The baseline is produced by monkeypatching
+default), the span/metric hooks threaded through the batch engine,
+the Monte Carlo lot runner, and the ``repro.serve`` micro-batch
+scheduler cost less than **3%** of wall time against an
+uninstrumented baseline.  The baseline is produced by monkeypatching
 the modules' hook bindings (``_span``, ``_metrics``, the state probes,
 the capture protocol) with the cheapest possible no-ops — the same code
 paths minus any observability logic.
@@ -28,8 +29,11 @@ from conftest import emit, emit_json
 from repro import obs
 from repro.batch import engine as engine_mod
 from repro.batch import evaluate_batch
+from repro.batch.cache import BatchCache
 from repro.core import TransistorCostModel, WaferCostModel
 from repro.geometry import Die, Wafer
+from repro.serve import CostService, FabCostQuery
+from repro.serve import scheduler as serve_scheduler_mod
 from repro.yieldsim import PoissonYield, SpotDefectSimulator
 from repro.yieldsim import parallel as parallel_mod
 
@@ -87,6 +91,22 @@ def _mc_workload():
     return run
 
 
+def _serve_workload():
+    queries = [FabCostQuery(10 ** (5 + 2.0 * (i % 40) / 39),
+                            0.4 + 1.0 * (i // 40) / 14)
+               for i in range(600)]
+    svc = CostService(max_batch_size=256, max_wait_s=0.002,
+                      cache=BatchCache()).start()
+
+    def run():
+        # One pass is ~1 ms — too short to time reliably, so each
+        # sample replays the bulk workload a few times.
+        for _ in range(4):
+            svc.costs(queries)
+
+    return run, svc
+
+
 def _patch_out_hooks(monkeypatch):
     false = lambda: False  # noqa: E731 - tiniest possible state probe
     monkeypatch.setattr(engine_mod, "_span", _null_span)
@@ -97,6 +117,9 @@ def _patch_out_hooks(monkeypatch):
     monkeypatch.setattr(parallel_mod, "_metrics", _NullMetrics)
     monkeypatch.setattr(parallel_mod, "capture_flags", lambda: None)
     monkeypatch.setattr(parallel_mod, "absorb", lambda payload: None)
+    monkeypatch.setattr(serve_scheduler_mod, "_span", _null_span)
+    monkeypatch.setattr(serve_scheduler_mod, "_metrics", _NullMetrics)
+    monkeypatch.setattr(serve_scheduler_mod, "_obs_enabled", false)
 
 
 def _interleaved_best_of(instrumented, baseline, reps):
@@ -137,8 +160,18 @@ def test_disabled_observability_overhead(monkeypatch):
 
     batch_inst, batch_base = timed(batch)
     mc_inst, mc_base = timed(mc)
+
+    # The service is created only for its own leg so its flusher and
+    # worker threads cannot perturb the other timings.
+    serve, svc = _serve_workload()
+    try:
+        serve()  # warm the shared BatchCache so both legs replay hits
+        serve_inst, serve_base = timed(serve)
+    finally:
+        svc.close()
     batch_ratio = batch_inst / batch_base
     mc_ratio = mc_inst / mc_base
+    serve_ratio = serve_inst / serve_base
 
     record = {
         "kind": "obs_overhead",
@@ -148,6 +181,8 @@ def test_disabled_observability_overhead(monkeypatch):
                   "ratio": batch_ratio},
         "monte_carlo": {"instrumented_s": mc_inst, "baseline_s": mc_base,
                         "ratio": mc_ratio},
+        "serve": {"instrumented_s": serve_inst, "baseline_s": serve_base,
+                  "ratio": serve_ratio},
     }
     _BENCH_OBS_JSON.write_text(json.dumps(record, indent=2) + "\n")
     emit_json(record)
@@ -158,6 +193,9 @@ def test_disabled_observability_overhead(monkeypatch):
          f"monte carlo  : {mc_inst * 1e3:8.2f} ms instrumented vs "
          f"{mc_base * 1e3:8.2f} ms baseline  "
          f"(ratio {mc_ratio:6.4f})\n"
+         f"serve        : {serve_inst * 1e3:8.2f} ms instrumented vs "
+         f"{serve_base * 1e3:8.2f} ms baseline  "
+         f"(ratio {serve_ratio:6.4f})\n"
          f"contract     : ratio < {1.0 + MAX_DISABLED_OVERHEAD}")
 
     limit = 1.0 + MAX_DISABLED_OVERHEAD
@@ -167,3 +205,6 @@ def test_disabled_observability_overhead(monkeypatch):
     assert mc_ratio < limit, \
         f"disabled obs costs {(mc_ratio - 1) * 100:.1f}% on the " \
         f"Monte Carlo path (limit {MAX_DISABLED_OVERHEAD * 100:.0f}%)"
+    assert serve_ratio < limit, \
+        f"disabled obs costs {(serve_ratio - 1) * 100:.1f}% on the " \
+        f"serving path (limit {MAX_DISABLED_OVERHEAD * 100:.0f}%)"

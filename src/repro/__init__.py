@@ -81,6 +81,16 @@ from .batch import (
 )
 from . import obs
 from .obs import get_trace, metrics, span
+from . import serve
+from .serve import (
+    AsyncCostService,
+    CostService,
+    CostTicket,
+    FabCostQuery,
+    MicroBatchScheduler,
+    ModelCostQuery,
+    ServedCost,
+)
 
 __version__ = "1.0.0"
 
@@ -136,5 +146,13 @@ __all__ = [
     "span",
     "metrics",
     "get_trace",
+    "serve",
+    "AsyncCostService",
+    "CostService",
+    "CostTicket",
+    "FabCostQuery",
+    "MicroBatchScheduler",
+    "ModelCostQuery",
+    "ServedCost",
     "__version__",
 ]

@@ -122,7 +122,12 @@ class BatchCache:
             self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        # Locked: len(OrderedDict) alone is atomic in CPython, but
+        # taking the lock keeps the count coherent with a concurrent
+        # eviction loop in get_or_compute (and costs nothing off the
+        # hot path).
+        with self._lock:
+            return len(self._entries)
 
     @property
     def stats(self) -> CacheStats:

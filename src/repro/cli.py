@@ -6,12 +6,23 @@ Usage::
     python -m repro table table3               # table1..table3
     python -m repro cost --transistors 3.1e6 --feature-size 0.8 \\
         --density 150 --yield0 0.7 --c0 700 --x 1.8
+    python -m repro cost --input points.csv --density 150 --format json
     python -m repro optimize --die-area 1.0
+    python -m repro optimize --input areas.csv --format csv
     python -m repro scenarios --lam-lo 0.25 --lam-hi 1.0
     python -m repro simulate --lot-size 25 --workers 4 --seed 7
 
 Everything prints plain text (ASCII charts/tables); exit code 0 on
 success, 2 on bad arguments.
+
+Batch mode: ``cost`` and ``optimize`` accept ``--input points.csv`` /
+``points.json`` (see :mod:`repro.serve.io` for the accepted fields)
+and then emit one result row per point as ``--format csv`` (default)
+or ``--format json`` columnar arrays — the
+:class:`~repro.batch.engine.BatchCostResult` convention.  ``cost``
+batches are priced through :class:`repro.serve.CostService`, so a
+10,000-point file costs a handful of vectorized evaluations, not
+10,000 scalar ones.
 
 Every command also accepts the observability flags from
 ``docs/observability.md``: ``--trace FILE`` writes the run's span tree
@@ -45,7 +56,7 @@ from .analysis import (
 )
 from .core import TransistorCostModel, WaferCostModel
 from .core.optimization import optimal_feature_size_for_die_area
-from .errors import ReproError
+from .errors import ParameterError, ReproError
 from .geometry import Wafer
 from .yieldsim import ReferenceAreaYield
 
@@ -83,11 +94,64 @@ def _print_table(name: str) -> None:
     print(ascii_table(data.headers, list(data.rows)))
 
 
-def _cmd_cost(args: argparse.Namespace) -> None:
-    model = TransistorCostModel(
+def _build_cost_model(args: argparse.Namespace) -> TransistorCostModel:
+    return TransistorCostModel(
         wafer_cost=WaferCostModel(reference_cost_dollars=args.c0,
                                   cost_growth_rate=args.x),
         wafer=Wafer(radius_cm=args.wafer_radius))
+
+
+def _require_flag(value: object, flag: str, why: str) -> None:
+    if value is None:
+        raise ParameterError(f"{flag} is required {why}")
+
+
+def _cost_batch(args: argparse.Namespace) -> None:
+    from .serve import (
+        CostService,
+        ModelCostQuery,
+        format_served_csv,
+        format_served_json,
+        load_points,
+    )
+    model = _build_cost_model(args)
+    points = load_points(args.input)
+    queries = []
+    for i, point in enumerate(points):
+        transistors = point.get("transistors", args.transistors)
+        feature_size = point.get("feature_size", args.feature_size)
+        density = point.get("density", args.density)
+        _require_flag(transistors, "--transistors",
+                      f"(point {i} has no transistors field)")
+        _require_flag(feature_size, "--feature-size",
+                      f"(point {i} has no feature_size field)")
+        _require_flag(density, "--density",
+                      f"(point {i} has no density field)")
+        if "die_area" in point:
+            raise ParameterError(
+                f"point {i}: die_area is an 'optimize --input' field; "
+                f"cost points take transistors/feature_size")
+        queries.append(ModelCostQuery(
+            n_transistors=transistors, feature_size_um=feature_size,
+            model=model, design_density=density,
+            yield_model=ReferenceAreaYield(
+                reference_yield=point.get("yield0", args.yield0),
+                reference_area_cm2=1.0)))
+    with CostService() as service:
+        results = service.map(queries)
+    formatter = format_served_json if args.format == "json" \
+        else format_served_csv
+    print(formatter(results), end="")
+
+
+def _cmd_cost(args: argparse.Namespace) -> None:
+    if args.input is not None:
+        _cost_batch(args)
+        return
+    _require_flag(args.transistors, "--transistors", "without --input")
+    _require_flag(args.feature_size, "--feature-size", "without --input")
+    _require_flag(args.density, "--density", "without --input")
+    model = _build_cost_model(args)
     breakdown = model.evaluate(
         n_transistors=args.transistors,
         feature_size_um=args.feature_size,
@@ -107,7 +171,41 @@ def _cmd_cost(args: argparse.Namespace) -> None:
     print(ascii_table(("quantity", "value"), rows))
 
 
+_OPTIMIZE_FIELDS = ("die_area_cm2", "optimal_feature_size_um",
+                    "cost_per_transistor_dollars",
+                    "cost_per_transistor_microdollars")
+
+
+def _optimize_batch(args: argparse.Namespace) -> None:
+    import csv as _csv
+    import io as _io
+    import json as _json
+
+    from .serve import load_points
+    rows = []
+    for i, point in enumerate(load_points(args.input)):
+        area = point.get("die_area")
+        _require_flag(area, "die_area",
+                      f"(point {i} has no die_area field)")
+        lam, cost = optimal_feature_size_for_die_area(area)
+        rows.append((area, lam, cost, cost * 1e6))
+    if args.format == "json":
+        columns = {name: [row[i] for row in rows]
+                   for i, name in enumerate(_OPTIMIZE_FIELDS)}
+        print(_json.dumps(columns, indent=2))
+    else:
+        out = _io.StringIO()
+        writer = _csv.writer(out, lineterminator="\n")
+        writer.writerow(_OPTIMIZE_FIELDS)
+        writer.writerows(rows)
+        print(out.getvalue(), end="")
+
+
 def _cmd_optimize(args: argparse.Namespace) -> None:
+    if args.input is not None:
+        _optimize_batch(args)
+        return
+    _require_flag(args.die_area, "--die-area", "without --input")
     lam, cost = optimal_feature_size_for_die_area(args.die_area)
     print(ascii_table(("quantity", "value"), [
         ("die area [cm^2]", args.die_area),
@@ -241,11 +339,14 @@ def build_parser() -> argparse.ArgumentParser:
     tab.add_argument("name", choices=sorted(_TABLES))
 
     cost = add_parser("cost", help="price a design with eq. (1)")
-    cost.add_argument("--transistors", type=float, required=True)
-    cost.add_argument("--feature-size", type=float, required=True,
-                      help="lambda in microns")
-    cost.add_argument("--density", type=float, required=True,
-                      help="d_d in lambda^2 per transistor")
+    cost.add_argument("--transistors", type=float, default=None,
+                      help="N_tr (required unless --input provides it)")
+    cost.add_argument("--feature-size", type=float, default=None,
+                      help="lambda in microns (required unless --input "
+                           "provides it)")
+    cost.add_argument("--density", type=float, default=None,
+                      help="d_d in lambda^2 per transistor (required "
+                           "unless --input provides it)")
     cost.add_argument("--yield0", type=float, default=0.7,
                       help="reference yield for a 1 cm^2 die")
     cost.add_argument("--c0", type=float, default=500.0,
@@ -254,11 +355,22 @@ def build_parser() -> argparse.ArgumentParser:
                       help="wafer cost growth per generation")
     cost.add_argument("--wafer-radius", type=float, default=7.5,
                       help="wafer radius [cm]")
+    cost.add_argument("--input", metavar="FILE", default=None,
+                      help="price every point in FILE (.csv or .json; "
+                           "fields transistors/feature_size and optional "
+                           "density/yield0 overrides) through the "
+                           "micro-batching service")
+    cost.add_argument("--format", choices=("csv", "json"), default="csv",
+                      help="batch output format (with --input)")
 
     opt = add_parser("optimize",
                          help="cost-optimal feature size for a die area")
-    opt.add_argument("--die-area", type=float, required=True,
-                     help="die area [cm^2]")
+    opt.add_argument("--die-area", type=float, default=None,
+                     help="die area [cm^2] (required unless --input)")
+    opt.add_argument("--input", metavar="FILE", default=None,
+                     help="optimize every die_area in FILE (.csv or .json)")
+    opt.add_argument("--format", choices=("csv", "json"), default="csv",
+                     help="batch output format (with --input)")
 
     scen = add_parser("scenarios",
                           help="Scenario #1 vs #2 cost sweep")

@@ -30,3 +30,21 @@ class ConvergenceError(ReproError, RuntimeError):
 
 class CapacityError(ReproError, ValueError):
     """A manufacturing schedule demands more capacity than a fab provides."""
+
+
+class ServiceError(ReproError, RuntimeError):
+    """Base class for :mod:`repro.serve` request-service failures."""
+
+
+class BackpressureError(ServiceError):
+    """The service's bounded request queue is full.
+
+    Raised by non-blocking submits immediately, and by blocking submits
+    whose wait for queue space exceeded the caller's timeout.  This is
+    the service's explicit backpressure signal: the caller should slow
+    down, retry later, or raise the queue bound.
+    """
+
+
+class ServiceClosedError(ServiceError):
+    """A request was submitted to a service that has been closed."""

@@ -1,0 +1,62 @@
+"""repro.serve — in-process micro-batching for cost-query traffic.
+
+Design-space explorers built on Maly-style cost models issue floods of
+*small independent* queries — one ``(λ, N_tr, fab)`` point at a time.
+The vectorized :mod:`repro.batch` engine is 55–300× faster than the
+scalar path, but only for callers that hand-assemble arrays.  This
+package closes that gap with a service: callers submit scalar queries
+from any number of threads or asyncio tasks, and a tick-based
+scheduler coalesces them into few large vectorized evaluations.
+
+Pieces:
+
+* :class:`~repro.serve.query.FabCostQuery` /
+  :class:`~repro.serve.query.ModelCostQuery` — one design point plus
+  its model; :class:`~repro.serve.query.ServedCost` — the scalar
+  result, bitwise equal to direct scalar evaluation regardless of how
+  the scheduler sliced the traffic (the batch-boundary invariance
+  contract, enforced by ``tests/property_based/test_serve_parity.py``).
+* :class:`~repro.serve.scheduler.MicroBatchScheduler` — bounded queue
+  with explicit backpressure, flush on max-batch-size or max-wait
+  (whichever first), signature coalescing + point dedup, chunked
+  execution over an optional worker pool, shared
+  :class:`~repro.batch.cache.BatchCache`, and
+  :mod:`repro.obs` spans/metrics per flush.
+* :class:`~repro.serve.service.CostService` — the thread-safe
+  synchronous client; :class:`~repro.serve.aio.AsyncCostService` —
+  the asyncio front-end over the same scheduler.
+* :mod:`repro.serve.io` — point-file loading and served-array
+  serialization behind ``python -m repro cost --input``.
+
+See ``docs/serving.md`` for scheduler semantics and tuning, and
+``benchmarks/bench_serve.py`` for the measured throughput win.
+"""
+
+from .aio import AsyncCostService
+from .executor import GroupResult, execute_group
+from .io import (
+    RESULT_FIELDS,
+    format_served_csv,
+    format_served_json,
+    load_points,
+)
+from .query import CostQuery, FabCostQuery, ModelCostQuery, ServedCost
+from .scheduler import CostTicket, MicroBatchScheduler
+from .service import CostService
+
+__all__ = [
+    "AsyncCostService",
+    "CostQuery",
+    "CostService",
+    "CostTicket",
+    "FabCostQuery",
+    "GroupResult",
+    "MicroBatchScheduler",
+    "ModelCostQuery",
+    "ServedCost",
+    "RESULT_FIELDS",
+    "execute_group",
+    "format_served_csv",
+    "format_served_json",
+    "load_points",
+]

@@ -1,0 +1,247 @@
+"""Vectorized, bitwise-scalar-exact execution of one coalesced group.
+
+The scheduler hands this module a *group*: queries sharing one model
+signature, already deduplicated to unique ``(N_tr, λ)`` points.  The
+executor prices all points at once and must satisfy the service's
+headline contract:
+
+    **every served number is bitwise equal to the direct scalar
+    evaluation of that query, no matter how the scheduler sliced the
+    traffic into batches.**
+
+The batch engine alone cannot promise that: its pure-arithmetic
+kernels are bit-for-bit with the scalar path, but quantities routed
+through NumPy's SIMD transcendentals (``exp``, ``pow``, ``log``) can
+differ from libm in the last ulp (see the parity contract in
+:mod:`repro.batch.engine`).  So the executor splits the work by
+arithmetic class:
+
+* die geometry (multiply/divide/sqrt — exactly rounded, bit-identical
+  by IEEE-754) and the eq.-(4) die count (exact integer parity, and
+  the dominant scalar cost: a per-row Python loop in
+  :func:`~repro.geometry.wafer.dies_per_wafer_maly`) run **vectorized**
+  through :func:`repro.batch.engine.dies_per_wafer_batch`, reusing the
+  shared :class:`~repro.batch.cache.BatchCache`;
+* the cheap transcendental steps — eq.-(3) wafer cost (memoized per
+  unique λ) and eq.-(6/7) yield — run the **same scalar arithmetic**
+  as the reference path, operation for operation (either by calling
+  the same functions or by inlining their exact body with validation
+  hoisted to query construction), so they agree bitwise by
+  construction;
+* the final eq.-(1) division composes them elementwise in exactly the
+  scalar operation order.
+
+Because every step is elementwise in the unique points, results are
+independent of batch composition and order — the batch-boundary
+invariance the hypothesis suite (``tests/property_based/
+test_serve_parity.py``) enforces.  That same independence makes
+chunked execution safe: :func:`execute_group` may split a very large
+group across a thread pool and concatenate, without changing a bit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..batch.cache import BatchCache
+from ..batch.engine import _die_geometry, dies_per_wafer_batch
+from ..core.wafer_cost import WaferCostModel
+from ..errors import ParameterError
+from ..geometry.wafer import Wafer
+from ..yieldsim.models import ReferenceAreaYield
+from .query import CostQuery, ServedCost
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from concurrent.futures import Executor
+
+__all__ = ["GroupResult", "execute_group"]
+
+#: Matches the scalar reference's economic-feasibility cutoff in
+#: :func:`repro.core.optimization.transistor_cost_full`.
+_YIELD_CUTOFF = 1e-250
+
+
+@dataclass(frozen=True)
+class GroupResult:
+    """Array-valued results for one group's unique design points.
+
+    Tickets hold ``(GroupResult, slot)`` pairs; :meth:`served` and
+    :meth:`cost` fan a single point back out.  Materializing a
+    :class:`ServedCost` is deferred to the waiter so the flush loop
+    never pays per-request dataclass construction.
+    """
+
+    n_transistors: np.ndarray
+    feature_sizes_um: np.ndarray
+    wafer_cost_dollars: np.ndarray
+    die_area_cm2: np.ndarray
+    dies_per_wafer: np.ndarray
+    yield_value: np.ndarray
+    cost_per_transistor_dollars: np.ndarray
+    feasible: np.ndarray
+
+    def __len__(self) -> int:
+        return self.cost_per_transistor_dollars.size
+
+    def cost(self, slot: int) -> float:
+        """C_tr of unique point ``slot`` (inf where infeasible).
+
+        The array is converted to a plain Python-float list on first
+        access and memoized in ``__dict__`` — waiters fan out one
+        ``cost()`` per request, and list indexing is several times
+        cheaper than boxing a NumPy scalar each time.  (``tolist``
+        round-trips float64 exactly; a racing double-build is benign
+        because the conversion is idempotent.)
+        """
+        costs = self.__dict__.get("_costs")
+        if costs is None:
+            costs = self.__dict__["_costs"] = \
+                self.cost_per_transistor_dollars.tolist()
+        return costs[slot]
+
+    def served(self, slot: int) -> ServedCost:
+        """The full :class:`ServedCost` of unique point ``slot``."""
+        return ServedCost(
+            n_transistors=float(self.n_transistors[slot]),
+            feature_size_um=float(self.feature_sizes_um[slot]),
+            wafer_cost_dollars=float(self.wafer_cost_dollars[slot]),
+            die_area_cm2=float(self.die_area_cm2[slot]),
+            dies_per_wafer=int(self.dies_per_wafer[slot]),
+            yield_value=float(self.yield_value[slot]),
+            cost_per_transistor_dollars=float(
+                self.cost_per_transistor_dollars[slot]),
+            feasible=bool(self.feasible[slot]))
+
+
+def _compose_cost(c_w: np.ndarray, n_ch: np.ndarray, n: np.ndarray,
+                  y: np.ndarray, feasible: np.ndarray) -> np.ndarray:
+    # Exactly the scalar order: c_w / (n_ch * n_transistors * y), each
+    # product/quotient exactly rounded, so elementwise == the scalar.
+    with np.errstate(divide="ignore", over="ignore", invalid="ignore",
+                     under="ignore"):
+        cost = c_w / (n_ch * n * y)
+    return np.where(feasible, cost, np.inf)
+
+
+def _fab_group(exemplar, n: np.ndarray, lam: np.ndarray,
+               cache: BatchCache | None) -> GroupResult:
+    # Mirrors transistor_cost_full step for step.
+    fab = exemplar.fab
+    wafer = Wafer(radius_cm=fab.wafer_radius_cm)
+    width, height, area_cm2 = _die_geometry(n, fab.design_density, lam, 1.0)
+    n_ch = dies_per_wafer_batch(wafer, width, height, cache=cache)
+    wafer_cost = WaferCostModel(
+        reference_cost_dollars=fab.reference_cost_dollars,
+        cost_growth_rate=fab.cost_growth_rate)
+    c_w_by_lam: dict[float, float] = {}
+    c_w = np.empty(n.size, dtype=np.float64)
+    y = np.empty(n.size, dtype=np.float64)
+    d, coeff, p = fab.design_density, fab.defect_coefficient, \
+        fab.size_exponent_p
+    pure_cost = wafer_cost.pure_cost
+    cw_get = c_w_by_lam.get
+    exp = math.exp
+    # One fused pass: eq.-(7) yield with the *inlined* arithmetic of
+    # scaled_poisson_yield (validation already ran at query
+    # construction; the operation order is identical, so the result is
+    # bitwise equal — enforced by tests/property_based/
+    # test_serve_parity.py), and eq.-(3) wafer cost memoized per
+    # unique λ.
+    for i, (n_i, lam_i) in enumerate(zip(n.tolist(), lam.tolist())):
+        exponent = (n_i * d * (lam_i * lam_i) * 1.0e-8) \
+            * (coeff / lam_i ** p)
+        y[i] = 5e-324 if exponent > 700.0 else exp(-exponent)
+        cached = cw_get(lam_i)
+        if cached is None:
+            cached = c_w_by_lam[lam_i] = pure_cost(lam_i)
+        c_w[i] = cached
+    feasible = (n_ch >= 1) & (y >= _YIELD_CUTOFF)
+    return GroupResult(
+        n_transistors=n, feature_sizes_um=lam, wafer_cost_dollars=c_w,
+        die_area_cm2=area_cm2, dies_per_wafer=n_ch, yield_value=y,
+        cost_per_transistor_dollars=_compose_cost(c_w, n_ch, n, y, feasible),
+        feasible=feasible)
+
+
+def _model_group(exemplar, n: np.ndarray, lam: np.ndarray,
+                 cache: BatchCache | None) -> GroupResult:
+    # Mirrors TransistorCostModel.evaluate step for step, except that an
+    # unfittable die masks to an infeasible cell instead of raising.
+    model = exemplar.model
+    width, height, area_cm2 = _die_geometry(
+        n, exemplar.design_density, lam, exemplar.aspect_ratio)
+    n_ch = dies_per_wafer_batch(model.wafer, width, height, cache=cache)
+    y = np.empty(n.size, dtype=np.float64)
+    if exemplar.yield_value is not None:
+        y.fill(exemplar.yield_value)
+    elif isinstance(exemplar.yield_model, ReferenceAreaYield):
+        point_yield = exemplar.yield_model.yield_for_die_area
+        for i, a in enumerate(area_cm2.tolist()):
+            y[i] = point_yield(a)
+    else:
+        law = exemplar.yield_model
+        density = exemplar.defect_density_per_cm2
+        for i, a in enumerate(area_cm2.tolist()):
+            y[i] = law.yield_for_area(a, density)
+    c_w_by_lam: dict[float, float] = {}
+    c_w = np.empty(n.size, dtype=np.float64)
+    cw_get = c_w_by_lam.get
+    wafer_cost_dollars = model.wafer_cost_dollars
+    for i, lam_i in enumerate(lam.tolist()):
+        cached = cw_get(lam_i)
+        if cached is None:
+            cached = c_w_by_lam[lam_i] = wafer_cost_dollars(lam_i)
+        c_w[i] = cached
+    feasible = n_ch >= 1
+    return GroupResult(
+        n_transistors=n, feature_sizes_um=lam, wafer_cost_dollars=c_w,
+        die_area_cm2=area_cm2, dies_per_wafer=n_ch, yield_value=y,
+        cost_per_transistor_dollars=_compose_cost(c_w, n_ch, n, y, feasible),
+        feasible=feasible)
+
+
+_EXECUTORS = {"fab": _fab_group, "model": _model_group}
+
+
+def _concat(parts: list[GroupResult]) -> GroupResult:
+    if len(parts) == 1:
+        return parts[0]
+    return GroupResult(*(np.concatenate([getattr(p, f) for p in parts])
+                         for f in GroupResult.__dataclass_fields__))
+
+
+def execute_group(exemplar: CostQuery, points: list[tuple[float, float]],
+                  *, cache: BatchCache | None = None,
+                  pool: "Executor | None" = None,
+                  chunk_size: int = 4096) -> GroupResult:
+    """Price one coalesced group of unique ``(N_tr, λ)`` points.
+
+    ``exemplar`` is any query of the group (they share a signature, so
+    any member carries the group's model parameters).  When a ``pool``
+    is given and the group exceeds ``chunk_size`` points, contiguous
+    chunks are priced concurrently and concatenated — bitwise
+    invisible, since every step is elementwise in the points.
+    """
+    run = _EXECUTORS.get(exemplar.kind)
+    if run is None:
+        raise ParameterError(f"unknown query kind {exemplar.kind!r}")
+    n = np.array([p[0] for p in points], dtype=np.float64)
+    lam = np.array([p[1] for p in points], dtype=np.float64)
+    if chunk_size < 1:
+        raise ParameterError(f"chunk_size must be >= 1, got {chunk_size}")
+    if pool is None or n.size <= chunk_size:
+        return run(exemplar, n, lam, cache)
+    spans = range(0, n.size, chunk_size)
+    futures = [pool.submit(run, exemplar, n[lo:lo + chunk_size],
+                           lam[lo:lo + chunk_size], cache)
+               for lo in spans]
+    return _concat([f.result() for f in futures])
+
+
+def n_chunks(n_points: int, chunk_size: int) -> int:
+    """How many chunks :func:`execute_group` will split a group into."""
+    return max(1, math.ceil(n_points / max(1, chunk_size)))

@@ -1,5 +1,7 @@
 """Tests for :mod:`repro.batch.cache`."""
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -104,7 +106,21 @@ class TestBatchCache:
         assert cache.stats.evictions == 1
 
     def test_untouched_hit_rate_zero(self):
+        # Regression pin: hits + misses == 0 must yield 0.0, not a
+        # ZeroDivisionError — a service polls stats before traffic.
         assert BatchCache().stats.hit_rate == 0.0
+
+    def test_hit_rate_zero_after_clear_without_traffic(self):
+        cache = BatchCache()
+        cache.clear()
+        assert cache.stats.hit_rate == 0.0
+
+    def test_hit_rate_reflects_lifetime_traffic(self):
+        cache = BatchCache()
+        cache.get_or_compute("k", lambda: np.array([1.0]))
+        for _ in range(3):
+            cache.get_or_compute("k", lambda: np.array([1.0]))
+        assert cache.stats.hit_rate == 0.75
 
     def test_invalid_max_entries(self):
         with pytest.raises(ParameterError):
@@ -112,3 +128,68 @@ class TestBatchCache:
 
     def test_default_cache_is_singleton(self):
         assert default_cache() is default_cache()
+
+
+class TestConcurrentAccess:
+    """Regression: one BatchCache shared by concurrent sweeps.
+
+    The serve scheduler hands the same cache to every flush (and a
+    worker pool may hit it from several threads at once), so lookups,
+    insertions, evictions, ``len()`` and ``stats`` must all stay
+    coherent under contention.
+    """
+
+    def test_hammered_cache_stays_consistent(self):
+        cache = BatchCache(max_entries=16)
+        n_threads, per_thread = 8, 200
+        barrier = threading.Barrier(n_threads)
+        errors = []
+
+        def worker(tid):
+            try:
+                barrier.wait()
+                for i in range(per_thread):
+                    key = ("k", i % 24)  # contended + evicting key set
+                    value = cache.get_or_compute(
+                        key, lambda i=i: np.array([float(i % 24)]))
+                    assert value.shape == (1,)
+                    assert not value.flags.writeable
+                    len(cache)          # must never race the evictor
+                    cache.stats         # snapshot under contention
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(tid,))
+                   for tid in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        stats = cache.stats
+        # Every lookup is either a hit or a miss — none lost to races.
+        assert stats.hits + stats.misses == n_threads * per_thread
+        assert stats.entries == len(cache) <= 16
+
+    def test_concurrent_same_key_returns_equal_arrays(self):
+        cache = BatchCache()
+        results = [None] * 6
+        barrier = threading.Barrier(len(results))
+
+        def worker(slot):
+            barrier.wait()
+            results[slot] = cache.get_or_compute(
+                "shared", lambda: np.array([42.0]))
+
+        threads = [threading.Thread(target=worker, args=(slot,))
+                   for slot in range(len(results))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(np.array_equal(r, np.array([42.0])) for r in results)
+        stats = cache.stats
+        assert stats.hits + stats.misses == len(results)
+        # A same-key race may compute more than once, but the cache
+        # must keep exactly one live entry for the key.
+        assert stats.entries == 1

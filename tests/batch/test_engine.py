@@ -184,6 +184,40 @@ class TestYieldBatches:
             assert float(got[idx]) == Halved().yield_from_expectation(
                 float(areas[idx]))
 
+    def test_unknown_model_parity_through_evaluate_batch(self):
+        # The fallback loop must carry a custom subclass through the
+        # full composed eq.-(1) evaluation with scalar parity, not
+        # just through the yield kernel in isolation.
+        class Halved(YieldModel):
+            def yield_from_expectation(self, m: float) -> float:
+                """Toy 1/(1 + m/2) law exercising the fallback loop."""
+                return 1.0 / (1.0 + 0.5 * m)
+
+        model = TransistorCostModel(
+            wafer_cost=WaferCostModel(reference_cost_dollars=500.0,
+                                      cost_growth_rate=1.8),
+            wafer=Wafer(radius_cm=7.5))
+        law = Halved()
+        counts = np.geomspace(1e5, 5e6, 5)
+        lams = np.linspace(0.4, 1.5, 4)
+        result = evaluate_batch(
+            model, n_transistors=counts[:, None],
+            feature_sizes_um=lams[None, :], design_density=150.0,
+            yield_model=law, defect_density_per_cm2=0.6, cache=None)
+        for i, n_tr in enumerate(counts):
+            for j, lam in enumerate(lams):
+                scalar = model.evaluate(
+                    n_transistors=float(n_tr), feature_size_um=float(lam),
+                    design_density=150.0, yield_model=law,
+                    defect_density_per_cm2=0.6)
+                assert float(result.yield_value[i, j]) \
+                    == scalar.yield_value
+                assert int(result.dies_per_wafer[i, j]) \
+                    == scalar.dies_per_wafer
+                assert math.isclose(
+                    float(result.cost_per_transistor_dollars[i, j]),
+                    scalar.cost_per_transistor_dollars, rel_tol=RTOL)
+
 
 class TestTransistorCostBatch:
     def test_fig8_grid_matches_scalar(self):

@@ -1,0 +1,91 @@
+"""AsyncCostService: the asyncio front-end over the shared scheduler."""
+
+import asyncio
+
+import pytest
+
+from repro.core.optimization import FIG8_FAB, transistor_cost_full
+from repro.errors import BackpressureError
+from repro.serve import AsyncCostService, CostService, FabCostQuery
+
+
+class TestAsyncQueries:
+    def test_cost_matches_scalar_reference(self):
+        async def run():
+            async with AsyncCostService(cache=None) as svc:
+                return await svc.cost(FabCostQuery(3.1e6, 0.8))
+
+        got = asyncio.run(run())
+        assert got == transistor_cost_full(3.1e6, 0.8, FIG8_FAB)
+
+    def test_gathered_queries_coalesce_and_match(self):
+        queries = [FabCostQuery(2e5 * (i + 1), 0.5 + 0.01 * i)
+                   for i in range(30)]
+
+        async def run():
+            async with AsyncCostService(max_batch_size=64,
+                                        max_wait_s=0.002,
+                                        cache=None) as svc:
+                return await asyncio.gather(
+                    *(svc.cost(q) for q in queries))
+
+        got = asyncio.run(run())
+        want = [transistor_cost_full(q.n_transistors, q.feature_size_um,
+                                     FIG8_FAB) for q in queries]
+        assert got == want
+
+    def test_map_preserves_order(self):
+        queries = [FabCostQuery(1e6, 0.8), FabCostQuery(2e6, 0.6),
+                   FabCostQuery(3e6, 0.4)]
+
+        async def run():
+            async with AsyncCostService(cache=None) as svc:
+                return await svc.map(queries)
+
+        served = asyncio.run(run())
+        assert [s.n_transistors for s in served] \
+            == [q.n_transistors for q in queries]
+
+    def test_evaluate_returns_served_breakdown(self):
+        async def run():
+            async with AsyncCostService(cache=None) as svc:
+                return await svc.evaluate(FabCostQuery(3.1e6, 0.8))
+
+        served = asyncio.run(run())
+        assert served.feasible
+        assert served.cost_per_transistor_dollars \
+            == transistor_cost_full(3.1e6, 0.8, FIG8_FAB)
+
+
+class TestSharedScheduler:
+    def test_wrapping_shares_the_sync_scheduler(self):
+        svc = CostService(cache=None).start()
+        try:
+            async_svc = AsyncCostService(service=svc)
+            assert async_svc.scheduler is svc.scheduler
+
+            async def run():
+                async with async_svc:
+                    return await async_svc.cost(FabCostQuery(1e6, 0.8))
+
+            got = asyncio.run(run())
+            # The wrapped service is still open and usable afterwards.
+            assert svc.cost(FabCostQuery(1e6, 0.8)) == got
+        finally:
+            svc.close()
+
+
+class TestAsyncBackpressure:
+    def test_zero_timeout_surfaces_backpressure(self):
+        svc = CostService(max_queue_depth=2, max_batch_size=2,
+                          max_wait_s=60.0, cache=None)
+        sched = svc.scheduler
+        sched._started = True  # freeze the queue: nothing drains it
+        sched._pending = [object()] * 2
+
+        async def run():
+            async_svc = AsyncCostService(service=svc)
+            with pytest.raises(BackpressureError):
+                await async_svc.submit(FabCostQuery(1e6, 0.8), timeout=0)
+
+        asyncio.run(run())

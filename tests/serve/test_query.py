@@ -1,0 +1,137 @@
+"""Query/result types: validation, signatures, dedup coordinates."""
+
+import math
+
+import pytest
+
+from repro.core.optimization import FIG8_FAB, FabCharacterization
+from repro.core.transistor_cost import TransistorCostModel
+from repro.core.wafer_cost import WaferCostModel
+from repro.errors import ParameterError
+from repro.geometry import Wafer
+from repro.serve import FabCostQuery, ModelCostQuery, ServedCost
+from repro.yieldsim import PoissonYield, ReferenceAreaYield
+
+
+def _model(**kwargs):
+    return TransistorCostModel(
+        wafer_cost=WaferCostModel(reference_cost_dollars=500.0,
+                                  cost_growth_rate=1.8),
+        wafer=Wafer(radius_cm=7.5), **kwargs)
+
+
+class TestServedCost:
+    def _served(self, **overrides):
+        base = dict(n_transistors=1e6, feature_size_um=0.8,
+                    wafer_cost_dollars=700.0, die_area_cm2=1.0,
+                    dies_per_wafer=100, yield_value=0.5,
+                    cost_per_transistor_dollars=1.4e-5, feasible=True)
+        base.update(overrides)
+        return ServedCost(**base)
+
+    def test_derived_units(self):
+        served = self._served()
+        assert served.cost_per_transistor_microdollars == 14.0
+        assert served.good_dies_per_wafer == 50.0
+        assert served.cost_per_good_die_dollars == 700.0 / 50.0
+
+    def test_infeasible_good_die_cost_is_inf(self):
+        served = self._served(dies_per_wafer=0, feasible=False,
+                              cost_per_transistor_dollars=math.inf)
+        assert served.cost_per_good_die_dollars == math.inf
+        assert served.cost_per_transistor_microdollars == math.inf
+
+
+class TestFabCostQuery:
+    def test_defaults_to_fig8_fab(self):
+        assert FabCostQuery(1e6, 0.8).fab is FIG8_FAB
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(n_transistors=0.0, feature_size_um=0.8),
+        dict(n_transistors=1e6, feature_size_um=-1.0),
+    ])
+    def test_rejects_nonpositive_point(self, kwargs):
+        with pytest.raises(ParameterError):
+            FabCostQuery(**kwargs)
+
+    def test_rejects_non_fab(self):
+        with pytest.raises(ParameterError):
+            FabCostQuery(1e6, 0.8, fab="not a fab")
+
+    def test_signature_shared_across_points(self):
+        a = FabCostQuery(1e6, 0.8)
+        b = FabCostQuery(2e6, 0.5)
+        assert a.signature() == b.signature()
+        assert a.point() != b.point()
+
+    def test_signature_distinguishes_fabs(self):
+        other = FabCharacterization(
+            cost_growth_rate=FIG8_FAB.cost_growth_rate,
+            reference_cost_dollars=FIG8_FAB.reference_cost_dollars + 1.0,
+            wafer_radius_cm=FIG8_FAB.wafer_radius_cm,
+            design_density=FIG8_FAB.design_density,
+            defect_coefficient=FIG8_FAB.defect_coefficient,
+            size_exponent_p=FIG8_FAB.size_exponent_p)
+        assert FabCostQuery(1e6, 0.8).signature() \
+            != FabCostQuery(1e6, 0.8, fab=other).signature()
+
+    def test_signature_is_memoized(self):
+        query = FabCostQuery(1e6, 0.8)
+        assert query.signature() is query.signature()
+
+
+class TestModelCostQuery:
+    def test_requires_exactly_one_yield_spec(self):
+        model = _model()
+        with pytest.raises(ParameterError, match="exactly one"):
+            ModelCostQuery(1e6, 0.8, model=model, design_density=150.0)
+        with pytest.raises(ParameterError, match="exactly one"):
+            ModelCostQuery(1e6, 0.8, model=model, design_density=150.0,
+                           yield_value=0.7,
+                           yield_model=ReferenceAreaYield(0.7, 1.0))
+
+    def test_non_refarea_model_needs_density(self):
+        with pytest.raises(ParameterError, match="defect_density"):
+            ModelCostQuery(1e6, 0.8, model=_model(), design_density=150.0,
+                           yield_model=PoissonYield())
+
+    def test_rejects_bad_model(self):
+        with pytest.raises(ParameterError, match="TransistorCostModel"):
+            ModelCostQuery(1e6, 0.8, model=object(), design_density=150.0,
+                           yield_value=0.7)
+
+    def test_signature_distinguishes_yield_specs(self):
+        model = _model()
+        base = dict(model=model, design_density=150.0)
+        by_value = ModelCostQuery(1e6, 0.8, yield_value=0.7, **base)
+        by_law = ModelCostQuery(
+            1e6, 0.8, yield_model=ReferenceAreaYield(0.7, 1.0), **base)
+        by_density = ModelCostQuery(
+            1e6, 0.8, yield_model=PoissonYield(),
+            defect_density_per_cm2=0.5, **base)
+        sigs = {by_value.signature(), by_law.signature(),
+                by_density.signature()}
+        assert len(sigs) == 3
+
+    def test_equal_specs_coalesce(self):
+        model = _model()
+        a = ModelCostQuery(1e6, 0.8, model=model, design_density=150.0,
+                           yield_value=0.7)
+        b = ModelCostQuery(5e6, 1.2, model=model, design_density=150.0,
+                           yield_value=0.7)
+        assert a.signature() == b.signature()
+
+    def test_unhashable_custom_model_coalesces_by_identity(self):
+        class Weird(PoissonYield):
+            __hash__ = None  # type: ignore[assignment]
+
+        weird = Weird()
+        model = _model()
+        a = ModelCostQuery(1e6, 0.8, model=model, design_density=150.0,
+                           yield_model=weird, defect_density_per_cm2=0.5)
+        b = ModelCostQuery(2e6, 0.5, model=model, design_density=150.0,
+                           yield_model=weird, defect_density_per_cm2=0.5)
+        c = ModelCostQuery(2e6, 0.5, model=model, design_density=150.0,
+                           yield_model=Weird(), defect_density_per_cm2=0.5)
+        assert a.signature() == b.signature()
+        assert b.signature() != c.signature()

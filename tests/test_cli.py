@@ -148,3 +148,110 @@ class TestCommands:
         target = tmp_path / "r.md"
         assert main(["report", str(target)]) == 0
         assert "Headline checks" in target.read_text()
+
+
+class TestBatchIO:
+    """cost/optimize --input: file-driven batches through repro.serve."""
+
+    def _points_csv(self, tmp_path):
+        path = tmp_path / "points.csv"
+        path.write_text("transistors,feature_size,density,yield0\n"
+                        "3.1e6,0.8,150,\n"
+                        "1e6,0.5,,0.8\n")
+        return path
+
+    def test_cost_input_csv_emits_result_table(self, tmp_path, capsys):
+        rc = main(["cost", "--input", str(self._points_csv(tmp_path)),
+                   "--density", "150"])
+        assert rc == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("n_transistors,feature_size_um,")
+        assert len(lines) == 3  # header + one row per point
+
+    def test_cost_input_matches_scalar_evaluate(self, tmp_path, capsys):
+        import csv
+        import io
+
+        from repro.core import TransistorCostModel, WaferCostModel
+        from repro.geometry import Wafer
+        from repro.yieldsim import ReferenceAreaYield
+
+        rc = main(["cost", "--input", str(self._points_csv(tmp_path)),
+                   "--density", "150", "--c0", "700"])
+        assert rc == 0
+        rows = list(csv.DictReader(io.StringIO(capsys.readouterr().out)))
+        model = TransistorCostModel(
+            wafer_cost=WaferCostModel(reference_cost_dollars=700.0,
+                                      cost_growth_rate=1.8),
+            wafer=Wafer(radius_cm=7.5))
+        specs = [(3.1e6, 0.8, 0.7), (1e6, 0.5, 0.8)]
+        for row, (n, lam, y0) in zip(rows, specs):
+            want = model.evaluate(
+                n_transistors=n, feature_size_um=lam,
+                design_density=150.0,
+                yield_model=ReferenceAreaYield(reference_yield=y0,
+                                               reference_area_cm2=1.0))
+            assert float(row["cost_per_transistor_dollars"]) \
+                == want.cost_per_transistor_dollars
+            assert int(row["dies_per_wafer"]) == want.dies_per_wafer
+            assert row["feasible"] == "True"
+
+    def test_cost_input_json_columnar_output(self, tmp_path, capsys):
+        import json
+        path = tmp_path / "points.json"
+        path.write_text(json.dumps(
+            {"transistors": [3.1e6, 1e6], "feature_size": [0.8, 0.5]}))
+        rc = main(["cost", "--input", str(path), "--density", "150",
+                   "--format", "json"])
+        assert rc == 0
+        columns = json.loads(capsys.readouterr().out)
+        assert len(columns["cost_per_transistor_dollars"]) == 2
+        assert columns["feasible"] == [True, True]
+
+    def test_cost_without_input_requires_point_flags(self, capsys):
+        rc = main(["cost", "--feature-size", "0.8", "--density", "150"])
+        assert rc == 2
+        assert "--transistors is required" in capsys.readouterr().err
+
+    def test_cost_input_unknown_field_exit_2(self, tmp_path, capsys):
+        path = tmp_path / "points.csv"
+        path.write_text("transistors,feature_sise\n1e6,0.8\n")
+        rc = main(["cost", "--input", str(path), "--density", "150"])
+        assert rc == 2
+        assert "feature_sise" in capsys.readouterr().err
+
+    def test_cost_input_missing_density_exit_2(self, tmp_path, capsys):
+        path = tmp_path / "points.csv"
+        path.write_text("transistors,feature_size\n1e6,0.8\n")
+        rc = main(["cost", "--input", str(path)])
+        assert rc == 2
+        assert "--density is required" in capsys.readouterr().err
+
+    def test_optimize_input_csv(self, tmp_path, capsys):
+        from repro.core.optimization import optimal_feature_size_for_die_area
+        path = tmp_path / "areas.csv"
+        path.write_text("die_area\n0.5\n1.0\n")
+        rc = main(["optimize", "--input", str(path)])
+        assert rc == 0
+        import csv
+        import io
+        rows = list(csv.DictReader(io.StringIO(capsys.readouterr().out)))
+        assert len(rows) == 2
+        for row, area in zip(rows, (0.5, 1.0)):
+            lam, cost = optimal_feature_size_for_die_area(area)
+            assert float(row["optimal_feature_size_um"]) == lam
+            assert float(row["cost_per_transistor_dollars"]) == cost
+
+    def test_optimize_input_json_format(self, tmp_path, capsys):
+        import json
+        path = tmp_path / "areas.json"
+        path.write_text(json.dumps([{"die_area": 1.0}]))
+        rc = main(["optimize", "--input", str(path), "--format", "json"])
+        assert rc == 0
+        columns = json.loads(capsys.readouterr().out)
+        assert len(columns["optimal_feature_size_um"]) == 1
+
+    def test_optimize_without_input_requires_die_area(self, capsys):
+        rc = main(["optimize"])
+        assert rc == 2
+        assert "--die-area is required" in capsys.readouterr().err

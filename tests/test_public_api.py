@@ -23,6 +23,7 @@ SUBPACKAGES = [
     "repro.analysis",
     "repro.batch",
     "repro.obs",
+    "repro.serve",
 ]
 
 MODULES = [
@@ -59,6 +60,12 @@ MODULES = [
     "repro.obs.trace",
     "repro.obs.registry",
     "repro.obs.capture",
+    "repro.serve.query",
+    "repro.serve.executor",
+    "repro.serve.scheduler",
+    "repro.serve.service",
+    "repro.serve.aio",
+    "repro.serve.io",
     "repro.technology.roadmap",
     "repro.technology.fabline",
     "repro.technology.density",
@@ -135,7 +142,9 @@ def test_top_level_reexports():
                  "PoissonYield", "SCENARIO_1", "SCENARIO_2",
                  "evaluate_catalog", "GenerationModel", "LotResult",
                  "cross_validate_yield_batch",
-                 "obs", "span", "metrics", "get_trace"):
+                 "obs", "span", "metrics", "get_trace",
+                 "serve", "CostService", "AsyncCostService",
+                 "FabCostQuery", "ModelCostQuery", "ServedCost"):
         assert hasattr(repro, name)
 
 
