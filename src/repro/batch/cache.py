@@ -109,6 +109,42 @@ class BatchCache:
             _metrics.inc("batch.cache.evictions", evicted)
         return value
 
+    def prewarm(self, queries) -> int:
+        """Replay recorded cost queries into this cache; return uniques.
+
+        ``queries`` is any iterable of
+        :class:`repro.serve.query.CostQuery` — typically rebuilt from
+        a recorded traffic file (``python -m repro cost --prewarm
+        FILE``).  They are coalesced exactly the way a flush would
+        (grouped by signature, deduplicated by point) and priced
+        through the serve executor with *this* cache, so the
+        expensive memoized sub-results — eq.-(4) die-count arrays,
+        eq.-(3) wafer costs — are resident before live traffic
+        arrives.  A service whose flushes repeat the recorded grids
+        then starts at its steady-state hit rate instead of paying
+        the cold-start misses (see ``docs/serving.md``).
+
+        Returns the number of unique points evaluated.  The computed
+        group results are discarded — only the cache entries matter.
+        """
+        # Lazy import: repro.serve imports this module at load time.
+        from ..serve.executor import execute_group
+
+        groups: dict[Hashable, tuple[Any, dict]] = {}
+        for query in queries:
+            sig = query.signature()
+            entry = groups.get(sig)
+            if entry is None:
+                entry = groups[sig] = (query, {})
+            entry[1][query.point()] = None
+        total = 0
+        for exemplar, points in groups.values():
+            unique = list(points)
+            execute_group(exemplar, unique, cache=self)
+            total += len(unique)
+        _metrics.inc("batch.cache.prewarm.points", total)
+        return total
+
     def clear(self) -> None:
         """Drop every stored entry; lifetime counters are preserved.
 

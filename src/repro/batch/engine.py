@@ -97,6 +97,23 @@ _ROW_CHUNK_BUDGET = 1 << 22
 USE_DEFAULT_CACHE: Any = object()
 
 
+def _deliver(result: np.ndarray, out: np.ndarray | None) -> np.ndarray:
+    # The array-out contract shared by the cached kernels: with
+    # ``out=None`` the (possibly cached, read-only) result is returned
+    # as-is; otherwise it is copied into the caller's buffer — which
+    # may be a different-but-value-preserving dtype, e.g. the serve
+    # backend lands int64 die counts in a float64 shared-memory row
+    # (exact below 2^53).  ``out`` is returned so call sites read like
+    # the plain form.
+    if out is None:
+        return result
+    if out.shape != result.shape:
+        raise ParameterError(
+            f"out has shape {out.shape}, result needs {result.shape}")
+    np.copyto(out, result, casting="same_kind")
+    return out
+
+
 def _resolve_cache(cache: Any) -> BatchCache | None:
     if cache is USE_DEFAULT_CACHE:
         return default_cache()
@@ -175,12 +192,15 @@ def generations_batch(feature_sizes_um, reference_um: float = 1.0, *,
 
 def wafer_cost_batch(model: WaferCostModel, feature_sizes_um, *,
                      volume_wafers: float | None = None,
-                     cache: Any = USE_DEFAULT_CACHE) -> np.ndarray:
+                     cache: Any = USE_DEFAULT_CACHE,
+                     out: np.ndarray | None = None) -> np.ndarray:
     """Eq. (3) — C'_w(λ) over an array of λ, optionally with the
     eq.-(2) overhead term at ``volume_wafers``.
 
     Matches :meth:`WaferCostModel.pure_cost` /
     :meth:`WaferCostModel.cost_at_volume` elementwise to 1e-12.
+    With ``out`` the result is copied into the caller's buffer (e.g. a
+    shared-memory row) and that buffer is returned.
     """
     lam = _as_float_array("feature_sizes_um", feature_sizes_um)
     _require_all_positive("feature_sizes_um", lam)
@@ -204,7 +224,7 @@ def wafer_cost_batch(model: WaferCostModel, feature_sizes_um, *,
             return pure
         return pure + model.overhead_dollars / volume_wafers
 
-    return _cached(cache, key, compute)
+    return _deliver(_cached(cache, key, compute), out)
 
 
 # ---------------------------------------------------------------------------
@@ -213,7 +233,8 @@ def wafer_cost_batch(model: WaferCostModel, feature_sizes_um, *,
 
 def dies_per_wafer_batch(wafer: Wafer, width_cm, height_cm, *,
                          scribe_cm: float = 0.0,
-                         cache: Any = USE_DEFAULT_CACHE) -> np.ndarray:
+                         cache: Any = USE_DEFAULT_CACHE,
+                         out: np.ndarray | None = None) -> np.ndarray:
     """Eq. (4) over arrays of die sizes — exact integer parity with
     :func:`repro.geometry.wafer.dies_per_wafer_maly`.
 
@@ -221,6 +242,9 @@ def dies_per_wafer_batch(wafer: Wafer, width_cm, height_cm, *,
     int64 array of that broadcast shape (0 where the die does not fit).
     The per-row chord sum runs as array reductions, chunked so no
     temporary exceeds a fixed element budget regardless of batch size.
+    With ``out`` the counts are copied into the caller's buffer and
+    that buffer is returned — a float64 ``out`` (a shared-memory row)
+    holds them exactly, since a wafer bounds N_ch far below 2^53.
     """
     w = _as_float_array("width_cm", width_cm)
     h = _as_float_array("height_cm", height_cm)
@@ -237,7 +261,7 @@ def dies_per_wafer_batch(wafer: Wafer, width_cm, height_cm, *,
                                     w.ravel(), h.ravel(),
                                     float(scribe_cm)).reshape(w.shape)
 
-    return _cached(cache, key, compute)
+    return _deliver(_cached(cache, key, compute), out)
 
 
 def _dies_per_wafer_rows(radius: float, w: np.ndarray, h: np.ndarray,
@@ -329,12 +353,15 @@ def poisson_yield_batch(area_cm2, defect_density_per_cm2) -> np.ndarray:
 
 def scaled_poisson_yield_batch(n_transistors, design_density,
                                defect_coefficient, feature_sizes_um,
-                               p) -> np.ndarray:
+                               p, *,
+                               out: np.ndarray | None = None) -> np.ndarray:
     """Eq. (7): ``Y = exp[−N_tr·d_d·D / λ^{p−2}]`` over arrays.
 
     Preserves the scalar reference's underflow clamp: cells whose
     exponent exceeds 700 return the smallest positive denormal rather
     than 0.0, so callers dividing by Y never hit a zero division.
+    With ``out`` the yields land in the caller's buffer, which is
+    returned.
     """
     n = _as_float_array("n_transistors", n_transistors)
     d = _as_float_array("design_density", design_density)
@@ -352,7 +379,8 @@ def scaled_poisson_yield_batch(n_transistors, design_density,
     exponent = area_cm2 * d0_per_cm2
     with np.errstate(under="ignore"):
         y = np.exp(-exponent)
-    return np.where(exponent > _EXPONENT_CLAMP, _TINY_YIELD, y)
+    return _deliver(np.where(exponent > _EXPONENT_CLAMP, _TINY_YIELD, y),
+                    out)
 
 
 def yield_for_area_batch(model: YieldModel, area_cm2,

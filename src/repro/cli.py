@@ -106,18 +106,12 @@ def _require_flag(value: object, flag: str, why: str) -> None:
         raise ParameterError(f"{flag} is required {why}")
 
 
-def _cost_batch(args: argparse.Namespace) -> None:
-    from .serve import (
-        CostService,
-        ModelCostQuery,
-        format_served_csv,
-        format_served_json,
-        load_points,
-    )
+def _cost_queries_from_file(args: argparse.Namespace, path: str) -> list:
+    """Build ModelCostQuery objects from a point file (--input/--prewarm)."""
+    from .serve import ModelCostQuery, load_points
     model = _build_cost_model(args)
-    points = load_points(args.input)
     queries = []
-    for i, point in enumerate(points):
+    for i, point in enumerate(load_points(path)):
         transistors = point.get("transistors", args.transistors)
         feature_size = point.get("feature_size", args.feature_size)
         density = point.get("density", args.density)
@@ -137,15 +131,38 @@ def _cost_batch(args: argparse.Namespace) -> None:
             yield_model=ReferenceAreaYield(
                 reference_yield=point.get("yield0", args.yield0),
                 reference_area_cm2=1.0)))
-    with CostService() as service:
-        results = service.map(queries)
+    return queries
+
+
+def _cost_batch(args: argparse.Namespace) -> None:
+    import sys as _sys
+
+    from .serve import CostService, format_served_csv, format_served_json
+    service = CostService(backend=args.serve_backend,
+                          workers=args.serve_workers)
+    with service:
+        if args.prewarm is not None:
+            cache = service.scheduler.cache
+            warm_queries = _cost_queries_from_file(args, args.prewarm)
+            if cache is None:
+                print(f"prewarm skipped: caching disabled "
+                      f"({len(warm_queries)} queries ignored)",
+                      file=_sys.stderr)
+            else:
+                warmed = cache.prewarm(warm_queries)
+                print(f"prewarmed {warmed} unique points from "
+                      f"{len(warm_queries)} recorded queries",
+                      file=_sys.stderr)
+        if args.input is None:
+            return
+        results = service.map(_cost_queries_from_file(args, args.input))
     formatter = format_served_json if args.format == "json" \
         else format_served_csv
     print(formatter(results), end="")
 
 
 def _cmd_cost(args: argparse.Namespace) -> None:
-    if args.input is not None:
+    if args.input is not None or args.prewarm is not None:
         _cost_batch(args)
         return
     _require_flag(args.transistors, "--transistors", "without --input")
@@ -362,6 +379,16 @@ def build_parser() -> argparse.ArgumentParser:
                            "micro-batching service")
     cost.add_argument("--format", choices=("csv", "json"), default="csv",
                       help="batch output format (with --input)")
+    cost.add_argument("--prewarm", metavar="FILE", default=None,
+                      help="replay recorded points (CSV/JSON, same fields "
+                           "as --input) into the batch cache before "
+                           "serving; may be used without --input")
+    cost.add_argument("--serve-backend", default="auto",
+                      choices=("auto", "thread", "process"),
+                      help="execution backend for batch serving")
+    cost.add_argument("--serve-workers", type=int, default=1,
+                      help="worker count for the serving backend "
+                           "(threads or processes)")
 
     opt = add_parser("optimize",
                          help="cost-optimal feature size for a die area")

@@ -43,7 +43,18 @@ class BackpressureError(ServiceError):
     whose wait for queue space exceeded the caller's timeout.  This is
     the service's explicit backpressure signal: the caller should slow
     down, retry later, or raise the queue bound.
+
+    Instances carry two diagnostic attributes set by the scheduler:
+    ``queue_depth`` (how many requests were pending when the submit
+    gave up) and ``tickets`` (the tickets a partial bulk submit did
+    manage to enqueue — still live, still collectable).
     """
+
+    #: Pending requests at the moment the submit gave up.
+    queue_depth: int = 0
+
+    #: Tickets a partial bulk submission already enqueued.
+    tickets: list = []
 
 
 class ServiceClosedError(ServiceError):

@@ -18,10 +18,17 @@ Pieces:
   contract, enforced by ``tests/property_based/test_serve_parity.py``).
 * :class:`~repro.serve.scheduler.MicroBatchScheduler` — bounded queue
   with explicit backpressure, flush on max-batch-size or max-wait
-  (whichever first), signature coalescing + point dedup, chunked
-  execution over an optional worker pool, shared
-  :class:`~repro.batch.cache.BatchCache`, and
+  (whichever first, with an optional adaptive tick sized from the
+  observed arrival rate), signature coalescing + point dedup, and
   :mod:`repro.obs` spans/metrics per flush.
+* :mod:`repro.serve.backend` — the execution backends behind the
+  scheduler: :class:`~repro.serve.backend.ThreadBackend` (chunked
+  in-process execution) and
+  :class:`~repro.serve.backend.ProcessBackend` (flush payloads in
+  :class:`~repro.serve.shm.ShmBlock` shared memory, priced by a
+  persistent process pool — the GIL-free path for CPU-bound
+  flushes).  Both share the :class:`~repro.batch.cache.BatchCache`
+  exact-key memoization and are bitwise interchangeable.
 * :class:`~repro.serve.service.CostService` — the thread-safe
   synchronous client; :class:`~repro.serve.aio.AsyncCostService` —
   the asyncio front-end over the same scheduler.
@@ -33,6 +40,7 @@ See ``docs/serving.md`` for scheduler semantics and tuning, and
 """
 
 from .aio import AsyncCostService
+from .backend import BACKEND_CHOICES, ProcessBackend, ThreadBackend
 from .executor import GroupResult, execute_group
 from .io import (
     RESULT_FIELDS,
@@ -41,19 +49,25 @@ from .io import (
     load_points,
 )
 from .query import CostQuery, FabCostQuery, ModelCostQuery, ServedCost
-from .scheduler import CostTicket, MicroBatchScheduler
+from .scheduler import CostTicket, FlushRecord, MicroBatchScheduler
 from .service import CostService
+from .shm import ShmBlock
 
 __all__ = [
     "AsyncCostService",
+    "BACKEND_CHOICES",
     "CostQuery",
     "CostService",
     "CostTicket",
     "FabCostQuery",
+    "FlushRecord",
     "GroupResult",
     "MicroBatchScheduler",
     "ModelCostQuery",
+    "ProcessBackend",
     "ServedCost",
+    "ShmBlock",
+    "ThreadBackend",
     "RESULT_FIELDS",
     "execute_group",
     "format_served_csv",

@@ -58,6 +58,11 @@ class AsyncCostService:
                  max_queue_depth: int = 10_000,
                  chunk_size: int = 4096,
                  workers: int = 1,
+                 backend: str = "auto",
+                 process_threshold: int = 2048,
+                 adaptive: bool = False,
+                 wait_bounds: tuple[float, float] | None = None,
+                 flush_history: int = 0,
                  cache: Any = USE_DEFAULT_CACHE) -> None:
         if service is not None:
             self.scheduler: MicroBatchScheduler = service.scheduler
@@ -66,7 +71,10 @@ class AsyncCostService:
             self.scheduler = MicroBatchScheduler(
                 max_batch_size=max_batch_size, max_wait_s=max_wait_s,
                 max_queue_depth=max_queue_depth, chunk_size=chunk_size,
-                workers=workers, cache=cache)
+                workers=workers, backend=backend,
+                process_threshold=process_threshold, adaptive=adaptive,
+                wait_bounds=wait_bounds, flush_history=flush_history,
+                cache=cache)
             self._owns_scheduler = True
 
     # -- lifecycle -------------------------------------------------------

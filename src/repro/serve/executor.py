@@ -58,7 +58,8 @@ from .query import CostQuery, ServedCost
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from concurrent.futures import Executor
 
-__all__ = ["GroupResult", "execute_group"]
+__all__ = ["GroupResult", "GroupRows", "execute_group",
+           "execute_group_rows", "group_result_from_rows"]
 
 #: Matches the scalar reference's economic-feasibility cutoff in
 #: :func:`repro.core.optimization.transistor_cost_full`.
@@ -117,6 +118,73 @@ class GroupResult:
             feasible=bool(self.feasible[slot]))
 
 
+#: Row order of the result half of a shared flush matrix — rows 2..7 of
+#: a :class:`~repro.serve.shm.ShmBlock` (rows 0/1 are the N_tr/λ
+#: inputs).  Everything is stored as float64; die counts and the
+#: feasibility mask round-trip exactly (counts < 2^53, mask is 0/1).
+RESULT_ROW_FIELDS = ("wafer_cost_dollars", "die_area_cm2",
+                     "dies_per_wafer", "yield_value",
+                     "cost_per_transistor_dollars", "feasible")
+N_RESULT_ROWS = len(RESULT_ROW_FIELDS)
+
+
+class GroupRows:
+    """Caller-provided output buffers for one group evaluation.
+
+    Six float64 rows in :data:`RESULT_ROW_FIELDS` order, typically
+    views into a shared-memory matrix: the group executors write every
+    result in place, so a worker process returns nothing but its
+    observability payload.
+    """
+
+    __slots__ = RESULT_ROW_FIELDS
+
+    def __init__(self, wafer_cost_dollars: np.ndarray,
+                 die_area_cm2: np.ndarray, dies_per_wafer: np.ndarray,
+                 yield_value: np.ndarray,
+                 cost_per_transistor_dollars: np.ndarray,
+                 feasible: np.ndarray) -> None:
+        self.wafer_cost_dollars = wafer_cost_dollars
+        self.die_area_cm2 = die_area_cm2
+        self.dies_per_wafer = dies_per_wafer
+        self.yield_value = yield_value
+        self.cost_per_transistor_dollars = cost_per_transistor_dollars
+        self.feasible = feasible
+
+    @classmethod
+    def from_matrix(cls, matrix: np.ndarray) -> "GroupRows":
+        """Wrap the six rows of a ``(6, k)`` result matrix (no copies)."""
+        if matrix.shape[0] != N_RESULT_ROWS:
+            raise ParameterError(
+                f"result matrix needs {N_RESULT_ROWS} rows, "
+                f"got {matrix.shape[0]}")
+        return cls(*(matrix[i] for i in range(N_RESULT_ROWS)))
+
+
+def group_result_from_rows(n: np.ndarray, lam: np.ndarray,
+                           matrix: np.ndarray) -> GroupResult:
+    """Rebuild a :class:`GroupResult` from a filled ``(6, k)`` matrix.
+
+    Copies every row out of the (shared) buffer so the caller can
+    unlink the segment immediately, and restores the native dtypes:
+    die counts back to int64 (exact — see :mod:`repro.serve.shm`),
+    the feasibility row back to bool.
+    """
+    if matrix.shape[0] != N_RESULT_ROWS:
+        raise ParameterError(
+            f"result matrix needs {N_RESULT_ROWS} rows, "
+            f"got {matrix.shape[0]}")
+    return GroupResult(
+        n_transistors=np.array(n, dtype=np.float64),
+        feature_sizes_um=np.array(lam, dtype=np.float64),
+        wafer_cost_dollars=matrix[0].copy(),
+        die_area_cm2=matrix[1].copy(),
+        dies_per_wafer=matrix[2].astype(np.int64),
+        yield_value=matrix[3].copy(),
+        cost_per_transistor_dollars=matrix[4].copy(),
+        feasible=matrix[5] != 0.0)
+
+
 def _compose_cost(c_w: np.ndarray, n_ch: np.ndarray, n: np.ndarray,
                   y: np.ndarray, feasible: np.ndarray) -> np.ndarray:
     # Exactly the scalar order: c_w / (n_ch * n_transistors * y), each
@@ -128,18 +196,29 @@ def _compose_cost(c_w: np.ndarray, n_ch: np.ndarray, n: np.ndarray,
 
 
 def _fab_group(exemplar, n: np.ndarray, lam: np.ndarray,
-               cache: BatchCache | None) -> GroupResult:
-    # Mirrors transistor_cost_full step for step.
+               cache: BatchCache | None,
+               rows: GroupRows | None = None) -> GroupResult:
+    # Mirrors transistor_cost_full step for step.  With ``rows``, every
+    # result lands in the caller's buffers (the shared-memory path);
+    # the arithmetic — and therefore the bits — is identical either
+    # way, because float64 buffers hold the int64 die counts and the
+    # boolean mask exactly.
     fab = exemplar.fab
     wafer = Wafer(radius_cm=fab.wafer_radius_cm)
     width, height, area_cm2 = _die_geometry(n, fab.design_density, lam, 1.0)
-    n_ch = dies_per_wafer_batch(wafer, width, height, cache=cache)
+    n_ch = dies_per_wafer_batch(
+        wafer, width, height, cache=cache,
+        out=None if rows is None else rows.dies_per_wafer)
     wafer_cost = WaferCostModel(
         reference_cost_dollars=fab.reference_cost_dollars,
         cost_growth_rate=fab.cost_growth_rate)
     c_w_by_lam: dict[float, float] = {}
-    c_w = np.empty(n.size, dtype=np.float64)
-    y = np.empty(n.size, dtype=np.float64)
+    if rows is None:
+        c_w = np.empty(n.size, dtype=np.float64)
+        y = np.empty(n.size, dtype=np.float64)
+    else:
+        c_w = rows.wafer_cost_dollars
+        y = rows.yield_value
     d, coeff, p = fab.design_density, fab.defect_coefficient, \
         fab.size_exponent_p
     pure_cost = wafer_cost.pure_cost
@@ -160,22 +239,32 @@ def _fab_group(exemplar, n: np.ndarray, lam: np.ndarray,
             cached = c_w_by_lam[lam_i] = pure_cost(lam_i)
         c_w[i] = cached
     feasible = (n_ch >= 1) & (y >= _YIELD_CUTOFF)
+    cost = _compose_cost(c_w, n_ch, n, y, feasible)
+    if rows is not None:
+        rows.die_area_cm2[...] = area_cm2
+        rows.cost_per_transistor_dollars[...] = cost
+        rows.feasible[...] = feasible
+        area_cm2, cost = rows.die_area_cm2, rows.cost_per_transistor_dollars
     return GroupResult(
         n_transistors=n, feature_sizes_um=lam, wafer_cost_dollars=c_w,
         die_area_cm2=area_cm2, dies_per_wafer=n_ch, yield_value=y,
-        cost_per_transistor_dollars=_compose_cost(c_w, n_ch, n, y, feasible),
+        cost_per_transistor_dollars=cost,
         feasible=feasible)
 
 
 def _model_group(exemplar, n: np.ndarray, lam: np.ndarray,
-                 cache: BatchCache | None) -> GroupResult:
+                 cache: BatchCache | None,
+                 rows: GroupRows | None = None) -> GroupResult:
     # Mirrors TransistorCostModel.evaluate step for step, except that an
     # unfittable die masks to an infeasible cell instead of raising.
     model = exemplar.model
     width, height, area_cm2 = _die_geometry(
         n, exemplar.design_density, lam, exemplar.aspect_ratio)
-    n_ch = dies_per_wafer_batch(model.wafer, width, height, cache=cache)
-    y = np.empty(n.size, dtype=np.float64)
+    n_ch = dies_per_wafer_batch(
+        model.wafer, width, height, cache=cache,
+        out=None if rows is None else rows.dies_per_wafer)
+    y = np.empty(n.size, dtype=np.float64) if rows is None \
+        else rows.yield_value
     if exemplar.yield_value is not None:
         y.fill(exemplar.yield_value)
     elif isinstance(exemplar.yield_model, ReferenceAreaYield):
@@ -188,7 +277,8 @@ def _model_group(exemplar, n: np.ndarray, lam: np.ndarray,
         for i, a in enumerate(area_cm2.tolist()):
             y[i] = law.yield_for_area(a, density)
     c_w_by_lam: dict[float, float] = {}
-    c_w = np.empty(n.size, dtype=np.float64)
+    c_w = np.empty(n.size, dtype=np.float64) if rows is None \
+        else rows.wafer_cost_dollars
     cw_get = c_w_by_lam.get
     wafer_cost_dollars = model.wafer_cost_dollars
     for i, lam_i in enumerate(lam.tolist()):
@@ -197,10 +287,16 @@ def _model_group(exemplar, n: np.ndarray, lam: np.ndarray,
             cached = c_w_by_lam[lam_i] = wafer_cost_dollars(lam_i)
         c_w[i] = cached
     feasible = n_ch >= 1
+    cost = _compose_cost(c_w, n_ch, n, y, feasible)
+    if rows is not None:
+        rows.die_area_cm2[...] = area_cm2
+        rows.cost_per_transistor_dollars[...] = cost
+        rows.feasible[...] = feasible
+        area_cm2, cost = rows.die_area_cm2, rows.cost_per_transistor_dollars
     return GroupResult(
         n_transistors=n, feature_sizes_um=lam, wafer_cost_dollars=c_w,
         die_area_cm2=area_cm2, dies_per_wafer=n_ch, yield_value=y,
-        cost_per_transistor_dollars=_compose_cost(c_w, n_ch, n, y, feasible),
+        cost_per_transistor_dollars=cost,
         feasible=feasible)
 
 
@@ -240,6 +336,22 @@ def execute_group(exemplar: CostQuery, points: list[tuple[float, float]],
                            lam[lo:lo + chunk_size], cache)
                for lo in spans]
     return _concat([f.result() for f in futures])
+
+
+def execute_group_rows(exemplar: CostQuery, n: np.ndarray,
+                       lam: np.ndarray, rows: GroupRows, *,
+                       cache: BatchCache | None = None) -> None:
+    """Price unique points in place, writing into ``rows``.
+
+    The write-in-place form of :func:`execute_group` used by the
+    shared-memory process backend: ``n``/``lam`` are (views of) the
+    input rows, ``rows`` the six result rows of the same segment.
+    Same arithmetic, same bits — only the destination differs.
+    """
+    run = _EXECUTORS.get(exemplar.kind)
+    if run is None:
+        raise ParameterError(f"unknown query kind {exemplar.kind!r}")
+    run(exemplar, n, lam, cache, rows)
 
 
 def n_chunks(n_points: int, chunk_size: int) -> int:

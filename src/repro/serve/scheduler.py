@@ -15,11 +15,15 @@ as the traffic allows:
    ``(N_tr, λ)`` points within a group are deduplicated, and every
    waiter receives its own result view (dedup is invisible to
    callers).
-3. **Execute** — each group runs through
-   :func:`repro.serve.executor.execute_group`: vectorized where the
-   batch engine is bit-exact, scalar-parity elsewhere, chunked across
-   the optional worker pool when a flush is very large, and always
-   reusing the shared :class:`~repro.batch.cache.BatchCache`.
+3. **Execute** — each group runs on an execution *backend*
+   (:mod:`repro.serve.backend`): the thread backend chunks
+   :func:`repro.serve.executor.execute_group` across an optional
+   thread pool; the process backend packs the group into a
+   shared-memory block and prices slices on a persistent process
+   pool, sidestepping the GIL for CPU-bound flushes.  ``backend=``
+   picks one explicitly, or ``"auto"`` routes each group by size
+   (``process_threshold``).  Both reuse the shared
+   :class:`~repro.batch.cache.BatchCache` and produce identical bits.
 4. **Fan out** — tickets are completed under one condition broadcast
    per flush (no per-request locks on the hot path), and registered
    callbacks (the asyncio bridge) fire after completion.
@@ -27,12 +31,21 @@ as the traffic allows:
 Backpressure is explicit: the pending queue is bounded by
 ``max_queue_depth`` and :meth:`submit` either blocks for space (up to
 a timeout) or raises :class:`~repro.errors.BackpressureError`
-immediately when ``timeout=0``.
+immediately when ``timeout=0`` (the error carries ``queue_depth``).
+
+The tick is fixed by default; with ``adaptive=True`` the scheduler
+tracks an EWMA of the arrival rate and of flush occupancy
+(:class:`_AdaptiveTick`) and re-sizes the wait window inside
+``wait_bounds`` after every flush — tiny waits under bursty load
+(batches fill anyway), longer waits when traffic trickles (better
+coalescing per flush).
 
 Observability (:mod:`repro.obs`, off by default): a ``serve.flush``
 span per flush; counters ``serve.requests`` / ``serve.flushes`` /
-``serve.groups`` / ``serve.dedup.duplicates`` / ``serve.chunks``;
-gauge ``serve.queue.depth``; histograms ``serve.flush.occupancy``,
+``serve.groups`` / ``serve.dedup.duplicates`` / ``serve.chunks`` /
+``serve.backend.{thread,process}.groups`` (and ``serve.shm.*`` from
+the process backend); gauges ``serve.queue.depth`` and
+``serve.adaptive.wait_s``; histograms ``serve.flush.occupancy``,
 ``serve.flush.seconds`` and ``serve.request.latency_seconds``.  Every
 hook is guarded so the disabled-observability overhead stays inside
 the < 3% contract of ``benchmarks/bench_obs_overhead.py``.
@@ -42,8 +55,8 @@ from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Callable, Iterable, Sequence
+from collections import deque
+from typing import Any, Callable, Iterable, NamedTuple, Sequence
 
 from ..batch.cache import BatchCache
 from ..batch.engine import USE_DEFAULT_CACHE, _resolve_cache
@@ -54,10 +67,11 @@ from ..errors import (
 )
 from ..obs import metrics as _metrics, span as _span
 from ..obs.state import enabled as _obs_enabled
-from .executor import GroupResult, execute_group, n_chunks
+from .backend import ProcessBackend, ThreadBackend, validate_backend
+from .executor import GroupResult
 from .query import CostQuery, ServedCost
 
-__all__ = ["CostTicket", "MicroBatchScheduler"]
+__all__ = ["CostTicket", "FlushRecord", "MicroBatchScheduler"]
 
 _PENDING = 0
 _DONE = 1
@@ -149,6 +163,80 @@ class _Group:
         self.members: list[CostTicket] = []
 
 
+class FlushRecord(NamedTuple):
+    """One flush's shape, kept when ``flush_history`` is enabled.
+
+    ``wait_s`` is the tick window that was in force when the flush
+    fired (the adaptive tick re-sizes it *after* each flush), and
+    ``duration_s`` covers coalescing + execution + fan-out.
+    """
+
+    requests: int
+    unique: int
+    groups: int
+    wait_s: float
+    duration_s: float
+
+
+class _AdaptiveTick:
+    """EWMA arrival-rate / occupancy tracker that sizes the tick.
+
+    The wait window targets the time the queue needs to fill one
+    batch at the observed rate — ``max_batch_size / rate`` — clamped
+    to the configured bounds.  Bursty traffic therefore gets a tiny
+    window (batches fill on their own; waiting only adds latency),
+    while a trickle gets a long one (the only way those requests ever
+    coalesce).  An occupancy EWMA short-circuits the rate estimate:
+    when recent flushes run essentially full, the window pins to the
+    lower bound regardless of the (noisy) instantaneous rate.
+
+    Updates happen on the flusher thread only, once per flush — no
+    locking, no per-request cost.
+    """
+
+    __slots__ = ("lo", "hi", "alpha", "batch", "rate", "occupancy",
+                 "_t_prev")
+
+    #: EWMA smoothing weight of the newest observation.
+    ALPHA = 0.3
+    #: Occupancy above which the window pins to the lower bound.
+    FULL_OCCUPANCY = 0.9
+
+    def __init__(self, lo: float, hi: float, batch: int) -> None:
+        self.lo = lo
+        self.hi = hi
+        self.alpha = self.ALPHA
+        self.batch = batch
+        self.rate = 0.0
+        self.occupancy = 0.0
+        self._t_prev: float | None = None
+
+    def update(self, n_requests: int, now: float) -> float | None:
+        """Fold one flush in; return the next wait window (or None).
+
+        ``None`` means "no opinion yet" — the first flush has no
+        inter-flush interval to estimate a rate from.
+        """
+        occ = n_requests / self.batch
+        self.occupancy = self.alpha * occ \
+            + (1.0 - self.alpha) * self.occupancy
+        if self._t_prev is None:
+            self._t_prev = now
+            return None
+        dt = now - self._t_prev
+        self._t_prev = now
+        if dt <= 0.0:
+            return None
+        inst = n_requests / dt
+        self.rate = inst if self.rate == 0.0 \
+            else self.alpha * inst + (1.0 - self.alpha) * self.rate
+        if self.occupancy >= self.FULL_OCCUPANCY:
+            return self.lo
+        if self.rate <= 0.0:
+            return self.hi
+        return min(self.hi, max(self.lo, self.batch / self.rate))
+
+
 class MicroBatchScheduler:
     """Aggregates small cost queries into few vectorized evaluations.
 
@@ -164,12 +252,35 @@ class MicroBatchScheduler:
         :class:`~repro.errors.BackpressureError`.
     chunk_size, workers:
         Flushes whose unique-point count exceeds ``chunk_size`` are
-        split across a pool of ``workers`` threads (``workers=1``
-        executes inline).
+        split across ``workers`` execution lanes of the selected
+        backend (``workers=1`` on the thread backend executes
+        inline).
+    backend:
+        ``"thread"`` (the in-process chunked path), ``"process"``
+        (every group through the shared-memory process pool), or
+        ``"auto"`` (default): groups of at least ``process_threshold``
+        unique points go to the process pool when ``workers > 1``,
+        everything else stays on threads.  Bitwise identical either
+        way — see :mod:`repro.serve.backend`.
+    process_threshold:
+        The ``"auto"`` crossover, in unique points per group.  Below
+        it, shared-memory setup costs more than the GIL does.
+    adaptive, wait_bounds:
+        ``adaptive=True`` re-sizes the tick window after every flush
+        within ``wait_bounds = (lo, hi)`` seconds (default
+        ``(max_wait_s / 8, max_wait_s * 8)``) from EWMAs of arrival
+        rate and flush occupancy; ``adaptive=False`` (default) keeps
+        the fixed ``max_wait_s`` tick exactly as before.
+    flush_history:
+        Keep the last N :class:`FlushRecord` shapes in
+        :attr:`recent_flushes` (0 disables; benches and the adaptive
+        tests read them).
     cache:
         The :class:`~repro.batch.cache.BatchCache` shared by every
         flush (and safely by other users — it is thread-safe).
         Defaults to the process-wide cache; pass ``None`` to disable.
+        (Process-backend workers memoize in their own per-process
+        caches; ``None`` disables those too.)
     """
 
     def __init__(self, *, max_batch_size: int = 256,
@@ -177,6 +288,11 @@ class MicroBatchScheduler:
                  max_queue_depth: int = 10_000,
                  chunk_size: int = 4096,
                  workers: int = 1,
+                 backend: str = "auto",
+                 process_threshold: int = 2048,
+                 adaptive: bool = False,
+                 wait_bounds: tuple[float, float] | None = None,
+                 flush_history: int = 0,
                  cache: Any = USE_DEFAULT_CACHE) -> None:
         if max_batch_size < 1:
             raise ParameterError(
@@ -193,12 +309,43 @@ class MicroBatchScheduler:
                 f"chunk_size must be >= 1, got {chunk_size}")
         if workers < 1:
             raise ParameterError(f"workers must be >= 1, got {workers}")
+        if process_threshold < 1:
+            raise ParameterError(
+                f"process_threshold must be >= 1, got {process_threshold}")
+        if flush_history < 0:
+            raise ParameterError(
+                f"flush_history must be >= 0, got {flush_history}")
+        if wait_bounds is not None and not adaptive:
+            raise ParameterError("wait_bounds requires adaptive=True")
         self.max_batch_size = max_batch_size
         self.max_wait_s = max_wait_s
         self.max_queue_depth = max_queue_depth
         self.chunk_size = chunk_size
         self.workers = workers
+        self.backend = validate_backend(backend)
+        self.process_threshold = process_threshold
+        self.adaptive = adaptive
         self.cache: BatchCache | None = _resolve_cache(cache)
+
+        if adaptive:
+            lo, hi = wait_bounds if wait_bounds is not None \
+                else (max_wait_s / 8.0, max_wait_s * 8.0)
+            if not 0.0 <= lo <= hi:
+                raise ParameterError(
+                    f"wait_bounds must satisfy 0 <= lo <= hi, "
+                    f"got ({lo}, {hi})")
+            self.wait_bounds: tuple[float, float] | None = (lo, hi)
+            self._tick: _AdaptiveTick | None = _AdaptiveTick(
+                lo, hi, max_batch_size)
+            self._wait_s = min(hi, max(lo, max_wait_s))
+            self._wait_hi = hi
+        else:
+            self.wait_bounds = None
+            self._tick = None
+            self._wait_s = max_wait_s
+            self._wait_hi = max_wait_s
+        self._history: deque[FlushRecord] | None = \
+            deque(maxlen=flush_history) if flush_history else None
 
         self._lock = threading.Lock()
         self._work = threading.Condition(self._lock)
@@ -209,22 +356,33 @@ class MicroBatchScheduler:
         self._closing = False
         self._started = False
         self._thread: threading.Thread | None = None
-        self._pool: ThreadPoolExecutor | None = None
+        self._thread_backend: ThreadBackend | None = None
+        self._process_backend: ProcessBackend | None = None
 
     # -- lifecycle -------------------------------------------------------
 
     def start(self) -> "MicroBatchScheduler":
-        """Start the flusher thread (idempotent)."""
+        """Start the flusher thread and backends (idempotent)."""
         with self._lock:
             if self._closing:
                 raise ServiceClosedError("scheduler already closed")
             if self._started:
                 return self
             self._started = True
-        if self.workers > 1:
-            self._pool = ThreadPoolExecutor(
-                max_workers=self.workers,
-                thread_name_prefix="repro-serve-worker")
+        if self.backend != "process":
+            self._thread_backend = ThreadBackend(self.workers,
+                                                 self.chunk_size)
+            self._thread_backend.start()
+        if self.backend == "process" or (self.backend == "auto"
+                                         and self.workers > 1):
+            self._process_backend = ProcessBackend(self.workers,
+                                                   self.chunk_size)
+            if self.backend == "process":
+                # Fork the workers now, from the caller's thread,
+                # instead of inside the first flush.  "auto" stays
+                # lazy — its pool spins up only if a group ever
+                # crosses the size threshold.
+                self._process_backend.start()
         self._thread = threading.Thread(target=self._run,
                                         name="repro-serve-flusher",
                                         daemon=True)
@@ -243,9 +401,12 @@ class MicroBatchScheduler:
             self._space.notify_all()
         if thread is not None:
             thread.join()
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        if self._thread_backend is not None:
+            self._thread_backend.close()
+            self._thread_backend = None
+        if self._process_backend is not None:
+            self._process_backend.close()
+            self._process_backend = None
 
     def __enter__(self) -> "MicroBatchScheduler":
         return self.start()
@@ -258,6 +419,21 @@ class MicroBatchScheduler:
         """Number of requests currently pending (pre-flush)."""
         with self._lock:
             return len(self._pending)
+
+    @property
+    def current_wait_s(self) -> float:
+        """The tick window currently in force.
+
+        Equals ``max_wait_s`` on a fixed tick; moves inside
+        ``wait_bounds`` when ``adaptive=True``.  (Written only by the
+        flusher thread; reading races are benign.)
+        """
+        return self._wait_s
+
+    @property
+    def recent_flushes(self) -> list[FlushRecord]:
+        """The last ``flush_history`` flush shapes, oldest first."""
+        return list(self._history) if self._history is not None else []
 
     # -- submission ------------------------------------------------------
 
@@ -316,6 +492,7 @@ class MicroBatchScheduler:
                             f"queue full ({self.max_queue_depth} pending); "
                             f"enqueued {i} of {len(queries)} queries")
                         exc.tickets = tickets
+                        exc.queue_depth = len(self._pending)
                         raise exc
                     self._space.wait(remaining)
                     continue
@@ -330,7 +507,10 @@ class MicroBatchScheduler:
                     # grace period exists to let *independent* single
                     # submits pile up, so a sweep's deadline is born
                     # expired and the flusher drains it immediately.
-                    self._oldest_enqueued = now - self.max_wait_s
+                    # Backdate by the *upper* wait bound: the adaptive
+                    # tick never grows the window past it, so the
+                    # deadline stays expired whatever the tick does.
+                    self._oldest_enqueued = now - self._wait_hi
                     self._work.notify()
                 elif was_empty:
                     self._oldest_enqueued = time.monotonic()
@@ -354,7 +534,7 @@ class MicroBatchScheduler:
                 # Tick: wait out the remainder of the oldest request's
                 # grace period unless the batch is already full.
                 if not self._closing:
-                    deadline = self._oldest_enqueued + self.max_wait_s
+                    deadline = self._oldest_enqueued + self._wait_s
                     while len(self._pending) < self.max_batch_size \
                             and not self._closing:
                         remaining = deadline - time.monotonic()
@@ -368,11 +548,32 @@ class MicroBatchScheduler:
                 # period has already elapsed and the next iteration
                 # drains them without another wait.
                 self._space.notify_all()
+            t_drain = time.monotonic() if self._tick is not None else 0.0
             self._flush(drained)
+            if self._tick is not None:
+                # Rate is estimated from drain-to-drain intervals; the
+                # re-sized window applies from the *next* tick, so the
+                # flush above recorded the wait that produced it.
+                want = self._tick.update(len(drained), t_drain)
+                if want is not None:
+                    self._wait_s = want
+                    if _obs_enabled():
+                        _metrics.set_gauge("serve.adaptive.wait_s", want)
+
+    def _backend_for(self, n_points: int):
+        # Explicit "process" routes everything to shared memory; on
+        # "auto", only groups big enough to amortize block setup (and
+        # only when workers > 1, else the pool cannot help).
+        process = self._process_backend
+        if process is not None and (self.backend == "process"
+                                    or n_points >= self.process_threshold):
+            return process
+        return self._thread_backend
 
     def _flush(self, tickets: list[CostTicket]) -> None:
         obs_on = _obs_enabled()
-        t0 = time.perf_counter() if obs_on else 0.0
+        record = self._history is not None
+        t0 = time.perf_counter() if (obs_on or record) else 0.0
         groups: dict[Any, _Group] = {}
         groups_get = groups.get  # hot loop: bind lookups once
         for ticket in tickets:
@@ -390,26 +591,37 @@ class MicroBatchScheduler:
             ticket._slot = slot
             group.members.append(ticket)
         unique = sum(len(g.points) for g in groups.values())
+        chunk_total = 0
+        backend_groups: dict[str, int] = {}
         with _span("serve.flush", requests=len(tickets), unique=unique,
                    groups=len(groups)):
             for group in groups.values():
+                backend = self._backend_for(len(group.points))
+                if obs_on:
+                    chunk_total += backend.n_chunks_for(len(group.points))
+                    backend_groups[backend.name] = \
+                        backend_groups.get(backend.name, 0) + 1
                 try:
-                    result = execute_group(
-                        group.exemplar, group.points, cache=self.cache,
-                        pool=self._pool, chunk_size=self.chunk_size)
+                    result = backend.run_group(group.exemplar,
+                                               group.points, self.cache)
                 except BaseException as exc:  # propagate to every waiter
                     self._complete(group.members, None, exc)
                 else:
                     self._complete(group.members, result, None)
+        if record:
+            assert self._history is not None
+            self._history.append(FlushRecord(
+                requests=len(tickets), unique=unique, groups=len(groups),
+                wait_s=self._wait_s,
+                duration_s=time.perf_counter() - t0))
         if obs_on:
             now = time.perf_counter()
             _metrics.inc("serve.flushes")
             _metrics.inc("serve.groups", len(groups))
             _metrics.inc("serve.dedup.duplicates", len(tickets) - unique)
-            for group in groups.values():
-                _metrics.inc("serve.chunks",
-                             n_chunks(len(group.points), self.chunk_size)
-                             if self._pool is not None else 1)
+            _metrics.inc("serve.chunks", chunk_total)
+            for name, count in backend_groups.items():
+                _metrics.inc(f"serve.backend.{name}.groups", count)
             _metrics.observe("serve.flush.occupancy",
                              len(tickets) / self.max_batch_size)
             _metrics.observe("serve.flush.seconds", now - t0)

@@ -41,9 +41,10 @@ class CostService:
     Keyword arguments are forwarded verbatim to
     :class:`~repro.serve.scheduler.MicroBatchScheduler` — see it for
     the tuning surface (``max_batch_size``, ``max_wait_s``,
-    ``max_queue_depth``, ``chunk_size``, ``workers``, ``cache``).
-    The flusher thread starts lazily on first submit (or explicitly
-    via :meth:`start` / ``with``).
+    ``max_queue_depth``, ``chunk_size``, ``workers``, ``backend``,
+    ``process_threshold``, ``adaptive``, ``wait_bounds``,
+    ``flush_history``, ``cache``).  The flusher thread starts lazily
+    on first submit (or explicitly via :meth:`start` / ``with``).
     """
 
     def __init__(self, *, max_batch_size: int = 256,
@@ -51,11 +52,19 @@ class CostService:
                  max_queue_depth: int = 10_000,
                  chunk_size: int = 4096,
                  workers: int = 1,
+                 backend: str = "auto",
+                 process_threshold: int = 2048,
+                 adaptive: bool = False,
+                 wait_bounds: tuple[float, float] | None = None,
+                 flush_history: int = 0,
                  cache: Any = USE_DEFAULT_CACHE) -> None:
         self.scheduler = MicroBatchScheduler(
             max_batch_size=max_batch_size, max_wait_s=max_wait_s,
             max_queue_depth=max_queue_depth, chunk_size=chunk_size,
-            workers=workers, cache=cache)
+            workers=workers, backend=backend,
+            process_threshold=process_threshold, adaptive=adaptive,
+            wait_bounds=wait_bounds, flush_history=flush_history,
+            cache=cache)
 
     # -- lifecycle -------------------------------------------------------
 

@@ -259,23 +259,31 @@ def simulate_lot_sharded(sim: "SpotDefectSimulator", n_wafers: int,
         for i in range(n_wafers)))
 
 
-def _run_pool(fn: Callable, argsets: list[tuple]) -> list:
+def _run_pool(fn: Callable, argsets: list[tuple],
+              pool: ProcessPoolExecutor | None = None) -> list:
     # Submit fn(*args) per argset on a process pool, one worker each.
     # Infrastructure failures (pool cannot fork/spawn, payload cannot
     # pickle, pool dies mid-flight) degrade to the sequential schedule;
     # model errors raised inside a worker propagate unchanged because
     # they are not in the caught set.  Shared by the sharded MC paths
-    # here and in :mod:`repro.yieldsim.spatial`.
+    # here and in :mod:`repro.yieldsim.spatial`, and — with a
+    # long-lived ``pool`` — by the serve process backend
+    # (:mod:`repro.serve.backend`), which amortizes worker startup
+    # across flushes instead of paying it per call.  A caller-owned
+    # pool is never shut down here, even when it turns out broken.
     import warnings
 
     try:
-        with ProcessPoolExecutor(max_workers=len(argsets)) as pool:
+        if pool is not None:
             futures = [pool.submit(fn, *args) for args in argsets]
+            return [f.result() for f in futures]
+        with ProcessPoolExecutor(max_workers=len(argsets)) as tmp_pool:
+            futures = [tmp_pool.submit(fn, *args) for args in argsets]
             return [f.result() for f in futures]
     except (OSError, RuntimeError, ImportError, pickle.PicklingError,
             TypeError) as exc:
         warnings.warn(
-            f"process-pool sharding unavailable ({exc!r}); "
-            f"simulating the lot sequentially on the same seed schedule",
+            f"process-pool execution unavailable ({exc!r}); "
+            f"running the same schedule sequentially in-process",
             ParallelExecutionWarning, stacklevel=2)
         return [fn(*args) for args in argsets]

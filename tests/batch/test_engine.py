@@ -375,3 +375,59 @@ class TestScenarioBatches:
                 float(lam), 200.0, reference_yield=0.7,
                 reference_area_cm2=1.0, die_area_cm2=0.8)
             assert math.isclose(float(got[k]), expected, rel_tol=RTOL)
+
+
+class TestArrayOut:
+    def test_wafer_cost_out_buffer_is_returned_and_filled(self):
+        model = WaferCostModel(reference_cost_dollars=500.0,
+                               cost_growth_rate=1.8)
+        lam = np.array([0.5, 0.8, 1.2])
+        plain = wafer_cost_batch(model, lam, cache=None)
+        out = np.empty(3, dtype=np.float64)
+        got = wafer_cost_batch(model, lam, cache=None, out=out)
+        assert got is out
+        assert (out == plain).all()
+
+    def test_out_shape_mismatch_rejected(self):
+        model = WaferCostModel(reference_cost_dollars=500.0,
+                               cost_growth_rate=1.8)
+        with pytest.raises(ParameterError):
+            wafer_cost_batch(model, [0.5, 0.8], cache=None,
+                             out=np.empty(3))
+
+    def test_die_counts_land_exactly_in_float64_out(self):
+        wafer = Wafer(radius_cm=7.5)
+        width = np.array([0.3, 0.8, 1.4, 20.0])  # last one never fits
+        height = np.array([0.4, 0.6, 1.4, 20.0])
+        counts = dies_per_wafer_batch(wafer, width, height, cache=None)
+        out = np.empty(4, dtype=np.float64)
+        got = dies_per_wafer_batch(wafer, width, height, cache=None,
+                                   out=out)
+        assert got is out
+        assert counts.dtype == np.int64
+        assert (out.astype(np.int64) == counts).all()
+
+    def test_cache_hit_is_copied_into_out(self):
+        # The cached array is frozen; out= must hand the caller a
+        # writable copy, never the read-only cache entry itself.
+        cache = BatchCache()
+        model = WaferCostModel(reference_cost_dollars=500.0,
+                               cost_growth_rate=1.8)
+        lam = np.array([0.5, 0.8])
+        first = wafer_cost_batch(model, lam, cache=cache)
+        out = np.empty(2, dtype=np.float64)
+        got = wafer_cost_batch(model, lam, cache=cache, out=out)
+        assert got is out
+        assert (out == first).all()
+        out[0] = -1.0  # caller may scribble on its buffer...
+        again = wafer_cost_batch(model, lam, cache=cache)
+        assert again[0] == first[0]  # ...without corrupting the cache
+
+    def test_yield_out_buffer(self):
+        y = scaled_poisson_yield_batch([1e6, 2e6], 150.0, 1.0,
+                                       [0.8, 0.8], 3.0)
+        out = np.empty(2, dtype=np.float64)
+        got = scaled_poisson_yield_batch([1e6, 2e6], 150.0, 1.0,
+                                         [0.8, 0.8], 3.0, out=out)
+        assert got is out
+        assert (out == y).all()

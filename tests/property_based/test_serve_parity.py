@@ -180,3 +180,58 @@ class TestAsyncParity:
         assert sync_served == async_served
         for (n, lam), result in zip(points, sync_served):
             _assert_bitwise(result, transistor_cost_full(n, lam))
+
+
+class TestExecutionMatrixParity:
+    """PR-5 quantifiers: backend choice, worker count, shm chunk size,
+    and the adaptive tick must all be bitwise invisible."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(points=st.lists(point_strategy, min_size=4, max_size=24),
+           workers=st.integers(min_value=1, max_value=3),
+           chunk_size=st.integers(min_value=1, max_value=7),
+           max_batch_size=st.integers(min_value=2, max_value=16))
+    def test_process_backend_matches_thread_backend(
+            self, points, workers, chunk_size, max_batch_size):
+        queries = [FabCostQuery(n, lam) for n, lam in points]
+        reference = _serve(queries, backend="thread", workers=1)
+        process = _serve(queries, backend="process", workers=workers,
+                         chunk_size=chunk_size,
+                         max_batch_size=max_batch_size)
+        assert process == reference
+        for (n, lam), result in zip(points, reference):
+            _assert_bitwise(result, transistor_cost_full(n, lam))
+
+    @settings(max_examples=8, deadline=None)
+    @given(points=st.lists(point_strategy, min_size=2, max_size=20),
+           lo=st.floats(min_value=1e-5, max_value=1e-3),
+           span=st.floats(min_value=1.0, max_value=50.0))
+    def test_adaptive_tick_matches_fixed_tick(self, points, lo, span):
+        queries = [FabCostQuery(n, lam) for n, lam in points]
+        fixed = _serve(queries, max_batch_size=4)
+        adaptive = _serve(queries, max_batch_size=4, adaptive=True,
+                          wait_bounds=(lo, lo * span))
+        assert adaptive == fixed
+
+    def test_model_queries_cross_the_process_boundary_bitwise(self):
+        # ModelCostQuery exemplars (model + yield law) are pickled to
+        # the pool; the answers must still match the scalar evaluate().
+        model = TransistorCostModel(
+            wafer_cost=WaferCostModel(reference_cost_dollars=640.0,
+                                      cost_growth_rate=1.7),
+            wafer=Wafer(radius_cm=7.5))
+        law = ReferenceAreaYield(reference_yield=0.8,
+                                 reference_area_cm2=1.0)
+        points = [(1e5 * (i + 1), 0.35 + 0.04 * i) for i in range(25)]
+        queries = [ModelCostQuery(n, lam, model=model,
+                                  design_density=120.0, yield_model=law)
+                   for n, lam in points]
+        served = _serve(queries, backend="process", workers=2,
+                        chunk_size=4, max_batch_size=32)
+        for (n, lam), result in zip(points, served):
+            want = model.evaluate(n_transistors=n, feature_size_um=lam,
+                                  design_density=120.0, yield_model=law)
+            assert result.cost_per_transistor_dollars \
+                == want.cost_per_transistor_dollars
+            assert result.yield_value == want.yield_value
+            assert result.dies_per_wafer == want.dies_per_wafer

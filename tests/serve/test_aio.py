@@ -89,3 +89,50 @@ class TestAsyncBackpressure:
                 await async_svc.submit(FabCostQuery(1e6, 0.8), timeout=0)
 
         asyncio.run(run())
+
+
+class TestCancellation:
+    def test_cancelled_waiter_neither_leaks_nor_wedges(self):
+        # A caller that gives up (asyncio.wait_for timeout) cancels its
+        # future while the ticket is still pending.  The scheduler must
+        # still complete the ticket (no leak in the flush loop), the
+        # cancelled future must stay cancelled (no InvalidStateError on
+        # the loop), and the service must keep serving afterwards.
+        async def run():
+            async with AsyncCostService(max_batch_size=1000,
+                                        max_wait_s=0.2,
+                                        cache=None) as svc:
+                with pytest.raises(asyncio.TimeoutError):
+                    # The tick (200 ms) far exceeds the caller's
+                    # patience (5 ms): the wait is cancelled mid-flight.
+                    await asyncio.wait_for(
+                        svc.evaluate(FabCostQuery(1e6, 0.8)),
+                        timeout=0.005)
+                # The flush loop is alive: later traffic is served.
+                got = await asyncio.wait_for(
+                    svc.cost(FabCostQuery(2e6, 0.6)), timeout=10.0)
+                # ...and the abandoned ticket was flushed, not leaked.
+                assert svc.scheduler.queue_depth == 0
+                return got
+
+        got = asyncio.run(run())
+        assert got == transistor_cost_full(2e6, 0.6, FIG8_FAB)
+
+    def test_many_cancelled_waiters_then_bulk_traffic(self):
+        queries = [FabCostQuery(1e5 * (i + 1), 0.8) for i in range(20)]
+
+        async def run():
+            async with AsyncCostService(max_batch_size=1000,
+                                        max_wait_s=0.2,
+                                        cache=None) as svc:
+                futures = [await svc.submit(q) for q in queries]
+                for future in futures:
+                    future.cancel()
+                # The cancelled wave must not poison the next one.
+                return await asyncio.wait_for(svc.map(queries),
+                                              timeout=10.0)
+
+        served = asyncio.run(run())
+        want = [transistor_cost_full(q.n_transistors, q.feature_size_um,
+                                     FIG8_FAB) for q in queries]
+        assert [s.cost_per_transistor_dollars for s in served] == want

@@ -14,7 +14,6 @@ from repro.errors import (
 )
 from repro.serve import FabCostQuery, MicroBatchScheduler
 from repro.serve.scheduler import CostTicket
-from repro.serve import scheduler as scheduler_module
 
 
 def _queries(n, lam=0.8):
@@ -152,8 +151,9 @@ class TestFailureFanOut:
         def explode(*args, **kwargs):
             raise boom
 
-        monkeypatch.setattr(scheduler_module, "execute_group", explode)
-        with MicroBatchScheduler(max_batch_size=4, cache=None) as sched:
+        monkeypatch.setattr("repro.serve.backend.execute_group", explode)
+        with MicroBatchScheduler(max_batch_size=4, cache=None,
+                                 backend="thread") as sched:
             tickets = sched.submit_many(_queries(4))
             for ticket in tickets:
                 with pytest.raises(RuntimeError, match="executor exploded"):
@@ -237,3 +237,171 @@ class TestObservability:
             obs.metrics.reset()
             (obs_state.STATE.tracing,
              obs_state.STATE.metrics) = prev
+
+
+class TestNewValidation:
+    @pytest.mark.parametrize("kwargs", [
+        dict(backend="fiber"),
+        dict(process_threshold=0),
+        dict(flush_history=-1),
+        dict(wait_bounds=(0.001, 0.01)),            # requires adaptive
+        dict(adaptive=True, wait_bounds=(0.01, 0.001)),  # lo > hi
+        dict(adaptive=True, wait_bounds=(-0.001, 0.01)),
+    ])
+    def test_bad_parameters(self, kwargs):
+        with pytest.raises(ParameterError):
+            MicroBatchScheduler(**kwargs)
+
+    def test_backend_choices_accepted(self):
+        for backend in ("auto", "thread", "process"):
+            sched = MicroBatchScheduler(backend=backend)  # never started
+            assert sched.backend == backend
+
+
+class TestAdaptiveTick:
+    def test_fixed_tick_by_default(self):
+        sched = MicroBatchScheduler(max_wait_s=0.004)
+        assert sched.current_wait_s == 0.004
+        assert sched.wait_bounds is None
+
+    def test_default_bounds_bracket_max_wait(self):
+        sched = MicroBatchScheduler(max_wait_s=0.008, adaptive=True)
+        lo, hi = sched.wait_bounds
+        assert lo == 0.001 and hi == 0.064
+        assert lo <= sched.current_wait_s <= hi
+
+    def test_update_has_no_opinion_on_first_flush(self):
+        from repro.serve.scheduler import _AdaptiveTick
+        tick = _AdaptiveTick(lo=0.001, hi=0.1, batch=100)
+        assert tick.update(50, now=10.0) is None
+
+    def test_fast_arrivals_shrink_the_window(self):
+        from repro.serve.scheduler import _AdaptiveTick
+        tick = _AdaptiveTick(lo=0.001, hi=0.1, batch=100)
+        now = 0.0
+        tick.update(10, now)
+        # 10 requests every 1 ms -> rate ~1e4/s -> want 100/1e4 = 10 ms.
+        for _ in range(30):
+            now += 0.001
+            want = tick.update(10, now)
+        assert want == pytest.approx(0.01, rel=0.05)
+
+    def test_trickle_grows_to_the_upper_bound(self):
+        from repro.serve.scheduler import _AdaptiveTick
+        tick = _AdaptiveTick(lo=0.001, hi=0.05, batch=100)
+        now = 0.0
+        tick.update(1, now)
+        # 1 request per second: filling a batch would take 100 s —
+        # clamped to hi.
+        for _ in range(10):
+            now += 1.0
+            want = tick.update(1, now)
+        assert want == 0.05
+
+    def test_full_flushes_pin_to_the_lower_bound(self):
+        from repro.serve.scheduler import _AdaptiveTick
+        tick = _AdaptiveTick(lo=0.001, hi=0.1, batch=100)
+        now = 0.0
+        tick.update(100, now)
+        # Saturated: every flush drains a full batch, whatever the
+        # instantaneous rate estimate says.
+        for _ in range(20):
+            now += 0.5
+            want = tick.update(100, now)
+        assert tick.occupancy > tick.FULL_OCCUPANCY
+        assert want == 0.001
+
+    def test_zero_interval_is_skipped(self):
+        from repro.serve.scheduler import _AdaptiveTick
+        tick = _AdaptiveTick(lo=0.001, hi=0.1, batch=100)
+        tick.update(10, now=5.0)
+        assert tick.update(10, now=5.0) is None
+
+    def test_adaptive_scheduler_serves_bitwise_results(self):
+        queries = _queries(40)
+        want = [transistor_cost_full(q.n_transistors, q.feature_size_um,
+                                     FIG8_FAB) for q in queries]
+        with MicroBatchScheduler(max_batch_size=8, max_wait_s=0.001,
+                                 adaptive=True,
+                                 wait_bounds=(0.0001, 0.004),
+                                 cache=None) as sched:
+            tickets = [sched.submit(q) for q in queries]
+            got = [t.cost(timeout=5.0) for t in tickets]
+            lo, hi = sched.wait_bounds
+            assert lo <= sched.current_wait_s <= hi
+        assert got == want
+
+
+class TestFlushHistory:
+    def test_disabled_by_default(self):
+        with MicroBatchScheduler(max_batch_size=4, cache=None) as sched:
+            sched.submit_many(_queries(4))
+            for t in sched._pending:
+                pass
+        assert sched.recent_flushes == []
+
+    def test_records_flush_shapes(self):
+        with MicroBatchScheduler(max_batch_size=4, max_wait_s=0.001,
+                                 flush_history=8, cache=None) as sched:
+            query = FabCostQuery(1e6, 0.8)
+            tickets = sched.submit_many([query, query] + _queries(2))
+            for ticket in tickets:
+                ticket.result(timeout=5.0)
+        records = sched.recent_flushes
+        assert len(records) == 1
+        rec = records[0]
+        assert rec.requests == 4
+        assert rec.unique == 3           # the duplicated point coalesced
+        assert rec.groups == 1
+        assert rec.wait_s == 0.001
+        assert rec.duration_s > 0.0
+
+    def test_history_is_bounded(self):
+        with MicroBatchScheduler(max_batch_size=2, max_wait_s=0.001,
+                                 flush_history=3, cache=None) as sched:
+            tickets = sched.submit_many(_queries(16))
+            for ticket in tickets:
+                ticket.result(timeout=5.0)
+        assert len(sched.recent_flushes) == 3
+
+
+class TestBackpressureDiagnostics:
+    def test_error_carries_queue_depth(self):
+        sched = MicroBatchScheduler(max_batch_size=2, max_queue_depth=3,
+                                    max_wait_s=60.0, cache=None)
+        sched._started = True  # freeze: no flusher drains the queue
+        sched._pending = [object()] * 3
+        with pytest.raises(BackpressureError) as excinfo:
+            sched.submit(FabCostQuery(1e6, 0.8), timeout=0)
+        assert excinfo.value.queue_depth == 3
+        assert excinfo.value.tickets == []
+
+
+class TestBackendRouting:
+    def test_explicit_process_backend_routes_everything(self):
+        with MicroBatchScheduler(backend="process", workers=2,
+                                 max_batch_size=4, max_wait_s=0.001,
+                                 cache=None) as sched:
+            assert sched._thread_backend is None
+            assert sched._process_backend is not None
+            assert sched._backend_for(1).name == "process"
+            queries = _queries(4)
+            tickets = sched.submit_many(queries)
+            got = [t.cost(timeout=10.0) for t in tickets]
+        want = [transistor_cost_full(q.n_transistors, q.feature_size_um,
+                                     FIG8_FAB) for q in queries]
+        assert got == want
+
+    def test_auto_routes_by_group_size(self):
+        with MicroBatchScheduler(backend="auto", workers=2,
+                                 process_threshold=10,
+                                 cache=None) as sched:
+            assert sched._backend_for(9).name == "thread"
+            assert sched._backend_for(10).name == "process"
+
+    def test_auto_single_worker_never_uses_processes(self):
+        with MicroBatchScheduler(backend="auto", workers=1,
+                                 process_threshold=2,
+                                 cache=None) as sched:
+            assert sched._process_backend is None
+            assert sched._backend_for(10_000).name == "thread"

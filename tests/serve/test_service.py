@@ -2,6 +2,8 @@
 
 import threading
 
+import pytest
+
 from repro.batch.cache import BatchCache
 from repro.core.optimization import FIG8_FAB, transistor_cost_full
 from repro.core.transistor_cost import TransistorCostModel
@@ -107,3 +109,67 @@ class TestConcurrentSubmitters:
             for t in threads:
                 t.join()
         assert not errors
+
+
+class TestConstructorForwarding:
+    def test_backend_knobs_reach_the_scheduler(self):
+        svc = CostService(backend="process", workers=3,
+                          process_threshold=512, adaptive=True,
+                          wait_bounds=(0.0005, 0.05), flush_history=16)
+        sched = svc.scheduler
+        assert sched.backend == "process"
+        assert sched.workers == 3
+        assert sched.process_threshold == 512
+        assert sched.adaptive
+        assert sched.wait_bounds == (0.0005, 0.05)
+        assert sched.recent_flushes == []  # history armed but empty
+
+    def test_async_facade_forwards_the_same_knobs(self):
+        from repro.serve import AsyncCostService
+        svc = AsyncCostService(backend="thread", adaptive=True,
+                               flush_history=4)
+        assert svc.scheduler.backend == "thread"
+        assert svc.scheduler.adaptive
+
+
+class TestProcessBackpressure:
+    def test_queue_fills_while_shm_flush_in_flight(self, monkeypatch):
+        import threading as _threading
+
+        from repro.errors import BackpressureError
+        from repro.serve import ProcessBackend
+
+        started = _threading.Event()
+        release = _threading.Event()
+        original = ProcessBackend.run_group
+
+        def gated(self, exemplar, points, cache):
+            started.set()
+            assert release.wait(timeout=10.0)
+            return original(self, exemplar, points, cache)
+
+        monkeypatch.setattr(ProcessBackend, "run_group", gated)
+        queries = [FabCostQuery(1e5 * (i + 1), 0.8) for i in range(4)]
+        with CostService(backend="process", workers=2, max_batch_size=2,
+                         max_queue_depth=2, max_wait_s=0.001,
+                         cache=None) as svc:
+            # First pair drains into a flush that parks inside the
+            # (gated) shared-memory backend...
+            in_flight = svc.submit_many(queries[:2])
+            assert started.wait(timeout=5.0)
+            # ...so the next pair refills the bounded queue, and one
+            # more non-blocking submit must surface backpressure with
+            # the observed depth attached.
+            queued = svc.submit_many(queries[2:])
+            with pytest.raises(BackpressureError) as excinfo:
+                svc.submit(FabCostQuery(9e6, 0.7), timeout=0)
+            assert excinfo.value.queue_depth == 2
+            release.set()
+            # Recovery: both waves land with correct numbers and the
+            # service accepts new traffic.
+            got = [t.cost(timeout=10.0) for t in in_flight + queued]
+            extra = svc.cost(FabCostQuery(5e6, 0.8))
+        want = [transistor_cost_full(q.n_transistors, q.feature_size_um,
+                                     FIG8_FAB) for q in queries]
+        assert got == want
+        assert extra == transistor_cost_full(5e6, 0.8, FIG8_FAB)

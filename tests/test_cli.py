@@ -255,3 +255,50 @@ class TestBatchIO:
         rc = main(["optimize"])
         assert rc == 2
         assert "--die-area is required" in capsys.readouterr().err
+
+
+class TestServeFlags:
+    """cost --serve-backend/--serve-workers/--prewarm."""
+
+    def _points_csv(self, tmp_path):
+        path = tmp_path / "points.csv"
+        path.write_text("transistors,feature_size,density,yield0\n"
+                        "3.1e6,0.8,150,\n"
+                        "1e6,0.5,,0.8\n")
+        return path
+
+    def test_process_backend_output_matches_default(self, tmp_path,
+                                                    capsys):
+        path = str(self._points_csv(tmp_path))
+        assert main(["cost", "--input", path, "--density", "150"]) == 0
+        default_out = capsys.readouterr().out
+        assert main(["cost", "--input", path, "--density", "150",
+                     "--serve-backend", "process",
+                     "--serve-workers", "2"]) == 0
+        process_out = capsys.readouterr().out
+        assert process_out == default_out
+
+    def test_unknown_backend_rejected_by_parser(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["cost", "--serve-backend", "fiber",
+                  "--transistors", "1e6", "--feature-size", "0.8",
+                  "--density", "150"])
+
+    def test_prewarm_only_reports_unique_points(self, tmp_path, capsys):
+        rc = main(["cost", "--prewarm", str(self._points_csv(tmp_path)),
+                   "--density", "150"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "prewarmed 2 unique points from 2 recorded queries" \
+            in captured.err
+        assert captured.out == ""
+
+    def test_prewarm_then_input_serves_batch(self, tmp_path, capsys):
+        path = str(self._points_csv(tmp_path))
+        rc = main(["cost", "--input", path, "--prewarm", path,
+                   "--density", "150"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "prewarmed 2 unique points" in captured.err
+        lines = captured.out.strip().splitlines()
+        assert len(lines) == 3  # header + one row per point
