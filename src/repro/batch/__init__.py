@@ -22,7 +22,10 @@ Entry points:
 * :func:`~repro.batch.crossval.cross_validate_yield_batch` — the
   closed-form-vs-Monte-Carlo consumer: one density sweep through the
   batched yield kernels and through process-sharded simulator lots
-  (``workers=`` forwards to :mod:`repro.yieldsim.parallel`).
+  (``workers=`` forwards to :mod:`repro.yieldsim.parallel`),
+* :class:`~repro.batch.sweep.TiledSweepRunner` — million-point tiled
+  mega-sweeps over the shared-memory process pool, with checkpoint/
+  resume (see :mod:`repro.batch.sweep`).
 
 See ``docs/performance.md`` for the parity contract and measured
 speedups.
@@ -45,6 +48,15 @@ from .engine import (
     wafer_cost_batch,
     yield_for_area_batch,
 )
+from .sweep import (
+    DieAreaCostSweep,
+    FabCostSweep,
+    ScenarioSweep,
+    SweepPlan,
+    SweepResult,
+    Tile,
+    TiledSweepRunner,
+)
 
 __all__ = [
     "BatchCache",
@@ -66,4 +78,11 @@ __all__ = [
     "scenario2_cost_batch",
     "YieldCrossValidation",
     "cross_validate_yield_batch",
+    "DieAreaCostSweep",
+    "FabCostSweep",
+    "ScenarioSweep",
+    "SweepPlan",
+    "SweepResult",
+    "Tile",
+    "TiledSweepRunner",
 ]

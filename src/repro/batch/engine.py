@@ -100,16 +100,22 @@ USE_DEFAULT_CACHE: Any = object()
 def _deliver(result: np.ndarray, out: np.ndarray | None) -> np.ndarray:
     # The array-out contract shared by the cached kernels: with
     # ``out=None`` the (possibly cached, read-only) result is returned
-    # as-is; otherwise it is copied into the caller's buffer — which
-    # may be a different-but-value-preserving dtype, e.g. the serve
-    # backend lands int64 die counts in a float64 shared-memory row
-    # (exact below 2^53).  ``out`` is returned so call sites read like
-    # the plain form.
+    # as-is; otherwise it is copied into the caller's float64 buffer.
+    # The shape must match exactly (no broadcasting: an out= caller is
+    # landing results in a preallocated slab, and a silently broadcast
+    # write would corrupt its neighbors) and the dtype must be float64
+    # (np.copyto would otherwise silently downcast, e.g. into a
+    # float32 buffer).  int64 results — the eq.-(4) die counts — land
+    # exactly in float64 below 2^53, which a wafer guarantees.  ``out``
+    # is returned so call sites read like the plain form.
     if out is None:
         return result
     if out.shape != result.shape:
         raise ParameterError(
             f"out has shape {out.shape}, result needs {result.shape}")
+    if out.dtype != np.float64:
+        raise ParameterError(
+            f"out must be a float64 buffer, got dtype {out.dtype}")
     np.copyto(out, result, casting="same_kind")
     return out
 

@@ -11,6 +11,10 @@ Usage::
     python -m repro optimize --input areas.csv --format csv
     python -m repro scenarios --lam-lo 0.25 --lam-hi 1.0
     python -m repro simulate --lot-size 25 --workers 4 --seed 7
+    python -m repro sweep --ntr-points 1000 --lam-points 1000 \\
+        --workers 4 --backend process --tile-size 65536 \\
+        --checkpoint runs/fig8 --output landscape.npy
+    python -m repro sweep --checkpoint runs/fig8 --resume ...
 
 Everything prints plain text (ASCII charts/tables); exit code 0 on
 success, 2 on bad arguments.
@@ -22,7 +26,14 @@ or ``--format json`` columnar arrays — the
 :class:`~repro.batch.engine.BatchCostResult` convention.  ``cost``
 batches are priced through :class:`repro.serve.CostService`, so a
 10,000-point file costs a handful of vectorized evaluations, not
-10,000 scalar ones.
+10,000 scalar ones; ``optimize`` batches run one tiled sweep through
+:func:`repro.core.optimization.optimal_feature_size_for_die_areas`.
+
+``sweep`` evaluates a full (λ, N_tr) Fig.-8 landscape through
+:class:`repro.batch.sweep.TiledSweepRunner` — tiled, optionally on
+the shared-memory process pool (``--workers/--backend/--tile-size``),
+optionally checkpointed and resumable (``--checkpoint DIR``,
+``--resume``); see ``docs/performance.md`` ("Mega-sweeps").
 
 Every command also accepts the observability flags from
 ``docs/observability.md``: ``--trace FILE`` writes the run's span tree
@@ -198,14 +209,18 @@ def _optimize_batch(args: argparse.Namespace) -> None:
     import io as _io
     import json as _json
 
+    from .core.optimization import optimal_feature_size_for_die_areas
     from .serve import load_points
-    rows = []
+    areas = []
     for i, point in enumerate(load_points(args.input)):
         area = point.get("die_area")
         _require_flag(area, "die_area",
                       f"(point {i} has no die_area field)")
-        lam, cost = optimal_feature_size_for_die_area(area)
-        rows.append((area, lam, cost, cost * 1e6))
+        areas.append(area)
+    lams, costs = optimal_feature_size_for_die_areas(
+        areas, workers=args.workers, backend=args.backend)
+    rows = [(area, float(lam), float(cost), float(cost) * 1e6)
+            for area, lam, cost in zip(areas, lams, costs)]
     if args.format == "json":
         columns = {name: [row[i] for row in rows]
                    for i, name in enumerate(_OPTIMIZE_FIELDS)}
@@ -229,6 +244,48 @@ def _cmd_optimize(args: argparse.Namespace) -> None:
         ("optimal feature size [um]", lam),
         ("cost per transistor at optimum [$1e-6]", cost * 1e6),
     ]))
+
+
+def _cmd_sweep(args: argparse.Namespace) -> None:
+    import numpy as np
+
+    from .batch.sweep import FabCostSweep, TiledSweepRunner
+    if args.ntr_points < 1 or args.lam_points < 1:
+        raise ParameterError("--ntr-points and --lam-points must be >= 1")
+    counts = np.geomspace(args.ntr_lo, args.ntr_hi, args.ntr_points)
+    lams = np.linspace(args.lam_lo, args.lam_hi, args.lam_points)
+    with TiledSweepRunner(backend=args.backend, workers=args.workers,
+                          tile_size=args.tile_size,
+                          checkpoint_dir=args.checkpoint,
+                          resume=args.resume) as runner:
+        result = runner.run(FabCostSweep(), counts, lams)
+    if args.output:
+        np.save(args.output, result.values)
+    grid = result.values
+    finite = np.isfinite(grid)
+    stats = result.stats
+    rows = [
+        ("grid points", float(grid.size)),
+        ("feasible cells", float(np.count_nonzero(finite))),
+        ("tiles (computed/resumed/total)",
+         f"{stats['tiles_computed']} / {stats['tiles_resumed']} / "
+         f"{stats['tiles_total']}"),
+        ("tile shape", f"{stats['tile_rows']} x {stats['tile_cols']}"),
+        ("backend", stats["backend"]),
+        ("workers", float(stats["workers"])),
+        ("seconds", stats["seconds"]),
+    ]
+    at = result.argmin()
+    if at is not None:
+        i, j = at
+        rows += [
+            ("min cost per transistor [$1e-6]", grid[i, j] * 1e6),
+            ("optimal feature size [um]", float(lams[j])),
+            ("optimal transistor count", float(counts[i])),
+        ]
+    if args.output:
+        rows.append(("saved grid", args.output))
+    print(ascii_table(("quantity", "value"), rows))
 
 
 def _cmd_scenarios(args: argparse.Namespace) -> None:
@@ -398,6 +455,46 @@ def build_parser() -> argparse.ArgumentParser:
                      help="optimize every die_area in FILE (.csv or .json)")
     opt.add_argument("--format", choices=("csv", "json"), default="csv",
                      help="batch output format (with --input)")
+    opt.add_argument("--workers", type=int, default=None,
+                     help="worker count for the batch coarse-scan sweep "
+                          "(with --input; results are identical for any "
+                          "value)")
+    opt.add_argument("--backend", default="auto",
+                     choices=("auto", "thread", "process"),
+                     help="sweep backend for the batch coarse scan")
+
+    sweep = add_parser(
+        "sweep",
+        help="tiled (lambda, N_tr) cost landscape, optionally on the "
+             "shared-memory process pool")
+    sweep.add_argument("--ntr-lo", type=float, default=1e5,
+                       help="smallest transistor count (geometric axis)")
+    sweep.add_argument("--ntr-hi", type=float, default=1e7,
+                       help="largest transistor count")
+    sweep.add_argument("--ntr-points", type=int, default=200,
+                       help="points along the N_tr axis")
+    sweep.add_argument("--lam-lo", type=float, default=0.3,
+                       help="smallest feature size [um]")
+    sweep.add_argument("--lam-hi", type=float, default=2.0,
+                       help="largest feature size [um]")
+    sweep.add_argument("--lam-points", type=int, default=200,
+                       help="points along the lambda axis")
+    sweep.add_argument("--tile-size", type=int, default=65536,
+                       help="target points per tile")
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="worker count (results are identical for any "
+                            "value)")
+    sweep.add_argument("--backend", default="auto",
+                       choices=("auto", "thread", "process"),
+                       help="tile execution backend")
+    sweep.add_argument("--checkpoint", metavar="DIR", default=None,
+                       help="flush each finished tile to DIR so a killed "
+                            "sweep can resume")
+    sweep.add_argument("--resume", action="store_true",
+                       help="continue from the tiles already in "
+                            "--checkpoint DIR")
+    sweep.add_argument("--output", metavar="FILE", default=None,
+                       help="save the cost grid as a .npy array")
 
     scen = add_parser("scenarios",
                           help="Scenario #1 vs #2 cost sweep")
@@ -489,6 +586,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                 _cmd_cost(args)
             elif args.command == "optimize":
                 _cmd_optimize(args)
+            elif args.command == "sweep":
+                _cmd_sweep(args)
             elif args.command == "scenarios":
                 _cmd_scenarios(args)
             elif args.command == "shrink":

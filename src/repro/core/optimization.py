@@ -11,6 +11,14 @@ C₀ = $500, R_w = 7.5 cm, d_d = 152, D = 1.72, p = 4.07) and finds:
 
 :class:`CostLandscape` computes the grid; helpers extract contours,
 per-N_tr optima, per-die-area optima, and local minima.
+
+Million-point landscapes run through the tiled sweep engine
+(:mod:`repro.batch.sweep`): ``CostLandscape.grid(workers=...)`` and
+the batch optimizers :func:`optimal_feature_sizes` /
+:func:`optimal_feature_size_for_die_areas` accept
+``workers``/``backend``/``tile_size``/``checkpoint_dir`` knobs and
+stay bitwise identical to the sequential paths (the sweep parity
+contract).
 """
 
 from __future__ import annotations
@@ -114,9 +122,30 @@ class CostLandscape:
             _metrics.inc("core.landscape.grids")
         return self._result
 
-    def grid(self) -> np.ndarray:
-        """Cost array of shape (len(transistor_counts), len(feature_sizes))."""
-        return self.breakdown().cost_per_transistor_dollars
+    def grid(self, *, workers: int | None = None, backend: str = "auto",
+             tile_size: int | None = None,
+             checkpoint_dir=None, resume: bool = False) -> np.ndarray:
+        """Cost array of shape (len(transistor_counts), len(feature_sizes)).
+
+        The default call evaluates (and caches) the whole plane in one
+        batched pass.  With ``workers``/``checkpoint_dir`` the plane
+        runs through :class:`repro.batch.sweep.TiledSweepRunner`
+        instead — tiled, optionally on the shared-memory process pool,
+        optionally checkpointed — and the array is bitwise identical
+        to the default path (the sweep parity contract).
+        """
+        if workers is None and checkpoint_dir is None:
+            return self.breakdown().cost_per_transistor_dollars
+        from ..batch.sweep import (
+            DEFAULT_TILE_SIZE, FabCostSweep, TiledSweepRunner)
+        counts = np.asarray(self.transistor_counts, dtype=float)
+        lams = np.asarray(self.feature_sizes_um, dtype=float)
+        with TiledSweepRunner(
+                backend=backend, workers=workers,
+                tile_size=DEFAULT_TILE_SIZE if tile_size is None
+                else tile_size,
+                checkpoint_dir=checkpoint_dir, resume=resume) as runner:
+            return runner.run(FabCostSweep(self.fab), counts, lams).values
 
     def optimal_lambda_per_count(self) -> list[tuple[float, float, float]]:
         """For each N_tr row: (N_tr, λ_opt, C_tr at optimum).
@@ -192,6 +221,37 @@ class CostLandscape:
         return np.isfinite(g) & (rel <= tolerance)
 
 
+#: Coarse-scan resolutions shared by the scalar optimizers and their
+#: batched counterparts — the sweeps must scan the *same* λ grid for
+#: the per-row argmins to agree with the scalar code bit-for-bit.
+_OPT_SCAN_POINTS = 61
+_DIE_AREA_SCAN_POINTS = 241
+
+
+def _golden_refine(f, lams: np.ndarray, k: int, tol_um: float) -> float:
+    # Golden-section refinement of coarse-scan minimum k, identical
+    # for the scalar optimizer and the batched sweep (both call this
+    # with the same bracket and the same scalar objective, so they
+    # converge to the same bits).
+    lo = lams[max(k - 1, 0)]
+    hi = lams[min(k + 1, len(lams) - 1)]
+    phi = (math.sqrt(5.0) - 1.0) / 2.0
+    a, b = lo, hi
+    c = b - phi * (b - a)
+    d = a + phi * (b - a)
+    fc, fd = f(c), f(d)
+    while b - a > tol_um:
+        if fc < fd:
+            b, d, fd = d, c, fc
+            c = b - phi * (b - a)
+            fc = f(c)
+        else:
+            a, c, fc = c, d, fd
+            d = a + phi * (b - a)
+            fd = f(d)
+    return 0.5 * (a + b)
+
+
 def optimal_feature_size(n_transistors: float,
                          fab: FabCharacterization = FIG8_FAB,
                          lam_lo_um: float = 0.25, lam_hi_um: float = 1.5,
@@ -213,32 +273,63 @@ def optimal_feature_size(n_transistors: float,
     with _span("core.optimal_feature_size", n_transistors=n_transistors):
         # Coarse scan (batched) to pick the best bracket among possible
         # multiple valleys; the golden-section refinement stays scalar.
-        lams = np.linspace(lam_lo_um, lam_hi_um, 61)
+        lams = np.linspace(lam_lo_um, lam_hi_um, _OPT_SCAN_POINTS)
         costs = transistor_cost_batch(n_transistors, lams,
                                       fab).cost_per_transistor_dollars
         if not np.isfinite(costs).any():
             raise ConvergenceError(
                 "no feasible feature size in the given range")
         k = int(np.argmin(np.where(np.isfinite(costs), costs, np.inf)))
-        lo = lams[max(k - 1, 0)]
-        hi = lams[min(k + 1, len(lams) - 1)]
-
-        phi = (math.sqrt(5.0) - 1.0) / 2.0
-        a, b = lo, hi
-        c = b - phi * (b - a)
-        d = a + phi * (b - a)
-        fc, fd = f(c), f(d)
-        while b - a > tol_um:
-            if fc < fd:
-                b, d, fd = d, c, fc
-                c = b - phi * (b - a)
-                fc = f(c)
-            else:
-                a, c, fc = c, d, fd
-                d = a + phi * (b - a)
-                fd = f(d)
+        result = _golden_refine(f, lams, k, tol_um)
     _metrics.inc("core.optimize.calls")
-    return 0.5 * (a + b)
+    return result
+
+
+def optimal_feature_sizes(n_transistors,
+                          fab: FabCharacterization = FIG8_FAB,
+                          lam_lo_um: float = 0.25, lam_hi_um: float = 1.5,
+                          tol_um: float = 1e-4, *,
+                          workers: int | None = None,
+                          backend: str = "auto",
+                          tile_size: int | None = None) -> np.ndarray:
+    """Cost-minimizing λ for each of an array of transistor counts.
+
+    The batch form of :func:`optimal_feature_size`: the coarse scans
+    for all counts run as *one* tiled sweep (optionally on the
+    shared-memory pool via ``workers``), then each count's bracket is
+    refined with the same scalar golden section — so every element
+    equals the scalar function's answer for that count.
+    """
+    from ..batch.sweep import (
+        DEFAULT_TILE_SIZE, FabCostSweep, TiledSweepRunner)
+    counts = np.ascontiguousarray(n_transistors, dtype=float).ravel()
+    if counts.size < 1:
+        raise ParameterError("n_transistors must be non-empty")
+    if bool((counts <= 0).any()):
+        raise ParameterError("n_transistors must be > 0 for every element")
+    if not lam_lo_um < lam_hi_um:
+        raise ParameterError("lam_lo_um must be < lam_hi_um")
+
+    lams = np.linspace(lam_lo_um, lam_hi_um, _OPT_SCAN_POINTS)
+    out = np.empty(counts.size, dtype=np.float64)
+    with _span("core.optimal_feature_sizes", count=int(counts.size)):
+        with TiledSweepRunner(
+                backend=backend, workers=workers,
+                tile_size=DEFAULT_TILE_SIZE if tile_size is None
+                else tile_size) as runner:
+            costs = runner.run(FabCostSweep(fab), counts, lams).values
+        for i, n in enumerate(counts.tolist()):
+            row = costs[i]
+            if not np.isfinite(row).any():
+                raise ConvergenceError(
+                    f"no feasible feature size in the given range for "
+                    f"N_tr={n}")
+            k = int(np.argmin(np.where(np.isfinite(row), row, np.inf)))
+            out[i] = _golden_refine(
+                lambda lam: transistor_cost_full(n, lam, fab),
+                lams, k, tol_um)
+    _metrics.inc("core.optimize.calls", int(counts.size))
+    return out
 
 
 def optimal_feature_size_for_die_area(die_area_cm2: float,
@@ -253,7 +344,7 @@ def optimal_feature_size_for_die_area(die_area_cm2: float,
     """
     require_positive("die_area_cm2", die_area_cm2)
 
-    lams = np.linspace(lam_lo_um, lam_hi_um, 241)
+    lams = np.linspace(lam_lo_um, lam_hi_um, _DIE_AREA_SCAN_POINTS)
     n_tr = die_area_cm2 * 1.0e8 / (fab.design_density * lams * lams)
     costs = transistor_cost_batch(n_tr, lams,
                                   fab).cost_per_transistor_dollars
@@ -261,3 +352,53 @@ def optimal_feature_size_for_die_area(die_area_cm2: float,
         raise ConvergenceError("no feasible feature size for this die area")
     k = int(np.argmin(np.where(np.isfinite(costs), costs, np.inf)))
     return float(lams[k]), float(costs[k])
+
+
+def optimal_feature_size_for_die_areas(
+        die_areas_cm2,
+        fab: FabCharacterization = FIG8_FAB,
+        lam_lo_um: float = 0.25, lam_hi_um: float = 1.5, *,
+        workers: int | None = None,
+        backend: str = "auto",
+        tile_size: int | None = None,
+        checkpoint_dir=None,
+        resume: bool = False) -> tuple[np.ndarray, np.ndarray]:
+    """``(λ_opt, C_tr at optimum)`` arrays for an array of die areas.
+
+    The batch form of :func:`optimal_feature_size_for_die_area`: all
+    areas scan the same λ grid in one tiled sweep (optionally on the
+    shared-memory pool, optionally checkpointed), and each element
+    matches the scalar function's answer for that area — the sweep
+    kernel replicates the scalar eq.-(5) operation order exactly.
+    """
+    from ..batch.sweep import (
+        DEFAULT_TILE_SIZE, DieAreaCostSweep, TiledSweepRunner)
+    areas = np.ascontiguousarray(die_areas_cm2, dtype=float).ravel()
+    if areas.size < 1:
+        raise ParameterError("die_areas_cm2 must be non-empty")
+    if bool((areas <= 0).any()):
+        raise ParameterError("die_areas_cm2 must be > 0 for every element")
+
+    lams = np.linspace(lam_lo_um, lam_hi_um, _DIE_AREA_SCAN_POINTS)
+    lam_opt = np.empty(areas.size, dtype=np.float64)
+    cost_opt = np.empty(areas.size, dtype=np.float64)
+    with _span("core.optimal_feature_size_for_die_areas",
+               count=int(areas.size)):
+        with TiledSweepRunner(
+                backend=backend, workers=workers,
+                tile_size=DEFAULT_TILE_SIZE if tile_size is None
+                else tile_size,
+                checkpoint_dir=checkpoint_dir, resume=resume) as runner:
+            costs = runner.run(DieAreaCostSweep(fab), areas, lams).values
+        for i in range(areas.size):
+            row = costs[i]
+            finite = np.isfinite(row)
+            if not finite.any():
+                raise ConvergenceError(
+                    f"no feasible feature size for die area "
+                    f"{areas[i]} cm^2")
+            k = int(np.argmin(np.where(finite, row, np.inf)))
+            lam_opt[i] = lams[k]
+            cost_opt[i] = row[k]
+    _metrics.inc("core.optimize.calls", int(areas.size))
+    return lam_opt, cost_opt

@@ -116,16 +116,32 @@ class Scenario:
             reference_area_cm2=self.reference_area_cm2,
             die_area_cm2=self.die_area_cm2_fn(feature_size_um))
 
-    def curves(self, feature_sizes_um: Sequence[float]) -> dict[float, np.ndarray]:
+    def curves(self, feature_sizes_um: Sequence[float], *,
+               workers: int | None = None, backend: str = "auto",
+               tile_size: int | None = None) -> dict[float, np.ndarray]:
         """One C_tr(λ) array (dollars) per configured X.
 
         Runs on :mod:`repro.batch` — one vectorized eq.-(8)/(9) sweep
-        per X; :meth:`cost_dollars` is the scalar reference.
+        per X; :meth:`cost_dollars` is the scalar reference.  With
+        ``workers`` the whole (X, λ) bundle runs as one tiled sweep
+        through :class:`repro.batch.sweep.TiledSweepRunner` (bitwise
+        identical to the per-X arrays — the sweep parity contract).
         """
         lams = np.asarray(list(feature_sizes_um), dtype=float)
         for lam in lams:
             require_positive("feature_size_um", float(lam))
-        return {x: self._curve(lams, x) for x in self.growth_rates}
+        if workers is None:
+            return {x: self._curve(lams, x) for x in self.growth_rates}
+        from ..batch.sweep import (
+            DEFAULT_TILE_SIZE, ScenarioSweep, TiledSweepRunner)
+        rates = np.asarray(self.growth_rates, dtype=float)
+        with TiledSweepRunner(
+                backend=backend, workers=workers,
+                tile_size=DEFAULT_TILE_SIZE if tile_size is None
+                else tile_size) as runner:
+            result = runner.run(ScenarioSweep(self), rates, lams)
+        return {x: result.values[i].copy()
+                for i, x in enumerate(self.growth_rates)}
 
     def _curve(self, lams: np.ndarray, growth_rate: float) -> np.ndarray:
         model = self.model_for(growth_rate)

@@ -11,7 +11,7 @@ share that interface:
   eq.-(7) yield, per-λ wafer cost, custom yield laws — serialize on
   it, so CPU-bound flushes plateau.
 * :class:`ProcessBackend` — one
-  :class:`~repro.serve.shm.ShmBlock` per group: the parent writes the
+  :class:`~repro.shm.ShmBlock` per group: the parent writes the
   ``(N_tr, λ)`` input rows into shared memory, pool workers map the
   block by *name*, run the same executor arithmetic on their slice via
   :func:`~repro.serve.executor.execute_group_rows`, and write the six
@@ -22,7 +22,7 @@ share that interface:
 Both backends produce bitwise-identical results: chunking is
 elementwise-invisible (the PR-4 contract) and the shared float64
 matrix holds die counts and feasibility exactly (see
-:mod:`repro.serve.shm`).  The hypothesis suite in
+:mod:`repro.shm`).  The hypothesis suite in
 ``tests/property_based/test_serve_parity.py`` quantifies over the
 backend choice.
 
@@ -60,8 +60,8 @@ from .executor import (
     group_result_from_rows,
     n_chunks,
 )
+from ..shm import ShmBlock
 from .query import CostQuery
-from .shm import ShmBlock
 
 __all__ = ["BACKEND_CHOICES", "ProcessBackend", "ThreadBackend",
            "validate_backend"]
@@ -176,7 +176,7 @@ class ThreadBackend:
 class ProcessBackend:
     """Shared-memory execution on a persistent process pool.
 
-    Every flushed group gets one :class:`~repro.serve.shm.ShmBlock`
+    Every flushed group gets one :class:`~repro.shm.ShmBlock`
     tracked in a live set until its ``finally`` unlinks it, so blocks
     never outlive their flush — not on success, not on a worker error,
     and any straggler (an interrupted flush) is swept by

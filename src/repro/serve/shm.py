@@ -1,136 +1,15 @@
-"""Named shared-memory float64 matrices for cross-process flushes.
+"""Compatibility shim — :class:`ShmBlock` moved to :mod:`repro.shm`.
 
-The process execution backend (:mod:`repro.serve.backend`) moves one
-coalesced signature group per flush through a single
-:class:`multiprocessing.shared_memory.SharedMemory` segment viewed as
-a ``(rows, cols)`` float64 matrix: the parent writes the input rows
-(``N_tr``, λ), workers map the *same* segment by name and write their
-result rows in place, and the parent reads everything back — zero
-pickling of per-point data in either direction.
-
-Everything in the matrix is float64 on purpose: the eq.-(4) die counts
-are integers far below 2⁵³ (a wafer physically bounds them), so the
-int64→float64→int64 round trip is exact, and the feasibility mask
-round-trips as 0.0/1.0.  That keeps the segment a single homogeneous
-block with trivial slicing arithmetic.
-
-Lifecycle contract (enforced by ``tests/serve/test_shm.py`` and the
-leak tests in ``tests/serve/test_backend.py``):
-
-* the **parent** :meth:`ShmBlock.create`\\ s a block and must
-  :meth:`unlink` it when the flush completes, fails, or the service
-  closes — creation registers the segment with the resource tracker,
-  so even a crashed parent is eventually cleaned up;
-* **workers** :meth:`ShmBlock.attach` by name and only ever
-  :meth:`close` their mapping (``track=False`` where the runtime
-  supports it; older runtimes auto-register on attach, so the attach
-  helper unregisters again — a worker-side tracker must never
-  "clean up" a segment the parent still owns);
-* :meth:`close` tolerates live NumPy views (a view pins the mapping
-  until garbage collection — the *name* is still removed by
-  ``unlink``, which is what "no leak" means here).
+The block started life here as the serve process backend's transport
+(one coalesced flush group per segment).  The tiled sweep engine
+(:mod:`repro.batch.sweep`) now shares the same primitive, so the
+implementation lives in the top-level :mod:`repro.shm` module; this
+module re-exports it so existing ``repro.serve.shm`` imports keep
+working unchanged.
 """
 
 from __future__ import annotations
 
-from multiprocessing import resource_tracker, shared_memory
-
-import numpy as np
-
-from ..errors import ParameterError
+from ..shm import ShmBlock
 
 __all__ = ["ShmBlock"]
-
-_ITEMSIZE = 8  # float64
-
-
-def _attach_untracked(name: str) -> shared_memory.SharedMemory:
-    # Python 3.13+ lets an attaching process opt out of resource
-    # tracking.  Older runtimes always register, and a pool worker
-    # forked before the parent's tracker existed registers with its
-    # *own* tracker — which then "cleans up" the parent's segment at
-    # worker exit.  Undo the registration immediately: the attaching
-    # side never owns the name; unlinking is the creator's job.
-    try:
-        return shared_memory.SharedMemory(name=name, track=False)
-    except TypeError:  # pragma: no cover - depends on runtime version
-        shm = shared_memory.SharedMemory(name=name)
-        try:
-            resource_tracker.unregister(shm._name, "shared_memory")
-        except Exception:
-            pass
-        return shm
-
-
-class ShmBlock:
-    """One named shared float64 matrix: parent creates, workers attach."""
-
-    __slots__ = ("shm", "shape", "_owner")
-
-    def __init__(self, shm: shared_memory.SharedMemory,
-                 shape: tuple[int, int], owner: bool) -> None:
-        self.shm = shm
-        self.shape = shape
-        self._owner = owner
-
-    @classmethod
-    def create(cls, rows: int, cols: int) -> "ShmBlock":
-        """Allocate a fresh named segment sized for ``rows × cols``."""
-        if rows < 1 or cols < 1:
-            raise ParameterError(
-                f"shared block must be at least 1x1, got {rows}x{cols}")
-        shm = shared_memory.SharedMemory(
-            create=True, size=_ITEMSIZE * rows * cols)
-        return cls(shm, (rows, cols), owner=True)
-
-    @classmethod
-    def attach(cls, name: str, rows: int, cols: int) -> "ShmBlock":
-        """Map an existing segment by name (worker side, never unlinks)."""
-        return cls(_attach_untracked(name), (rows, cols), owner=False)
-
-    @property
-    def name(self) -> str:
-        """The segment's system-wide name (ship this to workers)."""
-        return self.shm.name
-
-    @property
-    def array(self) -> np.ndarray:
-        """A fresh ``(rows, cols)`` float64 view of the whole segment.
-
-        Views alias the shared buffer directly — writes are visible to
-        every process mapping the block.  Drop all views before
-        :meth:`close` where possible; a surviving view merely delays
-        the unmap until garbage collection (see :meth:`close`).
-        """
-        return np.ndarray(self.shape, dtype=np.float64, buffer=self.shm.buf)
-
-    def close(self) -> None:
-        """Unmap this process's view of the segment.
-
-        A NumPy view still referencing the buffer raises
-        ``BufferError`` inside ``mmap.close``; that is tolerated here —
-        the mapping is then released when the view is collected, and
-        the segment *name* is governed by :meth:`unlink` regardless.
-        """
-        try:
-            self.shm.close()
-        except BufferError:
-            pass
-
-    def unlink(self) -> None:
-        """Remove the segment name system-wide (owner only, idempotent).
-
-        After unlink, :meth:`attach` with this name raises
-        ``FileNotFoundError`` — the assertion the leak tests use.
-        """
-        if not self._owner:
-            return
-        try:
-            self.shm.unlink()
-        except FileNotFoundError:
-            pass
-
-    def release(self) -> None:
-        """Owner teardown: :meth:`close` then :meth:`unlink`."""
-        self.close()
-        self.unlink()

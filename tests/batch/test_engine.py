@@ -431,3 +431,32 @@ class TestArrayOut:
                                          [0.8, 0.8], 3.0, out=out)
         assert got is out
         assert (out == y).all()
+
+    def test_out_broadcastable_shape_still_rejected(self):
+        # A (1, 2) buffer would broadcast silently under plain numpy
+        # assignment; the out= contract is exact shape or an error.
+        with pytest.raises(ParameterError):
+            scaled_poisson_yield_batch([1e6, 2e6], 150.0, 1.0,
+                                       [0.8, 0.8], 3.0,
+                                       out=np.empty((1, 2)))
+        wafer = Wafer(radius_cm=7.5)
+        with pytest.raises(ParameterError):
+            dies_per_wafer_batch(wafer, [0.3, 0.8], [0.4, 0.6],
+                                 cache=None, out=np.empty((2, 1)))
+
+    def test_out_non_float64_rejected(self):
+        # ...and never a silent cast: a float32 or integer buffer is
+        # refused outright instead of degrading the result's precision.
+        model = WaferCostModel(reference_cost_dollars=500.0,
+                               cost_growth_rate=1.8)
+        for bad_dtype in (np.float32, np.int64):
+            with pytest.raises(ParameterError):
+                wafer_cost_batch(model, [0.5, 0.8], cache=None,
+                                 out=np.empty(2, dtype=bad_dtype))
+        wafer = Wafer(radius_cm=7.5)
+        with pytest.raises(ParameterError):
+            dies_per_wafer_batch(wafer, [0.3], [0.4], cache=None,
+                                 out=np.empty(1, dtype=np.float32))
+        with pytest.raises(ParameterError):
+            scaled_poisson_yield_batch([1e6], 150.0, 1.0, [0.8], 3.0,
+                                       out=np.empty(1, dtype=np.int32))

@@ -1,12 +1,16 @@
-"""Shared fixtures: environment-selected serve backend matrix.
+"""Shared fixtures: environment-selected serve/sweep backend matrix.
 
 CI runs the serve suites twice — once as-is, once with
 ``REPRO_SERVE_BACKEND=process REPRO_SERVE_WORKERS=2`` — so every
 scheduler/service/parity test doubles as a process-backend test
 without duplicating the files (the same idiom as
-``REPRO_TEST_WORKERS`` for the Monte Carlo shards).  The injection
-uses ``setdefault``: tests that pin ``backend=``/``workers=``
-explicitly keep their pinned values.
+``REPRO_TEST_WORKERS`` for the Monte Carlo shards).
+``REPRO_SWEEP_BACKEND``/``REPRO_SWEEP_WORKERS`` do the same for every
+test that goes through :class:`repro.batch.sweep.TiledSweepRunner` —
+the sweep CI job reruns the whole sweep surface on the shm process
+pool, and the bitwise-parity assertions must keep holding.  Both
+injections use ``setdefault``: tests that pin ``backend=``/
+``workers=`` explicitly keep their pinned values.
 """
 
 import os
@@ -15,6 +19,8 @@ import pytest
 
 _BACKEND = os.environ.get("REPRO_SERVE_BACKEND")
 _WORKERS = os.environ.get("REPRO_SERVE_WORKERS")
+_SWEEP_BACKEND = os.environ.get("REPRO_SWEEP_BACKEND")
+_SWEEP_WORKERS = os.environ.get("REPRO_SWEEP_WORKERS")
 
 
 @pytest.fixture(autouse=True, scope="session")
@@ -38,3 +44,26 @@ def _serve_backend_from_env():
         yield
     finally:
         MicroBatchScheduler.__init__ = original
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _sweep_backend_from_env():
+    if not (_SWEEP_BACKEND or _SWEEP_WORKERS):
+        yield
+        return
+    from repro.batch.sweep import TiledSweepRunner
+
+    original = TiledSweepRunner.__init__
+
+    def injected(self, **kwargs):
+        if _SWEEP_BACKEND:
+            kwargs.setdefault("backend", _SWEEP_BACKEND)
+        if _SWEEP_WORKERS:
+            kwargs.setdefault("workers", int(_SWEEP_WORKERS))
+        original(self, **kwargs)
+
+    TiledSweepRunner.__init__ = injected
+    try:
+        yield
+    finally:
+        TiledSweepRunner.__init__ = original

@@ -302,3 +302,73 @@ class TestServeFlags:
         assert "prewarmed 2 unique points" in captured.err
         lines = captured.out.strip().splitlines()
         assert len(lines) == 3  # header + one row per point
+
+
+class TestSweepCommand:
+    """sweep: the tiled mega-sweep engine from the command line."""
+
+    _SMALL = ["sweep", "--ntr-points", "12", "--lam-points", "15",
+              "--tile-size", "40"]
+
+    def test_sweep_renders_summary_table(self, capsys):
+        assert main(self._SMALL) == 0
+        out = capsys.readouterr().out
+        assert "grid points" in out
+        assert "180" in out  # 12 x 15
+        assert "tiles (computed/resumed/total)" in out
+        assert "optimal feature size [um]" in out
+
+    def test_sweep_output_grid_matches_landscape(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.core.optimization import FIG8_FAB, CostLandscape
+        target = tmp_path / "grid.npy"
+        assert main(self._SMALL + ["--output", str(target)]) == 0
+        grid = np.load(target)
+        want = CostLandscape(
+            fab=FIG8_FAB,
+            feature_sizes_um=np.linspace(0.3, 2.0, 15),
+            transistor_counts=np.geomspace(1e5, 1e7, 12)).grid()
+        assert np.array_equal(grid, want)
+
+    def test_sweep_backend_workers_do_not_change_output(self, tmp_path,
+                                                        capsys):
+        import numpy as np
+        seq = tmp_path / "seq.npy"
+        pooled = tmp_path / "pool.npy"
+        assert main(self._SMALL + ["--output", str(seq)]) == 0
+        assert main(self._SMALL + ["--output", str(pooled),
+                                   "--backend", "process",
+                                   "--workers", "2"]) == 0
+        assert np.array_equal(np.load(seq), np.load(pooled))
+
+    def test_sweep_checkpoint_then_resume(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "run")
+        assert main(self._SMALL + ["--checkpoint", ckpt]) == 0
+        capsys.readouterr()
+        # Without --resume a completed directory is refused (exit 2)...
+        assert main(self._SMALL + ["--checkpoint", ckpt]) == 2
+        assert "resume=True" in capsys.readouterr().err
+        # ...with it, everything loads from the checkpoint.
+        assert main(self._SMALL + ["--checkpoint", ckpt,
+                                   "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "0 / 6 / 6" in out  # computed / resumed / total
+
+    def test_sweep_bad_points_exit_2(self, capsys):
+        rc = main(["sweep", "--ntr-points", "0"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_sweep_metrics_flag_reports_counters(self, capsys):
+        assert main(self._SMALL + ["--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep.runs" in out
+        assert "sweep.tiles" in out
+
+    def test_sweep_trace_flag_writes_spans(self, tmp_path, capsys):
+        trace = tmp_path / "spans.jsonl"
+        assert main(self._SMALL + ["--trace", str(trace)]) == 0
+        assert "wrote" in capsys.readouterr().err
+        assert "sweep.run" in trace.read_text()
+        assert "sweep.tile" in trace.read_text()
