@@ -34,8 +34,13 @@ from .errors import (
 from .geometry import Die, Wafer, dies_per_wafer_maly
 from .yieldsim import (
     BoseEinsteinYield,
+    CompoundPoissonGamma,
     DefectSizeDistribution,
+    FittedYieldLaw,
+    HierarchicalYieldModel,
     LotResult,
+    MixtureYieldModel,
+    ModelSelectionReport,
     MurphyYield,
     NegativeBinomialYield,
     ParametricYield,
@@ -44,6 +49,7 @@ from .yieldsim import (
     ReferenceAreaYield,
     SeedsYield,
     SpotDefectSimulator,
+    fit_yield_models,
     poisson_yield,
     scaled_poisson_yield,
 )
@@ -71,6 +77,7 @@ from .technology import (
 from .batch import (
     BatchCache,
     BatchCostResult,
+    cross_validate_model_suite,
     cross_validate_yield_batch,
     default_cache,
     dies_per_wafer_batch,
@@ -108,6 +115,9 @@ __all__ = [
     "SeedsYield",
     "BoseEinsteinYield",
     "NegativeBinomialYield",
+    "CompoundPoissonGamma",
+    "HierarchicalYieldModel",
+    "MixtureYieldModel",
     "ReferenceAreaYield",
     "RedundantMemoryYield",
     "ParametricYield",
@@ -116,6 +126,9 @@ __all__ = [
     "DefectSizeDistribution",
     "poisson_yield",
     "scaled_poisson_yield",
+    "fit_yield_models",
+    "FittedYieldLaw",
+    "ModelSelectionReport",
     "GenerationModel",
     "WaferCostModel",
     "TransistorCostModel",
@@ -137,6 +150,7 @@ __all__ = [
     "BatchCostResult",
     "default_cache",
     "cross_validate_yield_batch",
+    "cross_validate_model_suite",
     "dies_per_wafer_batch",
     "evaluate_batch",
     "scaled_poisson_yield_batch",

@@ -32,7 +32,12 @@ speedups.
 """
 
 from .cache import BatchCache, CacheStats, array_fingerprint, default_cache
-from .crossval import YieldCrossValidation, cross_validate_yield_batch
+from .crossval import (
+    ModelValidationRow,
+    YieldCrossValidation,
+    cross_validate_model_suite,
+    cross_validate_yield_batch,
+)
 from .engine import (
     USE_DEFAULT_CACHE,
     BatchCostResult,
@@ -47,6 +52,7 @@ from .engine import (
     transistors_per_die_batch,
     wafer_cost_batch,
     yield_for_area_batch,
+    yield_from_expectation_batch,
 )
 from .sweep import (
     DieAreaCostSweep,
@@ -72,12 +78,15 @@ __all__ = [
     "poisson_yield_batch",
     "scaled_poisson_yield_batch",
     "yield_for_area_batch",
+    "yield_from_expectation_batch",
     "transistor_cost_batch",
     "evaluate_batch",
     "scenario1_cost_batch",
     "scenario2_cost_batch",
     "YieldCrossValidation",
     "cross_validate_yield_batch",
+    "ModelValidationRow",
+    "cross_validate_model_suite",
     "DieAreaCostSweep",
     "FabCostSweep",
     "ScenarioSweep",

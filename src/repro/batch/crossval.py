@@ -26,7 +26,14 @@ from ..errors import ParameterError
 from ..geometry.die import Die
 from ..geometry.wafer import Wafer
 from ..yieldsim.defects import DefectSizeDistribution
-from ..yieldsim.models import NegativeBinomialYield, PoissonYield, YieldModel
+from ..yieldsim.models import (
+    CompoundPoissonGamma,
+    HierarchicalYieldModel,
+    MixtureYieldModel,
+    NegativeBinomialYield,
+    PoissonYield,
+    YieldModel,
+)
 from ..yieldsim.monte_carlo import SpotDefectSimulator
 from .engine import yield_for_area_batch
 
@@ -47,6 +54,7 @@ class YieldCrossValidation:
     mc_yield: np.ndarray
     n_wafers: int
     workers: int | None
+    n_lots: int = 1
 
     @property
     def abs_error(self) -> np.ndarray:
@@ -68,6 +76,8 @@ def cross_validate_yield_batch(wafer: Wafer, die: Die, defect_densities, *,
                                seed: int | np.random.SeedSequence = 0,
                                workers: int | None = None,
                                clustering_alpha: float | None = None,
+                               lot_alpha: float | None = None,
+                               n_lots: int = 1,
                                size_distribution: DefectSizeDistribution
                                | None = None,
                                kill_radius_um: float = 0.0,
@@ -78,17 +88,25 @@ def cross_validate_yield_batch(wafer: Wafer, die: Die, defect_densities, *,
     For each density ``D`` the closed form is evaluated at the
     effective killer density ``D_eff = D · survival(kill_radius)`` via
     :func:`~repro.batch.engine.yield_for_area_batch` (one array call
-    for the whole sweep), and a lot of ``n_wafers`` wafers is simulated
-    with :meth:`SpotDefectSimulator.simulate_lot` on spawned seed
+    for the whole sweep), and ``n_lots`` lots of ``n_wafers`` wafers
+    are simulated with :meth:`SpotDefectSimulator.simulate_lot` /
+    :meth:`~SpotDefectSimulator.simulate_lots` on spawned seed
     streams, sharded over ``workers`` processes when given.
 
     ``yield_model`` defaults to the model the simulator's statistics
-    converge to: :class:`PoissonYield` for homogeneous defects, or
+    converge to: :class:`PoissonYield` for homogeneous defects;
     :class:`NegativeBinomialYield` with ``clustering_alpha`` when the
-    wafer-to-wafer density is gamma-mixed.
+    wafer-to-wafer density is gamma-mixed; with ``lot_alpha`` the
+    lot-level hyper-distribution is added on top —
+    :class:`HierarchicalYieldModel` when both levels mix, or the
+    single-level NB(``lot_alpha``) when only the lot level does.
+    Hierarchical sweeps average over lots, so raise ``n_lots`` (not
+    just ``n_wafers``) to tighten their error bars.
     """
     if n_wafers <= 0:
         raise ParameterError(f"n_wafers must be > 0, got {n_wafers}")
+    if n_lots <= 0:
+        raise ParameterError(f"n_lots must be > 0, got {n_lots}")
     densities = np.asarray(defect_densities, dtype=float).ravel()
     if densities.size == 0:
         raise ParameterError("defect_densities must not be empty")
@@ -96,8 +114,7 @@ def cross_validate_yield_batch(wafer: Wafer, die: Die, defect_densities, *,
         raise ParameterError("defect_densities must be >= 0 everywhere")
 
     if yield_model is None:
-        yield_model = (PoissonYield() if clustering_alpha is None
-                       else NegativeBinomialYield(alpha=clustering_alpha))
+        yield_model = _converged_model(clustering_alpha, lot_alpha)
     survival = 1.0 if size_distribution is None \
         else float(size_distribution.survival(kill_radius_um))
     d_eff = densities * survival
@@ -112,12 +129,153 @@ def cross_validate_yield_batch(wafer: Wafer, die: Die, defect_densities, *,
             wafer, die, defect_density_per_cm2=float(d0),
             size_distribution=size_distribution,
             kill_radius_um=kill_radius_um,
-            clustering_alpha=clustering_alpha)
-        mc[i] = sim.estimate_yield(n_wafers, seed=child, workers=workers)
+            clustering_alpha=clustering_alpha,
+            lot_alpha=lot_alpha)
+        if n_lots == 1:
+            mc[i] = sim.estimate_yield(n_wafers, seed=child,
+                                       workers=workers)
+        else:
+            lots = sim.simulate_lots(n_lots, n_wafers, seed=child,
+                                     workers=workers)
+            good = sum(lot.n_good_total for lot in lots)
+            total = sum(lot.n_dies_total for lot in lots)
+            mc[i] = good / total if total else 0.0
     return YieldCrossValidation(
         defect_densities_per_cm2=densities,
         effective_densities_per_cm2=d_eff,
         closed_form_yield=closed,
         mc_yield=mc,
         n_wafers=n_wafers,
-        workers=workers)
+        workers=workers,
+        n_lots=n_lots)
+
+
+@dataclass(frozen=True)
+class ModelValidationRow:
+    """One closed-form law checked against its generating Monte Carlo.
+
+    ``closed_form_yield`` is the batched-kernel evaluation at the
+    swept density; ``mc_yield`` the pooled simulated yield of the
+    matching sampling configuration; ``n_dies`` the pooled sample size
+    behind the Monte Carlo estimate (its binomial error bar).
+    """
+
+    name: str
+    model: YieldModel
+    closed_form_yield: float
+    mc_yield: float
+    n_dies: int
+
+    @property
+    def abs_error(self) -> float:
+        """|Monte Carlo − closed form| for this law."""
+        return abs(self.mc_yield - self.closed_form_yield)
+
+
+def cross_validate_model_suite(wafer: Wafer, die: Die,
+                               defect_density_per_cm2: float, *,
+                               wafer_alpha: float = 1.5,
+                               lot_alpha: float = 2.0,
+                               mixture_weight: float = 0.3,
+                               n_wafers: int = 24,
+                               n_lots: int = 8,
+                               seed: int | np.random.SeedSequence = 0,
+                               workers: int | None = None
+                               ) -> tuple[ModelValidationRow, ...]:
+    """Check every closed-form yield law against its generating MC.
+
+    One row per law, each pairing the batched closed-form kernel with
+    the clustered-defect sampling configuration whose pooled statistics
+    converge to it:
+
+    * ``poisson`` — homogeneous defects;
+    * ``negative_binomial`` / ``compound_poisson_gamma`` — wafer-level
+      gamma mixing at ``wafer_alpha`` (the two laws are algebraically
+      identical; both rows document the NB equivalence);
+    * ``hierarchical`` — wafer-level mixing at ``wafer_alpha`` under a
+      lot-level gamma at ``lot_alpha``, ``n_lots`` lots pooled;
+    * ``mixture`` — a ``mixture_weight``/(1−``mixture_weight``)
+      Poisson/CPG population; by linearity of expectation its MC side
+      is the same weighted average of the two component estimates.
+
+    Every sampling leg runs the same wafer budget (``n_lots·n_wafers``
+    wafers) on its own spawned seed stream, sharded over ``workers``
+    (results are bitwise worker-invariant).  Tolerance guidance: the
+    pooled binomial error is ~``1/(2·sqrt(n_dies))`` per row, but the
+    hierarchical row averages over ``n_lots`` *lot factors*, whose
+    between-lot variance dominates — use lot counts, not wafer counts,
+    to tighten it.
+    """
+    if not 0.0 < mixture_weight < 1.0:
+        raise ParameterError(
+            f"mixture_weight must be in (0, 1), got {mixture_weight}")
+    root = seed if isinstance(seed, np.random.SeedSequence) \
+        else np.random.SeedSequence(seed)
+    poisson_seed, wafer_seed, hier_seed = root.spawn(3)
+    total_wafers = n_lots * n_wafers
+    density = float(defect_density_per_cm2)
+    area = die.area_cm2
+
+    def closed(model: YieldModel) -> float:
+        return float(yield_for_area_batch(model, area, density))
+
+    def pooled(sim: SpotDefectSimulator,
+               seed_: np.random.SeedSequence,
+               lots: int) -> tuple[float, int]:
+        results = sim.simulate_lots(lots, n_wafers, seed=seed_,
+                                    workers=workers) if lots > 1 else \
+            [sim.simulate_lot(total_wafers, seed=seed_, workers=workers)]
+        good = sum(lot.n_good_total for lot in results)
+        total = sum(lot.n_dies_total for lot in results)
+        return (good / total if total else 0.0), total
+
+    plain = SpotDefectSimulator(wafer, die, density)
+    mixed = SpotDefectSimulator(wafer, die, density,
+                                clustering_alpha=wafer_alpha)
+    hier = SpotDefectSimulator(wafer, die, density,
+                               clustering_alpha=wafer_alpha,
+                               lot_alpha=lot_alpha)
+    mc_poisson, n_poisson = pooled(plain, poisson_seed, 1)
+    mc_wafer, n_wafer = pooled(mixed, wafer_seed, 1)
+    mc_hier, n_hier = pooled(hier, hier_seed, n_lots)
+
+    cpg = CompoundPoissonGamma(alpha=wafer_alpha)
+    mixture = MixtureYieldModel(((mixture_weight, PoissonYield()),
+                                 (1.0 - mixture_weight, cpg)))
+    mc_mixture = mixture_weight * mc_poisson \
+        + (1.0 - mixture_weight) * mc_wafer
+    return (
+        ModelValidationRow("poisson", PoissonYield(),
+                           closed(PoissonYield()), mc_poisson, n_poisson),
+        ModelValidationRow("negative_binomial",
+                           NegativeBinomialYield(alpha=wafer_alpha),
+                           closed(NegativeBinomialYield(alpha=wafer_alpha)),
+                           mc_wafer, n_wafer),
+        ModelValidationRow("compound_poisson_gamma", cpg, closed(cpg),
+                           mc_wafer, n_wafer),
+        ModelValidationRow("hierarchical",
+                           HierarchicalYieldModel(lot_alpha=lot_alpha,
+                                                  wafer_alpha=wafer_alpha),
+                           closed(HierarchicalYieldModel(
+                               lot_alpha=lot_alpha,
+                               wafer_alpha=wafer_alpha)),
+                           mc_hier, n_hier),
+        ModelValidationRow("mixture", mixture, closed(mixture),
+                           mc_mixture, n_poisson + n_wafer),
+    )
+
+
+def _converged_model(clustering_alpha: float | None,
+                     lot_alpha: float | None) -> YieldModel:
+    # The closed form the simulator's pooled statistics converge to,
+    # for each combination of mixing levels.
+    if clustering_alpha is None and lot_alpha is None:
+        return PoissonYield()
+    if lot_alpha is None:
+        return NegativeBinomialYield(alpha=clustering_alpha)
+    if clustering_alpha is None:
+        # Poisson wafers under a lot-level gamma: pooled yield is the
+        # single-level gamma mixture, i.e. NB at the lot shape.
+        return NegativeBinomialYield(alpha=lot_alpha)
+    return HierarchicalYieldModel(lot_alpha=lot_alpha,
+                                  wafer_alpha=clustering_alpha)

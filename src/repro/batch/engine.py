@@ -65,6 +65,8 @@ from ..core.transistor_cost import TransistorCostModel
 from ..units import UM2_PER_CM2, require_nonnegative
 from ..yieldsim.models import (
     BoseEinsteinYield,
+    CompoundPoissonGamma,
+    HierarchicalYieldModel,
     MurphyYield,
     NegativeBinomialYield,
     PoissonYield,
@@ -390,12 +392,18 @@ def scaled_poisson_yield_batch(n_transistors, design_density,
 
 
 def yield_for_area_batch(model: YieldModel, area_cm2,
-                         defect_density_per_cm2) -> np.ndarray:
+                         defect_density_per_cm2, *,
+                         out: np.ndarray | None = None) -> np.ndarray:
     """Any :class:`YieldModel` evaluated over arrays of (area, density).
 
-    The classical models are dispatched to closed-form array kernels;
+    The classical models are dispatched to closed-form array kernels
+    (1e-12 parity through the transcendentals); the compound family
+    (:class:`CompoundPoissonGamma`, :class:`HierarchicalYieldModel`,
+    :class:`MixtureYieldModel`) replays the scalar reference's exact
+    operation order per element and is **bitwise** identical to it;
     unknown subclasses fall back to a per-element loop so every custom
-    model keeps working.
+    model keeps working.  With ``out`` the yields land in the caller's
+    float64 buffer (e.g. a shared-memory row), which is returned.
     """
     area = _as_float_array("area_cm2", area_cm2)
     density = _as_float_array("defect_density_per_cm2",
@@ -403,27 +411,84 @@ def yield_for_area_batch(model: YieldModel, area_cm2,
     if bool((area < 0).any()) or bool((density < 0).any()):
         raise ParameterError("areas and densities must be >= 0")
     m = area * density
-    return _yield_from_expectation_batch(model, m)
+    return _deliver(_yield_from_expectation_batch(model, m), out)
+
+
+def yield_from_expectation_batch(model: YieldModel, m, *,
+                                 out: np.ndarray | None = None
+                                 ) -> np.ndarray:
+    """Any :class:`YieldModel` over an array of fault expectations.
+
+    The array form of :meth:`YieldModel.yield_from_expectation`, under
+    the same dispatch and parity rules as :func:`yield_for_area_batch`
+    (closed-form kernels for the classical laws, bitwise scalar replay
+    for the compound family).  With ``out`` the result is copied into
+    the caller's float64 buffer, which is returned.
+    """
+    arr = _as_float_array("m", m)
+    if bool((arr < 0).any()):
+        raise ParameterError("m must be >= 0 for every element")
+    return _deliver(_yield_from_expectation_batch(model, arr), out)
+
+
+def _scalar_pow_elementwise(base: np.ndarray, exponent: float) -> np.ndarray:
+    # ``base ** exponent`` through the *scalar* libm pow, element by
+    # element.  NumPy's SIMD pow may round differently in the last ulp,
+    # which would break the bitwise contract of the compound-family
+    # kernels; the surrounding arithmetic stays vectorized (IEEE-exact
+    # ops only) and just the transcendental goes through Python floats.
+    flat = np.fromiter((b ** exponent for b in base.ravel().tolist()),
+                       dtype=np.float64, count=base.size)
+    return flat.reshape(base.shape)
 
 
 def _yield_from_expectation_batch(model: YieldModel,
                                   m: np.ndarray) -> np.ndarray:
-    if isinstance(model, (PoissonYield, ReferenceAreaYield)):
+    # Dispatch on the exact type, not isinstance: a subclass that
+    # overrides yield_from_expectation must NOT ride its parent's
+    # vectorized kernel, or the batched result would diverge from the
+    # scalar semantics it promises to replay bitwise.
+    kind = type(model)
+    if kind in (PoissonYield, ReferenceAreaYield):
         return np.exp(-m)
-    if isinstance(model, MurphyYield):
+    if kind is MurphyYield:
         safe_m = np.where(m == 0.0, 1.0, m)
         with np.errstate(under="ignore"):
             y = (-np.expm1(-m) / safe_m) ** 2
         return np.where(m == 0.0, 1.0, y)
-    if isinstance(model, SeedsYield):
+    if kind is SeedsYield:
         return 1.0 / (1.0 + m)
-    if isinstance(model, BoseEinsteinYield):
+    if kind is BoseEinsteinYield:
         return (1.0 + m / model.n_layers) ** (-model.n_layers)
-    if isinstance(model, NegativeBinomialYield):
+    if kind is CompoundPoissonGamma:
+        # Same expression as NegativeBinomialYield below, but routed
+        # through scalar pow so batched == scalar bit-for-bit (the
+        # base ``1.0 + m/α`` is exactly rounded either way).
+        return _scalar_pow_elementwise(1.0 + m / model.alpha, -model.alpha)
+    if kind is NegativeBinomialYield:
         return (1.0 + m / model.alpha) ** (-model.alpha)
+    if kind is HierarchicalYieldModel:
+        return _hierarchical_yield_batch(model, m)
+    # MixtureYieldModel and unknown subclasses: per-element scalar
+    # replay — bitwise by construction.
     flat = np.array([model.yield_from_expectation(float(v))
                      for v in m.ravel()], dtype=np.float64)
     return flat.reshape(m.shape)
+
+
+def _hierarchical_yield_batch(model: HierarchicalYieldModel,
+                              m: np.ndarray) -> np.ndarray:
+    # Replays HierarchicalYieldModel.yield_from_expectation exactly:
+    # per quadrature node the base ``1.0 + (m·t)/β`` is IEEE-exact
+    # arithmetic (vectorized), the pow goes through scalar libm, and
+    # the accumulation order over nodes matches the scalar loop —
+    # so every element is bit-for-bit the scalar result.
+    nodes, weights = model.mixing_nodes()
+    beta = model.wafer_alpha
+    acc = np.zeros(m.shape, dtype=np.float64)
+    for t, w in zip(nodes, weights):
+        acc += w * _scalar_pow_elementwise(1.0 + (m * t) / beta, -beta)
+    return np.where(m == 0.0, 1.0, np.minimum(acc, 1.0))
 
 
 # ---------------------------------------------------------------------------

@@ -11,6 +11,8 @@ Usage::
     python -m repro optimize --input areas.csv --format csv
     python -m repro scenarios --lam-lo 0.25 --lam-hi 1.0
     python -m repro simulate --lot-size 25 --workers 4 --seed 7
+    python -m repro fit-yield --lots 8 --wafers 6 --lot-alpha 2.0 \\
+        --wafer-alpha 1.2 --seed 7 --format table
     python -m repro sweep --ntr-points 1000 --lam-points 1000 \\
         --workers 4 --backend process --tile-size 65536 \\
         --checkpoint runs/fig8 --output landscape.npy
@@ -384,6 +386,36 @@ def _cmd_simulate(args: argparse.Namespace) -> None:
     ]))
 
 
+def _cmd_fit_yield(args: argparse.Namespace) -> None:
+    import json
+
+    from .geometry import Die
+    from .yieldsim import SpotDefectSimulator, fit_yield_models
+    die = Die.square(args.die_side)
+    sim = SpotDefectSimulator(
+        Wafer(radius_cm=args.wafer_radius), die,
+        defect_density_per_cm2=args.defect_density,
+        clustering_alpha=args.wafer_alpha,
+        lot_alpha=args.lot_alpha)
+    lots = sim.simulate_lots(args.lots, args.wafers, seed=args.seed,
+                             workers=args.workers)
+    laws = [v.strip() for v in args.laws.split(",")] if args.laws else None
+    report = fit_yield_models(lots, die.area_cm2, laws=laws)
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+        return
+    print(f"fit over {report.n_lots} lots / {report.n_wafers} wafers / "
+          f"{report.n_dies} dies ({report.n_defects} killer defects)")
+    print(ascii_table(
+        ("rank", "law", "k", "logL", "AIC", "BIC", "dAIC"),
+        [(rank, name, k, f"{ll:.2f}", f"{aic:.2f}", f"{bic:.2f}",
+          f"{daic:.2f}")
+         for rank, name, k, ll, aic, bic, daic in report.table_rows()]))
+    best = report.best
+    params = ", ".join(f"{k}={v:.4g}" for k, v in best.params.items())
+    print(f"best by AIC: {best.name} ({params})")
+
+
 def _cmd_report(args: argparse.Namespace) -> None:
     from .analysis.reproduce import main as report_main
     report_main([args.output] if args.output else [])
@@ -545,6 +577,36 @@ def build_parser() -> argparse.ArgumentParser:
                           help="process count for lot sharding (results are "
                                "identical for any value)")
 
+    fit = add_parser(
+        "fit-yield",
+        help="simulate clustered lots and rank yield laws by AIC/BIC")
+    fit.add_argument("--lots", type=int, default=8,
+                     help="number of independent lots to simulate")
+    fit.add_argument("--wafers", type=int, default=5,
+                     help="wafers per lot")
+    fit.add_argument("--die-side", type=float, default=1.0,
+                     help="square die side [cm]")
+    fit.add_argument("--defect-density", type=float, default=0.8,
+                     help="mean killer defects per cm^2")
+    fit.add_argument("--wafer-radius", type=float, default=7.5)
+    fit.add_argument("--wafer-alpha", type=float, default=1.5,
+                     help="wafer-level gamma clustering shape "
+                          "(omit-able: pass nothing for the default, "
+                          "use a large value to approach Poisson)")
+    fit.add_argument("--lot-alpha", type=float, default=2.0,
+                     help="lot-level gamma hyper-distribution shape")
+    fit.add_argument("--seed", type=int, default=0,
+                     help="root seed; lots and wafers get spawned "
+                          "child streams")
+    fit.add_argument("--workers", type=int, default=None,
+                     help="process count for lot sharding (results "
+                          "are identical for any value)")
+    fit.add_argument("--laws", default=None,
+                     help="comma-separated subset of laws to fit "
+                          "(default: all)")
+    fit.add_argument("--format", choices=("table", "json"),
+                     default="table", help="output format")
+
     report = add_parser("report",
                         help="write the full reproduction report")
     report.add_argument("output", nargs="?", default=None,
@@ -596,6 +658,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                 _cmd_wafermap(args)
             elif args.command == "simulate":
                 _cmd_simulate(args)
+            elif args.command == "fit-yield":
+                _cmd_fit_yield(args)
             elif args.command == "report":
                 _cmd_report(args)
     except ReproError as exc:

@@ -17,6 +17,8 @@ package implements:
 * :mod:`~repro.yieldsim.parallel` — process-sharded Monte Carlo lots on
   ``SeedSequence.spawn`` child streams (bitwise independent of worker
   count), with the :class:`~repro.yieldsim.parallel.LotResult` container.
+* :mod:`~repro.yieldsim.selection` — maximum-likelihood fits of every
+  closed-form law to simulated lots with AIC/BIC model ranking.
 * :mod:`~repro.yieldsim.redundancy` — row/column spare repair for
   memories (Scenario #1's "appropriately designed redundant components").
 * :mod:`~repro.yieldsim.parametric` — Gaussian parametric yield.
@@ -24,6 +26,9 @@ package implements:
 
 from .models import (
     BoseEinsteinYield,
+    CompoundPoissonGamma,
+    HierarchicalYieldModel,
+    MixtureYieldModel,
     MurphyYield,
     NegativeBinomialYield,
     PoissonYield,
@@ -62,6 +67,12 @@ from .budget import (
     plan_for_yield,
     required_total_density,
 )
+from .selection import (
+    DEFAULT_LAWS,
+    FittedYieldLaw,
+    ModelSelectionReport,
+    fit_yield_models,
+)
 from .estimation import (
     FitReport,
     clustering_detected,
@@ -80,6 +91,9 @@ __all__ = [
     "SeedsYield",
     "BoseEinsteinYield",
     "NegativeBinomialYield",
+    "CompoundPoissonGamma",
+    "HierarchicalYieldModel",
+    "MixtureYieldModel",
     "ReferenceAreaYield",
     "poisson_yield",
     "scaled_poisson_yield",
@@ -107,6 +121,10 @@ __all__ = [
     "window_method",
     "pooled_window_method",
     "clustering_detected",
+    "DEFAULT_LAWS",
+    "FittedYieldLaw",
+    "ModelSelectionReport",
+    "fit_yield_models",
     "LayerDefectivity",
     "LayerAllocation",
     "allocate_cleaning",

@@ -16,6 +16,18 @@ they all share the dimensionless *fault expectation* ``m = A·D_eff`` and
 differ only in how defect clustering maps ``m`` to yield, so they are
 expressed here as subclasses of a common :class:`YieldModel`.
 
+The compound/hierarchical family (Bogdanov et al., "Statistical Yield
+Modeling for IC Manufacture: Hierarchical Fault Distributions") builds
+the clustered laws *constructively*: :class:`CompoundPoissonGamma`
+mixes Poisson statistics over a mean-1 gamma density distribution
+(recovering the negative binomial in closed form — a built-in
+self-check), :class:`HierarchicalYieldModel` adds a second, lot-level
+mixing stage on fixed Gauss–Laguerre nodes, and
+:class:`MixtureYieldModel` combines any yield laws into a population
+mixture.  All three keep the scalar-reference semantics that
+:mod:`repro.batch.engine` replays bitwise (see
+``docs/yield-models.md``).
+
 Units: areas in cm², defect densities in defects/cm², ``lam`` (λ) in
 microns.  The λ-scaling in :func:`scaled_poisson_yield` follows the
 paper in treating ``D/λ^p`` as a numeric recipe with λ in microns — D's
@@ -25,6 +37,7 @@ constants (D = 1.72, p = 4.07 for the Fig.-8 fab).
 
 from __future__ import annotations
 
+import functools
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
@@ -164,6 +177,221 @@ class NegativeBinomialYield(YieldModel):
         """Negative binomial: ``(1 + m/α)^{−α}``."""
         require_nonnegative("m", m)
         return (1.0 + m / self.alpha) ** (-self.alpha)
+
+
+@functools.lru_cache(maxsize=None)
+def _gamma_mixing_nodes(alpha: float, n_nodes: int
+                        ) -> tuple[tuple[float, ...], tuple[float, ...]]:
+    """Discretize a mean-1 Gamma(α, 1/α) mixer on Gauss–Laguerre nodes.
+
+    Substituting ``x = α·t`` turns the gamma expectation
+    ``E[g(t)] = ∫ g(t)·t^{α−1} e^{−αt} α^α/Γ(α) dt`` into a generalized
+    Gauss–Laguerre integral with weight ``x^{α−1} e^{−x}``, so the
+    abscissas are ``t_i = x_i/α`` and the weights are the Laguerre
+    weights normalized to sum to 1 (making the discrete mixer itself a
+    probability distribution).  Computed by Golub–Welsch on the
+    generalized-Laguerre Jacobi matrix with the measure's total mass
+    set to 1 — unlike ``scipy.special.roots_genlaguerre``, whose
+    weights carry a Γ(α+n) factor and overflow beyond α ≈ 170, this
+    stays finite for any shape.  Returned as tuples of floats so the
+    result is hashable and the scalar/batched evaluators consume the
+    *same* cached node set — a precondition of the bitwise parity
+    contract.
+    """
+    import numpy as np
+    from scipy.linalg import eigh_tridiagonal
+
+    a = alpha - 1.0
+    k = np.arange(n_nodes, dtype=np.float64)
+    diag = 2.0 * k + a + 1.0
+    off = np.sqrt(k[1:] * (k[1:] + a))
+    x, v = eigh_tridiagonal(diag, off)
+    weights = [float(val) for val in v[0, :] ** 2]
+    total = math.fsum(weights)
+    weights = [val / total for val in weights]
+    nodes = [float(val) / alpha for val in x]
+    return tuple(nodes), tuple(weights)
+
+
+@dataclass(frozen=True)
+class CompoundPoissonGamma(YieldModel):
+    """Compound Poisson–gamma yield with its NB equivalence built in.
+
+    Die-level fault counts are Poisson with mean ``m·t`` where the
+    density factor ``t`` is drawn per wafer from a mean-preserving
+    Gamma(α, 1/α).  Integrating ``exp(−m·t)`` against that mixer gives
+    the closed form ``Y = (1 + m/α)^{−α}`` — algebraically Stapper's
+    :class:`NegativeBinomialYield`.  This class makes the *derivation*
+    executable: :meth:`mixture_yield` evaluates the mixing integral by
+    generalized Gauss–Laguerre quadrature and :meth:`self_check`
+    asserts it matches the closed form, which is the built-in
+    consistency check the two-level :class:`HierarchicalYieldModel`
+    relies on (it reuses the same quadrature one level up).
+    """
+
+    alpha: float = 2.0
+
+    def __post_init__(self) -> None:
+        require_positive("alpha", self.alpha)
+
+    def yield_from_expectation(self, m: float) -> float:
+        """Closed form of the gamma mixture: ``(1 + m/α)^{−α}``."""
+        require_nonnegative("m", m)
+        return (1.0 + m / self.alpha) ** (-self.alpha)
+
+    def negative_binomial_equivalent(self) -> NegativeBinomialYield:
+        """The algebraically identical :class:`NegativeBinomialYield`."""
+        return NegativeBinomialYield(alpha=self.alpha)
+
+    def mixture_yield(self, m: float, *, n_nodes: int = 48) -> float:
+        """The mixing integral ``E_t[exp(−m·t)]`` by quadrature.
+
+        Converges to :meth:`yield_from_expectation` as ``n_nodes``
+        grows; :meth:`self_check` pins the agreement.
+        """
+        require_nonnegative("m", m)
+        nodes, weights = _gamma_mixing_nodes(float(self.alpha),
+                                             int(n_nodes))
+        total = 0.0
+        for t, w in zip(nodes, weights):
+            total += w * math.exp(-m * t)
+        return total if total < 1.0 else 1.0
+
+    def self_check(self, m_points: tuple[float, ...] | None = None,
+                   *, n_nodes: int = 48, tol: float = 1e-9) -> float:
+        """Assert quadrature == closed form; return the max |error|.
+
+        Raises :class:`~repro.errors.ParameterError` when the
+        gamma-mixture quadrature disagrees with the closed-form NB law
+        beyond ``tol`` at any probe point — the numerical consistency
+        guarantee for every consumer of the quadrature nodes.  The
+        default probes span ``m/α`` from 0 to 4 — the mixer's natural
+        scale, where the Gauss rule converges fast for *any* α (fixed
+        absolute ``m`` probes would demand ever more nodes as α → 0).
+        """
+        if m_points is None:
+            m_points = (0.0, 0.25 * self.alpha, self.alpha,
+                        4.0 * self.alpha)
+        worst = 0.0
+        for m in m_points:
+            err = abs(self.mixture_yield(m, n_nodes=n_nodes)
+                      - self.yield_from_expectation(m))
+            worst = max(worst, err)
+        if not worst <= tol:
+            raise ParameterError(
+                f"CompoundPoissonGamma self-check failed: quadrature "
+                f"deviates from the closed form by {worst:.3e} "
+                f"(tol {tol:.1e}) at alpha={self.alpha}")
+        return worst
+
+
+@dataclass(frozen=True)
+class HierarchicalYieldModel(YieldModel):
+    """Two-level hierarchical compound yield (Bogdanov et al.).
+
+    Die-level fault counts are Poisson; the wafer-level density is
+    gamma-mixed with shape ``wafer_alpha`` (giving a negative binomial
+    per wafer); the *lot-level* mean density is itself drawn from a
+    mean-1 Gamma(``lot_alpha``, 1/``lot_alpha``) hyper-distribution.
+    Integrating the per-wafer NB law over the lot factor ``t`` gives
+
+    .. math:: Y(m) = E_t\\big[(1 + m t/β)^{−β}\\big],\\quad
+              t \\sim Γ(α_{lot}, 1/α_{lot}),\\ β = α_{wafer}
+
+    evaluated on the fixed generalized Gauss–Laguerre node set from
+    :func:`_gamma_mixing_nodes` — the model is a deterministic pure
+    function and hashable, with ``n_nodes`` part of its identity (two
+    instances with different node counts are different models).  Both
+    α → ∞ limits collapse to the single-level laws: ``lot_alpha → ∞``
+    recovers NB(``wafer_alpha``); ``wafer_alpha → ∞`` recovers
+    NB(``lot_alpha``).
+    """
+
+    lot_alpha: float = 2.0
+    wafer_alpha: float = 2.0
+    n_nodes: int = 32
+
+    def __post_init__(self) -> None:
+        require_positive("lot_alpha", self.lot_alpha)
+        require_positive("wafer_alpha", self.wafer_alpha)
+        if not isinstance(self.n_nodes, int) or isinstance(self.n_nodes, bool):
+            raise ParameterError(
+                f"n_nodes must be an int, got {self.n_nodes!r}")
+        if not 2 <= self.n_nodes <= 512:
+            raise ParameterError(
+                f"n_nodes must be in [2, 512], got {self.n_nodes}")
+
+    def mixing_nodes(self) -> tuple[tuple[float, ...], tuple[float, ...]]:
+        """The (nodes, weights) lot-factor discretization, cached."""
+        return _gamma_mixing_nodes(float(self.lot_alpha), self.n_nodes)
+
+    def yield_from_expectation(self, m: float) -> float:
+        """Lot-mixed NB: ``Σ_i w_i (1 + m t_i/β)^{−β}``.
+
+        The node loop accumulates left-to-right; the batched kernel in
+        :mod:`repro.batch.engine` replays exactly this operation order,
+        which is what makes batched-vs-scalar evaluation bitwise
+        identical.
+        """
+        require_nonnegative("m", m)
+        if m == 0.0:
+            return 1.0
+        nodes, weights = self.mixing_nodes()
+        beta = self.wafer_alpha
+        total = 0.0
+        for t, w in zip(nodes, weights):
+            total += w * (1.0 + (m * t) / beta) ** (-beta)
+        return total if total < 1.0 else 1.0
+
+
+@dataclass(frozen=True)
+class MixtureYieldModel(YieldModel):
+    """A finite population mixture of yield laws.
+
+    ``components`` is a sequence of ``(weight, model)`` pairs with
+    positive weights summing to 1 (within 1e-9): the lot is modeled as
+    coming from distinguishable sub-populations — e.g. a mostly-clean
+    line with a clustered tail — and the pooled yield is the weighted
+    average of the component yields.  Frozen and hashable whenever the
+    component models are, so structurally equal mixtures coalesce in
+    :mod:`repro.serve`.
+    """
+
+    components: tuple[tuple[float, YieldModel], ...] = ()
+
+    def __post_init__(self) -> None:
+        pairs = []
+        for entry in self.components:
+            try:
+                weight, sub = entry
+            except (TypeError, ValueError):
+                raise ParameterError(
+                    f"mixture components must be (weight, model) pairs, "
+                    f"got {entry!r}") from None
+            if not isinstance(sub, YieldModel):
+                raise ParameterError(
+                    f"mixture component {sub!r} is not a YieldModel")
+            weight = float(weight)
+            if not weight > 0.0:
+                raise ParameterError(
+                    f"mixture weights must be > 0, got {weight}")
+            pairs.append((weight, sub))
+        if not pairs:
+            raise ParameterError(
+                "MixtureYieldModel needs at least one component")
+        total = math.fsum(w for w, _ in pairs)
+        if abs(total - 1.0) > 1e-9:
+            raise ParameterError(
+                f"mixture weights must sum to 1, got {total!r}")
+        object.__setattr__(self, "components", tuple(pairs))
+
+    def yield_from_expectation(self, m: float) -> float:
+        """Weighted average of component yields, in component order."""
+        require_nonnegative("m", m)
+        total = 0.0
+        for w, sub in self.components:
+            total += w * sub.yield_from_expectation(m)
+        return total if total < 1.0 else 1.0
 
 
 @dataclass(frozen=True)

@@ -90,6 +90,15 @@ class SpotDefectSimulator:
         otherwise the wafer-to-wafer density is gamma-distributed with
         shape ``alpha`` (mean preserved), which drives the per-die
         statistics toward the negative-binomial yield model.
+    lot_alpha:
+        ``None`` for independent wafers; otherwise each *lot* draws one
+        mean-1 Gamma(``lot_alpha``, 1/``lot_alpha``) factor that scales
+        every wafer's mean density — the two-level hierarchy of
+        :class:`~repro.yieldsim.models.HierarchicalYieldModel`
+        (combined with ``clustering_alpha`` as the wafer level).  The
+        lot factor is drawn from its own spawned child stream on the
+        ``seed=`` path, so worker-count invariance is preserved; on
+        the legacy ``rng`` path it is the first draw of the lot.
     """
 
     wafer: Wafer
@@ -98,6 +107,7 @@ class SpotDefectSimulator:
     size_distribution: DefectSizeDistribution | None = None
     kill_radius_um: float = 0.0
     clustering_alpha: float | None = None
+    lot_alpha: float | None = None
     _grid: tuple[float, float] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -105,6 +115,8 @@ class SpotDefectSimulator:
         require_nonnegative("kill_radius_um", self.kill_radius_um)
         if self.clustering_alpha is not None:
             require_positive("clustering_alpha", self.clustering_alpha)
+        if self.lot_alpha is not None:
+            require_positive("lot_alpha", self.lot_alpha)
         ox, oy, n = best_grid_offset(self.wafer, self.die)
         if n <= 0:
             raise ParameterError("die does not fit on the wafer")
@@ -138,20 +150,39 @@ class SpotDefectSimulator:
         """Simulate one wafer and return its map."""
         return self.simulate_lot(1, rng)[0]
 
+    def _lot_density_scale(self, rng: np.random.Generator) -> float:
+        """The lot-level density factor, consumed from ``rng``.
+
+        One mean-1 gamma draw when ``lot_alpha`` is set (and the
+        density is positive, matching the wafer-level mixing guard);
+        exactly 1.0 — and **no** stream consumption — otherwise, so
+        pre-existing non-hierarchical lots replay bit-for-bit.
+        """
+        if self.lot_alpha is None or self.defect_density_per_cm2 <= 0:
+            return 1.0
+        return float(rng.gamma(self.lot_alpha, 1.0 / self.lot_alpha))
+
     def _throw_wafer_defects(self, rng: np.random.Generator,
-                             n_dies: int) -> tuple[int, np.ndarray]:
+                             n_dies: int,
+                             density_scale: float = 1.0
+                             ) -> tuple[int, np.ndarray]:
         """One wafer's random draws, in the canonical order.
 
         Gamma density mixing, Poisson count, rejection-sampled
         positions, then the defect-radius kill filter — exactly the
         draw order of :meth:`simulate_wafer`, so any path that feeds
         each wafer its own generator (sequential batch or spawned
-        child stream) produces bitwise-identical wafers.  Returns
+        child stream) produces bitwise-identical wafers.
+        ``density_scale`` is the lot-level hyper-distribution factor
+        (1.0 for non-hierarchical lots — the multiply is skipped so
+        legacy draws are untouched down to the last bit).  Returns
         ``(defects thrown, killer positions)``.
         """
         area = self.wafer.area_cm2
         radius = self.wafer.radius_cm
         density = self.defect_density_per_cm2
+        if density_scale != 1.0:
+            density = density * density_scale
         if self.clustering_alpha is not None and density > 0:
             density = density * rng.gamma(self.clustering_alpha,
                                           1.0 / self.clustering_alpha)
@@ -211,13 +242,15 @@ class SpotDefectSimulator:
         (exactly one of ``rng``/``seed`` is required):
 
         ``rng``
-            Legacy single-stream lot: random draws (gamma density
-            mixing, Poisson count, rejection-sampled positions, defect
-            radii) advance the one generator in the same per-wafer
-            order as :meth:`simulate_wafer`, so a seeded lot is
-            bitwise-reproducible regardless of batch size.  The
-            expensive part — testing every killer defect against every
-            die — is batched across the whole lot in one chunked pass.
+            Legacy single-stream lot: random draws (the lot-level
+            density factor when ``lot_alpha`` is set, then per wafer:
+            gamma density mixing, Poisson count, rejection-sampled
+            positions, defect radii) advance the one generator in the
+            same per-wafer order as :meth:`simulate_wafer`, so a
+            seeded lot is bitwise-reproducible regardless of batch
+            size.  The expensive part — testing every killer defect
+            against every die — is batched across the whole lot in one
+            chunked pass.
         ``seed``
             Spawned per-wafer streams (``SeedSequence.spawn``), which
             makes the result bitwise independent of ``workers``:
@@ -252,11 +285,13 @@ class SpotDefectSimulator:
         n_dies = centers.shape[0]
 
         with _span("mc.simulate_lot", n_wafers=n_wafers, workers=1):
+            density_scale = self._lot_density_scale(rng)
             n_thrown: list[int] = []
             killer_pos: list[np.ndarray] = []
             for i in range(n_wafers):
                 with _span("mc.wafer", wafer=i):
-                    thrown, pos = self._throw_wafer_defects(rng, n_dies)
+                    thrown, pos = self._throw_wafer_defects(
+                        rng, n_dies, density_scale)
                 n_thrown.append(thrown)
                 killer_pos.append(pos)
                 _metrics.inc("mc.wafers_simulated")
@@ -267,6 +302,27 @@ class SpotDefectSimulator:
             WaferMap(die_centers_cm=centers, defect_counts=counts[i],
                      n_defects_total=n_thrown[i])
             for i in range(n_wafers)))
+
+    def simulate_lots(self, n_lots: int, n_wafers: int, *,
+                      seed: "int | np.random.SeedSequence",
+                      workers: int | None = None) -> "list[LotResult]":
+        """Simulate ``n_lots`` independent lots of ``n_wafers`` wafers.
+
+        Each lot gets its own child of the root ``SeedSequence`` (lot
+        ``j`` always consumes child ``j``), so the multi-lot sample —
+        like each lot individually — is bitwise independent of
+        ``workers``.  With ``lot_alpha`` set, every lot draws its own
+        density factor: this is the sampling counterpart of
+        :class:`~repro.yieldsim.models.HierarchicalYieldModel` and the
+        input shape :func:`repro.yieldsim.selection.fit_yield_models`
+        consumes.
+        """
+        if n_lots < 0:
+            raise ParameterError(f"n_lots must be >= 0, got {n_lots}")
+        root = seed if isinstance(seed, np.random.SeedSequence) \
+            else np.random.SeedSequence(seed)
+        return [self.simulate_lot(n_wafers, seed=child, workers=workers)
+                for child in (root.spawn(n_lots) if n_lots else [])]
 
     def estimate_yield(self, n_wafers: int,
                        rng: np.random.Generator | None = None, *,

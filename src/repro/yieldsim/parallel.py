@@ -162,7 +162,8 @@ def spawn_wafer_seeds(seed: SeedLike,
 def _simulate_shard(sim: "SpotDefectSimulator",
                     seeds: list[np.random.SeedSequence],
                     n_dies: int, first_wafer: int = 0,
-                    obs_capture: tuple[bool, bool] | None = None
+                    obs_capture: tuple[bool, bool] | None = None,
+                    density_scale: float = 1.0
                     ) -> tuple[list[int], np.ndarray, dict | None]:
     # One worker's unit: draw each wafer from its own child stream (in
     # exactly simulate_wafer's draw order), then grade the whole shard
@@ -173,6 +174,9 @@ def _simulate_shard(sim: "SpotDefectSimulator",
     # obs flags (None when off); spans/metrics recorded under it are
     # returned in the payload for the parent to absorb, which works
     # identically in-process and across a spawn/fork pool boundary.
+    # ``density_scale`` is the lot-level hierarchy factor — one scalar
+    # drawn by the parent and shipped to every shard, so it cannot
+    # depend on how the lot was split.
     frame = begin_capture(obs_capture) if obs_capture else None
     try:
         t0 = time.perf_counter() if obs_capture else 0.0
@@ -183,7 +187,8 @@ def _simulate_shard(sim: "SpotDefectSimulator",
             for i, ss in enumerate(seeds):
                 with _span("mc.wafer", wafer=first_wafer + i):
                     rng = np.random.default_rng(ss)
-                    thrown, pos = sim._throw_wafer_defects(rng, n_dies)
+                    thrown, pos = sim._throw_wafer_defects(
+                        rng, n_dies, density_scale)
                 n_thrown.append(thrown)
                 killer_pos.append(pos)
                 _metrics.inc("mc.wafers_simulated")
@@ -234,18 +239,32 @@ def simulate_lot_sharded(sim: "SpotDefectSimulator", n_wafers: int,
         raise ParameterError(f"workers must be >= 1, got {workers}")
     centers = sim._die_centers()
     n_dies = int(centers.shape[0])
-    seeds = spawn_wafer_seeds(seed, n_wafers)
+    root = seed if isinstance(seed, np.random.SeedSequence) \
+        else np.random.SeedSequence(seed)
+    seeds = spawn_wafer_seeds(root, n_wafers)
+    # The lot-level density factor gets its own child stream, spawned
+    # *after* the wafer children (child n_wafers) and only when the
+    # hierarchy is enabled — non-hierarchical lots keep their exact
+    # pre-existing seed schedule.  The parent draws the one scalar and
+    # ships it to every shard, so the factor — like the wafer streams —
+    # is independent of worker count.
+    density_scale = 1.0
+    if sim.lot_alpha is not None and sim.defect_density_per_cm2 > 0:
+        density_scale = sim._lot_density_scale(
+            np.random.default_rng(root.spawn(1)[0]))
 
     n_workers = 1 if workers is None else min(workers, max(n_wafers, 1))
     flags = capture_flags()
     with _span("mc.simulate_lot", n_wafers=n_wafers, workers=n_workers):
         if n_workers <= 1:
-            parts = [_simulate_shard(sim, seeds, n_dies, 0, flags)]
+            parts = [_simulate_shard(sim, seeds, n_dies, 0, flags,
+                                     density_scale)]
         else:
             slices = _shard_slices(n_wafers, n_workers)
             parts = _run_pool(
                 _simulate_shard,
-                [(sim, seeds[s], n_dies, s.start, flags) for s in slices])
+                [(sim, seeds[s], n_dies, s.start, flags, density_scale)
+                 for s in slices])
         for part in parts:
             absorb(part[2])
     _metrics.inc("mc.lots_simulated")

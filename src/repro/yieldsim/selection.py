@@ -1,0 +1,561 @@
+"""Maximum-likelihood yield-law selection on simulated lots.
+
+The estimators in :mod:`repro.yieldsim.estimation` answer "what density
+does this lot imply under a *given* law"; this module answers the
+model-selection question one level up: **which yield law explains the
+lot best?**  Every closed-form law in :mod:`repro.yieldsim.models` is
+fit to the per-die killer-count data of one or more simulated lots by
+exact maximum likelihood (each law's compound structure integrated in
+closed form or on the same Gauss–Laguerre nodes the models themselves
+use), and the fits are ranked by the Akaike and Bayesian information
+criteria — the workflow behind ``python -m repro fit-yield`` and
+``benchmarks/bench_yield_models.py``.
+
+The likelihoods work on grouped sufficient statistics.  Conditional on
+a wafer's density factor, per-die counts are independent Poisson, so a
+wafer contributes only its total count ``K_w`` and die count ``n_w``
+(plus a shared ``Σ ln k!`` constant); a lot contributes the joint
+integral of its wafers over the lot-level factor.  That makes each
+likelihood evaluation O(wafers · quadrature nodes), so full MLE over
+millions of dies is instant.
+
+All fitting is deterministic: closed forms where they exist (the
+pooled-count MLE ``m̂ = K/N`` is exact for every equal-``n_w`` law) and
+golden-section coordinate ascent on log-transformed shape parameters
+otherwise — no stochastic optimizer, so a given lot always produces
+the same report.  Observability: the whole fit runs under a
+``yield.fit`` span with one ``yield.fit.<law>`` child per law, plus
+``yield.fit.*`` metrics (see ``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..obs import metrics as _metrics, span as _span
+from ..obs.state import enabled as _obs_enabled
+from ..units import require_positive
+from .models import (
+    BoseEinsteinYield,
+    CompoundPoissonGamma,
+    HierarchicalYieldModel,
+    MixtureYieldModel,
+    MurphyYield,
+    NegativeBinomialYield,
+    PoissonYield,
+    SeedsYield,
+    YieldModel,
+    _gamma_mixing_nodes,
+)
+from .parallel import LotResult
+
+#: Laws fit by default, in presentation order.
+DEFAULT_LAWS: tuple[str, ...] = (
+    "poisson", "murphy", "seeds", "bose_einstein", "negative_binomial",
+    "compound_poisson_gamma", "hierarchical", "mixture")
+
+#: Search box for shape parameters (log-space golden section).
+_SHAPE_LO, _SHAPE_HI = 0.05, 1000.0
+#: Search box for the per-die expectation, as a factor of K/N.
+_MU_SPAN = 16.0
+#: Golden-section iterations per 1-D line search (~1e-9 bracket).
+_GOLDEN_ITERS = 60
+#: Coordinate-ascent sweeps for multi-parameter laws.
+_ASCENT_SWEEPS = 4
+#: Gauss–Legendre nodes for the Murphy (triangular-mixer) likelihood.
+_MURPHY_NODES = 48
+
+
+# ---------------------------------------------------------------------------
+# sufficient statistics
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _LotStats:
+    # One lot's grouped data: per-wafer killer totals and die counts.
+    wafer_counts: tuple[int, ...]
+    wafer_dies: tuple[int, ...]
+
+
+def _extract_stats(lots: Sequence[LotResult]
+                   ) -> tuple[tuple[_LotStats, ...], float, int, int]:
+    # Returns (per-lot stats, C = Σ ln k_d!, total dies, total defects).
+    per_lot = []
+    log_fact = 0.0
+    n_dies = 0
+    n_defects = 0
+    for lot in lots:
+        counts = []
+        dies = []
+        for wmap in lot:
+            k = np.asarray(wmap.defect_counts)
+            counts.append(int(k.sum()))
+            dies.append(int(k.size))
+            n_dies += int(k.size)
+            n_defects += int(k.sum())
+            if int(k.max(initial=0)) > 1:
+                log_fact += float(sum(math.lgamma(int(v) + 1)
+                                      for v in k[k > 1]))
+        per_lot.append(_LotStats(tuple(counts), tuple(dies)))
+    return tuple(per_lot), log_fact, n_dies, n_defects
+
+
+# ---------------------------------------------------------------------------
+# per-wafer log-likelihood kernels (without the shared Σ ln k! constant)
+# ---------------------------------------------------------------------------
+
+def _poisson_wafer_ll(mu: float, k: int, n: int) -> float:
+    # ln Π Poisson(k_d | mu) over a wafer, grouped: K ln mu − n mu.
+    if mu <= 0.0:
+        return 0.0 if k == 0 else -math.inf
+    return k * math.log(mu) - n * mu
+
+
+def _gamma_wafer_ll(mu: float, beta: float, k: int, n: int) -> float:
+    # ln ∫ Π Poisson(k_d | mu t) · Gamma(t; beta, 1/beta) dt — the
+    # closed-form negative-binomial wafer contribution:
+    # lnΓ(β+K) − lnΓ(β) + β ln β + K ln mu − (β+K) ln(β + n·mu).
+    if mu <= 0.0:
+        return 0.0 if k == 0 else -math.inf
+    return (math.lgamma(beta + k) - math.lgamma(beta)
+            + beta * math.log(beta) + k * math.log(mu)
+            - (beta + k) * math.log(beta + n * mu))
+
+
+def _logsumexp(values: list[float]) -> float:
+    top = max(values)
+    if top == -math.inf:
+        return -math.inf
+    return top + math.log(math.fsum(math.exp(v - top) for v in values))
+
+
+def _triangular_nodes() -> tuple[tuple[float, ...], tuple[float, ...]]:
+    # Murphy's mixer: symmetric triangular density on [0, 2] (mean 1),
+    # discretized on Gauss–Legendre nodes mapped from [-1, 1].
+    x, w = np.polynomial.legendre.leggauss(_MURPHY_NODES)
+    s = [float(v) + 1.0 for v in x]
+    dens = [(v if v <= 1.0 else 2.0 - v) for v in s]
+    weights = [float(wi) * d for wi, d in zip(w, dens)]
+    total = math.fsum(weights)
+    return tuple(s), tuple(v / total for v in weights)
+
+
+_TRI_CACHE: tuple[tuple[float, ...], tuple[float, ...]] | None = None
+
+
+def _murphy_wafer_ll(mu: float, k: int, n: int) -> float:
+    # ln ∫ Π Poisson(k_d | mu s) · triangular(s) ds by quadrature.
+    global _TRI_CACHE
+    if mu <= 0.0:
+        return 0.0 if k == 0 else -math.inf
+    if _TRI_CACHE is None:
+        _TRI_CACHE = _triangular_nodes()
+    nodes, weights = _TRI_CACHE
+    terms = [math.log(w) + _poisson_wafer_ll(mu * s, k, n)
+             for s, w in zip(nodes, weights)]
+    return _logsumexp(terms)
+
+
+def _total_ll(stats: tuple[_LotStats, ...],
+              wafer_ll: Callable[[int, int], float]) -> float:
+    # Independent-wafer laws: sum the per-wafer kernel over every lot.
+    return math.fsum(wafer_ll(k, n)
+                     for lot in stats
+                     for k, n in zip(lot.wafer_counts, lot.wafer_dies))
+
+
+def _hierarchical_ll(stats: tuple[_LotStats, ...], mu: float,
+                     wafer_alpha: float, lot_alpha: float,
+                     n_nodes: int) -> float:
+    # Two-level law: wafers are NB(beta) conditional on the lot factor
+    # t, and t integrates out on the lot's Gauss–Laguerre nodes:
+    # ln Σ_i w_i Π_w NB-wafer(mu·t_i).
+    if mu <= 0.0:
+        return 0.0 if all(k == 0 for lot in stats
+                          for k in lot.wafer_counts) else -math.inf
+    nodes, weights = _gamma_mixing_nodes(float(lot_alpha), n_nodes)
+    log_w = [math.log(w) for w in weights]
+    total = 0.0
+    for lot in stats:
+        terms = [lw + math.fsum(
+            _gamma_wafer_ll(mu * t, wafer_alpha, k, n)
+            for k, n in zip(lot.wafer_counts, lot.wafer_dies))
+            for t, lw in zip(nodes, log_w)]
+        total += _logsumexp(terms)
+    return total
+
+
+def _mixture_ll(stats: tuple[_LotStats, ...], weight: float, mu: float,
+                alpha: float) -> float:
+    # Each wafer comes from the Poisson sub-population with probability
+    # ``weight``, else from the gamma-mixed (NB) one.
+    lp, lq = math.log(weight), math.log1p(-weight)
+    total = 0.0
+    for lot in stats:
+        for k, n in zip(lot.wafer_counts, lot.wafer_dies):
+            total += _logsumexp([lp + _poisson_wafer_ll(mu, k, n),
+                                 lq + _gamma_wafer_ll(mu, alpha, k, n)])
+    return total
+
+
+# ---------------------------------------------------------------------------
+# deterministic optimization
+# ---------------------------------------------------------------------------
+
+_INV_PHI = (math.sqrt(5.0) - 1.0) / 2.0
+
+
+def _golden_max(f: Callable[[float], float], lo: float, hi: float,
+                iters: int = _GOLDEN_ITERS) -> float:
+    # Golden-section maximizer on [lo, hi]; deterministic, no gradients.
+    a, b = lo, hi
+    c = b - _INV_PHI * (b - a)
+    d = a + _INV_PHI * (b - a)
+    fc, fd = f(c), f(d)
+    for _ in range(iters):
+        if fc >= fd:
+            b, d, fd = d, c, fc
+            c = b - _INV_PHI * (b - a)
+            fc = f(c)
+        else:
+            a, c, fc = c, d, fd
+            d = a + _INV_PHI * (b - a)
+            fd = f(d)
+    return 0.5 * (a + b)
+
+
+def _ascend(objective: Callable[[list[float]], float],
+            start: list[float],
+            bounds: list[tuple[float, float]]) -> list[float]:
+    # Cyclic coordinate ascent with golden-section line searches.
+    point = list(start)
+    for _ in range(_ASCENT_SWEEPS):
+        for i, (lo, hi) in enumerate(bounds):
+            def line(v: float, i: int = i) -> float:
+                trial = list(point)
+                trial[i] = v
+                return objective(trial)
+            point[i] = _golden_max(line, lo, hi)
+    return point
+
+
+# ---------------------------------------------------------------------------
+# fit results
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FittedYieldLaw:
+    """One law's maximum-likelihood fit to the lot data.
+
+    ``params`` holds the fitted quantities by name (always
+    ``defect_density_per_cm2``; shape parameters per law); ``model`` is
+    the fitted :class:`~repro.yieldsim.models.YieldModel` instance,
+    ready for :func:`repro.batch.engine.yield_for_area_batch` or a
+    :mod:`repro.serve` query.
+    """
+
+    name: str
+    model: YieldModel
+    params: dict
+    n_params: int
+    log_likelihood: float
+    aic: float
+    bic: float
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary of this fit."""
+        return {
+            "name": self.name,
+            "params": {k: float(v) for k, v in self.params.items()},
+            "n_params": self.n_params,
+            "log_likelihood": self.log_likelihood,
+            "aic": self.aic,
+            "bic": self.bic,
+        }
+
+
+@dataclass(frozen=True)
+class ModelSelectionReport:
+    """All fitted laws, ranked by AIC (ascending — best first).
+
+    Ties break toward fewer parameters, then law name, so the ranking
+    is deterministic (the NB and compound-Poisson-gamma laws are
+    algebraically identical and always tie).
+    """
+
+    laws: tuple[FittedYieldLaw, ...]
+    n_lots: int
+    n_wafers: int
+    n_dies: int
+    n_defects: int
+    die_area_cm2: float
+
+    @property
+    def best(self) -> FittedYieldLaw:
+        """The top-ranked (lowest-AIC) law."""
+        return self.laws[0]
+
+    def law(self, name: str) -> FittedYieldLaw:
+        """The fit for ``name`` (:class:`KeyError` if absent)."""
+        for fit in self.laws:
+            if fit.name == name:
+                return fit
+        raise KeyError(name)
+
+    def rank_of(self, name: str) -> int:
+        """1-based AIC rank of ``name`` (:class:`KeyError` if absent)."""
+        for i, fit in enumerate(self.laws):
+            if fit.name == name:
+                return i + 1
+        raise KeyError(name)
+
+    def to_dict(self) -> dict:
+        """JSON-ready report (the ``BENCH_yield.json`` fit table)."""
+        return {
+            "n_lots": self.n_lots,
+            "n_wafers": self.n_wafers,
+            "n_dies": self.n_dies,
+            "n_defects": self.n_defects,
+            "die_area_cm2": self.die_area_cm2,
+            "ranking": [fit.to_dict() for fit in self.laws],
+        }
+
+    def table_rows(self) -> list[tuple]:
+        """(rank, law, k, logL, AIC, BIC, ΔAIC) rows for display."""
+        best_aic = self.best.aic
+        return [(i + 1, fit.name, fit.n_params, fit.log_likelihood,
+                 fit.aic, fit.bic, fit.aic - best_aic)
+                for i, fit in enumerate(self.laws)]
+
+
+# ---------------------------------------------------------------------------
+# the fitting harness
+# ---------------------------------------------------------------------------
+
+def fit_yield_models(lots: LotResult | Sequence[LotResult],
+                     die_area_cm2: float, *,
+                     laws: Sequence[str] | None = None,
+                     bose_einstein_layers: int = 4,
+                     quadrature_nodes: int = 24) -> ModelSelectionReport:
+    """Fit every requested yield law to simulated lots; rank by AIC/BIC.
+
+    ``lots`` is one :class:`~repro.yieldsim.parallel.LotResult` or a
+    sequence of them (one entry per lot — the grouping the
+    hierarchical law needs; :meth:`SpotDefectSimulator.simulate_lots
+    <repro.yieldsim.monte_carlo.SpotDefectSimulator.simulate_lots>`
+    produces exactly this shape).  ``die_area_cm2`` converts the fitted
+    per-die expectation into a defect density.
+
+    Laws (``laws`` defaults to all of :data:`DEFAULT_LAWS`): Poisson,
+    Murphy, Seeds, Bose–Einstein (``bose_einstein_layers`` fixed),
+    negative binomial, compound Poisson–gamma, two-level hierarchical
+    (``quadrature_nodes`` lot-factor nodes), and a Poisson/NB wafer
+    mixture.  Information criteria: ``AIC = 2k − 2 ln L`` and
+    ``BIC = k ln N − 2 ln L`` with ``N`` the total die count.
+    """
+    require_positive("die_area_cm2", die_area_cm2)
+    if isinstance(lots, LotResult):
+        lots = [lots]
+    lots = list(lots)
+    if not lots or any(not isinstance(lot, LotResult) for lot in lots):
+        raise ParameterError(
+            "lots must be a LotResult or a non-empty sequence of them")
+    chosen = tuple(laws) if laws is not None else DEFAULT_LAWS
+    unknown = [name for name in chosen if name not in _LAW_FITTERS]
+    if unknown or not chosen:
+        raise ParameterError(
+            f"unknown yield laws {unknown!r}; available: "
+            f"{sorted(_LAW_FITTERS)}")
+
+    stats, log_fact, n_dies, n_defects = _extract_stats(lots)
+    if n_dies == 0:
+        raise ParameterError("lots contain no dies; nothing to fit")
+    if n_defects == 0:
+        raise ParameterError(
+            "lots contain no killer defects; every law degenerates to "
+            "Y=1 and the fit is meaningless")
+    n_wafers = sum(len(lot.wafer_counts) for lot in stats)
+
+    obs_on = _obs_enabled()
+    t0 = time.perf_counter() if obs_on else 0.0
+    fits = []
+    with _span("yield.fit", lots=len(stats), wafers=n_wafers,
+               dies=n_dies, defects=n_defects):
+        context = _FitContext(stats=stats, log_fact=log_fact,
+                              n_dies=n_dies, n_defects=n_defects,
+                              die_area_cm2=float(die_area_cm2),
+                              be_layers=int(bose_einstein_layers),
+                              n_nodes=int(quadrature_nodes))
+        for name in chosen:
+            with _span(f"yield.fit.{name}"):
+                fits.append(_LAW_FITTERS[name](context))
+    ranked = tuple(sorted(
+        fits, key=lambda f: (f.aic, f.n_params, f.name)))
+    if obs_on:
+        _metrics.inc("yield.fit.calls")
+        _metrics.inc("yield.fit.laws", len(ranked))
+        _metrics.observe("yield.fit.seconds", time.perf_counter() - t0)
+    return ModelSelectionReport(
+        laws=ranked, n_lots=len(stats), n_wafers=n_wafers,
+        n_dies=n_dies, n_defects=n_defects,
+        die_area_cm2=float(die_area_cm2))
+
+
+@dataclass(frozen=True)
+class _FitContext:
+    # Everything a law fitter needs, precomputed once.
+    stats: tuple[_LotStats, ...]
+    log_fact: float
+    n_dies: int
+    n_defects: int
+    die_area_cm2: float
+    be_layers: int
+    n_nodes: int
+
+    @property
+    def mu_hat(self) -> float:
+        # Pooled-count estimate of the per-die expectation — the exact
+        # MLE for every equal-die-count law, and the line-search center
+        # for the rest.
+        return self.n_defects / self.n_dies
+
+    def mu_bounds(self) -> tuple[float, float]:
+        return (math.log(self.mu_hat / _MU_SPAN),
+                math.log(self.mu_hat * _MU_SPAN))
+
+    def finish(self, name: str, model: YieldModel, params: dict,
+               n_params: int, ll_without_const: float) -> FittedYieldLaw:
+        ll = ll_without_const - self.log_fact
+        aic = 2.0 * n_params - 2.0 * ll
+        bic = n_params * math.log(self.n_dies) - 2.0 * ll
+        params = {"defect_density_per_cm2":
+                  params.pop("mu") / self.die_area_cm2, **params}
+        return FittedYieldLaw(name=name, model=model, params=params,
+                              n_params=n_params, log_likelihood=ll,
+                              aic=aic, bic=bic)
+
+
+def _fit_poisson(ctx: _FitContext) -> FittedYieldLaw:
+    mu = ctx.mu_hat  # exact closed-form MLE
+    ll = _total_ll(ctx.stats, lambda k, n: _poisson_wafer_ll(mu, k, n))
+    return ctx.finish("poisson", PoissonYield(), {"mu": mu}, 1, ll)
+
+
+def _fit_murphy(ctx: _FitContext) -> FittedYieldLaw:
+    lo, hi = ctx.mu_bounds()
+
+    def objective(p: list[float]) -> float:
+        mu = math.exp(p[0])
+        return _total_ll(ctx.stats,
+                         lambda k, n: _murphy_wafer_ll(mu, k, n))
+    best = _ascend(objective, [math.log(ctx.mu_hat)], [(lo, hi)])
+    mu = math.exp(best[0])
+    return ctx.finish("murphy", MurphyYield(), {"mu": mu}, 1,
+                      objective(best))
+
+
+def _fit_fixed_gamma(ctx: _FitContext, name: str, beta: float,
+                     model: YieldModel) -> FittedYieldLaw:
+    lo, hi = ctx.mu_bounds()
+
+    def objective(p: list[float]) -> float:
+        mu = math.exp(p[0])
+        return _total_ll(ctx.stats,
+                         lambda k, n: _gamma_wafer_ll(mu, beta, k, n))
+    best = _ascend(objective, [math.log(ctx.mu_hat)], [(lo, hi)])
+    mu = math.exp(best[0])
+    return ctx.finish(name, model, {"mu": mu}, 1, objective(best))
+
+
+def _fit_seeds(ctx: _FitContext) -> FittedYieldLaw:
+    return _fit_fixed_gamma(ctx, "seeds", 1.0, SeedsYield())
+
+
+def _fit_bose_einstein(ctx: _FitContext) -> FittedYieldLaw:
+    return _fit_fixed_gamma(
+        ctx, "bose_einstein", float(ctx.be_layers),
+        BoseEinsteinYield(n_layers=ctx.be_layers))
+
+
+def _fit_gamma_free(ctx: _FitContext) -> tuple[float, float, float]:
+    # Shared (mu, alpha) MLE for the NB/CPG pair.
+    lo, hi = ctx.mu_bounds()
+    s_lo, s_hi = math.log(_SHAPE_LO), math.log(_SHAPE_HI)
+
+    def objective(p: list[float]) -> float:
+        mu, alpha = math.exp(p[0]), math.exp(p[1])
+        return _total_ll(ctx.stats,
+                         lambda k, n: _gamma_wafer_ll(mu, alpha, k, n))
+    best = _ascend(objective, [math.log(ctx.mu_hat), 0.0],
+                   [(lo, hi), (s_lo, s_hi)])
+    return math.exp(best[0]), math.exp(best[1]), objective(best)
+
+
+def _fit_negative_binomial(ctx: _FitContext) -> FittedYieldLaw:
+    mu, alpha, ll = _fit_gamma_free(ctx)
+    return ctx.finish("negative_binomial",
+                      NegativeBinomialYield(alpha=alpha),
+                      {"mu": mu, "alpha": alpha}, 2, ll)
+
+
+def _fit_compound_poisson_gamma(ctx: _FitContext) -> FittedYieldLaw:
+    mu, alpha, ll = _fit_gamma_free(ctx)
+    return ctx.finish("compound_poisson_gamma",
+                      CompoundPoissonGamma(alpha=alpha),
+                      {"mu": mu, "alpha": alpha}, 2, ll)
+
+
+def _fit_hierarchical(ctx: _FitContext) -> FittedYieldLaw:
+    lo, hi = ctx.mu_bounds()
+    s_lo, s_hi = math.log(_SHAPE_LO), math.log(_SHAPE_HI)
+
+    def objective(p: list[float]) -> float:
+        mu, beta, lot_alpha = (math.exp(p[0]), math.exp(p[1]),
+                               math.exp(p[2]))
+        return _hierarchical_ll(ctx.stats, mu, beta, lot_alpha,
+                                ctx.n_nodes)
+    best = _ascend(objective, [math.log(ctx.mu_hat), 0.0, 0.0],
+                   [(lo, hi), (s_lo, s_hi), (s_lo, s_hi)])
+    mu, beta, lot_alpha = (math.exp(best[0]), math.exp(best[1]),
+                           math.exp(best[2]))
+    model = HierarchicalYieldModel(lot_alpha=lot_alpha, wafer_alpha=beta,
+                                   n_nodes=ctx.n_nodes)
+    return ctx.finish("hierarchical", model,
+                      {"mu": mu, "wafer_alpha": beta,
+                       "lot_alpha": lot_alpha}, 3, objective(best))
+
+
+def _fit_mixture(ctx: _FitContext) -> FittedYieldLaw:
+    lo, hi = ctx.mu_bounds()
+    s_lo, s_hi = math.log(_SHAPE_LO), math.log(_SHAPE_HI)
+
+    def objective(p: list[float]) -> float:
+        return _mixture_ll(ctx.stats, p[0], math.exp(p[1]),
+                           math.exp(p[2]))
+    best = _ascend(objective, [0.5, math.log(ctx.mu_hat), 0.0],
+                   [(0.02, 0.98), (lo, hi), (s_lo, s_hi)])
+    weight, mu, alpha = best[0], math.exp(best[1]), math.exp(best[2])
+    model = MixtureYieldModel(
+        ((weight, PoissonYield()),
+         (1.0 - weight, CompoundPoissonGamma(alpha=alpha))))
+    return ctx.finish("mixture", model,
+                      {"mu": mu, "poisson_weight": weight,
+                       "alpha": alpha}, 3, objective(best))
+
+
+_LAW_FITTERS: dict[str, Callable[[_FitContext], FittedYieldLaw]] = {
+    "poisson": _fit_poisson,
+    "murphy": _fit_murphy,
+    "seeds": _fit_seeds,
+    "bose_einstein": _fit_bose_einstein,
+    "negative_binomial": _fit_negative_binomial,
+    "compound_poisson_gamma": _fit_compound_poisson_gamma,
+    "hierarchical": _fit_hierarchical,
+    "mixture": _fit_mixture,
+}

@@ -10,7 +10,13 @@ from repro.core.wafer_cost import WaferCostModel
 from repro.errors import ParameterError
 from repro.geometry import Wafer
 from repro.serve import FabCostQuery, ModelCostQuery, ServedCost
-from repro.yieldsim import PoissonYield, ReferenceAreaYield
+from repro.yieldsim import (
+    CompoundPoissonGamma,
+    HierarchicalYieldModel,
+    MixtureYieldModel,
+    PoissonYield,
+    ReferenceAreaYield,
+)
 
 
 def _model(**kwargs):
@@ -119,6 +125,57 @@ class TestModelCostQuery:
                            yield_value=0.7)
         b = ModelCostQuery(5e6, 1.2, model=model, design_density=150.0,
                            yield_value=0.7)
+        assert a.signature() == b.signature()
+
+    def test_hierarchical_models_coalesce_by_value(self):
+        # The compound family is frozen/hashable, so two separately
+        # constructed but equal models must share one signature — the
+        # scheduler batches their points into one kernel call.
+        model = _model()
+        base = dict(model=model, design_density=150.0,
+                    defect_density_per_cm2=0.5)
+        a = ModelCostQuery(
+            1e6, 0.8, yield_model=HierarchicalYieldModel(
+                lot_alpha=2.0, wafer_alpha=1.5), **base)
+        b = ModelCostQuery(
+            2e6, 0.5, yield_model=HierarchicalYieldModel(
+                lot_alpha=2.0, wafer_alpha=1.5), **base)
+        assert a.signature() == b.signature()
+
+    def test_signature_distinguishes_compound_family_members(self):
+        # CPG(alpha) and NB-equivalent spellings are different types;
+        # hierarchical shapes and mixture weights are part of the key.
+        model = _model()
+        base = dict(model=model, design_density=150.0,
+                    defect_density_per_cm2=0.5)
+        sigs = {
+            ModelCostQuery(1e6, 0.8, yield_model=CompoundPoissonGamma(
+                alpha=1.5), **base).signature(),
+            ModelCostQuery(1e6, 0.8, yield_model=HierarchicalYieldModel(
+                lot_alpha=2.0, wafer_alpha=1.5), **base).signature(),
+            ModelCostQuery(1e6, 0.8, yield_model=HierarchicalYieldModel(
+                lot_alpha=3.0, wafer_alpha=1.5), **base).signature(),
+            ModelCostQuery(1e6, 0.8, yield_model=MixtureYieldModel((
+                (0.3, PoissonYield()),
+                (0.7, CompoundPoissonGamma(alpha=1.5)))),
+                **base).signature(),
+            ModelCostQuery(1e6, 0.8, yield_model=MixtureYieldModel((
+                (0.4, PoissonYield()),
+                (0.6, CompoundPoissonGamma(alpha=1.5)))),
+                **base).signature(),
+        }
+        assert len(sigs) == 5
+
+    def test_mixture_roundtrips_through_signature_coalescing(self):
+        # Equal mixtures coalesce by value, exactly like the scalar
+        # laws — no identity fallback for the new combinator.
+        model = _model()
+        mix = lambda: MixtureYieldModel((  # noqa: E731
+            (0.4, PoissonYield()), (0.6, CompoundPoissonGamma(alpha=2.0))))
+        a = ModelCostQuery(1e6, 0.8, model=model, design_density=150.0,
+                           yield_model=mix(), defect_density_per_cm2=0.5)
+        b = ModelCostQuery(3e6, 0.4, model=model, design_density=150.0,
+                           yield_model=mix(), defect_density_per_cm2=0.5)
         assert a.signature() == b.signature()
 
     def test_unhashable_custom_model_coalesces_by_identity(self):

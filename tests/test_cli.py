@@ -372,3 +372,76 @@ class TestSweepCommand:
         assert "wrote" in capsys.readouterr().err
         assert "sweep.run" in trace.read_text()
         assert "sweep.tile" in trace.read_text()
+
+
+class TestFitYield:
+    _SMALL = ["fit-yield", "--lots", "2", "--wafers", "2", "--seed", "7",
+              "--wafer-radius", "5.0"]
+
+    @pytest.fixture(autouse=True)
+    def _fresh_obs(self):
+        # --metrics/--trace on a previous main() call leave the global
+        # observability switch on, which would append the metrics table
+        # after this test's stdout (breaking e.g. JSON parsing).
+        from repro import obs
+        obs.disable()
+        yield
+        obs.disable()
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fit-yield"])
+        assert args.lots == 8
+        assert args.wafers == 5
+        assert args.defect_density == 0.8
+        assert args.wafer_alpha == 1.5
+        assert args.lot_alpha == 2.0
+        assert args.format == "table"
+        assert args.workers is None
+
+    def test_table_output_ranks_all_laws(self, capsys):
+        assert main(self._SMALL) == 0
+        out = capsys.readouterr().out
+        assert "rank" in out and "AIC" in out
+        for law in ("poisson", "murphy", "seeds", "bose_einstein",
+                    "negative_binomial", "compound_poisson_gamma",
+                    "hierarchical", "mixture"):
+            assert law in out
+        assert "best by AIC" in out
+
+    def test_law_subset_and_json_format(self, capsys):
+        import json
+        assert main(self._SMALL + ["--laws", "poisson,seeds",
+                                   "--format", "json"]) == 0
+        blob = json.loads(capsys.readouterr().out)
+        assert {fit["name"] for fit in blob["ranking"]} \
+            == {"poisson", "seeds"}
+        assert blob["n_lots"] == 2
+        assert blob["ranking"][0]["aic"] <= blob["ranking"][1]["aic"]
+
+    def test_deterministic_for_fixed_seed(self, capsys):
+        assert main(self._SMALL) == 0
+        first = capsys.readouterr().out
+        assert main(self._SMALL) == 0
+        assert capsys.readouterr().out == first
+
+    def test_unknown_law_exit_2(self, capsys):
+        rc = main(self._SMALL + ["--laws", "weibull"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_metrics_flag_reports_fit_counters(self, capsys):
+        assert main(self._SMALL + ["--laws", "poisson,murphy",
+                                   "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "yield.fit.calls" in out
+        assert "yield.fit.laws" in out
+
+    def test_trace_flag_writes_fit_spans(self, tmp_path, capsys):
+        trace = tmp_path / "spans.jsonl"
+        assert main(self._SMALL + ["--laws", "poisson,seeds",
+                                   "--trace", str(trace)]) == 0
+        assert "wrote" in capsys.readouterr().err
+        text = trace.read_text()
+        assert "yield.fit" in text
+        assert "yield.fit.poisson" in text
+        assert "yield.fit.seeds" in text

@@ -53,6 +53,7 @@ MODULES = [
     "repro.yieldsim.estimation",
     "repro.yieldsim.budget",
     "repro.yieldsim.spatial",
+    "repro.yieldsim.selection",
     "repro.batch.engine",
     "repro.batch.cache",
     "repro.batch.crossval",
@@ -140,8 +141,12 @@ def test_every_public_item_has_docstring(name):
 def test_top_level_reexports():
     for name in ("TransistorCostModel", "WaferCostModel", "Wafer", "Die",
                  "PoissonYield", "SCENARIO_1", "SCENARIO_2",
+                 "CompoundPoissonGamma", "HierarchicalYieldModel",
+                 "MixtureYieldModel", "fit_yield_models",
+                 "FittedYieldLaw", "ModelSelectionReport",
                  "evaluate_catalog", "GenerationModel", "LotResult",
                  "cross_validate_yield_batch",
+                 "cross_validate_model_suite",
                  "obs", "span", "metrics", "get_trace",
                  "serve", "CostService", "AsyncCostService",
                  "FabCostQuery", "ModelCostQuery", "ServedCost"):

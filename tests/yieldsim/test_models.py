@@ -7,6 +7,9 @@ import pytest
 from repro.errors import ParameterError
 from repro.yieldsim import (
     BoseEinsteinYield,
+    CompoundPoissonGamma,
+    HierarchicalYieldModel,
+    MixtureYieldModel,
     MurphyYield,
     NegativeBinomialYield,
     PoissonYield,
@@ -22,6 +25,10 @@ ALL_MODELS = [
     SeedsYield(),
     BoseEinsteinYield(n_layers=3),
     NegativeBinomialYield(alpha=2.0),
+    CompoundPoissonGamma(alpha=2.0),
+    HierarchicalYieldModel(lot_alpha=2.0, wafer_alpha=1.5),
+    MixtureYieldModel(((0.4, PoissonYield()),
+                       (0.6, NegativeBinomialYield(alpha=1.5)))),
 ]
 
 
@@ -122,6 +129,127 @@ class TestDensityInversion:
         d_high = PoissonYield().defect_density_for_yield(1.0, 0.9)
         d_low = PoissonYield().defect_density_for_yield(1.0, 0.5)
         assert d_low > d_high
+
+
+class TestCompoundPoissonGamma:
+    @pytest.mark.parametrize("alpha", [0.3, 1.0, 2.0, 7.5])
+    def test_bitwise_equal_to_negative_binomial(self, alpha):
+        # The compound Poisson-gamma closed form IS the NB law; the
+        # two must agree bitwise, not just approximately.
+        cpg = CompoundPoissonGamma(alpha=alpha)
+        nb = cpg.negative_binomial_equivalent()
+        assert isinstance(nb, NegativeBinomialYield)
+        assert nb.alpha == alpha
+        for m in (0.0, 0.1, 1.0, 4.0, 30.0):
+            assert cpg.yield_from_expectation(m) \
+                == nb.yield_from_expectation(m)
+
+    @pytest.mark.parametrize("alpha", [0.05, 0.5, 2.0, 50.0, 5e3])
+    def test_self_check_passes_across_alpha_range(self, alpha):
+        # Quadrature of the gamma mixture reproduces the closed form
+        # at the alpha-scaled probe points for tiny and huge shapes.
+        CompoundPoissonGamma(alpha=alpha).self_check()
+
+    def test_self_check_detects_undersampled_quadrature(self):
+        # Starving the quadrature of nodes at a custom far probe
+        # must trip the check rather than silently disagree.
+        cpg = CompoundPoissonGamma(alpha=0.05)
+        with pytest.raises(ParameterError):
+            cpg.self_check(m_points=(400.0,), n_nodes=2, tol=1e-12)
+
+    def test_mixture_yield_matches_closed_form(self):
+        cpg = CompoundPoissonGamma(alpha=1.5)
+        for m in (0.0, 0.4, 1.5, 6.0):
+            assert cpg.mixture_yield(m) == pytest.approx(
+                cpg.yield_from_expectation(m), abs=1e-9)
+
+    def test_rejects_nonpositive_alpha(self):
+        with pytest.raises(ParameterError):
+            CompoundPoissonGamma(alpha=0.0)
+
+
+class TestHierarchical:
+    def test_large_lot_alpha_collapses_to_wafer_nb(self):
+        # lot factor -> delta(1): two-level mixing degenerates to the
+        # single-level NB at the wafer shape.
+        m = 1.7
+        hier = HierarchicalYieldModel(lot_alpha=1e6, wafer_alpha=1.5)
+        nb = NegativeBinomialYield(alpha=1.5)
+        assert hier.yield_from_expectation(m) == pytest.approx(
+            nb.yield_from_expectation(m), abs=1e-5)
+
+    def test_large_wafer_alpha_collapses_to_lot_nb(self):
+        # Wafer level -> Poisson; only the lot gamma mixes, which is
+        # again a single-level NB at the lot shape.
+        m = 1.7
+        hier = HierarchicalYieldModel(lot_alpha=2.0, wafer_alpha=1e7)
+        nb = NegativeBinomialYield(alpha=2.0)
+        assert hier.yield_from_expectation(m) == pytest.approx(
+            nb.yield_from_expectation(m), abs=1e-5)
+
+    def test_extra_mixing_raises_yield(self):
+        # Jensen: Y_NB(m) is convex in the density scale, so adding
+        # the lot-level mixer can only raise yield at the same mean m.
+        for m in (0.5, 2.0, 8.0):
+            hier = HierarchicalYieldModel(lot_alpha=1.2, wafer_alpha=1.5)
+            nb = NegativeBinomialYield(alpha=1.5)
+            assert hier.yield_from_expectation(m) \
+                >= nb.yield_from_expectation(m)
+
+    def test_quadrature_nodes_are_cached_and_normalized(self):
+        hier = HierarchicalYieldModel(lot_alpha=2.0, wafer_alpha=1.5)
+        nodes, weights = hier.mixing_nodes()
+        assert hier.mixing_nodes() == (nodes, weights)
+        assert len(nodes) == len(weights) == hier.n_nodes
+        assert math.fsum(weights) == pytest.approx(1.0, abs=1e-12)
+        # Mean-1 mixer: the quadrature reproduces the first moment.
+        mean = math.fsum(w * t for t, w in zip(nodes, weights))
+        assert mean == pytest.approx(1.0, rel=1e-9)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(lot_alpha=0.0, wafer_alpha=1.0),
+        dict(lot_alpha=1.0, wafer_alpha=-2.0),
+        dict(lot_alpha=1.0, wafer_alpha=1.0, n_nodes=1),
+        dict(lot_alpha=1.0, wafer_alpha=1.0, n_nodes=1024),
+        dict(lot_alpha=1.0, wafer_alpha=1.0, n_nodes=True),
+    ])
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ParameterError):
+            HierarchicalYieldModel(**kwargs)
+
+
+class TestMixture:
+    def test_weighted_average_of_components(self):
+        mix = MixtureYieldModel(((0.3, PoissonYield()),
+                                 (0.7, SeedsYield())))
+        for m in (0.0, 0.8, 3.0):
+            want = 0.3 * PoissonYield().yield_from_expectation(m) \
+                + 0.7 * SeedsYield().yield_from_expectation(m)
+            assert mix.yield_from_expectation(m) == pytest.approx(want)
+
+    def test_single_component_is_transparent(self):
+        mix = MixtureYieldModel(((1.0, MurphyYield()),))
+        for m in (0.0, 0.5, 2.0):
+            assert mix.yield_from_expectation(m) \
+                == MurphyYield().yield_from_expectation(m)
+
+    def test_is_hashable_for_serve_coalescing(self):
+        a = MixtureYieldModel(((0.4, PoissonYield()),
+                               (0.6, SeedsYield())))
+        b = MixtureYieldModel(((0.4, PoissonYield()),
+                               (0.6, SeedsYield())))
+        assert a == b and hash(a) == hash(b)
+
+    @pytest.mark.parametrize("components", [
+        (),
+        ((0.5, PoissonYield()),),                      # weights miss 1
+        ((1.5, PoissonYield()), (-0.5, SeedsYield())),  # negative weight
+        ((1.0, "poisson"),),                           # not a model
+        ((0.5, PoissonYield()), 0.5),                  # not a pair
+    ])
+    def test_rejects_bad_components(self, components):
+        with pytest.raises(ParameterError):
+            MixtureYieldModel(components)
 
 
 class TestReferenceArea:

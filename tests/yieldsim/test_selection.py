@@ -1,0 +1,177 @@
+"""Model selection: MLE fits and AIC/BIC ranking recover generators.
+
+The headline property is *generator recovery*: lots sampled from a
+known defect process must rank the matching closed-form law first —
+Poisson data picks Poisson, two-level clustered data picks the
+hierarchical law.  The NB/compound-Poisson-gamma equivalence shows up
+as an exact likelihood tie broken deterministically toward the
+canonical NB spelling... by name, so CPG sorts first.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.geometry import Die, Wafer
+from repro.yieldsim import (
+    CompoundPoissonGamma,
+    HierarchicalYieldModel,
+    PoissonYield,
+    SpotDefectSimulator,
+    fit_yield_models,
+)
+from repro.yieldsim.selection import DEFAULT_LAWS
+
+WAFER = Wafer(radius_cm=5.0)
+DIE = Die(1.0, 1.0)
+
+
+def _lots(density, *, wafer_alpha=None, lot_alpha=None,
+          n_lots=4, n_wafers=3, seed=21):
+    sim = SpotDefectSimulator(WAFER, DIE, density,
+                              clustering_alpha=wafer_alpha,
+                              lot_alpha=lot_alpha)
+    return sim.simulate_lots(n_lots, n_wafers, seed=seed)
+
+
+class TestGeneratorRecovery:
+    def test_poisson_data_ranks_poisson_first(self):
+        report = fit_yield_models(_lots(0.6), DIE.area_cm2)
+        assert report.best.name == "poisson"
+        assert isinstance(report.best.model, PoissonYield)
+        # mu-hat = K/N exactly; density = mu-hat / area.
+        want = report.n_defects / report.n_dies / DIE.area_cm2
+        assert report.best.params["defect_density_per_cm2"] \
+            == pytest.approx(want)
+
+    def test_clustered_data_prefers_gamma_family_over_poisson(self):
+        # wafer_alpha far from 1 so Seeds (the alpha=1 special case)
+        # cannot absorb the clustering with one fewer parameter.
+        report = fit_yield_models(
+            _lots(0.8, wafer_alpha=0.5, n_lots=6, n_wafers=4, seed=33),
+            DIE.area_cm2)
+        assert report.rank_of("negative_binomial") \
+            < report.rank_of("seeds")
+        assert report.rank_of("negative_binomial") \
+            < report.rank_of("poisson")
+        nb = report.law("negative_binomial")
+        assert nb.params["alpha"] == pytest.approx(0.5, abs=0.3)
+
+    def test_hierarchical_data_ranks_hierarchical_first(self):
+        lots = _lots(0.9, wafer_alpha=1.2, lot_alpha=1.5,
+                     n_lots=12, n_wafers=6, seed=2024)
+        report = fit_yield_models(lots, DIE.area_cm2)
+        assert report.best.name == "hierarchical"
+        assert isinstance(report.best.model, HierarchicalYieldModel)
+        params = report.best.params
+        assert params["defect_density_per_cm2"] == pytest.approx(0.9,
+                                                                 abs=0.3)
+        assert params["wafer_alpha"] == pytest.approx(1.2, abs=0.5)
+        assert params["lot_alpha"] == pytest.approx(1.5, abs=0.7)
+
+    def test_nb_and_cpg_tie_exactly(self):
+        # Algebraically the same law: identical likelihood, AIC, BIC,
+        # and fitted parameters; the tie breaks by name.
+        report = fit_yield_models(
+            _lots(0.8, wafer_alpha=0.5, n_lots=6, n_wafers=4, seed=33),
+            DIE.area_cm2)
+        nb = report.law("negative_binomial")
+        cpg = report.law("compound_poisson_gamma")
+        assert isinstance(cpg.model, CompoundPoissonGamma)
+        assert nb.log_likelihood == cpg.log_likelihood
+        assert nb.aic == cpg.aic and nb.bic == cpg.bic
+        assert nb.params == cpg.params
+        assert report.rank_of("compound_poisson_gamma") \
+            == report.rank_of("negative_binomial") - 1
+
+
+class TestReportStructure:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return fit_yield_models(_lots(0.6), DIE.area_cm2)
+
+    def test_all_default_laws_fitted_and_sorted(self, report):
+        assert {f.name for f in report.laws} == set(DEFAULT_LAWS)
+        aics = [f.aic for f in report.laws]
+        assert aics == sorted(aics)
+
+    def test_information_criteria_are_consistent(self, report):
+        n = report.n_dies
+        for fit in report.laws:
+            assert fit.aic == pytest.approx(
+                2 * fit.n_params - 2 * fit.log_likelihood)
+            assert fit.bic == pytest.approx(
+                fit.n_params * math.log(n) - 2 * fit.log_likelihood)
+            assert fit.log_likelihood < 0.0
+
+    def test_fitted_models_are_usable_yield_models(self, report):
+        for fit in report.laws:
+            y = fit.model.yield_from_expectation(0.7)
+            assert 0.0 < y <= 1.0
+
+    def test_to_dict_is_json_ready(self, report):
+        import json
+        blob = report.to_dict()
+        assert blob["ranking"][0]["name"] == report.best.name
+        assert blob["n_dies"] == report.n_dies
+        json.dumps(blob)  # must not raise
+
+    def test_table_rows_carry_delta_aic(self, report):
+        rows = report.table_rows()
+        assert rows[0][0] == 1 and rows[0][-1] == 0.0
+        assert all(row[-1] >= 0.0 for row in rows)
+
+    def test_lookup_errors(self, report):
+        with pytest.raises(KeyError):
+            report.law("weibull")
+        with pytest.raises(KeyError):
+            report.rank_of("weibull")
+
+    def test_single_lot_result_accepted_directly(self):
+        lot = _lots(0.6)[0]
+        report = fit_yield_models(lot, DIE.area_cm2,
+                                  laws=("poisson", "seeds"))
+        assert report.n_lots == 1
+        assert {f.name for f in report.laws} == {"poisson", "seeds"}
+
+
+class TestValidation:
+    def test_rejects_empty_and_non_lot_input(self):
+        with pytest.raises(ParameterError):
+            fit_yield_models([], DIE.area_cm2)
+        with pytest.raises(ParameterError):
+            fit_yield_models([object()], DIE.area_cm2)
+
+    def test_rejects_unknown_law(self):
+        with pytest.raises(ParameterError):
+            fit_yield_models(_lots(0.6), DIE.area_cm2,
+                             laws=("poisson", "weibull"))
+
+    def test_rejects_nonpositive_area(self):
+        with pytest.raises(ParameterError):
+            fit_yield_models(_lots(0.6), 0.0)
+
+    def test_rejects_defect_free_lots(self):
+        clean = SpotDefectSimulator(WAFER, DIE, 0.0)
+        with pytest.raises(ParameterError):
+            fit_yield_models(clean.simulate_lots(2, 2, seed=1),
+                             DIE.area_cm2)
+
+
+class TestObservability:
+    def test_fit_emits_spans_and_metrics(self):
+        from repro import obs
+        obs.enable(trace=True, metrics=True)
+        try:
+            fit_yield_models(_lots(0.6), DIE.area_cm2,
+                             laws=("poisson", "murphy"))
+            names = [span.name for span in obs.get_trace()]
+            assert "yield.fit" in names
+            assert "yield.fit.poisson" in names
+            assert "yield.fit.murphy" in names
+            rows = dict(obs.metrics.rows())
+            assert rows["yield.fit.calls"] >= 1
+            assert rows["yield.fit.laws"] >= 2
+        finally:
+            obs.disable()
