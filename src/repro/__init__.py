@@ -97,7 +97,10 @@ from .serve import (
     MicroBatchScheduler,
     ModelCostQuery,
     ServedCost,
+    TuningProfile,
 )
+from . import replay
+from .replay import learn_profile, replay_log
 
 __version__ = "1.0.0"
 
@@ -168,5 +171,9 @@ __all__ = [
     "MicroBatchScheduler",
     "ModelCostQuery",
     "ServedCost",
+    "TuningProfile",
+    "replay",
+    "learn_profile",
+    "replay_log",
     "__version__",
 ]

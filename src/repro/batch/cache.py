@@ -22,6 +22,7 @@ unless a call site supplies its own (or ``None`` to disable caching).
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -115,7 +116,12 @@ class BatchCache:
         ``queries`` is any iterable of
         :class:`repro.serve.query.CostQuery` — typically rebuilt from
         a recorded traffic file (``python -m repro cost --prewarm
-        FILE``).  They are coalesced exactly the way a flush would
+        FILE``) — or a path: a recorder JSONL log
+        (:mod:`repro.obs.recording`, auto-detected by
+        :func:`~repro.obs.recording.is_recorded_log`) loads its
+        replayable queries directly, and any other file goes through
+        the caller's legacy loader first.  Queries are coalesced
+        exactly the way a flush would
         (grouped by signature, deduplicated by point) and priced
         through the serve executor with *this* cache, so the
         expensive memoized sub-results — eq.-(4) die-count arrays,
@@ -129,6 +135,17 @@ class BatchCache:
         """
         # Lazy import: repro.serve imports this module at load time.
         from ..serve.executor import execute_group
+
+        if isinstance(queries, (str, os.PathLike)):
+            from ..obs.recording import (
+                is_recorded_log,
+                load_recorded_queries,
+            )
+            if not is_recorded_log(queries):
+                raise ParameterError(
+                    f"{queries}: not a recorded-traffic log (for legacy "
+                    f"point files, load the queries and pass them in)")
+            queries = load_recorded_queries(queries)
 
         groups: dict[Hashable, tuple[Any, dict]] = {}
         for query in queries:

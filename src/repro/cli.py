@@ -17,6 +17,9 @@ Usage::
         --workers 4 --backend process --tile-size 65536 \\
         --checkpoint runs/fig8 --output landscape.npy
     python -m repro sweep --checkpoint runs/fig8 --resume ...
+    python -m repro cost --input points.csv --density 150 \\
+        --record traffic.jsonl
+    python -m repro replay --log traffic.jsonl --run-dir runs/replay
 
 Everything prints plain text (ASCII charts/tables); exit code 0 on
 success, 2 on bad arguments.
@@ -36,6 +39,13 @@ batches are priced through :class:`repro.serve.CostService`, so a
 the shared-memory process pool (``--workers/--backend/--tile-size``),
 optionally checkpointed and resumable (``--checkpoint DIR``,
 ``--resume``); see ``docs/performance.md`` ("Mega-sweeps").
+
+``cost --record FILE`` appends every query the batch service prices
+to a JSONL traffic log; ``replay`` re-drives such a log against any
+subset of the ``thread``/``process``/``auto``/``tuned`` scheduler
+configs, asserts bitwise result parity, and writes a run dir
+(``raw/*.json`` → ``results.csv`` → ``report.md``) — the full
+record → replay → report loop is ``docs/replay.md``.
 
 Every command also accepts the observability flags from
 ``docs/observability.md``: ``--trace FILE`` writes the run's span tree
@@ -152,11 +162,20 @@ def _cost_batch(args: argparse.Namespace) -> None:
 
     from .serve import CostService, format_served_csv, format_served_json
     service = CostService(backend=args.serve_backend,
-                          workers=args.serve_workers)
+                          workers=args.serve_workers,
+                          record=args.record)
     with service:
         if args.prewarm is not None:
+            from .obs.recording import (
+                is_recorded_log,
+                load_recorded_queries,
+            )
             cache = service.scheduler.cache
-            warm_queries = _cost_queries_from_file(args, args.prewarm)
+            if is_recorded_log(args.prewarm):
+                # A recorder JSONL log carries the full query spec.
+                warm_queries = load_recorded_queries(args.prewarm)
+            else:
+                warm_queries = _cost_queries_from_file(args, args.prewarm)
             if cache is None:
                 print(f"prewarm skipped: caching disabled "
                       f"({len(warm_queries)} queries ignored)",
@@ -416,6 +435,34 @@ def _cmd_fit_yield(args: argparse.Namespace) -> None:
     print(f"best by AIC: {best.name} ({params})")
 
 
+def _cmd_replay(args: argparse.Namespace) -> None:
+    from .replay import run_all
+    names = [v.strip() for v in args.configs.split(",") if v.strip()]
+    if not names:
+        raise ParameterError("--configs must name at least one config")
+    summary = run_all(args.log, args.run_dir, names=names,
+                      workers=args.workers, mode=args.mode,
+                      speed=args.speed, profile=args.profile,
+                      timeout=args.timeout)
+    rows = []
+    for r in summary["results"]:
+        rows.append((r.config.name, f"{r.wall_s:.3f}", f"{r.qps:.0f}",
+                     f"{r.p50_ms:.2f}", f"{r.p95_ms:.2f}",
+                     f"{r.p99_ms:.2f}", f"{r.mean_occupancy:.2f}",
+                     str(r.mismatches)))
+    print(ascii_table(
+        ("config", "wall s", "qps", "p50 ms", "p95 ms", "p99 ms",
+         "occupancy", "mismatches"), rows))
+    print(f"run dir: {summary['run_dir']}")
+    print(f"  results: {summary['csv']}")
+    print(f"  report:  {summary['report']}")
+    if summary["mismatches"]:
+        raise ReproError(
+            f"{summary['mismatches']} replayed cost(s) were not bitwise "
+            f"equal to the recording (see raw/*.json)")
+    print("parity: all replayed costs bitwise equal to the recording")
+
+
 def _cmd_report(args: argparse.Namespace) -> None:
     from .analysis.reproduce import main as report_main
     report_main([args.output] if args.output else [])
@@ -469,9 +516,14 @@ def build_parser() -> argparse.ArgumentParser:
     cost.add_argument("--format", choices=("csv", "json"), default="csv",
                       help="batch output format (with --input)")
     cost.add_argument("--prewarm", metavar="FILE", default=None,
-                      help="replay recorded points (CSV/JSON, same fields "
-                           "as --input) into the batch cache before "
-                           "serving; may be used without --input")
+                      help="replay recorded queries into the batch cache "
+                           "before serving: a recorder JSONL traffic log "
+                           "(auto-detected) or a points file (CSV/JSON, "
+                           "same fields as --input); may be used without "
+                           "--input")
+    cost.add_argument("--record", metavar="FILE", default=None,
+                      help="append every served query to FILE as a JSONL "
+                           "traffic log (replayable via 'repro replay')")
     cost.add_argument("--serve-backend", default="auto",
                       choices=("auto", "thread", "process"),
                       help="execution backend for batch serving")
@@ -607,6 +659,35 @@ def build_parser() -> argparse.ArgumentParser:
     fit.add_argument("--format", choices=("table", "json"),
                      default="table", help="output format")
 
+    replay = add_parser(
+        "replay",
+        help="replay a recorded traffic log against scheduler configs "
+             "and write a run-dir report")
+    replay.add_argument("--log", metavar="FILE", required=True,
+                        help="recorder JSONL traffic log (from "
+                             "'cost --record' or CostService(record=...))")
+    replay.add_argument("--run-dir", metavar="DIR", required=True,
+                        help="output directory: raw/*.json, profile.json, "
+                             "results.csv, report.md")
+    replay.add_argument("--configs", default="thread,process,auto,tuned",
+                        help="comma-separated subset of "
+                             "thread,process,auto,tuned")
+    replay.add_argument("--workers", type=int, default=2,
+                        help="worker count for every replayed config")
+    replay.add_argument("--mode", choices=("open", "closed"),
+                        default="closed",
+                        help="closed: submit as fast as accepted; open: "
+                             "honor recorded arrival times")
+    replay.add_argument("--speed", type=float, default=1.0,
+                        help="time-scale for open-loop arrivals "
+                             "(2.0 = replay twice as fast)")
+    replay.add_argument("--profile", metavar="FILE", default=None,
+                        help="tuning profile JSON for the 'tuned' config "
+                             "(default: learn one from the other configs' "
+                             "telemetry)")
+    replay.add_argument("--timeout", type=float, default=300.0,
+                        help="drain deadline per config [s]")
+
     report = add_parser("report",
                         help="write the full reproduction report")
     report.add_argument("output", nargs="?", default=None,
@@ -660,6 +741,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                 _cmd_simulate(args)
             elif args.command == "fit-yield":
                 _cmd_fit_yield(args)
+            elif args.command == "replay":
+                _cmd_replay(args)
             elif args.command == "report":
                 _cmd_report(args)
     except ReproError as exc:

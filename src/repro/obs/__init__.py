@@ -15,6 +15,10 @@ A zero-dependency observability layer for the batch engine, the
   ships worker-process spans/metrics back to the parent
   (:func:`capture_flags` / :func:`begin_capture` /
   :func:`end_capture` / :func:`absorb`).
+* :mod:`~repro.obs.recording` — the recorded-traffic JSONL format:
+  :class:`QueryRecorder` (attached via
+  ``MicroBatchScheduler(record=PATH)``) plus the loaders shared by
+  the replay harness (:mod:`repro.replay`) and cache prewarm.
 
 Everything is **off by default** and near-zero-cost while off: every
 hook is guarded by the flags in :mod:`~repro.obs.state` (one attribute
@@ -53,6 +57,14 @@ from .registry import (
     metrics,
 )
 from .capture import absorb, begin_capture, capture_flags, end_capture
+from .recording import (
+    QueryRecorder,
+    RecordedLog,
+    RecordedQuery,
+    is_recorded_log,
+    load_recorded_log,
+    load_recorded_queries,
+)
 
 __all__ = [
     "ObsState",
@@ -79,4 +91,10 @@ __all__ = [
     "begin_capture",
     "end_capture",
     "absorb",
+    "QueryRecorder",
+    "RecordedLog",
+    "RecordedQuery",
+    "is_recorded_log",
+    "load_recorded_log",
+    "load_recorded_queries",
 ]

@@ -211,6 +211,20 @@ class span:
         self._t0 = time.perf_counter()
         return self
 
+    def annotate(self, **attrs: Any) -> "span":
+        """Attach attributes to an *open* span (key → scalar).
+
+        Lets code stamp facts that are only known mid-region — a flush
+        span learns which backends executed its groups only after they
+        ran.  Merged into the attributes given at construction (same
+        keys overwrite) and exported with the span in the JSONL /
+        tree forms.  A no-op while tracing is disabled, so callers can
+        annotate unconditionally; returns ``self`` for chaining.
+        """
+        if self._active:
+            self.attrs = {**self.attrs, **attrs}
+        return self
+
     def __exit__(self, exc_type, exc, tb) -> bool:
         """Close the span, recording duration and any exception type."""
         if not self._active:

@@ -1,0 +1,163 @@
+"""Learn per-signature scheduler tuning from flush telemetry.
+
+The scheduler's ``"auto"`` backend routes a coalesced group to the
+shared-memory process pool when it has at least ``process_threshold``
+unique points — one global guess.  The right crossover is where the
+process path's *fixed* overhead (shm block creation, task dispatch,
+result collection) is amortized below the thread path's *per-point*
+cost, and both of those are measurable from the
+:class:`~repro.serve.scheduler.GroupRecord` telemetry each flush
+leaves behind.  :func:`learn_profile` does exactly that fit:
+
+* Per signature, the thread backend's seconds-per-point rate
+  ``t_sig`` is total observed duration over total points (group setup
+  is negligible on that path).
+* The process backend's cost model ``a + b·k`` (overhead ``a``,
+  per-point ``b``) is a least-squares line over *all* process group
+  observations pooled across signatures — the overhead is a property
+  of the machinery, not the model, and pooling gives the fit many
+  more points.
+* The learned threshold for a signature is the smallest group size
+  where the process prediction wins: ``k* = a / (t_sig − b)``
+  (rounded up; a signature whose thread rate never exceeds ``b``
+  gets :data:`~repro.serve.tuning.NEVER_PROCESS`).  The chunk-size
+  knob targets ``target_chunk_seconds`` of work per chunk at the
+  thread rate, clamped to ``[min_chunk, max_chunk]``.
+
+Signatures with fewer than ``min_samples`` observations, and logs
+with no process observations at all, keep the profile defaults — the
+learner only overrides what it has evidence for.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable
+
+from ..errors import ParameterError
+from ..obs import metrics as _metrics, span as _span
+from ..obs.state import enabled as _obs_enabled
+from ..serve.scheduler import FlushRecord
+from ..serve.tuning import NEVER_PROCESS, SignatureTuning, TuningProfile
+
+__all__ = ["learn_profile"]
+
+
+def _fit_line(points: list[tuple[int, float]]) -> tuple[float, float] | None:
+    """Least-squares ``duration ≈ a + b·k`` fit; None if degenerate."""
+    if len(points) < 2:
+        return None
+    n = float(len(points))
+    sum_k = sum(k for k, _ in points)
+    sum_d = sum(d for _, d in points)
+    sum_kk = sum(k * k for k, _ in points)
+    sum_kd = sum(k * d for k, d in points)
+    denom = n * sum_kk - sum_k * sum_k
+    if denom == 0.0:  # all observations at one group size
+        return None
+    b = (n * sum_kd - sum_k * sum_d) / denom
+    a = (sum_d - b * sum_k) / n
+    # A slightly negative intercept/slope is fit noise; clamp so the
+    # crossover algebra below stays well-behaved.
+    return max(0.0, a), max(0.0, b)
+
+
+def learn_profile(flush_records: Iterable[FlushRecord], *,
+                  default_process_threshold: int = 2048,
+                  default_chunk_size: int | None = None,
+                  target_chunk_seconds: float = 0.02,
+                  min_chunk: int = 256,
+                  max_chunk: int = 65536,
+                  min_samples: int = 3,
+                  meta: dict[str, Any] | None = None) -> TuningProfile:
+    """Fit a :class:`~repro.serve.tuning.TuningProfile` from telemetry.
+
+    ``flush_records`` is any iterable of
+    :class:`~repro.serve.scheduler.FlushRecord` — typically
+    ``scheduler.recent_flushes`` from a live service run with
+    ``flush_history`` enabled, or the records a replay run collected.
+    Only records carrying per-group detail contribute (those from a
+    scheduler with history or recording on).  See the module
+    docstring for the fit; keyword arguments set the profile defaults
+    and the chunk-size target/clamp.  ``meta`` is merged into the
+    profile's provenance block.
+    """
+    if min_samples < 1:
+        raise ParameterError(
+            f"min_samples must be >= 1, got {min_samples}")
+    if target_chunk_seconds <= 0:
+        raise ParameterError(
+            f"target_chunk_seconds must be > 0, got {target_chunk_seconds}")
+    if not 1 <= min_chunk <= max_chunk:
+        raise ParameterError(
+            f"need 1 <= min_chunk <= max_chunk, "
+            f"got ({min_chunk}, {max_chunk})")
+
+    thread_obs: dict[str, list[tuple[int, float]]] = {}
+    process_obs: list[tuple[int, float]] = []
+    n_flushes = 0
+    n_groups = 0
+    with _span("tuning.learn"):
+        for flush in flush_records:
+            n_flushes += 1
+            for g in flush.group_records:
+                if not g.sig_key or g.points <= 0:
+                    continue
+                n_groups += 1
+                if g.backend == "process":
+                    process_obs.append((g.points, g.duration_s))
+                else:
+                    thread_obs.setdefault(g.sig_key, []).append(
+                        (g.points, g.duration_s))
+
+        process_fit = _fit_line(process_obs)
+        signatures: dict[str, SignatureTuning] = {}
+        for sig_key, obs in sorted(thread_obs.items()):
+            if len(obs) < min_samples:
+                continue
+            total_points = sum(k for k, _ in obs)
+            total_s = sum(d for _, d in obs)
+            if total_points <= 0 or total_s <= 0:
+                continue
+            rate = total_s / total_points
+            chunk = int(min(max_chunk,
+                            max(min_chunk,
+                                round(target_chunk_seconds / rate))))
+            if process_fit is None:
+                threshold = default_process_threshold
+                overhead = None
+                proc_rate = None
+            else:
+                overhead, proc_rate = process_fit
+                if rate > proc_rate:
+                    threshold = min(
+                        NEVER_PROCESS,
+                        max(1, math.ceil(overhead / (rate - proc_rate))))
+                else:
+                    # The process path never wins per-point for this
+                    # signature; route it to threads at any size.
+                    threshold = NEVER_PROCESS
+            signatures[sig_key] = SignatureTuning(
+                process_threshold=threshold,
+                chunk_size=chunk,
+                thread_s_per_point=rate,
+                process_s_per_point=proc_rate,
+                process_overhead_s=overhead,
+                samples=len(obs))
+
+    profile_meta: dict[str, Any] = {
+        "flushes": n_flushes,
+        "groups": n_groups,
+        "process_observations": len(process_obs),
+        "target_chunk_seconds": target_chunk_seconds,
+        "min_samples": min_samples,
+    }
+    if meta:
+        profile_meta.update(meta)
+    if _obs_enabled():
+        _metrics.inc("tuning.signatures", len(signatures))
+    return TuningProfile(
+        default_process_threshold=default_process_threshold,
+        default_chunk_size=default_chunk_size,
+        signatures=signatures,
+        meta=profile_meta)

@@ -34,8 +34,15 @@ Pieces:
   the asyncio front-end over the same scheduler.
 * :mod:`repro.serve.io` — point-file loading and served-array
   serialization behind ``python -m repro cost --input``.
+* :mod:`repro.serve.tuning` —
+  :class:`~repro.serve.tuning.TuningProfile`, the learned
+  per-signature routing thresholds behind ``backend="tuned"``
+  (produced offline by :mod:`repro.replay` from recorded traffic;
+  recording itself lives in :mod:`repro.obs.recording` and is enabled
+  with ``record=PATH``).
 
-See ``docs/serving.md`` for scheduler semantics and tuning, and
+See ``docs/serving.md`` for scheduler semantics and tuning,
+``docs/replay.md`` for the record → replay → tune loop, and
 ``benchmarks/bench_serve.py`` for the measured throughput win.
 """
 
@@ -49,28 +56,40 @@ from .io import (
     load_points,
 )
 from .query import CostQuery, FabCostQuery, ModelCostQuery, ServedCost
-from .scheduler import CostTicket, FlushRecord, MicroBatchScheduler
+from .scheduler import (
+    SCHEDULER_BACKEND_CHOICES,
+    CostTicket,
+    FlushRecord,
+    GroupRecord,
+    MicroBatchScheduler,
+)
 from .service import CostService
 from .shm import ShmBlock
+from .tuning import SignatureTuning, TuningProfile, signature_key
 
 __all__ = [
     "AsyncCostService",
     "BACKEND_CHOICES",
+    "SCHEDULER_BACKEND_CHOICES",
     "CostQuery",
     "CostService",
     "CostTicket",
     "FabCostQuery",
     "FlushRecord",
+    "GroupRecord",
     "GroupResult",
     "MicroBatchScheduler",
     "ModelCostQuery",
     "ProcessBackend",
     "ServedCost",
     "ShmBlock",
+    "SignatureTuning",
     "ThreadBackend",
+    "TuningProfile",
     "RESULT_FIELDS",
     "execute_group",
     "format_served_csv",
     "format_served_json",
     "load_points",
+    "signature_key",
 ]

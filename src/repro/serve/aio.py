@@ -63,6 +63,8 @@ class AsyncCostService:
                  adaptive: bool = False,
                  wait_bounds: tuple[float, float] | None = None,
                  flush_history: int = 0,
+                 record: Any = None,
+                 profile: Any = None,
                  cache: Any = USE_DEFAULT_CACHE) -> None:
         if service is not None:
             self.scheduler: MicroBatchScheduler = service.scheduler
@@ -74,7 +76,7 @@ class AsyncCostService:
                 workers=workers, backend=backend,
                 process_threshold=process_threshold, adaptive=adaptive,
                 wait_bounds=wait_bounds, flush_history=flush_history,
-                cache=cache)
+                record=record, profile=profile, cache=cache)
             self._owns_scheduler = True
 
     # -- lifecycle -------------------------------------------------------

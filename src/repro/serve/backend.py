@@ -80,11 +80,16 @@ _N_ROWS = 2 + N_RESULT_ROWS
 FAULT_ENV = "REPRO_SERVE_WORKER_FAULT"
 
 
-def validate_backend(backend: str) -> str:
-    """Check a ``backend=`` knob value, returning it unchanged."""
-    if backend not in BACKEND_CHOICES:
+def validate_backend(backend: str,
+                     choices: tuple[str, ...] = BACKEND_CHOICES) -> str:
+    """Check a ``backend=`` knob value, returning it unchanged.
+
+    ``choices`` lets the scheduler accept its superset (the execution
+    backends plus ``"tuned"``) through the same error message shape.
+    """
+    if backend not in choices:
         raise ParameterError(
-            f"backend must be one of {BACKEND_CHOICES}, got {backend!r}")
+            f"backend must be one of {choices}, got {backend!r}")
     return backend
 
 
@@ -155,10 +160,18 @@ class ThreadBackend:
 
     def run_group(self, exemplar: CostQuery,
                   points: list[tuple[float, float]],
-                  cache: BatchCache | None) -> GroupResult:
-        """Price one coalesced group (see :func:`execute_group`)."""
+                  cache: BatchCache | None,
+                  chunk_size: int | None = None) -> GroupResult:
+        """Price one coalesced group (see :func:`execute_group`).
+
+        ``chunk_size`` overrides the backend default for this group —
+        the tuned scheduler's per-signature knob.  Chunking is bitwise
+        invisible (the elementwise contract), so the override can only
+        change speed, never results.
+        """
         return execute_group(exemplar, points, cache=cache,
-                             pool=self._pool, chunk_size=self.chunk_size)
+                             pool=self._pool,
+                             chunk_size=chunk_size or self.chunk_size)
 
     def n_chunks_for(self, n_points: int) -> int:
         """How many chunks :meth:`run_group` splits a group into."""
@@ -220,12 +233,13 @@ class ProcessBackend:
                 max_workers=self.workers)
         return pool
 
-    def _chunk_for(self, n_points: int) -> int:
+    def _chunk_for(self, n_points: int,
+                   chunk_size: int | None = None) -> int:
         # Spread the group over every worker, but never exceed the
         # configured chunk_size (small chunks bound worker latency and
         # are bitwise invisible by the elementwise contract).
         spread = math.ceil(n_points / self.workers)
-        return max(1, min(self.chunk_size, spread))
+        return max(1, min(chunk_size or self.chunk_size, spread))
 
     def n_chunks_for(self, n_points: int) -> int:
         """How many slices :meth:`run_group` cuts a group into."""
@@ -233,8 +247,14 @@ class ProcessBackend:
 
     def run_group(self, exemplar: CostQuery,
                   points: list[tuple[float, float]],
-                  cache: BatchCache | None) -> GroupResult:
-        """Price one group through shared memory, unlinking always."""
+                  cache: BatchCache | None,
+                  chunk_size: int | None = None) -> GroupResult:
+        """Price one group through shared memory, unlinking always.
+
+        ``chunk_size`` overrides the backend default for this group
+        (the tuned scheduler's per-signature knob); results are
+        bitwise identical under any chunking.
+        """
         k = len(points)
         n = np.array([p[0] for p in points], dtype=np.float64)
         lam = np.array([p[1] for p in points], dtype=np.float64)
@@ -250,7 +270,7 @@ class ProcessBackend:
             matrix = block.array
             matrix[0, :] = n
             matrix[1, :] = lam
-            chunk = self._chunk_for(k)
+            chunk = self._chunk_for(k, chunk_size)
             argsets = [
                 (block.name, k, exemplar, lo, min(lo + chunk, k), flags,
                  cache is not None)

@@ -53,6 +53,7 @@ the < 3% contract of ``benchmarks/bench_obs_overhead.py``.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from collections import deque
@@ -66,12 +67,21 @@ from ..errors import (
     ServiceClosedError,
 )
 from ..obs import metrics as _metrics, span as _span
+from ..obs.recording import QueryRecorder
 from ..obs.state import enabled as _obs_enabled
-from .backend import ProcessBackend, ThreadBackend, validate_backend
+from .backend import BACKEND_CHOICES, ProcessBackend, ThreadBackend
 from .executor import GroupResult
 from .query import CostQuery, ServedCost
+from .tuning import TuningProfile, signature_key
 
-__all__ = ["CostTicket", "FlushRecord", "MicroBatchScheduler"]
+__all__ = ["CostTicket", "FlushRecord", "GroupRecord",
+           "MicroBatchScheduler", "SCHEDULER_BACKEND_CHOICES"]
+
+#: The scheduler accepts the execution backends plus ``"tuned"`` —
+#: ``"auto"`` routing driven by a learned per-signature
+#: :class:`~repro.serve.tuning.TuningProfile` instead of one global
+#: ``process_threshold``.
+SCHEDULER_BACKEND_CHOICES = BACKEND_CHOICES + ("tuned",)
 
 _PENDING = 0
 _DONE = 1
@@ -163,12 +173,35 @@ class _Group:
         self.members: list[CostTicket] = []
 
 
+class GroupRecord(NamedTuple):
+    """One signature group's share of a flush (telemetry detail).
+
+    ``sig_key`` is the :func:`~repro.serve.tuning.signature_key`
+    digest that joins this observation against recorded logs and
+    tuning profiles; ``points`` counts unique design points,
+    ``requests`` the tickets fanned out to; ``backend`` names the
+    executing backend and ``duration_s`` covers just its
+    ``run_group`` — the raw material
+    :func:`repro.replay.tuning.learn_profile` fits thresholds from.
+    """
+
+    sig_key: str
+    points: int
+    requests: int
+    backend: str
+    duration_s: float
+
+
 class FlushRecord(NamedTuple):
     """One flush's shape, kept when ``flush_history`` is enabled.
 
     ``wait_s`` is the tick window that was in force when the flush
     fired (the adaptive tick re-sizes it *after* each flush), and
     ``duration_s`` covers coalescing + execution + fan-out.
+    ``flush_id`` numbers flushes from 1 per scheduler;
+    ``group_records`` carries the per-signature
+    :class:`GroupRecord` detail (both trailing additions, so older
+    positional consumers are unaffected).
     """
 
     requests: int
@@ -176,6 +209,8 @@ class FlushRecord(NamedTuple):
     groups: int
     wait_s: float
     duration_s: float
+    flush_id: int = 0
+    group_records: tuple[GroupRecord, ...] = ()
 
 
 class _AdaptiveTick:
@@ -273,8 +308,23 @@ class MicroBatchScheduler:
         the fixed ``max_wait_s`` tick exactly as before.
     flush_history:
         Keep the last N :class:`FlushRecord` shapes in
-        :attr:`recent_flushes` (0 disables; benches and the adaptive
-        tests read them).
+        :attr:`recent_flushes` (0 disables; benches, the adaptive
+        tests, and the tuning analyzer read them).  With history (or a
+        recorder) on, each record carries per-signature
+        :class:`GroupRecord` detail.
+    record:
+        Path of a recorded-traffic JSONL log
+        (:mod:`repro.obs.recording`): every completed query is
+        appended with its arrival offset, signature key, flush id,
+        backend, and served cost.  ``None`` (default) disables
+        recording.  The file is appended to and flushed once per
+        scheduler flush (crash loses at most the final line).
+    profile:
+        A :class:`~repro.serve.tuning.TuningProfile` (or a path to one
+        saved as JSON).  Required with ``backend="tuned"`` — per-group
+        routing then uses the profile's learned per-signature
+        ``process_threshold`` and chunk size instead of the global
+        knobs — and rejected with any other backend.
     cache:
         The :class:`~repro.batch.cache.BatchCache` shared by every
         flush (and safely by other users — it is thread-safe).
@@ -293,6 +343,8 @@ class MicroBatchScheduler:
                  adaptive: bool = False,
                  wait_bounds: tuple[float, float] | None = None,
                  flush_history: int = 0,
+                 record: str | os.PathLike | None = None,
+                 profile: TuningProfile | str | os.PathLike | None = None,
                  cache: Any = USE_DEFAULT_CACHE) -> None:
         if max_batch_size < 1:
             raise ParameterError(
@@ -317,14 +369,32 @@ class MicroBatchScheduler:
                 f"flush_history must be >= 0, got {flush_history}")
         if wait_bounds is not None and not adaptive:
             raise ParameterError("wait_bounds requires adaptive=True")
+        if backend not in SCHEDULER_BACKEND_CHOICES:
+            raise ParameterError(
+                f"backend must be one of {SCHEDULER_BACKEND_CHOICES}, "
+                f"got {backend!r}")
+        if backend == "tuned":
+            if profile is None:
+                raise ParameterError(
+                    "backend='tuned' requires a profile= "
+                    "(a TuningProfile or a path to a saved one)")
+            if not isinstance(profile, TuningProfile):
+                profile = TuningProfile.load(profile)
+        elif profile is not None:
+            raise ParameterError(
+                f"profile= requires backend='tuned', got {backend!r}")
         self.max_batch_size = max_batch_size
         self.max_wait_s = max_wait_s
         self.max_queue_depth = max_queue_depth
         self.chunk_size = chunk_size
         self.workers = workers
-        self.backend = validate_backend(backend)
+        self.backend = backend
         self.process_threshold = process_threshold
         self.adaptive = adaptive
+        self.profile: TuningProfile | None = profile
+        self._recorder: QueryRecorder | None = \
+            QueryRecorder(record) if record is not None else None
+        self._flush_count = 0
         self.cache: BatchCache | None = _resolve_cache(cache)
 
         if adaptive:
@@ -346,6 +416,10 @@ class MicroBatchScheduler:
             self._wait_hi = max_wait_s
         self._history: deque[FlushRecord] | None = \
             deque(maxlen=flush_history) if flush_history else None
+        # Appends happen on the flusher thread while any thread may
+        # snapshot recent_flushes; iterating a deque during a mutation
+        # raises, so both sides take this (tiny, once-per-flush) lock.
+        self._history_lock = threading.Lock()
 
         self._lock = threading.Lock()
         self._work = threading.Condition(self._lock)
@@ -373,7 +447,7 @@ class MicroBatchScheduler:
             self._thread_backend = ThreadBackend(self.workers,
                                                  self.chunk_size)
             self._thread_backend.start()
-        if self.backend == "process" or (self.backend == "auto"
+        if self.backend == "process" or (self.backend in ("auto", "tuned")
                                          and self.workers > 1):
             self._process_backend = ProcessBackend(self.workers,
                                                    self.chunk_size)
@@ -407,6 +481,9 @@ class MicroBatchScheduler:
         if self._process_backend is not None:
             self._process_backend.close()
             self._process_backend = None
+        if self._recorder is not None:
+            # After the join: every pending flush has been recorded.
+            self._recorder.close()
 
     def __enter__(self) -> "MicroBatchScheduler":
         return self.start()
@@ -433,7 +510,15 @@ class MicroBatchScheduler:
     @property
     def recent_flushes(self) -> list[FlushRecord]:
         """The last ``flush_history`` flush shapes, oldest first."""
-        return list(self._history) if self._history is not None else []
+        if self._history is None:
+            return []
+        with self._history_lock:
+            return list(self._history)
+
+    @property
+    def recorder(self) -> QueryRecorder | None:
+        """The attached traffic recorder (``None`` unless ``record=``)."""
+        return self._recorder
 
     # -- submission ------------------------------------------------------
 
@@ -474,7 +559,8 @@ class MicroBatchScheduler:
             self.start()
         obs_on = _obs_enabled()
         now = time.monotonic()
-        t_submit = time.perf_counter() if obs_on else 0.0
+        t_submit = time.perf_counter() \
+            if (obs_on or self._recorder is not None) else 0.0
         tickets: list[CostTicket] = []
         deadline = None if timeout is None else now + timeout
         i = 0
@@ -560,20 +646,37 @@ class MicroBatchScheduler:
                     if _obs_enabled():
                         _metrics.set_gauge("serve.adaptive.wait_s", want)
 
-    def _backend_for(self, n_points: int):
+    def _backend_for(self, n_points: int, sig_key: str | None = None):
         # Explicit "process" routes everything to shared memory; on
         # "auto", only groups big enough to amortize block setup (and
-        # only when workers > 1, else the pool cannot help).
+        # only when workers > 1, else the pool cannot help).  "tuned"
+        # is "auto" with the threshold looked up per signature in the
+        # learned profile.
         process = self._process_backend
-        if process is not None and (self.backend == "process"
-                                    or n_points >= self.process_threshold):
+        if process is None:
+            return self._thread_backend
+        if self.backend == "process":
+            return process
+        threshold = self.process_threshold
+        if self.backend == "tuned":
+            assert self.profile is not None
+            threshold = self.profile.process_threshold_for(sig_key)
+        if n_points >= threshold:
             return process
         return self._thread_backend
 
     def _flush(self, tickets: list[CostTicket]) -> None:
         obs_on = _obs_enabled()
-        record = self._history is not None
-        t0 = time.perf_counter() if (obs_on or record) else 0.0
+        history = self._history is not None
+        recorder = self._recorder
+        tuned = self.backend == "tuned"
+        # "detail" gates the per-group extras — signature digests and
+        # run_group timing — that telemetry and recording consume but
+        # plain serving should not pay for.
+        detail = history or recorder is not None
+        t0 = time.perf_counter() if (obs_on or detail) else 0.0
+        self._flush_count += 1
+        flush_id = self._flush_count
         groups: dict[Any, _Group] = {}
         groups_get = groups.get  # hot loop: bind lookups once
         for ticket in tickets:
@@ -593,27 +696,63 @@ class MicroBatchScheduler:
         unique = sum(len(g.points) for g in groups.values())
         chunk_total = 0
         backend_groups: dict[str, int] = {}
+        group_records: list[GroupRecord] = []
+        record_entries: list[tuple] = []
         with _span("serve.flush", requests=len(tickets), unique=unique,
-                   groups=len(groups)):
-            for group in groups.values():
-                backend = self._backend_for(len(group.points))
+                   groups=len(groups)) as sp:
+            for sig, group in groups.items():
+                sig_key = signature_key(sig) if (tuned or detail) else None
+                backend = self._backend_for(len(group.points), sig_key)
+                chunk = self.profile.chunk_size_for(sig_key) \
+                    if tuned else None
                 if obs_on:
                     chunk_total += backend.n_chunks_for(len(group.points))
-                    backend_groups[backend.name] = \
-                        backend_groups.get(backend.name, 0) + 1
+                backend_groups[backend.name] = \
+                    backend_groups.get(backend.name, 0) + 1
+                t_g = time.perf_counter() if detail else 0.0
+                error: str | None = None
                 try:
-                    result = backend.run_group(group.exemplar,
-                                               group.points, self.cache)
+                    # Only tuned profiles override chunking; omitting
+                    # the kwarg otherwise keeps run_group's plain
+                    # three-argument call shape.
+                    if chunk is None:
+                        result = backend.run_group(
+                            group.exemplar, group.points, self.cache)
+                    else:
+                        result = backend.run_group(
+                            group.exemplar, group.points, self.cache,
+                            chunk_size=chunk)
                 except BaseException as exc:  # propagate to every waiter
+                    error = type(exc).__name__
+                    result = None
                     self._complete(group.members, None, exc)
                 else:
                     self._complete(group.members, result, None)
-        if record:
+                if detail:
+                    group_records.append(GroupRecord(
+                        sig_key=sig_key or "", points=len(group.points),
+                        requests=len(group.members), backend=backend.name,
+                        duration_s=time.perf_counter() - t_g))
+                if recorder is not None:
+                    for ticket in group.members:
+                        cost = result.cost(ticket._slot) \
+                            if result is not None else None
+                        record_entries.append(
+                            (ticket._t_submit, ticket.query, sig_key or "",
+                             backend.name, cost, error))
+            sp.annotate(flush_id=flush_id, backends=dict(backend_groups))
+        if recorder is not None:
+            recorder.record_flush(flush_id, record_entries)
+        if history:
             assert self._history is not None
-            self._history.append(FlushRecord(
+            record = FlushRecord(
                 requests=len(tickets), unique=unique, groups=len(groups),
                 wait_s=self._wait_s,
-                duration_s=time.perf_counter() - t0))
+                duration_s=time.perf_counter() - t0,
+                flush_id=flush_id,
+                group_records=tuple(group_records))
+            with self._history_lock:
+                self._history.append(record)
         if obs_on:
             now = time.perf_counter()
             _metrics.inc("serve.flushes")

@@ -43,8 +43,9 @@ class CostService:
     the tuning surface (``max_batch_size``, ``max_wait_s``,
     ``max_queue_depth``, ``chunk_size``, ``workers``, ``backend``,
     ``process_threshold``, ``adaptive``, ``wait_bounds``,
-    ``flush_history``, ``cache``).  The flusher thread starts lazily
-    on first submit (or explicitly via :meth:`start` / ``with``).
+    ``flush_history``, ``record``, ``profile``, ``cache``).  The
+    flusher thread starts lazily on first submit (or explicitly via
+    :meth:`start` / ``with``).
     """
 
     def __init__(self, *, max_batch_size: int = 256,
@@ -57,6 +58,8 @@ class CostService:
                  adaptive: bool = False,
                  wait_bounds: tuple[float, float] | None = None,
                  flush_history: int = 0,
+                 record: Any = None,
+                 profile: Any = None,
                  cache: Any = USE_DEFAULT_CACHE) -> None:
         self.scheduler = MicroBatchScheduler(
             max_batch_size=max_batch_size, max_wait_s=max_wait_s,
@@ -64,7 +67,7 @@ class CostService:
             workers=workers, backend=backend,
             process_threshold=process_threshold, adaptive=adaptive,
             wait_bounds=wait_bounds, flush_history=flush_history,
-            cache=cache)
+            record=record, profile=profile, cache=cache)
 
     # -- lifecycle -------------------------------------------------------
 

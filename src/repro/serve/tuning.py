@@ -1,0 +1,239 @@
+"""Learned scheduler tuning profiles: the ``backend="tuned"`` contract.
+
+PR 5 gave :class:`~repro.serve.scheduler.MicroBatchScheduler` a
+hand-set ``process_threshold`` — the group size above which the
+``"auto"`` backend routes a coalesced signature group to the
+shared-memory process pool.  One global number cannot be right for
+every signature: a group whose yield law is a pure-Python integral is
+worth shipping to a process at a few hundred points, while a cheap
+fab-form group only clears the shm setup cost in the tens of
+thousands.  A :class:`TuningProfile` replaces the single knob with
+*measured*, per-signature thresholds (plus chunk sizes), learned from
+``flush_history`` telemetry by :func:`repro.replay.tuning.
+learn_profile` and loaded by ``MicroBatchScheduler(backend="tuned",
+profile=...)``.
+
+The profile is deliberately dumb at serve time — a dict lookup per
+group, no statistics on the hot path.  All the estimation lives in
+the offline analyzer; this module only defines the persisted schema
+(versioned JSON via :meth:`TuningProfile.save` /
+:meth:`TuningProfile.load`) and the lookup surface the scheduler
+consults (:meth:`~TuningProfile.process_threshold_for`,
+:meth:`~TuningProfile.chunk_size_for`).
+
+Signatures are keyed by :func:`signature_key` — a stable hex digest
+of the coalescing signature's ``repr`` — so profiles survive process
+restarts and can be joined against recorded-traffic logs
+(:mod:`repro.obs.recording`) and flush spans, which stamp the same
+key.  See ``docs/replay.md`` for the schema and the learning rule.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Hashable, Mapping
+
+from ..errors import ParameterError
+
+__all__ = ["PROFILE_VERSION", "SignatureTuning", "TuningProfile",
+           "signature_key"]
+
+#: Schema version written by :meth:`TuningProfile.save`; :meth:`load`
+#: rejects anything newer (older readers must not misread new fields).
+PROFILE_VERSION = 1
+
+#: The routing threshold meaning "never use the process backend" —
+#: large enough that no real flush reaches it, small enough to stay an
+#: exact float64/JSON integer.
+NEVER_PROCESS = 2 ** 53
+
+
+def signature_key(sig: Hashable) -> str:
+    """Stable 16-hex-digit key for one coalescing signature.
+
+    The scheduler's signatures are tuples of floats/strings/hashables
+    whose ``repr`` is deterministic across runs (float ``repr`` is the
+    shortest exact round-trip), so a digest of it identifies the same
+    model parameters in a recorded log, a flush span, and a tuning
+    profile.  Custom yield models that fall back to identity-based
+    signatures (``id(model)``) get a key that is only stable within
+    one process — such groups simply miss the profile and use its
+    defaults.
+    """
+    return hashlib.sha1(repr(sig).encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class SignatureTuning:
+    """Learned knobs (and their evidence) for one signature group.
+
+    ``process_threshold`` is the unique-point count above which the
+    process backend is predicted to beat the thread backend for this
+    signature; ``chunk_size`` optionally overrides the scheduler's
+    chunking for it (``None`` keeps the scheduler default).  The
+    remaining fields are the fitted evidence the analyzer derived the
+    knobs from, kept so a profile is auditable: seconds-per-point
+    rates on each backend, the fitted shm/pool overhead, and how many
+    group observations backed the fit.
+    """
+
+    process_threshold: int
+    chunk_size: int | None = None
+    thread_s_per_point: float | None = None
+    process_s_per_point: float | None = None
+    process_overhead_s: float | None = None
+    samples: int = 0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.process_threshold < 1:
+            raise ParameterError(
+                f"process_threshold must be >= 1, "
+                f"got {self.process_threshold}")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ParameterError(
+                f"chunk_size must be >= 1, got {self.chunk_size}")
+        if self.samples < 0:
+            raise ParameterError(
+                f"samples must be >= 0, got {self.samples}")
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready plain dict (the per-signature schema)."""
+        return {
+            "process_threshold": self.process_threshold,
+            "chunk_size": self.chunk_size,
+            "thread_s_per_point": self.thread_s_per_point,
+            "process_s_per_point": self.process_s_per_point,
+            "process_overhead_s": self.process_overhead_s,
+            "samples": self.samples,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SignatureTuning":
+        """Rebuild from :meth:`to_dict` output (unknown keys rejected)."""
+        known = {"process_threshold", "chunk_size", "thread_s_per_point",
+                 "process_s_per_point", "process_overhead_s", "samples",
+                 "label"}
+        extra = set(data) - known
+        if extra:
+            raise ParameterError(
+                f"unknown SignatureTuning fields {sorted(extra)}")
+        if "process_threshold" not in data:
+            raise ParameterError(
+                "SignatureTuning needs a process_threshold")
+        return cls(**{k: data[k] for k in known if k in data})
+
+
+@dataclass(frozen=True)
+class TuningProfile:
+    """Versioned per-signature scheduler tuning, persisted as JSON.
+
+    ``signatures`` maps :func:`signature_key` digests to
+    :class:`SignatureTuning`; groups whose signature is not in the map
+    fall back to ``default_process_threshold`` /
+    ``default_chunk_size``.  ``meta`` carries free-form provenance
+    (what log the profile was learned from, how many flushes) and is
+    round-tripped verbatim.
+
+    Instances are frozen: a profile is an immutable artifact the
+    scheduler reads concurrently from its flusher thread; learn a new
+    one and swap rather than mutating in place.
+    """
+
+    default_process_threshold: int = 2048
+    default_chunk_size: int | None = None
+    signatures: dict[str, SignatureTuning] = field(default_factory=dict)
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.default_process_threshold < 1:
+            raise ParameterError(
+                f"default_process_threshold must be >= 1, "
+                f"got {self.default_process_threshold}")
+        if self.default_chunk_size is not None \
+                and self.default_chunk_size < 1:
+            raise ParameterError(
+                f"default_chunk_size must be >= 1, "
+                f"got {self.default_chunk_size}")
+        for key, tuning in self.signatures.items():
+            if not isinstance(tuning, SignatureTuning):
+                raise ParameterError(
+                    f"signatures[{key!r}] must be a SignatureTuning, "
+                    f"got {tuning!r}")
+
+    # -- scheduler lookups ----------------------------------------------
+
+    def process_threshold_for(self, key: str | None) -> int:
+        """The routing threshold for one signature key (or the default)."""
+        if key is not None:
+            tuning = self.signatures.get(key)
+            if tuning is not None:
+                return tuning.process_threshold
+        return self.default_process_threshold
+
+    def chunk_size_for(self, key: str | None) -> int | None:
+        """Chunk-size override for one key (``None`` = scheduler default)."""
+        if key is not None:
+            tuning = self.signatures.get(key)
+            if tuning is not None and tuning.chunk_size is not None:
+                return tuning.chunk_size
+        return self.default_chunk_size
+
+    # -- persistence -----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """The full JSON document (schema in ``docs/replay.md``)."""
+        return {
+            "version": PROFILE_VERSION,
+            "default_process_threshold": self.default_process_threshold,
+            "default_chunk_size": self.default_chunk_size,
+            "signatures": {key: tuning.to_dict()
+                           for key, tuning in sorted(self.signatures.items())},
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TuningProfile":
+        """Rebuild from :meth:`to_dict` output, checking the version."""
+        if not isinstance(data, Mapping):
+            raise ParameterError(
+                f"tuning profile must be a JSON object, got {data!r}")
+        version = data.get("version")
+        if version != PROFILE_VERSION:
+            raise ParameterError(
+                f"unsupported tuning profile version {version!r} "
+                f"(this build reads version {PROFILE_VERSION})")
+        signatures = {
+            str(key): SignatureTuning.from_dict(value)
+            for key, value in dict(data.get("signatures", {})).items()}
+        return cls(
+            default_process_threshold=data.get(
+                "default_process_threshold", 2048),
+            default_chunk_size=data.get("default_chunk_size"),
+            signatures=signatures,
+            meta=dict(data.get("meta", {})))
+
+    def save(self, path: str | os.PathLike) -> Path:
+        """Write the profile as pretty-printed JSON; returns the path."""
+        p = Path(path)
+        p.write_text(json.dumps(self.to_dict(), indent=2) + "\n",
+                     encoding="utf-8")
+        return p
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "TuningProfile":
+        """Read a profile written by :meth:`save`."""
+        p = Path(path)
+        if not p.exists():
+            raise ParameterError(f"tuning profile not found: {p}")
+        try:
+            data = json.loads(p.read_text(encoding="utf-8"))
+        except ValueError as exc:
+            raise ParameterError(
+                f"{p}: invalid tuning profile JSON ({exc})") from None
+        return cls.from_dict(data)

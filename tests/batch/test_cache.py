@@ -250,3 +250,29 @@ class TestPrewarm:
         cache = BatchCache()
         assert cache.prewarm([]) == 0
         assert len(cache) == 0
+
+    def test_prewarm_from_recorded_log_round_trip(self, tmp_path):
+        # Record live traffic, then prewarm a fresh cache straight from
+        # the log path: the warmed service must hit on every lookup and
+        # serve bitwise-identical results (satellite of docs/replay.md).
+        from repro.serve import CostService
+        queries, _ = self._queries()
+        log_path = tmp_path / "traffic.jsonl"
+        cold = BatchCache()
+        with CostService(cache=cold, record=log_path) as svc:
+            cold_results = svc.map(queries)
+
+        warm = BatchCache()
+        warmed = warm.prewarm(log_path)
+        assert warmed == len({q.point() for q in queries})
+        misses_before = warm.stats.misses
+        with CostService(cache=warm) as svc:
+            warm_results = svc.map(queries)
+        assert warm.stats.misses == misses_before
+        assert warm_results == cold_results
+
+    def test_prewarm_rejects_non_recorded_paths(self, tmp_path):
+        points = tmp_path / "points.csv"
+        points.write_text("transistors,feature_size\n1e6,0.8\n")
+        with pytest.raises(ParameterError, match="recorded-traffic"):
+            BatchCache().prewarm(points)

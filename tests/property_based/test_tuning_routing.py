@@ -1,0 +1,135 @@
+"""Property-based guarantees for the tuned backend and its artifacts.
+
+Three quantified claims close the self-tuning loop:
+
+* a ``backend="tuned"`` scheduler whose profile assigns every
+  signature the same threshold routes *identically* to a hand-set
+  ``backend="auto"`` scheduler with that ``process_threshold`` — and
+  both serve bitwise-equal results;
+* a :class:`~repro.serve.tuning.TuningProfile` survives its JSON
+  persistence round-trip exactly, whatever the learner put in it;
+* the recorded-query codec preserves the coalescing signature and the
+  design point, so replayed traffic groups exactly like the original.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.batch.cache import BatchCache
+from repro.core.optimization import transistor_cost_full
+from repro.obs.recording import query_to_record, record_to_query
+from repro.serve import CostService, FabCostQuery, MicroBatchScheduler
+from repro.serve.tuning import (
+    NEVER_PROCESS,
+    SignatureTuning,
+    TuningProfile,
+    signature_key,
+)
+
+lam_strategy = st.floats(min_value=0.25, max_value=3.0)
+ntr_strategy = st.floats(min_value=1e4, max_value=1e9)
+point_strategy = st.tuples(ntr_strategy, lam_strategy)
+
+tuning_strategy = st.builds(
+    SignatureTuning,
+    process_threshold=st.one_of(
+        st.integers(min_value=1, max_value=10**6),
+        st.just(NEVER_PROCESS)),
+    chunk_size=st.one_of(st.none(),
+                         st.integers(min_value=1, max_value=10**5)),
+    thread_s_per_point=st.one_of(
+        st.none(), st.floats(min_value=1e-9, max_value=1.0)),
+    process_s_per_point=st.one_of(
+        st.none(), st.floats(min_value=1e-9, max_value=1.0)),
+    process_overhead_s=st.one_of(
+        st.none(), st.floats(min_value=0.0, max_value=10.0)),
+    samples=st.integers(min_value=0, max_value=10**4),
+    label=st.text(max_size=20))
+
+profile_strategy = st.builds(
+    TuningProfile,
+    default_process_threshold=st.integers(min_value=1, max_value=10**6),
+    default_chunk_size=st.one_of(st.none(),
+                                 st.integers(min_value=1, max_value=10**5)),
+    signatures=st.dictionaries(st.text(min_size=1, max_size=16),
+                               tuning_strategy, max_size=5),
+    meta=st.dictionaries(st.text(min_size=1, max_size=10),
+                         st.one_of(st.integers(), st.text(max_size=10)),
+                         max_size=3))
+
+
+class TestTunedEquivalence:
+    @settings(max_examples=10, deadline=None)
+    @given(points=st.lists(point_strategy, min_size=2, max_size=20),
+           threshold=st.integers(min_value=1, max_value=16),
+           max_batch_size=st.integers(min_value=2, max_value=16))
+    def test_uniform_profile_matches_hand_set_auto(self, points,
+                                                   threshold,
+                                                   max_batch_size):
+        queries = [FabCostQuery(n, lam) for n, lam in points]
+        keys = {signature_key(q.signature()) for q in queries}
+        profile = TuningProfile(
+            default_process_threshold=threshold,
+            signatures={key: SignatureTuning(process_threshold=threshold)
+                        for key in keys})
+
+        def serve(**kwargs):
+            with CostService(max_batch_size=max_batch_size,
+                             max_wait_s=0.001, workers=2,
+                             cache=BatchCache(), **kwargs) as svc:
+                return svc.map(queries)
+
+        auto = serve(backend="auto", process_threshold=threshold)
+        tuned = serve(backend="tuned", profile=profile)
+        assert tuned == auto
+        for (n, lam), result in zip(points, auto):
+            want = transistor_cost_full(n, lam)
+            got = result.cost_per_transistor_dollars
+            assert got == want or (math.isinf(got) and math.isinf(want))
+
+    @settings(max_examples=20, deadline=None)
+    @given(n_points=st.integers(min_value=1, max_value=4096),
+           threshold=st.integers(min_value=1, max_value=4096))
+    def test_routing_decision_equals_auto_baseline(self, n_points,
+                                                   threshold):
+        key = signature_key(("probe",))
+        profile = TuningProfile(
+            default_process_threshold=10**9,
+            signatures={key: SignatureTuning(process_threshold=threshold)})
+        auto = MicroBatchScheduler(backend="auto", workers=2,
+                                   process_threshold=threshold,
+                                   cache=None)
+        tuned = MicroBatchScheduler(backend="tuned", workers=2,
+                                    profile=profile, cache=None)
+        try:
+            auto.start()
+            tuned.start()
+            assert tuned._backend_for(n_points, key).name \
+                == auto._backend_for(n_points).name
+        finally:
+            auto.close()
+            tuned.close()
+
+
+class TestProfileRoundTrip:
+    @settings(max_examples=50, deadline=None)
+    @given(profile=profile_strategy)
+    def test_json_persistence_is_exact(self, profile, tmp_path_factory):
+        path = tmp_path_factory.mktemp("profiles") / "profile.json"
+        profile.save(path)
+        assert TuningProfile.load(path) == profile
+
+
+class TestRecordedQueryRoundTrip:
+    @settings(max_examples=50, deadline=None)
+    @given(point=point_strategy)
+    def test_fab_query_codec_preserves_identity(self, point):
+        n, lam = point
+        query = FabCostQuery(n, lam)
+        rebuilt = record_to_query(query_to_record(query))
+        assert rebuilt.signature() == query.signature()
+        assert rebuilt.point() == query.point()
+        assert signature_key(rebuilt.signature()) \
+            == signature_key(query.signature())

@@ -1,0 +1,160 @@
+"""Telemetry analyzer: threshold/chunk learning from flush records."""
+
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.replay import learn_profile
+from repro.serve.scheduler import FlushRecord, GroupRecord
+from repro.serve.tuning import (
+    NEVER_PROCESS,
+    SignatureTuning,
+    TuningProfile,
+    signature_key,
+)
+
+
+def _flush(groups, flush_id=1):
+    return FlushRecord(
+        requests=sum(g.requests for g in groups),
+        unique=sum(g.points for g in groups),
+        groups=len(groups), wait_s=0.002, duration_s=0.01,
+        flush_id=flush_id, group_records=tuple(groups))
+
+
+def _telemetry(thread_rate=1e-5, overhead=0.01, proc_rate=1e-6,
+               sig="sig-a", n=6):
+    """Synthetic records with known rates → analytic crossover."""
+    records = []
+    for i in range(n):
+        k = 100 * (i + 1)
+        records.append(_flush([GroupRecord(
+            sig_key=sig, points=k, requests=k, backend="thread",
+            duration_s=thread_rate * k)], flush_id=2 * i + 1))
+        records.append(_flush([GroupRecord(
+            sig_key=sig, points=k, requests=k, backend="process",
+            duration_s=overhead + proc_rate * k)], flush_id=2 * i + 2))
+    return records
+
+
+class TestLearning:
+    def test_threshold_matches_analytic_crossover(self):
+        thread_rate, overhead, proc_rate = 1e-5, 0.01, 1e-6
+        profile = learn_profile(
+            _telemetry(thread_rate, overhead, proc_rate))
+        tuning = profile.signatures["sig-a"]
+        # Crossover where a + b*k == rate*k:  k* = a / (rate - b).
+        want = math.ceil(overhead / (thread_rate - proc_rate))
+        assert tuning.process_threshold == want
+        assert tuning.thread_s_per_point == pytest.approx(thread_rate)
+        assert tuning.process_s_per_point == pytest.approx(proc_rate)
+        assert tuning.process_overhead_s == pytest.approx(overhead)
+        assert tuning.samples == 6
+
+    def test_slow_process_rate_yields_never_process(self):
+        # Threads faster per point than processes: no crossover exists.
+        profile = learn_profile(
+            _telemetry(thread_rate=1e-6, overhead=0.01, proc_rate=1e-5))
+        assert profile.signatures["sig-a"].process_threshold \
+            == NEVER_PROCESS
+
+    def test_chunk_size_targets_seconds_of_work(self):
+        thread_rate = 1e-5
+        profile = learn_profile(_telemetry(thread_rate=thread_rate),
+                                target_chunk_seconds=0.02)
+        tuning = profile.signatures["sig-a"]
+        assert tuning.chunk_size == round(0.02 / thread_rate)
+
+    def test_chunk_size_is_clamped(self):
+        profile = learn_profile(_telemetry(thread_rate=1.0),
+                                min_chunk=256, max_chunk=65536)
+        assert profile.signatures["sig-a"].chunk_size == 256
+        profile = learn_profile(_telemetry(thread_rate=1e-12),
+                                min_chunk=256, max_chunk=65536)
+        assert profile.signatures["sig-a"].chunk_size == 65536
+
+    def test_min_samples_gate(self):
+        records = _telemetry(n=2)
+        profile = learn_profile(records, min_samples=3)
+        assert "sig-a" not in profile.signatures
+        profile = learn_profile(records, min_samples=2)
+        assert "sig-a" in profile.signatures
+
+    def test_no_process_data_keeps_default_threshold(self):
+        records = [_flush([GroupRecord(
+            sig_key="sig-a", points=100 * (i + 1),
+            requests=100 * (i + 1), backend="thread",
+            duration_s=1e-5 * 100 * (i + 1))], flush_id=i + 1)
+            for i in range(4)]
+        profile = learn_profile(records, default_process_threshold=777)
+        tuning = profile.signatures["sig-a"]
+        assert tuning.process_threshold == 777
+        assert tuning.process_s_per_point is None
+        assert tuning.chunk_size is not None  # learned from thread rate
+
+    def test_detail_free_records_are_ignored(self):
+        bare = FlushRecord(requests=8, unique=8, groups=1,
+                           wait_s=0.002, duration_s=0.01)
+        profile = learn_profile([bare])
+        assert profile.signatures == {}
+        assert profile.meta["flushes"] == 1
+        assert profile.meta["groups"] == 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            learn_profile([], min_samples=0)
+        with pytest.raises(ParameterError):
+            learn_profile([], target_chunk_seconds=0.0)
+        with pytest.raises(ParameterError):
+            learn_profile([], min_chunk=512, max_chunk=256)
+
+    def test_meta_provenance_is_merged(self):
+        profile = learn_profile(_telemetry(), meta={"source": "unit-test"})
+        assert profile.meta["source"] == "unit-test"
+        assert profile.meta["process_observations"] == 6
+
+
+class TestProfilePersistence:
+    def test_round_trip_through_json(self, tmp_path):
+        profile = learn_profile(_telemetry(), meta={"origin": "test"})
+        path = profile.save(tmp_path / "profile.json")
+        loaded = TuningProfile.load(path)
+        assert loaded == profile
+
+    def test_load_rejects_bad_documents(self, tmp_path):
+        bad = tmp_path / "profile.json"
+        bad.write_text("not json")
+        with pytest.raises(ParameterError, match="invalid"):
+            TuningProfile.load(bad)
+        bad.write_text('{"version": 99}')
+        with pytest.raises(ParameterError, match="version"):
+            TuningProfile.load(bad)
+        with pytest.raises(ParameterError, match="not found"):
+            TuningProfile.load(tmp_path / "missing.json")
+
+    def test_signature_tuning_rejects_unknown_fields(self):
+        with pytest.raises(ParameterError, match="unknown"):
+            SignatureTuning.from_dict({"process_threshold": 4,
+                                       "surprise": 1})
+        with pytest.raises(ParameterError, match="process_threshold"):
+            SignatureTuning.from_dict({"chunk_size": 4})
+
+    def test_lookup_falls_back_to_defaults(self):
+        profile = TuningProfile(
+            default_process_threshold=1000, default_chunk_size=512,
+            signatures={"aa": SignatureTuning(process_threshold=7,
+                                              chunk_size=64)})
+        assert profile.process_threshold_for("aa") == 7
+        assert profile.chunk_size_for("aa") == 64
+        assert profile.process_threshold_for("bb") == 1000
+        assert profile.chunk_size_for("bb") == 512
+        assert profile.process_threshold_for(None) == 1000
+
+    def test_signature_key_is_stable_and_short(self):
+        sig = ("fab", 1.8, 500.0, 7.5, 150.0, 0.3, 2.0)
+        key = signature_key(sig)
+        assert key == signature_key(("fab", 1.8, 500.0, 7.5, 150.0,
+                                     0.3, 2.0))
+        assert len(key) == 16
+        assert key != signature_key(sig + ("x",))

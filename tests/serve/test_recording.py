@@ -1,0 +1,209 @@
+"""Traffic recording: schema, round-trip, crash-safety, detection."""
+
+import json
+
+import pytest
+
+from repro.core import GenerationModel, TransistorCostModel, WaferCostModel
+from repro.errors import ParameterError
+from repro.geometry import Wafer
+from repro.obs.recording import (
+    RECORD_VERSION,
+    QueryRecorder,
+    is_recorded_log,
+    load_recorded_log,
+    load_recorded_queries,
+    query_to_record,
+    record_to_query,
+)
+from repro.serve import FabCostQuery, MicroBatchScheduler, ModelCostQuery
+from repro.serve.tuning import signature_key
+from repro.yieldsim import (
+    MixtureYieldModel,
+    MurphyYield,
+    NegativeBinomialYield,
+    ReferenceAreaYield,
+)
+
+
+def _model_query(n=2e6, lam=0.8, yield_model=None, yield_value=None):
+    model = TransistorCostModel(
+        wafer_cost=WaferCostModel(reference_cost_dollars=700.0,
+                                  cost_growth_rate=1.8,
+                                  generation_model=GenerationModel.SHRINK_LOG),
+        wafer=Wafer(radius_cm=7.5))
+    defect_density = None
+    if yield_model is None and yield_value is None:
+        yield_model = ReferenceAreaYield(reference_yield=0.7,
+                                         reference_area_cm2=1.0)
+    elif yield_model is not None \
+            and not isinstance(yield_model, ReferenceAreaYield):
+        # Area-scaling laws price from a defect density.
+        defect_density = 0.5
+    return ModelCostQuery(n_transistors=n, feature_size_um=lam,
+                          model=model, design_density=150.0,
+                          yield_model=yield_model,
+                          defect_density_per_cm2=defect_density,
+                          yield_value=yield_value)
+
+
+def _mixed_queries():
+    return [
+        FabCostQuery(1e6, 0.8),
+        FabCostQuery(2e6, 0.8),
+        FabCostQuery(1e6, 0.8),           # duplicate: dedups in-flush
+        _model_query(),
+        _model_query(yield_model=MurphyYield()),
+        _model_query(yield_model=MixtureYieldModel(components=(
+            (0.6, MurphyYield()), (0.4, NegativeBinomialYield(alpha=2.0))))),
+        _model_query(yield_model=None, yield_value=0.81),
+    ]
+
+
+class TestQueryRoundTrip:
+    @pytest.mark.parametrize("query", _mixed_queries())
+    def test_signature_and_point_survive(self, query):
+        rebuilt = record_to_query(query_to_record(query))
+        assert rebuilt.signature() == query.signature()
+        assert rebuilt.point() == query.point()
+
+    def test_custom_yield_model_is_unreplayable(self):
+        class Weird(MurphyYield):
+            pass
+
+        assert query_to_record(_model_query(yield_model=Weird())) is None
+
+    def test_malformed_payload_raises(self):
+        with pytest.raises(ParameterError):
+            record_to_query({"n": 1e6})
+        with pytest.raises(ParameterError):
+            record_to_query("not an object")
+
+
+class TestRecorderThroughScheduler:
+    def test_lines_carry_schema_and_bitwise_costs(self, tmp_path):
+        log_path = tmp_path / "traffic.jsonl"
+        queries = _mixed_queries()
+        with MicroBatchScheduler(max_batch_size=64, record=log_path,
+                                 cache=None) as sched:
+            tickets = sched.submit_many(queries)
+            costs = [t.cost(timeout=10.0) for t in tickets]
+        lines = [json.loads(line)
+                 for line in log_path.read_text().splitlines()]
+        assert len(lines) == len(queries)
+        for line, query, cost in zip(lines, queries, costs):
+            assert line["v"] == RECORD_VERSION
+            assert line["kind"] == query.kind
+            assert line["sig"] == signature_key(query.signature())
+            assert line["cost"] == cost        # bitwise through JSON repr
+            assert line["t"] >= 0.0
+            assert line["flush"] >= 1
+            assert line["backend"] in ("thread", "process")
+
+    def test_loaded_log_replays_to_equal_queries(self, tmp_path):
+        log_path = tmp_path / "traffic.jsonl"
+        queries = _mixed_queries()
+        with MicroBatchScheduler(max_batch_size=64, record=log_path,
+                                 cache=None) as sched:
+            for t in sched.submit_many(queries):
+                t.result(timeout=10.0)
+        log = load_recorded_log(log_path)
+        assert log.truncated_lines == 0
+        assert log.unreplayable == 0
+        assert len(log) == len(queries)
+        for rec, query in zip(log.records, queries):
+            assert rec.query.signature() == query.signature()
+            assert rec.query.point() == query.point()
+
+    def test_unreplayable_query_degrades_to_null_payload(self, tmp_path):
+        class Weird(MurphyYield):
+            """A custom law the recorder must refuse to serialize."""
+
+        log_path = tmp_path / "traffic.jsonl"
+        # backend pinned: a locally defined yield law cannot pickle to
+        # an (env-injected) process pool, and this test is about the
+        # recorder's degradation path, not routing.
+        with MicroBatchScheduler(max_batch_size=4, record=log_path,
+                                 backend="thread", cache=None) as sched:
+            sched.submit(_model_query(yield_model=Weird())).result(
+                timeout=10.0)
+            assert sched.recorder is not None
+        assert sched.recorder.unreplayable == 1
+        log = load_recorded_log(log_path)
+        assert len(log) == 1
+        assert log.unreplayable == 1
+        assert log.records[0].query is None
+        assert log.replayable() == []
+
+    def test_append_mode_accumulates_across_schedulers(self, tmp_path):
+        log_path = tmp_path / "traffic.jsonl"
+        for _ in range(2):
+            with MicroBatchScheduler(max_batch_size=4, record=log_path,
+                                     cache=None) as sched:
+                sched.submit(FabCostQuery(1e6, 0.8)).result(timeout=10.0)
+        assert len(load_recorded_log(log_path)) == 2
+
+
+class TestCrashSafety:
+    def _write_log(self, tmp_path, n=4):
+        log_path = tmp_path / "traffic.jsonl"
+        with MicroBatchScheduler(max_batch_size=8, record=log_path,
+                                 cache=None) as sched:
+            for t in sched.submit_many(
+                    [FabCostQuery(1e5 * (i + 1), 0.8) for i in range(n)]):
+                t.result(timeout=10.0)
+        return log_path
+
+    def test_truncated_final_line_is_tolerated(self, tmp_path):
+        log_path = self._write_log(tmp_path)
+        text = log_path.read_text()
+        log_path.write_text(text + '{"v": 1, "t": 0.5, "ki')  # torn write
+        log = load_recorded_log(log_path)
+        assert log.truncated_lines == 1
+        assert len(log) == 4
+
+    def test_midfile_garbage_raises(self, tmp_path):
+        log_path = self._write_log(tmp_path)
+        lines = log_path.read_text().splitlines()
+        lines[1] = lines[1][:10]  # corruption a crash cannot produce
+        log_path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ParameterError, match="corrupt record line"):
+            load_recorded_log(log_path)
+
+    def test_unknown_version_raises(self, tmp_path):
+        log_path = tmp_path / "traffic.jsonl"
+        log_path.write_text('{"v": 99, "kind": "fab"}\n')
+        with pytest.raises(ParameterError, match="version"):
+            load_recorded_log(log_path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ParameterError, match="not found"):
+            load_recorded_log(tmp_path / "nope.jsonl")
+
+    def test_io_failure_disables_writes_without_raising(self, tmp_path):
+        recorder = QueryRecorder(tmp_path / "traffic.jsonl")
+        recorder._fh.close()  # simulate the descriptor dying mid-run
+        n = recorder.record_flush(
+            1, [(0.0, FabCostQuery(1e6, 0.8), "sig", "thread", 1.0, None)])
+        assert n == 0
+        assert recorder.failed
+        recorder.close()
+
+
+class TestFormatDetection:
+    def test_detects_recorded_log(self, tmp_path):
+        log_path = tmp_path / "traffic.jsonl"
+        with MicroBatchScheduler(max_batch_size=4, record=log_path,
+                                 cache=None) as sched:
+            sched.submit(FabCostQuery(1e6, 0.8)).result(timeout=10.0)
+        assert is_recorded_log(log_path)
+        assert len(load_recorded_queries(log_path)) == 1
+
+    def test_rejects_points_files_and_garbage(self, tmp_path):
+        points = tmp_path / "points.csv"
+        points.write_text("transistors,feature_size\n1e6,0.8\n")
+        assert not is_recorded_log(points)
+        jsn = tmp_path / "points.json"
+        jsn.write_text('[{"transistors": 1e6, "feature_size": 0.8}]\n')
+        assert not is_recorded_log(jsn)
+        assert not is_recorded_log(tmp_path / "missing.jsonl")

@@ -405,3 +405,125 @@ class TestBackendRouting:
                                  cache=None) as sched:
             assert sched._process_backend is None
             assert sched._backend_for(10_000).name == "thread"
+
+
+class TestFlushHistoryDetail:
+    def test_ring_evicts_oldest_flush_ids(self):
+        with MicroBatchScheduler(max_batch_size=2, max_wait_s=0.001,
+                                 flush_history=3, cache=None) as sched:
+            for t in sched.submit_many(_queries(16)):
+                t.result(timeout=5.0)
+        records = sched.recent_flushes
+        assert len(records) == 3
+        ids = [r.flush_id for r in records]
+        # 16 queries / batch 2 = 8 flushes; the ring keeps the last 3,
+        # in order.
+        assert ids == [6, 7, 8]
+
+    def test_group_records_carry_signature_detail(self):
+        from repro.serve.tuning import signature_key
+        query = FabCostQuery(1e6, 0.8)
+        with MicroBatchScheduler(max_batch_size=8, flush_history=4,
+                                 backend="thread",
+                                 cache=None) as sched:
+            tickets = sched.submit_many([query, query] + _queries(2))
+            for t in tickets:
+                t.result(timeout=5.0)
+        (rec,) = sched.recent_flushes
+        (group,) = rec.group_records
+        assert group.sig_key == signature_key(query.signature())
+        assert group.points == 3        # the duplicate coalesced
+        assert group.requests == 4
+        assert group.backend == "thread"
+        assert group.duration_s > 0.0
+
+    def test_no_detail_without_history_or_recorder(self):
+        with MicroBatchScheduler(max_batch_size=4, cache=None) as sched:
+            for t in sched.submit_many(_queries(4)):
+                t.result(timeout=5.0)
+        assert sched.recent_flushes == []
+
+    def test_concurrent_readers_see_consistent_snapshots(self):
+        stop = threading.Event()
+        errors = []
+
+        def read_loop(sched):
+            while not stop.is_set():
+                try:
+                    for rec in sched.recent_flushes:
+                        assert rec.requests >= rec.unique
+                except Exception as exc:  # pragma: no cover - the bug
+                    errors.append(exc)
+                    return
+
+        with MicroBatchScheduler(max_batch_size=2, max_wait_s=0.0,
+                                 flush_history=4, cache=None) as sched:
+            readers = [threading.Thread(target=read_loop, args=(sched,))
+                       for _ in range(2)]
+            for r in readers:
+                r.start()
+            try:
+                for _ in range(30):
+                    for t in sched.submit_many(_queries(4)):
+                        t.result(timeout=5.0)
+            finally:
+                stop.set()
+                for r in readers:
+                    r.join(timeout=5.0)
+        assert errors == []
+
+
+class TestTunedBackend:
+    def _profile(self, key, threshold):
+        from repro.serve.tuning import SignatureTuning, TuningProfile
+        return TuningProfile(
+            default_process_threshold=1_000_000,
+            signatures={key: SignatureTuning(process_threshold=threshold)})
+
+    def test_tuned_requires_profile(self):
+        with pytest.raises(ParameterError, match="profile"):
+            MicroBatchScheduler(backend="tuned")
+
+    def test_profile_rejected_on_other_backends(self):
+        profile = self._profile("abc", 10)
+        for backend in ("auto", "thread", "process"):
+            with pytest.raises(ParameterError, match="tuned"):
+                MicroBatchScheduler(backend=backend, profile=profile)
+
+    def test_tuned_routes_per_signature(self):
+        from repro.serve.tuning import signature_key
+        query = FabCostQuery(1e6, 0.8)
+        key = signature_key(query.signature())
+        profile = self._profile(key, threshold=5)
+        with MicroBatchScheduler(backend="tuned", workers=2,
+                                 profile=profile, cache=None) as sched:
+            # The tuned pool is lazy, like auto: force-start it so
+            # _backend_for has a process backend to route to.
+            assert sched._process_backend is not None
+            assert sched._backend_for(4, key).name == "thread"
+            assert sched._backend_for(5, key).name == "process"
+            # Unknown signatures fall back to the profile default.
+            assert sched._backend_for(5, "unknown").name == "thread"
+            assert sched._backend_for(1_000_000, "unknown").name == "process"
+
+    def test_tuned_loads_profile_from_path(self, tmp_path):
+        profile = self._profile("abc", 10)
+        path = profile.save(tmp_path / "profile.json")
+        with MicroBatchScheduler(backend="tuned", profile=path,
+                                 cache=None) as sched:
+            assert sched.profile.signatures["abc"].process_threshold == 10
+
+    def test_tuned_serves_bitwise_results(self):
+        queries = _queries(24, lam=0.7)
+        query = queries[0]
+        from repro.serve.tuning import signature_key
+        profile = self._profile(signature_key(query.signature()),
+                                threshold=4)
+        with MicroBatchScheduler(backend="tuned", workers=2,
+                                 max_batch_size=8, profile=profile,
+                                 cache=None) as sched:
+            got = [t.cost(timeout=10.0)
+                   for t in sched.submit_many(queries)]
+        want = [transistor_cost_full(q.n_transistors, q.feature_size_um,
+                                     FIG8_FAB) for q in queries]
+        assert got == want

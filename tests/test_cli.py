@@ -303,6 +303,100 @@ class TestServeFlags:
         lines = captured.out.strip().splitlines()
         assert len(lines) == 3  # header + one row per point
 
+    def test_record_writes_replayable_log(self, tmp_path, capsys):
+        from repro.obs.recording import is_recorded_log, load_recorded_log
+        log_path = tmp_path / "traffic.jsonl"
+        rc = main(["cost", "--input", str(self._points_csv(tmp_path)),
+                   "--density", "150", "--record", str(log_path)])
+        assert rc == 0
+        capsys.readouterr()
+        assert is_recorded_log(log_path)
+        log = load_recorded_log(log_path)
+        assert len(log) == 2
+        assert log.unreplayable == 0
+
+    def test_prewarm_autodetects_recorded_log(self, tmp_path, capsys):
+        log_path = tmp_path / "traffic.jsonl"
+        points = str(self._points_csv(tmp_path))
+        assert main(["cost", "--input", points, "--density", "150",
+                     "--record", str(log_path)]) == 0
+        capsys.readouterr()
+        # Re-serve, prewarming from the recorded log instead of a
+        # points file — same results, and the warm pass reports the
+        # recorded queries.
+        rc = main(["cost", "--input", points, "--density", "150",
+                   "--prewarm", str(log_path)])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "prewarmed 2 unique points from 2 recorded queries" \
+            in captured.err
+        assert len(captured.out.strip().splitlines()) == 3
+
+
+class TestReplayCommand:
+    """replay: record → re-drive → run-dir report from the CLI."""
+
+    def _record(self, tmp_path, capsys):
+        points = tmp_path / "points.csv"
+        points.write_text(
+            "transistors,feature_size\n" + "".join(
+                f"{1e5 * (i % 6 + 1)},{0.5 + 0.1 * (i % 3)}\n"
+                for i in range(30)))
+        log_path = tmp_path / "traffic.jsonl"
+        assert main(["cost", "--input", str(points), "--density", "150",
+                     "--record", str(log_path)]) == 0
+        capsys.readouterr()
+        return log_path
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(
+            ["replay", "--log", "t.jsonl", "--run-dir", "out"])
+        assert args.configs == "thread,process,auto,tuned"
+        assert args.mode == "closed"
+        assert args.workers == 2
+        assert args.speed == 1.0
+
+    def test_replay_writes_run_dir_and_passes_parity(self, tmp_path,
+                                                     capsys):
+        log_path = self._record(tmp_path, capsys)
+        run_dir = tmp_path / "run"
+        rc = main(["replay", "--log", str(log_path),
+                   "--run-dir", str(run_dir),
+                   "--configs", "thread,auto,tuned", "--workers", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "parity: all replayed costs bitwise equal" in out
+        assert "mismatches" in out
+        for artifact in ("raw/thread.json", "raw/auto.json",
+                         "raw/tuned.json", "profile.json",
+                         "results.csv", "report.md"):
+            assert (run_dir / artifact).exists(), artifact
+
+    def test_replay_open_mode_with_speedup(self, tmp_path, capsys):
+        log_path = self._record(tmp_path, capsys)
+        run_dir = tmp_path / "run"
+        rc = main(["replay", "--log", str(log_path),
+                   "--run-dir", str(run_dir), "--configs", "thread",
+                   "--workers", "1", "--mode", "open",
+                   "--speed", "1000"])
+        assert rc == 0
+        assert "parity: all replayed costs bitwise equal" \
+            in capsys.readouterr().out
+
+    def test_replay_missing_log_exit_2(self, tmp_path, capsys):
+        rc = main(["replay", "--log", str(tmp_path / "missing.jsonl"),
+                   "--run-dir", str(tmp_path / "run")])
+        assert rc == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_replay_unknown_config_exit_2(self, tmp_path, capsys):
+        log_path = self._record(tmp_path, capsys)
+        rc = main(["replay", "--log", str(log_path),
+                   "--run-dir", str(tmp_path / "run"),
+                   "--configs", "fiber"])
+        assert rc == 2
+        assert "config" in capsys.readouterr().err
+
 
 class TestSweepCommand:
     """sweep: the tiled mega-sweep engine from the command line."""

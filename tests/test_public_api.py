@@ -24,6 +24,7 @@ SUBPACKAGES = [
     "repro.batch",
     "repro.obs",
     "repro.serve",
+    "repro.replay",
 ]
 
 MODULES = [
@@ -61,12 +62,17 @@ MODULES = [
     "repro.obs.trace",
     "repro.obs.registry",
     "repro.obs.capture",
+    "repro.obs.recording",
     "repro.serve.query",
     "repro.serve.executor",
     "repro.serve.scheduler",
     "repro.serve.service",
     "repro.serve.aio",
     "repro.serve.io",
+    "repro.serve.tuning",
+    "repro.replay.engine",
+    "repro.replay.tuning",
+    "repro.replay.rundir",
     "repro.technology.roadmap",
     "repro.technology.fabline",
     "repro.technology.density",
@@ -149,7 +155,9 @@ def test_top_level_reexports():
                  "cross_validate_model_suite",
                  "obs", "span", "metrics", "get_trace",
                  "serve", "CostService", "AsyncCostService",
-                 "FabCostQuery", "ModelCostQuery", "ServedCost"):
+                 "FabCostQuery", "ModelCostQuery", "ServedCost",
+                 "TuningProfile", "replay", "replay_log",
+                 "learn_profile"):
         assert hasattr(repro, name)
 
 
