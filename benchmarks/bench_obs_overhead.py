@@ -41,7 +41,20 @@ MAX_DISABLED_OVERHEAD = 0.03
 REPS = 7
 _BENCH_OBS_JSON = Path(__file__).resolve().parent / "BENCH_obs.json"
 
-_NULL_CTX = contextlib.nullcontext()
+class _NullSpan:
+    """Yielded span surface with every call a no-op.
+
+    Must yield an object (not None): the scheduler's flush loop calls
+    ``sp.annotate(...)`` on whatever the span context yields, and a
+    crashed flusher thread leaves every waiter hanging forever.
+    """
+
+    @staticmethod
+    def annotate(**attrs):
+        return None
+
+
+_NULL_CTX = contextlib.nullcontext(_NullSpan())
 
 
 def _null_span(name, **attrs):

@@ -79,7 +79,12 @@ from .analysis import (
 )
 from .core import TransistorCostModel, WaferCostModel
 from .core.optimization import optimal_feature_size_for_die_area
-from .errors import ParameterError, ReproError
+from .errors import (
+    BackpressureError,
+    ParameterError,
+    ReproError,
+    ServiceClosedError,
+)
 from .geometry import Wafer
 from .yieldsim import ReferenceAreaYield
 
@@ -187,7 +192,16 @@ def _cost_batch(args: argparse.Namespace) -> None:
                       file=_sys.stderr)
         if args.input is None:
             return
-        results = service.map(_cost_queries_from_file(args, args.input))
+        try:
+            results = service.map(_cost_queries_from_file(args, args.input))
+        except (BackpressureError, ServiceClosedError) as exc:
+            # Shell pipelines get the same structured error object as
+            # HTTP clients (repro.serve.codec) before the exit-2 prose.
+            import json as _json
+
+            from .serve.codec import error_body
+            print(_json.dumps(error_body(exc)), file=_sys.stderr)
+            raise
     formatter = format_served_json if args.format == "json" \
         else format_served_csv
     print(formatter(results), end="")
@@ -468,6 +482,41 @@ def _cmd_report(args: argparse.Namespace) -> None:
     report_main([args.output] if args.output else [])
 
 
+def _cmd_serve(args: argparse.Namespace) -> None:
+    from .serve.http import run_server
+    run_server(host=args.host, port=args.port,
+               backend=args.serve_backend, workers=args.serve_workers,
+               record=args.record,
+               max_batch_size=args.max_batch_size,
+               max_queue_depth=args.max_queue_depth,
+               density=args.density, yield0=args.yield0, c0=args.c0,
+               x=args.x, wafer_radius=args.wafer_radius)
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> None:
+    from .loadgen import build_workload, format_report, run_load
+    mix = None
+    if args.mix:
+        mix = {}
+        for part in args.mix.split(","):
+            kind, _, fraction = part.partition("=")
+            if not fraction:
+                raise ParameterError(
+                    f"--mix parts look like kind=fraction, got {part!r}")
+            mix[kind.strip()] = float(fraction)
+    specs = build_workload(args.requests, mix=mix,
+                           bulk_size=args.bulk_size, seed=args.seed)
+    result = run_load(args.host, args.port, specs, rps=args.rps,
+                      connections=args.connections,
+                      timeout_s=args.timeout, seed=args.seed,
+                      verify=not args.no_verify)
+    print(format_report(result))
+    if result.mismatches:
+        raise ReproError(
+            f"{result.mismatches} HTTP-served cost(s) were not bitwise "
+            f"equal to the scalar reference")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -688,6 +737,61 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--timeout", type=float, default=300.0,
                         help="drain deadline per config [s]")
 
+    serve = add_parser(
+        "serve",
+        help="serve cost queries over HTTP (see docs/serving.md)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address")
+    serve.add_argument("--port", type=int, default=8787,
+                       help="bind port (0 picks an ephemeral port)")
+    serve.add_argument("--backend", dest="serve_backend", default="auto",
+                       choices=("auto", "thread", "process", "tuned"),
+                       help="scheduler execution backend")
+    serve.add_argument("--workers", dest="serve_workers", type=int,
+                       default=1, help="worker count for the backend")
+    serve.add_argument("--record", metavar="FILE", default=None,
+                       help="append every served query to FILE as a JSONL "
+                            "traffic log (replayable via 'repro replay')")
+    serve.add_argument("--max-batch-size", type=int, default=256,
+                       help="scheduler flush threshold")
+    serve.add_argument("--max-queue-depth", type=int, default=10_000,
+                       help="queue bound; beyond it requests get 429")
+    serve.add_argument("--density", type=float, default=150.0,
+                       help="default d_d for bare point-field bodies")
+    serve.add_argument("--yield0", type=float, default=0.7,
+                       help="default 1 cm^2 reference yield")
+    serve.add_argument("--c0", type=float, default=500.0,
+                       help="cost of the 1 um reference wafer [$]")
+    serve.add_argument("--x", type=float, default=1.8,
+                       help="wafer cost growth per generation")
+    serve.add_argument("--wafer-radius", type=float, default=7.5,
+                       help="wafer radius [cm]")
+
+    loadgen = add_parser(
+        "loadgen",
+        help="open-loop load generator against a running 'repro serve'")
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, required=True,
+                         help="port of the server under test")
+    loadgen.add_argument("--rps", type=float, default=200.0,
+                         help="target Poisson arrival rate [req/s]")
+    loadgen.add_argument("--requests", type=int, default=200,
+                         help="number of requests to issue")
+    loadgen.add_argument("--connections", type=int, default=8,
+                         help="keep-alive client connection pool size")
+    loadgen.add_argument("--mix", default=None,
+                         help="endpoint mix, e.g. "
+                              "'cost=0.7,bulk=0.2,optimize=0.1'")
+    loadgen.add_argument("--bulk-size", type=int, default=32,
+                         help="points per /v1/cost/bulk request")
+    loadgen.add_argument("--timeout", type=float, default=30.0,
+                         help="per-request timeout [s]")
+    loadgen.add_argument("--seed", type=int, default=0,
+                         help="workload + arrival-process seed")
+    loadgen.add_argument("--no-verify", action="store_true",
+                         help="skip the bitwise parity check against the "
+                              "scalar reference")
+
     report = add_parser("report",
                         help="write the full reproduction report")
     report.add_argument("output", nargs="?", default=None,
@@ -743,6 +847,10 @@ def main(argv: Sequence[str] | None = None) -> int:
                 _cmd_fit_yield(args)
             elif args.command == "replay":
                 _cmd_replay(args)
+            elif args.command == "serve":
+                _cmd_serve(args)
+            elif args.command == "loadgen":
+                _cmd_loadgen(args)
             elif args.command == "report":
                 _cmd_report(args)
     except ReproError as exc:

@@ -48,14 +48,31 @@ See ``docs/serving.md`` for scheduler semantics and tuning,
 
 from .aio import AsyncCostService
 from .backend import BACKEND_CHOICES, ProcessBackend, ThreadBackend
+from .codec import error_body, retry_after_s, status_for
 from .executor import GroupResult, execute_group
+from .http import (
+    CostHttpServer,
+    HttpParseError,
+    HttpRequest,
+    RequestParser,
+    ServerThread,
+    run_server,
+)
 from .io import (
     RESULT_FIELDS,
     format_served_csv,
     format_served_json,
     load_points,
+    normalize_point,
+    served_row,
 )
-from .query import CostQuery, FabCostQuery, ModelCostQuery, ServedCost
+from .query import (
+    CostQuery,
+    FabCostQuery,
+    ModelCostQuery,
+    ServedCost,
+    scalar_reference_cost,
+)
 from .scheduler import (
     SCHEDULER_BACKEND_CHOICES,
     CostTicket,
@@ -71,6 +88,7 @@ __all__ = [
     "AsyncCostService",
     "BACKEND_CHOICES",
     "SCHEDULER_BACKEND_CHOICES",
+    "CostHttpServer",
     "CostQuery",
     "CostService",
     "CostTicket",
@@ -78,18 +96,29 @@ __all__ = [
     "FlushRecord",
     "GroupRecord",
     "GroupResult",
+    "HttpParseError",
+    "HttpRequest",
     "MicroBatchScheduler",
     "ModelCostQuery",
     "ProcessBackend",
+    "RequestParser",
     "ServedCost",
+    "ServerThread",
     "ShmBlock",
     "SignatureTuning",
     "ThreadBackend",
     "TuningProfile",
     "RESULT_FIELDS",
+    "error_body",
     "execute_group",
     "format_served_csv",
     "format_served_json",
     "load_points",
+    "normalize_point",
+    "retry_after_s",
+    "run_server",
+    "scalar_reference_cost",
+    "served_row",
     "signature_key",
+    "status_for",
 ]

@@ -152,3 +152,76 @@ class AsyncCostService:
         futures = [await self.submit(q, timeout=timeout) for q in queries]
         tickets = await asyncio.gather(*futures)
         return [t.result(timeout=0) for t in tickets]
+
+    # -- bulk submission -------------------------------------------------
+
+    async def submit_bulk(self, queries: Iterable[CostQuery], *,
+                          timeout: float | None = None
+                          ) -> list[CostTicket]:
+        """Bulk-enqueue through the scheduler's coalesced path.
+
+        The async mirror of
+        :meth:`~repro.serve.service.CostService.submit_many`: all
+        queries enter the queue in one
+        :meth:`~repro.serve.scheduler.MicroBatchScheduler.submit_many`
+        call — so a bulk request is drained as one pre-coalesced flush
+        (no tick wait) instead of fanning out per-point ``await``\\ s
+        and futures like :meth:`map` does.  Resolves once **every**
+        ticket's flush has landed; returns the completed tickets in
+        submission order.  Backpressure behaves like :meth:`submit`:
+        the fast path never blocks the loop, a full queue falls back
+        to a blocking bulk submit in the default executor, and
+        ``timeout <= 0`` surfaces
+        :class:`~repro.errors.BackpressureError` immediately.  A
+        failed flush raises its exception here (all-or-nothing, like
+        the sync bulk path's first failing ticket).
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        loop = asyncio.get_running_loop()
+        try:
+            tickets = self.scheduler.submit_many(queries, timeout=0)
+        except BackpressureError:
+            if timeout is not None and timeout <= 0:
+                raise
+            tickets = await loop.run_in_executor(
+                None, functools.partial(self.scheduler.submit_many,
+                                        queries, timeout=timeout))
+        future: "asyncio.Future[None]" = loop.create_future()
+        remaining = len(tickets)
+
+        def _land(done: CostTicket) -> None:
+            # Runs on the loop thread only, so the countdown needs no
+            # lock; the first flush failure wins the future.
+            nonlocal remaining
+            if future.done():
+                return
+            try:
+                done.result(timeout=0)
+            except BaseException as exc:
+                future.set_exception(exc)
+                return
+            remaining -= 1
+            if remaining == 0:
+                future.set_result(None)
+
+        def _resolve(done: CostTicket) -> None:
+            loop.call_soon_threadsafe(_land, done)
+
+        for ticket in tickets:
+            ticket.add_done_callback(_resolve)
+        await future
+        return tickets
+
+    async def map_bulk(self, queries: Iterable[CostQuery], *,
+                       timeout: float | None = None) -> list[ServedCost]:
+        """Bulk :meth:`submit_bulk` + collect: breakdowns in order."""
+        tickets = await self.submit_bulk(queries, timeout=timeout)
+        return [t.result(timeout=0) for t in tickets]
+
+    async def costs_bulk(self, queries: Iterable[CostQuery], *,
+                         timeout: float | None = None) -> list[float]:
+        """Like :meth:`map_bulk` but only C_tr dollars per query."""
+        tickets = await self.submit_bulk(queries, timeout=timeout)
+        return [t.cost(timeout=0) for t in tickets]

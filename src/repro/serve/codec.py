@@ -1,0 +1,101 @@
+"""Structured error bodies shared by the HTTP front-end and the CLI.
+
+Every service-boundary error — backpressure, a closed service, a bad
+request — maps to one JSON object shape so that clients (and shell
+pipelines around ``python -m repro cost --input``) can branch on a
+stable ``error`` code instead of parsing prose::
+
+    {"error": "backpressure", "message": "queue full (…)",
+     "queue_depth": 10000, "retry_after_s": 1.0}
+
+:func:`error_body` builds the object, :func:`status_for` the matching
+HTTP status, and :func:`retry_after_s` the coarse backoff hint the
+server also emits as a ``Retry-After`` header.  The codec is
+deliberately one-way: it renders exceptions, it does not rebuild them.
+
+Code map (statuses are what :mod:`repro.serve.http` sends):
+
+==================  ==================  ======
+exception           ``error`` code      status
+==================  ==================  ======
+BackpressureError   ``backpressure``    429
+ServiceClosedError  ``service_closed``  503
+ParameterError      ``bad_request``     400
+other ReproError    ``internal``        500
+anything else       ``internal``        500
+==================  ==================  ======
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import (
+    BackpressureError,
+    ParameterError,
+    ReproError,
+    ServiceClosedError,
+)
+
+__all__ = ["error_body", "retry_after_s", "status_for"]
+
+#: Assumed drain rate (requests/s) behind the Retry-After estimate —
+#: deliberately conservative; the hint only needs the right order of
+#: magnitude to keep a polite client from hammering a full queue.
+_ASSUMED_DRAIN_RPS = 10_000.0
+
+#: Bounds on the Retry-After hint in seconds.
+_RETRY_AFTER_MIN_S = 0.05
+_RETRY_AFTER_MAX_S = 5.0
+
+
+def retry_after_s(exc: BaseException) -> float | None:
+    """Backoff hint in seconds, or ``None`` when retrying won't help.
+
+    Only backpressure is retryable: the hint scales with the queue
+    depth the submit saw (``depth / 10k req/s``), clamped to
+    [0.05 s, 5 s].  A closed service and a bad request return ``None``
+    — retrying those verbatim can never succeed.
+    """
+    if not isinstance(exc, BackpressureError):
+        return None
+    depth = getattr(exc, "queue_depth", 0) or 0
+    return min(_RETRY_AFTER_MAX_S,
+               max(_RETRY_AFTER_MIN_S, depth / _ASSUMED_DRAIN_RPS))
+
+
+def status_for(exc: BaseException) -> int:
+    """The HTTP status code for one service-boundary exception."""
+    if isinstance(exc, BackpressureError):
+        return 429
+    if isinstance(exc, ServiceClosedError):
+        return 503
+    if isinstance(exc, ParameterError):
+        return 400
+    return 500
+
+
+def error_body(exc: BaseException) -> dict[str, Any]:
+    """The structured JSON error object for one exception.
+
+    Always carries ``error`` (the stable code) and ``message`` (the
+    exception text).  Backpressure adds ``queue_depth`` and
+    ``retry_after_s``; unexpected exceptions add ``type`` so a 500
+    names what blew up without leaking a traceback.
+    """
+    if isinstance(exc, BackpressureError):
+        return {
+            "error": "backpressure",
+            "message": str(exc),
+            "queue_depth": getattr(exc, "queue_depth", 0) or 0,
+            "retry_after_s": retry_after_s(exc),
+        }
+    if isinstance(exc, ServiceClosedError):
+        return {"error": "service_closed", "message": str(exc)}
+    if isinstance(exc, ParameterError):
+        return {"error": "bad_request", "message": str(exc)}
+    if isinstance(exc, ReproError):
+        return {"error": "internal", "message": str(exc),
+                "type": type(exc).__name__}
+    return {"error": "internal", "message": str(exc),
+            "type": type(exc).__name__}

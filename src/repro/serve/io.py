@@ -36,6 +36,8 @@ __all__ = [
     "format_served_csv",
     "format_served_json",
     "load_points",
+    "normalize_point",
+    "served_row",
 ]
 
 #: Emitted per point, in column order — the served analog of the
@@ -64,6 +66,18 @@ _ALIASES = {
     "die_area": "die_area",
     "die_area_cm2": "die_area",
 }
+
+
+def normalize_point(record: dict, where: str) -> dict[str, float]:
+    """Normalize one raw point mapping to canonical field names.
+
+    Shared by the file loaders here and by the HTTP front-end's JSON
+    request bodies (:mod:`repro.serve.http`): aliases resolve
+    (``n_transistors`` → ``transistors``), unknown fields raise
+    :class:`~repro.errors.ParameterError` loudly, and empty values fall
+    through to the caller's defaults.  ``where`` labels the error.
+    """
+    return _normalize_record(record, where)
 
 
 def _normalize_record(record: dict, where: str) -> dict[str, float]:
@@ -130,6 +144,11 @@ def load_points(path: str | Path) -> list[dict[str, float]]:
         return _load_json(p)
     raise ParameterError(
         f"unsupported points file type {suffix!r} (use .csv or .json)")
+
+
+def served_row(result: ServedCost) -> list:
+    """One result's values in :data:`RESULT_FIELDS` column order."""
+    return _row(result)
 
 
 def _row(result: ServedCost) -> list:

@@ -48,6 +48,7 @@ __all__ = [
     "FabCostQuery",
     "ModelCostQuery",
     "ServedCost",
+    "scalar_reference_cost",
 ]
 
 
@@ -154,6 +155,40 @@ class FabCostQuery(CostQuery):
     def point(self) -> tuple[float, float]:
         """The ``(N_tr, λ)`` coordinate."""
         return (self.n_transistors, self.feature_size_um)
+
+
+def scalar_reference_cost(query: CostQuery) -> float:
+    """The scalar-path C_tr the service must match bitwise for ``query``.
+
+    The canonical statement of the serving parity contract, shared by
+    the benches and the load generator's ``verify`` mode: a
+    :class:`FabCostQuery` references
+    :func:`~repro.core.optimization.transistor_cost_full`, a
+    :class:`ModelCostQuery` references
+    :meth:`~repro.core.transistor_cost.TransistorCostModel.evaluate`
+    with an unfittable die masked to ``inf`` (the batch-engine
+    convention the service follows instead of raising).
+    """
+    from ..core.optimization import transistor_cost_full
+
+    if isinstance(query, FabCostQuery):
+        return transistor_cost_full(query.n_transistors,
+                                    query.feature_size_um, query.fab)
+    if not isinstance(query, ModelCostQuery):
+        raise ParameterError(
+            f"no scalar reference for query {query!r}")
+    try:
+        breakdown = query.model.evaluate(
+            n_transistors=query.n_transistors,
+            feature_size_um=query.feature_size_um,
+            design_density=query.design_density,
+            yield_model=query.yield_model,
+            defect_density_per_cm2=query.defect_density_per_cm2,
+            yield_value=query.yield_value,
+            aspect_ratio=query.aspect_ratio)
+    except ParameterError:
+        return float("inf")  # the service masks unfittable dies to inf
+    return breakdown.cost_per_transistor_dollars
 
 
 def _yield_signature(yield_model: YieldModel | None,

@@ -91,6 +91,91 @@ class TestAsyncBackpressure:
         asyncio.run(run())
 
 
+class TestSubmitBulk:
+    def test_ordering_and_bitwise_parity(self):
+        # Deliberately unsorted, with duplicates, across two signatures
+        # (two distinct fabs) — the bulk path coalesces and dedups, but
+        # results must come back in submission order, bitwise equal to
+        # the scalar reference.
+        import dataclasses
+
+        from repro.serve import scalar_reference_cost
+        other_fab = dataclasses.replace(FIG8_FAB, cost_growth_rate=2.0)
+        queries = []
+        for i in range(40):
+            fab = FIG8_FAB if i % 3 else other_fab
+            queries.append(FabCostQuery(1e5 * (1 + i % 7),
+                                        0.4 + 0.05 * (i % 5), fab))
+        queries += queries[:5]  # duplicates dedup within the flush
+
+        async def run():
+            async with AsyncCostService(max_batch_size=1000,
+                                        max_wait_s=60.0,  # bulk skips tick
+                                        cache=None) as svc:
+                return await svc.map_bulk(queries)
+
+        served = asyncio.run(run())
+        assert [(s.n_transistors, s.feature_size_um) for s in served] \
+            == [q.point() for q in queries]
+        assert [s.cost_per_transistor_dollars for s in served] \
+            == [scalar_reference_cost(q) for q in queries]
+
+    def test_bulk_is_one_flush(self):
+        # submit_bulk enters the queue in one submit_many call and the
+        # whole request drains as one flush — no per-point tick waits.
+        queries = [FabCostQuery(2e5 * (i + 1), 0.6) for i in range(32)]
+
+        async def run():
+            async with AsyncCostService(max_batch_size=1000,
+                                        max_wait_s=60.0,
+                                        flush_history=8,
+                                        cache=None) as svc:
+                await svc.map_bulk(queries)
+                scheduler = svc.scheduler
+            # Read history only after close: the tickets resolve before
+            # the flusher appends its FlushRecord, so an immediate read
+            # races with the history append.
+            return scheduler.recent_flushes
+
+        flushes = asyncio.run(run())
+        assert len(flushes) == 1
+        assert flushes[0].requests == len(queries)
+
+    def test_empty_bulk(self):
+        async def run():
+            async with AsyncCostService(cache=None) as svc:
+                return await svc.map_bulk([])
+
+        assert asyncio.run(run()) == []
+
+    def test_costs_bulk_matches_map_bulk(self):
+        queries = [FabCostQuery(1e6, 0.8), FabCostQuery(2e6, 0.5)]
+
+        async def run():
+            async with AsyncCostService(cache=None) as svc:
+                costs = await svc.costs_bulk(queries)
+                served = await svc.map_bulk(queries)
+                return costs, served
+
+        costs, served = asyncio.run(run())
+        assert costs == [s.cost_per_transistor_dollars for s in served]
+
+    def test_zero_timeout_surfaces_backpressure(self):
+        svc = CostService(max_queue_depth=2, max_batch_size=2,
+                          max_wait_s=60.0, cache=None)
+        sched = svc.scheduler
+        sched._started = True  # freeze the queue: nothing drains it
+        sched._pending = [object()] * 2
+
+        async def run():
+            async_svc = AsyncCostService(service=svc)
+            with pytest.raises(BackpressureError):
+                await async_svc.submit_bulk(
+                    [FabCostQuery(1e6, 0.8)], timeout=0)
+
+        asyncio.run(run())
+
+
 class TestCancellation:
     def test_cancelled_waiter_neither_leaks_nor_wedges(self):
         # A caller that gives up (asyncio.wait_for timeout) cancels its

@@ -1,0 +1,98 @@
+"""The shared error codec: structured bodies, statuses, retry hints."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import (
+    BackpressureError,
+    ParameterError,
+    ReproError,
+    ServiceClosedError,
+)
+from repro.serve.codec import error_body, retry_after_s, status_for
+
+
+def _backpressure(depth: int) -> BackpressureError:
+    exc = BackpressureError(f"queue full ({depth} pending)")
+    exc.queue_depth = depth
+    return exc
+
+
+class TestStatusFor:
+    def test_mapping(self):
+        assert status_for(_backpressure(10)) == 429
+        assert status_for(ServiceClosedError("closed")) == 503
+        assert status_for(ParameterError("bad")) == 400
+        assert status_for(ReproError("odd")) == 500
+        assert status_for(RuntimeError("boom")) == 500
+
+
+class TestRetryAfter:
+    def test_scales_with_queue_depth_within_bounds(self):
+        assert retry_after_s(_backpressure(10_000)) == 1.0
+        assert retry_after_s(_backpressure(100)) == pytest.approx(0.05)
+        assert retry_after_s(_backpressure(10_000_000)) == 5.0
+
+    def test_none_for_unretryable_errors(self):
+        assert retry_after_s(ServiceClosedError("closed")) is None
+        assert retry_after_s(ParameterError("bad")) is None
+
+
+class TestErrorBody:
+    def test_backpressure_carries_depth_and_hint(self):
+        body = error_body(_backpressure(5000))
+        assert body["error"] == "backpressure"
+        assert body["queue_depth"] == 5000
+        assert body["retry_after_s"] == retry_after_s(_backpressure(5000))
+        assert "queue full" in body["message"]
+        json.dumps(body)  # must be JSON-serializable as-is
+
+    def test_service_closed(self):
+        body = error_body(ServiceClosedError("scheduler is closed"))
+        assert body == {"error": "service_closed",
+                        "message": "scheduler is closed"}
+
+    def test_bad_request(self):
+        body = error_body(ParameterError("unknown field 'x'"))
+        assert body["error"] == "bad_request"
+
+    def test_unexpected_exception_names_its_type(self):
+        body = error_body(RuntimeError("boom"))
+        assert body["error"] == "internal"
+        assert body["type"] == "RuntimeError"
+
+
+class TestCliBatchModeUsesCodec:
+    """CLI batch mode prints the same structured object on stderr."""
+
+    def _run_cost_batch(self, tmp_path: Path, monkeypatch, exc) -> int:
+        from repro.cli import main
+        from repro.serve.service import CostService
+
+        points = tmp_path / "points.csv"
+        points.write_text("transistors,feature_size\n1e6,0.8\n")
+
+        def _boom(self, queries, **kwargs):
+            raise exc
+
+        monkeypatch.setattr(CostService, "map", _boom)
+        return main(["cost", "--input", str(points), "--density", "150"])
+
+    def test_backpressure_path(self, tmp_path, monkeypatch, capsys):
+        exc = _backpressure(7)
+        assert self._run_cost_batch(tmp_path, monkeypatch, exc) == 2
+        err = capsys.readouterr().err
+        structured = json.loads(err.splitlines()[0])
+        assert structured["error"] == "backpressure"
+        assert structured["queue_depth"] == 7
+        assert "error: queue full" in err
+
+    def test_service_closed_path(self, tmp_path, monkeypatch, capsys):
+        exc = ServiceClosedError("scheduler is closed")
+        assert self._run_cost_batch(tmp_path, monkeypatch, exc) == 2
+        err = capsys.readouterr().err
+        structured = json.loads(err.splitlines()[0])
+        assert structured == {"error": "service_closed",
+                              "message": "scheduler is closed"}

@@ -539,3 +539,39 @@ class TestFitYield:
         assert "yield.fit" in text
         assert "yield.fit.poisson" in text
         assert "yield.fit.seeds" in text
+
+
+class TestServeAndLoadgenCommands:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8787
+        assert args.serve_backend == "auto"
+        assert args.serve_workers == 1
+        assert args.record is None
+        assert args.density == 150.0
+
+    def test_loadgen_parser_requires_port(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["loadgen"])
+        args = build_parser().parse_args(["loadgen", "--port", "8123"])
+        assert args.rps == 200.0
+        assert args.requests == 200
+        assert args.connections == 8
+        assert not args.no_verify
+
+    def test_loadgen_against_live_server(self, capsys):
+        from repro.serve.http import ServerThread
+        with ServerThread(cache=None) as srv:
+            rc = main(["loadgen", "--port", str(srv.port),
+                       "--requests", "20", "--rps", "400",
+                       "--connections", "2", "--seed", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "0 bitwise mismatches" in out
+        assert "p99=" in out
+
+    def test_loadgen_bad_mix_exit_2(self, capsys):
+        rc = main(["loadgen", "--port", "1", "--mix", "cost"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
