@@ -5,6 +5,12 @@ medium size systems" — because they ARE, for small systems: the bench
 sweeps the system transistor budget and shows the winner sequence
 single chip → MCM → board, with the single-chip option collapsing
 exponentially once the die outgrows the yieldable size.
+
+A chiplet column (4-way split through
+:class:`repro.system.chiplet.ChipletCostModel`, organic substrate)
+rides along: per-system dollars from the same budgets, showing the
+same shape — overpriced for small systems, the only finite silicon
+option once the monolithic die stops yielding.
 """
 
 import math
@@ -12,8 +18,12 @@ import math
 from conftest import emit
 from repro.analysis import ascii_table
 from repro.system import PackagingCostModel, PackagingStrategy, crossover_points
+from repro.system.chiplet import ChipletCostModel
 
 MODEL = PackagingCostModel()
+CHIPLET_MODEL = ChipletCostModel()
+CHIPLET_K = 4
+CHIPLET_LAMBDA_UM = 0.8
 BUDGETS = (1e5, 3e5, 1e6, 3e6, 8e6)
 
 
@@ -22,10 +32,13 @@ def _compute():
     for budget, winner, best_cost in crossover_points(MODEL, BUDGETS):
         costs = {s: MODEL.packaging_cost(s, budget)
                  for s in PackagingStrategy}
+        chiplet = CHIPLET_MODEL.system_cost(CHIPLET_K, budget,
+                                            CHIPLET_LAMBDA_UM)
         rows.append((budget,
                      costs[PackagingStrategy.SINGLE_CHIP],
                      costs[PackagingStrategy.MCM],
                      costs[PackagingStrategy.BOARD],
+                     chiplet.system_cost_dollars,
                      winner.value))
     return rows
 
@@ -34,11 +47,15 @@ def test_packaging_crossover(benchmark):
     rows = benchmark(_compute)
     printable = [(b,
                   s if math.isfinite(s) and s < 1e6 else float("inf"),
-                  m, brd, w)
-                 for b, s, m, brd, w in rows]
+                  m, brd,
+                  chip if math.isfinite(chip) and chip < 1e9
+                  else float("inf"),
+                  w)
+                 for b, s, m, brd, chip, w in rows]
     emit("Extension — packaging strategy vs system size",
          ascii_table(("transistors", "single chip [$]", "MCM [$]",
-                      "board [$]", "winner"), printable))
+                      "board [$]", f"chiplet x{CHIPLET_K} [$]", "winner"),
+                     printable))
 
     winners = [w for *_, w in rows]
     assert winners[0] == PackagingStrategy.SINGLE_CHIP.value
@@ -51,3 +68,10 @@ def test_packaging_crossover(benchmark):
     # The single-chip option collapses by orders of magnitude at 8M.
     last = rows[-1]
     assert last[1] > 100.0 * last[2]
+    # Chiplet column: finite everywhere — splitting keeps the dies
+    # yieldable even at the budget where the monolithic option is
+    # inf — and monotone in the budget.
+    chiplet_costs = [row[4] for row in rows]
+    assert all(math.isfinite(c) for c in chiplet_costs)
+    assert chiplet_costs == sorted(chiplet_costs)
+    assert chiplet_costs[-1] < last[1]

@@ -107,6 +107,13 @@ def _tier_obs(d):
             "max_allowed_overhead": d["max_allowed_overhead"]}
 
 
+def _tier_chiplet(d):
+    b = d["chiplet_batch"]
+    return {"points": b["points"],
+            "speedup_batch_over_scalar": b["speedup_batch_over_scalar"],
+            "bitwise_mismatches": b["bitwise_mismatches"]}
+
+
 def _tier_http(d):
     o = d["open_loop"]
     return {"requests": o["requests"],
@@ -124,6 +131,7 @@ _TIERS = [
     ("engine", "BENCH_engine.json", _tier_engine),
     ("serve", "BENCH_serve.json", _tier_serve),
     ("sweep", "BENCH_sweep.json", _tier_sweep),
+    ("chiplet", "BENCH_chiplet.json", _tier_chiplet),
     ("mc", "BENCH_mc.json", _tier_mc),
     ("replay", "BENCH_replay.json", _tier_replay),
     ("obs", "BENCH_obs.json", _tier_obs),

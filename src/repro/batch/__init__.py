@@ -41,6 +41,8 @@ from .crossval import (
 from .engine import (
     USE_DEFAULT_CACHE,
     BatchCostResult,
+    ChipletBatchResult,
+    chiplet_cost_batch,
     dies_per_wafer_batch,
     evaluate_batch,
     generations_batch,
@@ -55,6 +57,7 @@ from .engine import (
     yield_from_expectation_batch,
 )
 from .sweep import (
+    ChipletCrossoverSweep,
     DieAreaCostSweep,
     FabCostSweep,
     ScenarioSweep,
@@ -80,6 +83,8 @@ __all__ = [
     "yield_for_area_batch",
     "yield_from_expectation_batch",
     "transistor_cost_batch",
+    "ChipletBatchResult",
+    "chiplet_cost_batch",
     "evaluate_batch",
     "scenario1_cost_batch",
     "scenario2_cost_batch",
@@ -87,6 +92,7 @@ __all__ = [
     "cross_validate_yield_batch",
     "ModelValidationRow",
     "cross_validate_model_suite",
+    "ChipletCrossoverSweep",
     "DieAreaCostSweep",
     "FabCostSweep",
     "ScenarioSweep",

@@ -78,6 +78,7 @@ from .cache import BatchCache, array_fingerprint, default_cache
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle with core.optimization
     from ..core.optimization import FabCharacterization
+    from ..system.chiplet import ChipletCostModel
 
 #: Eq.-(7) exponent above which exp() underflows; the scalar reference
 #: clamps the yield to the smallest positive denormal there.
@@ -742,3 +743,219 @@ def scenario2_cost_batch(model: TransistorCostModel, feature_sizes_um,
     y = law.reference_yield ** (area / law.reference_area_cm2)
     return scenario1_cost_batch(model, lam, design_density,
                                 cache=cache) / y
+
+
+# ---------------------------------------------------------------------------
+# chiplet system cost — repro.system.chiplet, vectorized
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ChipletBatchResult:
+    """Array-valued analog of :class:`~repro.system.chiplet.
+    ChipletCostBreakdown` for one batched chiplet evaluation.
+
+    All arrays share one broadcast shape.  ``feasible`` is False where
+    a chiplet does not fit the wafer or the effective (probe ×
+    assembly) yield underflows the economic cutoff; the three cost
+    fields are ``inf`` there — exactly like the scalar reference —
+    while the physical intermediates keep their computed values.
+    """
+
+    feature_size_um: np.ndarray
+    chiplet_count: np.ndarray
+    transistors_per_chiplet: np.ndarray
+    chiplet_area_cm2: np.ndarray
+    wafer_cost_dollars: np.ndarray
+    dies_per_wafer: np.ndarray
+    die_yield: np.ndarray
+    assembly_yield: np.ndarray
+    effective_yield: np.ndarray
+    packaging_cost_dollars: np.ndarray
+    silicon_cost_per_transistor_dollars: np.ndarray
+    overhead_cost_per_transistor_dollars: np.ndarray
+    cost_per_transistor_dollars: np.ndarray
+    feasible: np.ndarray
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """The common broadcast shape of every array field."""
+        return self.cost_per_transistor_dollars.shape
+
+    @property
+    def n_feasible(self) -> int:
+        """Number of cells with a finite cost."""
+        return int(np.count_nonzero(self.feasible))
+
+    @property
+    def cost_per_transistor_microdollars(self) -> np.ndarray:
+        """C_tr in the paper's Table-3 unit, $·10⁻⁶ (inf where masked)."""
+        return self.cost_per_transistor_dollars * 1.0e6
+
+
+def _scalar_pow_pairwise(base: np.ndarray,
+                         exponent: np.ndarray) -> np.ndarray:
+    # ``base ** exponent`` with a per-element exponent, through the
+    # scalar libm pow — the pairwise sibling of
+    # ``_scalar_pow_elementwise`` (same bitwise rationale).
+    flat = np.fromiter((b ** e for b, e in zip(base.ravel().tolist(),
+                                               exponent.ravel().tolist())),
+                       dtype=np.float64, count=base.size)
+    return flat.reshape(base.shape)
+
+
+def _scalar_exp_neg_clamped(exponent: np.ndarray) -> np.ndarray:
+    # ``exp(-exponent)`` through scalar libm with the eq.-(7) underflow
+    # clamp — replays scaled_poisson_yield's tail (and its bits)
+    # exactly, element by element.
+    exp = math.exp
+    flat = np.fromiter(
+        (_TINY_YIELD if e > _EXPONENT_CLAMP else exp(-e)
+         for e in exponent.ravel().tolist()),
+        dtype=np.float64, count=exponent.size)
+    return flat.reshape(exponent.shape)
+
+
+def _scalar_wafer_cost_batch(model: WaferCostModel, lam: np.ndarray,
+                             cache: BatchCache | None) -> np.ndarray:
+    # Eq. (3) per *unique* λ through the scalar ``pure_cost`` (libm pow
+    # and log), fanned back out — bitwise equal to the scalar path, and
+    # cheap because sweeps carry few distinct feature sizes.
+    key = ("chiplet_wafer_cost", model.reference_cost_dollars,
+           model.cost_growth_rate, model.reference_feature_um,
+           model.generation_model, model.shrink, model.linear_step_um,
+           array_fingerprint(lam))
+
+    def compute() -> np.ndarray:
+        uniq, inv = np.unique(lam.ravel(), return_inverse=True)
+        pure = model.pure_cost
+        vals = np.fromiter((pure(l) for l in uniq.tolist()),
+                           dtype=np.float64, count=uniq.size)
+        return vals[inv].reshape(lam.shape)
+
+    return _cached(cache, key, compute)
+
+
+def chiplet_cost_batch(n_transistors, feature_sizes_um, chiplets,
+                       model: "ChipletCostModel | None" = None, *,
+                       cache: Any = USE_DEFAULT_CACHE,
+                       out: np.ndarray | None = None
+                       ) -> ChipletBatchResult:
+    """Batched :meth:`~repro.system.chiplet.ChipletCostModel.
+    system_cost` — the vector form of the chiplet parity reference.
+
+    ``n_transistors``, ``feature_sizes_um`` and ``chiplets`` broadcast
+    together, so a (k × N_tr) crossover plane at fixed λ is one call
+    with ``ks[:, None]`` and ``counts[None, :]``.  ``chiplets`` must be
+    integer-valued (floats are fine — the sweep engine feeds float
+    axes) and ≥ 1 everywhere.
+
+    Parity is **bitwise**, not 1e-12: the pure arithmetic (geometry,
+    eq.-(4) die counts, every cost composition) is vectorized in the
+    scalar operation order, while the transcendental steps — eq.-(3)
+    wafer cost per unique λ, the eq.-(7) exp, and the three KGD/
+    assembly pows — run through scalar libm element by element
+    (the ``_scalar_pow_elementwise`` idiom the compound yield family
+    established).  That lets the serve executor and the loadgen
+    verifier hold chiplet traffic to the same bitwise contract as fab
+    queries.  Sub-results (die counts, wafer cost, die yield) memoize
+    in the shared :class:`~repro.batch.cache.BatchCache`.
+
+    With ``out`` the composed C_tr lands in the caller's float64
+    buffer (e.g. a shared-memory sweep tile), which also becomes the
+    result's ``cost_per_transistor_dollars``.
+    """
+    from ..system.chiplet import ChipletCostModel
+    if model is None:
+        model = ChipletCostModel()
+    elif not isinstance(model, ChipletCostModel):
+        raise ParameterError(
+            f"model must be a ChipletCostModel, got {model!r}")
+    n = _as_float_array("n_transistors", n_transistors)
+    lam = _as_float_array("feature_sizes_um", feature_sizes_um)
+    kk = _as_float_array("chiplets", chiplets)
+    n, lam, kk = np.broadcast_arrays(n, lam, kk)
+    _require_all_positive("n_transistors", n)
+    _require_all_positive("feature_sizes_um", lam)
+    if bool((kk < 1).any()) or bool((np.floor(kk) != kk).any()):
+        raise ParameterError(
+            "chiplets must be integer-valued and >= 1 for every element")
+    cache = _resolve_cache(cache)
+    fab = model.fab
+    pk = model.packaging
+    t = model.test
+
+    obs_on = _obs_enabled()
+    t0 = time.perf_counter() if obs_on else 0.0
+    with _span("batch.chiplet_cost", cells=int(n.size)):
+        wafer = Wafer(radius_cm=fab.wafer_radius_cm)
+        wafer_cost_model = WaferCostModel(
+            reference_cost_dollars=fab.reference_cost_dollars,
+            cost_growth_rate=fab.cost_growth_rate)
+        n_k = n / kk
+        width, height, area_cm2 = _die_geometry(n_k, fab.design_density,
+                                                lam, 1.0)
+        n_ch = dies_per_wafer_batch(wafer, width, height, cache=cache)
+        c_w = _scalar_wafer_cost_batch(wafer_cost_model, lam, cache)
+        ykey = ("chiplet_die_yield", fab.design_density,
+                fab.defect_coefficient, fab.size_exponent_p,
+                array_fingerprint(n_k), array_fingerprint(lam))
+
+        def compute_yield() -> np.ndarray:
+            # scaled_poisson_yield's exact operation order: the d0 pow
+            # per unique λ through scalar libm, the area product
+            # vectorized (IEEE-exact), the exp per element.
+            uniq, inv = np.unique(lam.ravel(), return_inverse=True)
+            p = fab.size_exponent_p
+            coeff = fab.defect_coefficient
+            d0_u = np.fromiter((coeff / l ** p for l in uniq.tolist()),
+                               dtype=np.float64, count=uniq.size)
+            area_y = n_k * fab.design_density * (lam * lam) * 1.0e-8
+            exponent = area_y * d0_u[inv].reshape(lam.shape)
+            return _scalar_exp_neg_clamped(exponent)
+
+        y = _cached(cache, ykey, compute_yield)
+        pc = model.probe_coverage
+        pass_rate = _scalar_pow_elementwise(y, pc)
+        q = _scalar_pow_elementwise(y, 1.0 - pc)
+        y_asm = _scalar_pow_pairwise(q * pk.bond_yield, kk)
+        y_eff = pass_rate * y_asm
+        packaging_cost = pk.base_cost_dollars \
+            + pk.cost_per_die_dollars * kk \
+            + pk.cost_per_cm2_dollars * (kk * area_cm2)
+        rate = t.tester_rate_dollars_per_hour
+        probe_c = (t.probe_base_seconds
+                   + t.probe_seconds_per_kilotransistor * n_k / 1000.0) \
+            * rate / 3600.0
+        final_c = (t.final_base_seconds
+                   + t.final_seconds_per_kilotransistor * n / 1000.0) \
+            * rate / 3600.0
+        feasible = (n_ch >= 1) & (y_eff >= _YIELD_CUTOFF)
+        with np.errstate(divide="ignore", over="ignore", invalid="ignore",
+                         under="ignore"):
+            silicon = c_w / (n_ch * n_k * y_eff)
+            overhead_total = kk * (probe_c / pass_rate) \
+                + packaging_cost + final_c
+            overhead = overhead_total / (y_asm * n)
+            cost = silicon + overhead
+        silicon = np.where(feasible, silicon, np.inf)
+        overhead = np.where(feasible, overhead, np.inf)
+        cost = _deliver(np.where(feasible, cost, np.inf), out)
+    if obs_on:
+        _metrics.inc("batch.chiplet.calls")
+        _metrics.inc("batch.chiplet.cells", int(n.size))
+        _metrics.observe("batch.chiplet.seconds", time.perf_counter() - t0)
+    return ChipletBatchResult(
+        feature_size_um=lam,
+        chiplet_count=kk,
+        transistors_per_chiplet=n_k,
+        chiplet_area_cm2=area_cm2,
+        wafer_cost_dollars=c_w,
+        dies_per_wafer=n_ch,
+        die_yield=y,
+        assembly_yield=y_asm,
+        effective_yield=y_eff,
+        packaging_cost_dollars=packaging_cost,
+        silicon_cost_per_transistor_dollars=silicon,
+        overhead_cost_per_transistor_dollars=overhead,
+        cost_per_transistor_dollars=cost,
+        feasible=feasible)

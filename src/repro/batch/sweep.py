@@ -71,15 +71,18 @@ from .cache import BatchCache, default_cache
 from .engine import (
     USE_DEFAULT_CACHE,
     _resolve_cache,
+    chiplet_cost_batch,
     transistor_cost_batch,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle with core
     from ..core.optimization import FabCharacterization
     from ..core.scenarios import Scenario
+    from ..system.chiplet import ChipletCostModel
 
 __all__ = [
     "BACKEND_CHOICES",
+    "ChipletCrossoverSweep",
     "DieAreaCostSweep",
     "FabCostSweep",
     "ScenarioSweep",
@@ -329,6 +332,58 @@ class ScenarioSweep:
         """Write one curve slice per growth-rate row into ``out``."""
         for i, growth_rate in enumerate(row_values.tolist()):
             out[i, :] = self.scenario._curve(col_values, growth_rate)
+
+
+@dataclass(frozen=True)
+class ChipletCrossoverSweep:
+    """Monolithic-vs-chiplet crossover plane: C_tr over (k rows, N_tr
+    cols) at one fixed feature size.
+
+    Rows are chiplet counts (integer-valued floats — row 1.0 is the
+    monolithic baseline), columns are system transistor budgets; each
+    cell prices the whole k-die assembly through
+    :func:`~repro.batch.engine.chiplet_cost_batch`, so per-column
+    argmins read off the cheapest die count per budget and the k=1 row
+    is the eq.-(1) reference the crossover is measured against.
+    ``model=None`` resolves to the default
+    :class:`~repro.system.chiplet.ChipletCostModel` lazily (the spec
+    must stay importable without :mod:`repro.system`, which imports
+    :mod:`repro.core` and hence this package).
+    """
+
+    feature_size_um: float = 0.8
+    model: "ChipletCostModel | None" = None
+
+    def _resolved_model(self) -> "ChipletCostModel":
+        if self.model is not None:
+            return self.model
+        from ..system.chiplet import ChipletCostModel
+        return ChipletCostModel()
+
+    def fingerprint(self) -> str:
+        """Stable identity for the checkpoint manifest."""
+        m = self._resolved_model()
+        f, pk, t = m.fab, m.packaging, m.test
+        return ("chiplet_crossover:" + repr((
+            self.feature_size_um,
+            f.cost_growth_rate, f.reference_cost_dollars,
+            f.wafer_radius_cm, f.design_density,
+            f.defect_coefficient, f.size_exponent_p,
+            pk.name, pk.base_cost_dollars, pk.cost_per_die_dollars,
+            pk.cost_per_cm2_dollars, pk.bond_yield,
+            t.tester_rate_dollars_per_hour, t.probe_base_seconds,
+            t.probe_seconds_per_kilotransistor, t.final_base_seconds,
+            t.final_seconds_per_kilotransistor,
+            m.probe_coverage)))
+
+    def evaluate_tile(self, row_values: np.ndarray, col_values: np.ndarray,
+                      out: np.ndarray, *,
+                      cache: BatchCache | None = None) -> None:
+        """Write C_tr for ``chiplet counts × budgets`` into ``out``."""
+        chiplet_cost_batch(
+            col_values[None, :], self.feature_size_um,
+            row_values[:, None], self._resolved_model(),
+            cache=cache, out=out)
 
 
 # ---------------------------------------------------------------------------

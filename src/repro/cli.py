@@ -17,6 +17,10 @@ Usage::
         --workers 4 --backend process --tile-size 65536 \\
         --checkpoint runs/fig8 --output landscape.npy
     python -m repro sweep --checkpoint runs/fig8 --resume ...
+    python -m repro chiplet --transistors 1e7 --chiplets 4 \\
+        --packaging interposer
+    python -m repro chiplet --sweep --k-max 8 --ntr-points 400 \\
+        --workers 2 --backend process --checkpoint runs/chiplet
     python -m repro cost --input points.csv --density 150 \\
         --record traffic.jsonl
     python -m repro replay --log traffic.jsonl --run-dir runs/replay
@@ -284,16 +288,31 @@ def _cmd_optimize(args: argparse.Namespace) -> None:
 def _cmd_sweep(args: argparse.Namespace) -> None:
     import numpy as np
 
-    from .batch.sweep import FabCostSweep, TiledSweepRunner
+    from .batch.sweep import (
+        ChipletCrossoverSweep,
+        FabCostSweep,
+        TiledSweepRunner,
+    )
     if args.ntr_points < 1 or args.lam_points < 1:
         raise ParameterError("--ntr-points and --lam-points must be >= 1")
     counts = np.geomspace(args.ntr_lo, args.ntr_hi, args.ntr_points)
-    lams = np.linspace(args.lam_lo, args.lam_hi, args.lam_points)
+    if args.spec == "chiplet":
+        # Rows are chiplet counts, columns are transistor budgets; the
+        # feature size is fixed (--lam-lo) — the crossover framing.
+        if args.k_max < 1:
+            raise ParameterError("--k-max must be >= 1")
+        spec: object = ChipletCrossoverSweep(feature_size_um=args.lam_lo)
+        row_values = np.arange(1, args.k_max + 1, dtype=float)
+        col_values = counts
+    else:
+        spec = FabCostSweep()
+        row_values = counts
+        col_values = np.linspace(args.lam_lo, args.lam_hi, args.lam_points)
     with TiledSweepRunner(backend=args.backend, workers=args.workers,
                           tile_size=args.tile_size,
                           checkpoint_dir=args.checkpoint,
                           resume=args.resume) as runner:
-        result = runner.run(FabCostSweep(), counts, lams)
+        result = runner.run(spec, row_values, col_values)
     if args.output:
         np.save(args.output, result.values)
     grid = result.values
@@ -313,13 +332,108 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
     at = result.argmin()
     if at is not None:
         i, j = at
-        rows += [
-            ("min cost per transistor [$1e-6]", grid[i, j] * 1e6),
-            ("optimal feature size [um]", float(lams[j])),
-            ("optimal transistor count", float(counts[i])),
-        ]
+        rows.append(("min cost per transistor [$1e-6]", grid[i, j] * 1e6))
+        if args.spec == "chiplet":
+            rows += [
+                ("optimal chiplet count", float(row_values[i])),
+                ("optimal transistor count", float(col_values[j])),
+            ]
+        else:
+            rows += [
+                ("optimal feature size [um]", float(col_values[j])),
+                ("optimal transistor count", float(row_values[i])),
+            ]
+    if args.spec == "chiplet" and args.k_max > 1:
+        mono = grid[0]
+        for i in range(1, grid.shape[0]):
+            wins = finite[i] & (grid[i] < mono)
+            first = int(np.argmax(wins)) if wins.any() else None
+            rows.append((
+                f"crossover k={int(row_values[i])} [N_tr]",
+                float(col_values[first]) if first is not None
+                else float("nan")))
     if args.output:
         rows.append(("saved grid", args.output))
+    print(ascii_table(("quantity", "value"), rows))
+
+
+def _chiplet_model(args: argparse.Namespace):
+    from .system.chiplet import PACKAGING_TECHS, ChipletCostModel
+    return ChipletCostModel(packaging=PACKAGING_TECHS[args.packaging],
+                            probe_coverage=args.probe_coverage)
+
+
+def _chiplet_sweep(args: argparse.Namespace) -> None:
+    import numpy as np
+
+    from .batch.sweep import ChipletCrossoverSweep, TiledSweepRunner
+    if args.k_max < 2:
+        raise ParameterError("--k-max must be >= 2 for a crossover sweep")
+    if args.ntr_points < 2:
+        raise ParameterError("--ntr-points must be >= 2")
+    spec = ChipletCrossoverSweep(feature_size_um=args.feature_size,
+                                 model=_chiplet_model(args))
+    ks = np.arange(1, args.k_max + 1, dtype=float)
+    counts = np.geomspace(args.ntr_lo, args.ntr_hi, args.ntr_points)
+    with TiledSweepRunner(backend=args.backend, workers=args.workers,
+                          tile_size=args.tile_size,
+                          checkpoint_dir=args.checkpoint,
+                          resume=args.resume) as runner:
+        result = runner.run(spec, ks, counts)
+    grid = result.values
+    if args.output:
+        np.save(args.output, grid)
+    finite = np.isfinite(grid)
+    stats = result.stats
+    rows = [
+        ("feature size [um]", args.feature_size),
+        ("grid points", float(grid.size)),
+        ("feasible cells", float(np.count_nonzero(finite))),
+        ("backend", stats["backend"]),
+        ("workers", float(stats["workers"])),
+        ("tiles (computed/resumed/total)",
+         f"{stats['tiles_computed']} / {stats['tiles_resumed']} / "
+         f"{stats['tiles_total']}"),
+        ("seconds", stats["seconds"]),
+    ]
+    mono = grid[0]
+    for i in range(1, grid.shape[0]):
+        wins = finite[i] & (grid[i] < mono)
+        if wins.any():
+            value = float(counts[int(np.argmax(wins))])
+        else:
+            value = float("nan")
+        rows.append((f"crossover k={int(ks[i])} [N_tr]", value))
+    if args.output:
+        rows.append(("saved grid", args.output))
+    print(ascii_table(("quantity", "value"), rows))
+
+
+def _cmd_chiplet(args: argparse.Namespace) -> None:
+    if args.sweep:
+        _chiplet_sweep(args)
+        return
+    breakdown = _chiplet_model(args).system_cost(
+        args.chiplets, args.transistors, args.feature_size)
+    rows = [
+        ("chiplets", float(breakdown.chiplets)),
+        ("transistors per chiplet", breakdown.transistors_per_chiplet),
+        ("chiplet area [cm^2]", breakdown.chiplet_area_cm2),
+        ("wafer cost [$]", breakdown.wafer_cost_dollars),
+        ("chiplet dies per wafer", float(breakdown.dies_per_wafer)),
+        ("die yield", breakdown.die_yield),
+        ("assembly yield", breakdown.assembly_yield),
+        ("effective yield", breakdown.effective_yield),
+        ("packaging cost [$]", breakdown.packaging_cost_dollars),
+        ("silicon cost per transistor [$1e-6]",
+         breakdown.silicon_cost_per_transistor_dollars * 1e6),
+        ("overhead cost per transistor [$1e-6]",
+         breakdown.overhead_cost_per_transistor_dollars * 1e6),
+        ("cost per transistor [$1e-6]",
+         breakdown.cost_per_transistor_microdollars),
+        ("system cost [$]", breakdown.system_cost_dollars),
+        ("feasible", float(breakdown.feasible)),
+    ]
     print(ascii_table(("quantity", "value"), rows))
 
 
@@ -628,6 +742,58 @@ def build_parser() -> argparse.ArgumentParser:
                             "--checkpoint DIR")
     sweep.add_argument("--output", metavar="FILE", default=None,
                        help="save the cost grid as a .npy array")
+    sweep.add_argument("--spec", default="fab",
+                       choices=("fab", "chiplet"),
+                       help="sweep specification: 'fab' is the (N_tr, "
+                            "lambda) Fig.-8 landscape; 'chiplet' is the "
+                            "(k, N_tr) crossover grid at fixed lambda "
+                            "(--lam-lo)")
+    sweep.add_argument("--k-max", type=int, default=8,
+                       help="largest chiplet count (with --spec chiplet)")
+
+    chiplet = add_parser(
+        "chiplet",
+        help="price a k-chiplet assembly, or sweep the "
+             "monolithic-vs-chiplet crossover (see docs/chiplet.md)")
+    chiplet.add_argument("--transistors", type=float, default=1e7,
+                         help="system transistor budget N_tr")
+    chiplet.add_argument("--feature-size", type=float, default=0.8,
+                         help="lambda in microns")
+    chiplet.add_argument("--chiplets", type=int, default=4,
+                         help="number of chiplets the budget is split "
+                              "across")
+    chiplet.add_argument("--packaging", default="organic",
+                         choices=("organic", "interposer", "bare"),
+                         help="packaging technology (docs/chiplet.md)")
+    chiplet.add_argument("--probe-coverage", type=float, default=0.95,
+                         help="wafer-probe fault coverage in [0, 1]")
+    chiplet.add_argument("--sweep", action="store_true",
+                         help="sweep the (k, N_tr) crossover grid instead "
+                              "of pricing one assembly")
+    chiplet.add_argument("--k-max", type=int, default=8,
+                         help="largest chiplet count (with --sweep)")
+    chiplet.add_argument("--ntr-lo", type=float, default=1e5,
+                         help="smallest transistor budget (with --sweep)")
+    chiplet.add_argument("--ntr-hi", type=float, default=1e9,
+                         help="largest transistor budget (with --sweep)")
+    chiplet.add_argument("--ntr-points", type=int, default=200,
+                         help="points along the budget axis (with --sweep)")
+    chiplet.add_argument("--tile-size", type=int, default=65536,
+                         help="target points per sweep tile")
+    chiplet.add_argument("--workers", type=int, default=None,
+                         help="worker count (results are identical for "
+                              "any value)")
+    chiplet.add_argument("--backend", default="auto",
+                         choices=("auto", "thread", "process"),
+                         help="tile execution backend (with --sweep)")
+    chiplet.add_argument("--checkpoint", metavar="DIR", default=None,
+                         help="flush each finished tile to DIR so a "
+                              "killed sweep can resume")
+    chiplet.add_argument("--resume", action="store_true",
+                         help="continue from the tiles already in "
+                              "--checkpoint DIR")
+    chiplet.add_argument("--output", metavar="FILE", default=None,
+                         help="save the sweep cost grid as a .npy array")
 
     scen = add_parser("scenarios",
                           help="Scenario #1 vs #2 cost sweep")
@@ -780,8 +946,8 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--connections", type=int, default=8,
                          help="keep-alive client connection pool size")
     loadgen.add_argument("--mix", default=None,
-                         help="endpoint mix, e.g. "
-                              "'cost=0.7,bulk=0.2,optimize=0.1'")
+                         help="endpoint mix, e.g. 'cost=0.6,bulk=0.2,"
+                              "optimize=0.1,chiplet=0.1'")
     loadgen.add_argument("--bulk-size", type=int, default=32,
                          help="points per /v1/cost/bulk request")
     loadgen.add_argument("--timeout", type=float, default=30.0,
@@ -835,6 +1001,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                 _cmd_optimize(args)
             elif args.command == "sweep":
                 _cmd_sweep(args)
+            elif args.command == "chiplet":
+                _cmd_chiplet(args)
             elif args.command == "scenarios":
                 _cmd_scenarios(args)
             elif args.command == "shrink":

@@ -9,11 +9,12 @@ instant** — time spent waiting for a free connection counts against
 the server, exactly as a real user would experience it
 (coordinated-omission-free, the Jain/Wilkes convention).
 
-The workload mixes the three POST endpoints of
-:mod:`repro.serve.http` — single ``/v1/cost`` bodies (alternating the
-recorded-query ``{"q": ...}`` form and bare point fields),
-``/v1/cost/bulk`` batches, and ``/v1/optimize`` — drawn from the same
-Fig.-8 design-point grid as ``benchmarks/bench_serve.py``.  With
+The workload mixes the POST endpoints of :mod:`repro.serve.http` —
+single ``/v1/cost`` bodies (alternating the recorded-query
+``{"q": ...}`` form and bare point fields), ``/v1/cost/bulk``
+batches, ``/v1/optimize``, and (opt-in via ``mix``) ``/v1/chiplet``
+assemblies — drawn from the same Fig.-8 design-point grid as
+``benchmarks/bench_serve.py``.  With
 ``verify=True`` (the default) every returned cost is compared
 **bitwise** against :func:`~repro.serve.query.scalar_reference_cost`;
 the scalar references are computed once per unique grid point, so
@@ -39,8 +40,8 @@ from typing import Any, Sequence
 
 from .errors import ParameterError
 from .obs.recording import query_to_record
-from .serve.http import point_to_query
-from .serve.query import FabCostQuery, scalar_reference_cost
+from .serve.http import chiplet_point_to_query, point_to_query
+from .serve.query import ChipletCostQuery, FabCostQuery, scalar_reference_cost
 
 __all__ = [
     "LoadResult",
@@ -52,12 +53,16 @@ __all__ = [
 
 #: Default endpoint mix (fractions of requests); bulk requests carry
 #: ``bulk_size`` points each, so the *point* mix skews heavily bulk.
-DEFAULT_MIX = {"cost": 0.7, "bulk": 0.2, "optimize": 0.1}
+#: ``chiplet`` ships at weight 0 — opt in with ``--mix chiplet=0.2``.
+DEFAULT_MIX = {"cost": 0.7, "bulk": 0.2, "optimize": 0.1, "chiplet": 0.0}
 
 #: λ grid (µm) and N_tr grid shared with bench_serve's design points.
 _LAMS = [0.4 + 0.125 * i for i in range(8)]
 _COUNTS = [1.0e5 * 4.0 ** j for j in range(6)]
 _DIE_AREAS = [0.25, 0.5, 1.0, 2.0]
+#: Chiplet-count and packaging grids for the ``chiplet`` workload kind.
+_CHIPLET_COUNTS = [2, 3, 4, 8]
+_PACKAGINGS = ["organic", "interposer"]
 
 
 @dataclass(frozen=True)
@@ -95,6 +100,16 @@ def _point_reference(n: float, lam: float,
     if key not in cache:
         cache[key] = scalar_reference_cost(point_to_query(
             {"transistors": n, "feature_size": lam}))
+    return cache[key]
+
+
+def _chiplet_reference(query: ChipletCostQuery,
+                       cache: dict[Any, float]) -> float:
+    """Scalar reference for one chiplet assembly query."""
+    key = ("chiplet", query.n_transistors, query.feature_size_um,
+           query.signature())
+    if key not in cache:
+        cache[key] = scalar_reference_cost(query)
     return cache[key]
 
 
@@ -139,6 +154,24 @@ def build_workload(n_requests: int, *,
                     {"q": query_to_record(FabCostQuery(n, lam))})
                 expected = _reference_costs([(n, lam)], ref_cache)
             specs.append(RequestSpec("cost", "/v1/cost", body, expected))
+        elif kind == "chiplet":
+            n = rng.choice(_COUNTS)
+            lam = rng.choice(_LAMS)
+            k = rng.choice(_CHIPLET_COUNTS)
+            packaging = rng.choice(_PACKAGINGS)
+            if i % 2:  # bare point fields → server-default chiplet model
+                fields = {"transistors": n, "feature_size": lam,
+                          "chiplets": k, "packaging": packaging}
+                body = json.dumps(fields)
+                query = chiplet_point_to_query(fields)
+            else:      # full recorded chiplet payload
+                query = chiplet_point_to_query(
+                    {"transistors": n, "feature_size": lam,
+                     "chiplets": k, "packaging": packaging})
+                body = json.dumps({"q": query_to_record(query)})
+            specs.append(RequestSpec(
+                "chiplet", "/v1/chiplet", body,
+                (_chiplet_reference(query, ref_cache),)))
         elif kind == "bulk":
             points = [(rng.choice(_COUNTS), rng.choice(_LAMS))
                       for _ in range(bulk_size)]
@@ -240,7 +273,7 @@ class _Connection:
 
 
 def _served_costs(spec: RequestSpec, payload: Any) -> list[float]:
-    if spec.kind == "cost":
+    if spec.kind in ("cost", "chiplet"):
         return [payload["cost_per_transistor_dollars"]]
     if spec.kind == "bulk":
         return list(payload["cost_per_transistor_dollars"])

@@ -136,8 +136,46 @@ def query_to_record(query: "CostQuery") -> dict[str, Any] | None:
     custom yield model, an unknown query kind) — the recorder then
     writes ``"q": null`` and the line is traffic-shape-only.
     """
-    from ..serve.query import FabCostQuery, ModelCostQuery
+    from ..serve.query import ChipletCostQuery, FabCostQuery, ModelCostQuery
 
+    if isinstance(query, ChipletCostQuery):
+        model = query.model
+        fab = model.fab
+        pk = model.packaging
+        test = model.test
+        return {
+            "n": query.n_transistors,
+            "lam": query.feature_size_um,
+            "chiplet": {
+                "chiplets": query.chiplets,
+                "fab": {
+                    "cost_growth_rate": fab.cost_growth_rate,
+                    "reference_cost_dollars": fab.reference_cost_dollars,
+                    "wafer_radius_cm": fab.wafer_radius_cm,
+                    "design_density": fab.design_density,
+                    "defect_coefficient": fab.defect_coefficient,
+                    "size_exponent_p": fab.size_exponent_p,
+                },
+                "packaging": {
+                    "name": pk.name,
+                    "base_cost_dollars": pk.base_cost_dollars,
+                    "cost_per_die_dollars": pk.cost_per_die_dollars,
+                    "cost_per_cm2_dollars": pk.cost_per_cm2_dollars,
+                    "bond_yield": pk.bond_yield,
+                },
+                "test": {
+                    "tester_rate_dollars_per_hour":
+                        test.tester_rate_dollars_per_hour,
+                    "probe_base_seconds": test.probe_base_seconds,
+                    "probe_seconds_per_kilotransistor":
+                        test.probe_seconds_per_kilotransistor,
+                    "final_base_seconds": test.final_base_seconds,
+                    "final_seconds_per_kilotransistor":
+                        test.final_seconds_per_kilotransistor,
+                },
+                "probe_coverage": model.probe_coverage,
+            },
+        }
     if isinstance(query, FabCostQuery):
         fab = query.fab
         return {
@@ -200,12 +238,25 @@ def record_to_query(data: dict[str, Any]) -> "CostQuery":
     from ..core.transistor_cost import TransistorCostModel
     from ..core.wafer_cost import GenerationModel, WaferCostModel
     from ..geometry.wafer import Wafer
-    from ..serve.query import FabCostQuery, ModelCostQuery
+    from ..manufacturing.test_cost import TestCostModel
+    from ..serve.query import ChipletCostQuery, FabCostQuery, ModelCostQuery
+    from ..system.chiplet import ChipletCostModel, PackagingTech
 
     if not isinstance(data, dict):
         raise ParameterError(
             f"recorded query payload must be an object, got {data!r}")
     try:
+        if "chiplet" in data:
+            spec = data["chiplet"]
+            return ChipletCostQuery(
+                n_transistors=data["n"],
+                feature_size_um=data["lam"],
+                chiplets=spec["chiplets"],
+                model=ChipletCostModel(
+                    fab=FabCharacterization(**spec["fab"]),
+                    packaging=PackagingTech(**spec["packaging"]),
+                    test=TestCostModel(**spec["test"]),
+                    probe_coverage=spec["probe_coverage"]))
         if "fab" in data:
             return FabCostQuery(
                 n_transistors=data["n"],

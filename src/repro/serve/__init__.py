@@ -11,8 +11,10 @@ scheduler coalesces them into few large vectorized evaluations.
 Pieces:
 
 * :class:`~repro.serve.query.FabCostQuery` /
-  :class:`~repro.serve.query.ModelCostQuery` — one design point plus
-  its model; :class:`~repro.serve.query.ServedCost` — the scalar
+  :class:`~repro.serve.query.ModelCostQuery` /
+  :class:`~repro.serve.query.ChipletCostQuery` — one design point
+  plus its model (the chiplet form prices a whole k-die assembly per
+  point); :class:`~repro.serve.query.ServedCost` — the scalar
   result, bitwise equal to direct scalar evaluation regardless of how
   the scheduler sliced the traffic (the batch-boundary invariance
   contract, enforced by ``tests/property_based/test_serve_parity.py``).
@@ -67,6 +69,7 @@ from .io import (
     served_row,
 )
 from .query import (
+    ChipletCostQuery,
     CostQuery,
     FabCostQuery,
     ModelCostQuery,
@@ -88,6 +91,7 @@ __all__ = [
     "AsyncCostService",
     "BACKEND_CHOICES",
     "SCHEDULER_BACKEND_CHOICES",
+    "ChipletCostQuery",
     "CostHttpServer",
     "CostQuery",
     "CostService",

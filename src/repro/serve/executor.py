@@ -48,7 +48,8 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..batch.cache import BatchCache
-from ..batch.engine import _die_geometry, dies_per_wafer_batch
+from ..batch.engine import _die_geometry, chiplet_cost_batch, \
+    dies_per_wafer_batch
 from ..core.wafer_cost import WaferCostModel
 from ..errors import ParameterError
 from ..geometry.wafer import Wafer
@@ -300,7 +301,43 @@ def _model_group(exemplar, n: np.ndarray, lam: np.ndarray,
         feasible=feasible)
 
 
-_EXECUTORS = {"fab": _fab_group, "model": _model_group}
+def _chiplet_group(exemplar, n: np.ndarray, lam: np.ndarray,
+                   cache: BatchCache | None,
+                   rows: GroupRows | None = None) -> GroupResult:
+    # Chiplet queries need no inlining here: chiplet_cost_batch is
+    # already *bitwise* equal to the scalar ChipletCostModel (its
+    # transcendentals run through scalar libm — see its docstring), so
+    # one kernel call serves the group.  The ServedCost projection:
+    # die_area is the per-chiplet area, dies_per_wafer the per-chiplet
+    # eq.-(4) count, yield_value the effective (probe × assembly)
+    # system yield — the quantities the eq.-(1)-shaped cost composes.
+    result = chiplet_cost_batch(n, lam, float(exemplar.chiplets),
+                                exemplar.model, cache=cache)
+    area_cm2 = result.chiplet_area_cm2
+    n_ch = result.dies_per_wafer
+    c_w = result.wafer_cost_dollars
+    y = result.effective_yield
+    cost = result.cost_per_transistor_dollars
+    feasible = result.feasible
+    if rows is not None:
+        rows.wafer_cost_dollars[...] = c_w
+        rows.die_area_cm2[...] = area_cm2
+        rows.dies_per_wafer[...] = n_ch
+        rows.yield_value[...] = y
+        rows.cost_per_transistor_dollars[...] = cost
+        rows.feasible[...] = feasible
+        c_w, area_cm2, y = rows.wafer_cost_dollars, rows.die_area_cm2, \
+            rows.yield_value
+        cost = rows.cost_per_transistor_dollars
+    return GroupResult(
+        n_transistors=n, feature_sizes_um=lam, wafer_cost_dollars=c_w,
+        die_area_cm2=area_cm2, dies_per_wafer=n_ch, yield_value=y,
+        cost_per_transistor_dollars=cost,
+        feasible=feasible)
+
+
+_EXECUTORS = {"fab": _fab_group, "model": _model_group,
+              "chiplet": _chiplet_group}
 
 
 def _concat(parts: list[GroupResult]) -> GroupResult:

@@ -26,6 +26,16 @@ Endpoints
     (list of field objects or a columnar dict of equal-length
     arrays).  Response: the columnar served-array document of
     :func:`~repro.serve.io.format_served_json`.
+``POST /v1/chiplet``
+    Price one ``k``-chiplet assembly per request.  Body is either a
+    recorded chiplet payload ``{"q": {...}}`` (the
+    :mod:`repro.obs.recording` format) or bare fields
+    ``{"transistors": ..., "feature_size": ..., "chiplets"?,
+    "packaging"?, "probe_coverage"?}`` priced with the library-default
+    :class:`~repro.system.chiplet.ChipletCostModel` (``packaging``
+    names an entry of
+    :data:`~repro.system.chiplet.PACKAGING_TECHS`).  Chiplet queries
+    also ride in ``POST /v1/cost/bulk`` ``"queries"`` payloads.
 ``POST /v1/optimize``
     Fixed-die-size λ optimization (paper Fig. 8 framing): ``
     {"die_area": x}`` or ``{"die_areas": [...]}`` with optional
@@ -81,7 +91,7 @@ from ..obs.state import enabled as _obs_enabled
 from .aio import AsyncCostService
 from .codec import error_body, retry_after_s, status_for
 from .io import RESULT_FIELDS, format_served_json, normalize_point, served_row
-from .query import CostQuery, ModelCostQuery, ServedCost
+from .query import ChipletCostQuery, CostQuery, ModelCostQuery, ServedCost
 
 __all__ = [
     "DEFAULT_MODEL_PARAMS",
@@ -90,6 +100,7 @@ __all__ = [
     "HttpRequest",
     "RequestParser",
     "ServerThread",
+    "chiplet_point_to_query",
     "point_to_query",
     "run_server",
 ]
@@ -267,6 +278,55 @@ def point_to_query(point: dict[str, float], *,
         yield_model=ReferenceAreaYield(
             reference_yield=point.get("yield0", yield0),
             reference_area_cm2=1.0))
+
+
+#: Bare-body fields ``POST /v1/chiplet`` accepts (everything else 400s).
+_CHIPLET_POINT_FIELDS = {"transistors", "feature_size", "chiplets",
+                         "packaging", "probe_coverage"}
+
+
+def chiplet_point_to_query(body: dict[str, Any],
+                           where: str = "POST /v1/chiplet"
+                           ) -> ChipletCostQuery:
+    """Build a chiplet query from bare HTTP point fields.
+
+    ``transistors`` and ``feature_size`` are required; ``chiplets``
+    defaults to the query default (4), ``packaging`` names an entry of
+    :data:`~repro.system.chiplet.PACKAGING_TECHS`, and
+    ``probe_coverage`` overrides the model default — everything else
+    about the model stays at library defaults, so a bare body prices
+    exactly like ``python -m repro chiplet`` with the same flags.
+    """
+    import dataclasses
+
+    from ..system.chiplet import PACKAGING_TECHS, ChipletCostModel
+
+    unknown = set(body) - _CHIPLET_POINT_FIELDS
+    if unknown:
+        raise ParameterError(f"{where}: unknown fields {sorted(unknown)}")
+    transistors = body.get("transistors")
+    feature_size = body.get("feature_size")
+    if transistors is None or feature_size is None:
+        raise ParameterError(
+            f"{where}: body needs transistors and feature_size fields")
+    model = ChipletCostModel()
+    if "packaging" in body:
+        name = body["packaging"]
+        tech = PACKAGING_TECHS.get(name)
+        if tech is None:
+            raise ParameterError(
+                f"{where}: unknown packaging {name!r} (choices: "
+                f"{sorted(PACKAGING_TECHS)})")
+        model = dataclasses.replace(model, packaging=tech)
+    if "probe_coverage" in body:
+        model = dataclasses.replace(
+            model, probe_coverage=body["probe_coverage"])
+    kwargs: dict[str, Any] = {}
+    if "chiplets" in body:
+        kwargs["chiplets"] = body["chiplets"]
+    return ChipletCostQuery(
+        n_transistors=transistors, feature_size_um=feature_size,
+        model=model, **kwargs)
 
 
 def _result_object(result: ServedCost) -> dict[str, Any]:
@@ -483,11 +543,12 @@ class CostHttpServer:
             ("GET", "/metrics"): self._get_metrics,
             ("POST", "/v1/cost"): self._post_cost,
             ("POST", "/v1/cost/bulk"): self._post_cost_bulk,
+            ("POST", "/v1/chiplet"): self._post_chiplet,
             ("POST", "/v1/optimize"): self._post_optimize,
         }.get(route)
         if handler is None:
             known = {"/healthz", "/metrics", "/v1/cost", "/v1/cost/bulk",
-                     "/v1/optimize"}
+                     "/v1/chiplet", "/v1/optimize"}
             if request.target in known:
                 return 405, {"error": "bad_request",
                              "message": f"{request.method} not allowed "
@@ -527,6 +588,25 @@ class CostHttpServer:
         with _span("http.parse"):
             query = self._query_from_body(self._json_body(request),
                                           "POST /v1/cost")
+        result = await self.service.evaluate(
+            query, timeout=self._submit_timeout)
+        return 200, _result_object(result), {}
+
+    async def _post_chiplet(self, request: HttpRequest
+                            ) -> tuple[int, Any, dict[str, str]]:
+        with _span("http.parse"):
+            body = self._json_body(request)
+            if not isinstance(body, dict):
+                raise ParameterError(
+                    "POST /v1/chiplet: body must be a JSON object")
+            if "q" in body:
+                query = record_to_query(body["q"])
+                if not isinstance(query, ChipletCostQuery):
+                    raise ParameterError(
+                        "POST /v1/chiplet: recorded payload is not a "
+                        "chiplet query (use POST /v1/cost)")
+            else:
+                query = chiplet_point_to_query(body)
         result = await self.service.evaluate(
             query, timeout=self._submit_timeout)
         return 200, _result_object(result), {}

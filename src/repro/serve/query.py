@@ -1,7 +1,7 @@
 """Query and result types for the :mod:`repro.serve` cost service.
 
 A *query* is one scalar design point plus everything needed to price
-it.  Two families cover the library's eq.-(1) entry points:
+it.  Three families cover the library's eq.-(1) entry points:
 
 * :class:`FabCostQuery` — the Fig.-8 composed form
   (eqs. 1+3+4+7) against a
@@ -13,6 +13,12 @@ it.  Two families cover the library's eq.-(1) entry points:
   that method (except that an unfittable die comes back as an
   infeasible result instead of a raise, exactly like
   :func:`repro.batch.evaluate_batch`).
+* :class:`ChipletCostQuery` — a k-chiplet assembly against a
+  :class:`~repro.system.chiplet.ChipletCostModel`; its scalar
+  reference is that model's ``cost_per_transistor``.  The chiplet
+  count and model live in the *signature* while ``point()`` stays
+  ``(N_tr, λ)``, so chiplet traffic rides the scheduler's coalescing,
+  dedup, and shared-memory machinery unchanged.
 
 Queries validate at construction, so a bad parameter fails at the
 submitting call site rather than poisoning a whole micro-batch.
@@ -40,10 +46,12 @@ from typing import Hashable
 from ..core.optimization import FIG8_FAB, FabCharacterization
 from ..core.transistor_cost import TransistorCostModel
 from ..errors import ParameterError
+from ..system.chiplet import ChipletCostModel
 from ..units import require_fraction, require_positive
 from ..yieldsim.models import ReferenceAreaYield, YieldModel
 
 __all__ = [
+    "ChipletCostQuery",
     "CostQuery",
     "FabCostQuery",
     "ModelCostQuery",
@@ -157,6 +165,72 @@ class FabCostQuery(CostQuery):
         return (self.n_transistors, self.feature_size_um)
 
 
+@dataclass(frozen=True)
+class ChipletCostQuery(CostQuery):
+    """Price one ``(N_tr, λ)`` point as a ``chiplets``-die assembly.
+
+    Scalar reference:
+    ``model.cost_per_transistor(chiplets, n_transistors,
+    feature_size_um)`` — the service's answer is bitwise equal to it
+    (the chiplet batch kernel replays the scalar operation order
+    exactly, transcendentals included), with the same ``inf``
+    convention for infeasible points.
+
+    ``point()`` stays the ``(N_tr, λ)`` dedup coordinate; the chiplet
+    count and every model parameter live in :meth:`signature`, so two
+    queries coalesce into one vectorized group only when they price
+    the same assembly design.
+    """
+
+    n_transistors: float
+    feature_size_um: float
+    chiplets: int = 4
+    model: ChipletCostModel = field(default_factory=ChipletCostModel)
+
+    kind = "chiplet"
+
+    def __post_init__(self) -> None:
+        require_positive("n_transistors", self.n_transistors)
+        require_positive("feature_size_um", self.feature_size_um)
+        if isinstance(self.chiplets, bool) \
+                or not isinstance(self.chiplets, int):
+            raise ParameterError(
+                f"chiplets must be an int, got {self.chiplets!r}")
+        if self.chiplets < 1:
+            raise ParameterError(
+                f"chiplets must be >= 1, got {self.chiplets}")
+        if not isinstance(self.model, ChipletCostModel):
+            raise ParameterError(
+                f"model must be a ChipletCostModel, got {self.model!r}")
+
+    def signature(self) -> Hashable:
+        """Chiplet count + fab + packaging + test + probe coverage.
+
+        Memoized per query instance (see
+        :meth:`FabCostQuery.signature` for why).
+        """
+        sig = self.__dict__.get("_sig")
+        if sig is None:
+            m = self.model
+            fab, pk, t = m.fab, m.packaging, m.test
+            sig = self.__dict__["_sig"] = (
+                "chiplet", self.chiplets,
+                fab.cost_growth_rate, fab.reference_cost_dollars,
+                fab.wafer_radius_cm, fab.design_density,
+                fab.defect_coefficient, fab.size_exponent_p,
+                pk.name, pk.base_cost_dollars, pk.cost_per_die_dollars,
+                pk.cost_per_cm2_dollars, pk.bond_yield,
+                t.tester_rate_dollars_per_hour, t.probe_base_seconds,
+                t.probe_seconds_per_kilotransistor, t.final_base_seconds,
+                t.final_seconds_per_kilotransistor,
+                m.probe_coverage)
+        return sig
+
+    def point(self) -> tuple[float, float]:
+        """The ``(N_tr, λ)`` coordinate."""
+        return (self.n_transistors, self.feature_size_um)
+
+
 def scalar_reference_cost(query: CostQuery) -> float:
     """The scalar-path C_tr the service must match bitwise for ``query``.
 
@@ -167,13 +241,18 @@ def scalar_reference_cost(query: CostQuery) -> float:
     :class:`ModelCostQuery` references
     :meth:`~repro.core.transistor_cost.TransistorCostModel.evaluate`
     with an unfittable die masked to ``inf`` (the batch-engine
-    convention the service follows instead of raising).
+    convention the service follows instead of raising), a
+    :class:`ChipletCostQuery` references
+    :meth:`~repro.system.chiplet.ChipletCostModel.cost_per_transistor`.
     """
     from ..core.optimization import transistor_cost_full
 
     if isinstance(query, FabCostQuery):
         return transistor_cost_full(query.n_transistors,
                                     query.feature_size_um, query.fab)
+    if isinstance(query, ChipletCostQuery):
+        return query.model.cost_per_transistor(
+            query.chiplets, query.n_transistors, query.feature_size_um)
     if not isinstance(query, ModelCostQuery):
         raise ParameterError(
             f"no scalar reference for query {query!r}")

@@ -11,6 +11,9 @@ cost, and price test escapes into known-good-die decisions.
   passive vs. smart (self-testing) substrates [30, 31].
 * :mod:`~repro.system.kgd` — known-good-die: how untested bare dies
   tax module yield, and what a KGD test is worth.
+* :mod:`~repro.system.chiplet` — partition N_tr across k chiplets:
+  KGD probe, packaging/interposer cost, per-join bonding yield, and
+  the monolithic-vs-chiplet crossover search.
 """
 
 from .partitioning import (
@@ -25,6 +28,17 @@ from .package_selection import (
     PackagingCostModel,
     PackagingStrategy,
     crossover_points,
+)
+from .chiplet import (
+    BARE_ASSEMBLY,
+    FREE_TEST,
+    ORGANIC_SUBSTRATE,
+    PACKAGING_TECHS,
+    SILICON_INTERPOSER,
+    ChipletCostBreakdown,
+    ChipletCostModel,
+    PackagingTech,
+    monolithic_crossover,
 )
 from .cosynthesis import (
     PartitionDesign,
@@ -50,4 +64,13 @@ __all__ = [
     "PackagingStrategy",
     "PackagingCostModel",
     "crossover_points",
+    "PackagingTech",
+    "ChipletCostBreakdown",
+    "ChipletCostModel",
+    "monolithic_crossover",
+    "ORGANIC_SUBSTRATE",
+    "SILICON_INTERPOSER",
+    "BARE_ASSEMBLY",
+    "PACKAGING_TECHS",
+    "FREE_TEST",
 ]

@@ -1,0 +1,207 @@
+"""Golden tests for :mod:`repro.system.chiplet`.
+
+Two load-bearing properties anchor the model:
+
+* the monolithic-vs-chiplet crossover budget moves **monotonically
+  down** as bonding yield improves — better assembly makes splitting
+  pay off sooner — with golden values at λ = 0.8 µm, k = 4;
+* with free packaging (``BARE_ASSEMBLY``), free test (``FREE_TEST``)
+  and full probe coverage, ``k = 1`` degenerates **bitwise** to the
+  monolithic eq.-(1) cost of
+  :func:`repro.core.optimization.transistor_cost_full`.
+"""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.core.optimization import transistor_cost_full
+from repro.errors import ParameterError
+from repro.manufacturing.test_cost import TestCostModel
+from repro.system.chiplet import (
+    BARE_ASSEMBLY,
+    FREE_TEST,
+    ORGANIC_SUBSTRATE,
+    PACKAGING_TECHS,
+    SILICON_INTERPOSER,
+    ChipletCostModel,
+    PackagingTech,
+    monolithic_crossover,
+)
+
+
+class TestPackagingTech:
+    def test_registry_holds_the_canonical_techs(self):
+        assert PACKAGING_TECHS == {
+            "organic": ORGANIC_SUBSTRATE,
+            "interposer": SILICON_INTERPOSER,
+            "bare": BARE_ASSEMBLY,
+        }
+        assert ORGANIC_SUBSTRATE.bond_yield == 0.98
+        assert SILICON_INTERPOSER.bond_yield == 0.995
+        assert BARE_ASSEMBLY.bond_yield == 1.0
+        assert BARE_ASSEMBLY.package_cost(4, 1.0) == 0.0
+
+    def test_package_cost_is_base_plus_per_die_plus_per_area(self):
+        tech = PackagingTech(name="t", base_cost_dollars=2.0,
+                             cost_per_die_dollars=0.5,
+                             cost_per_cm2_dollars=1.25, bond_yield=0.99)
+        assert tech.package_cost(4, 3.0) == 2.0 + 0.5 * 4 + 1.25 * (4 * 3.0)
+
+    def test_bond_yield_must_be_a_positive_fraction(self):
+        with pytest.raises(ParameterError):
+            PackagingTech(name="t", base_cost_dollars=0.0,
+                          cost_per_die_dollars=0.0,
+                          cost_per_cm2_dollars=0.0, bond_yield=0.0)
+        with pytest.raises(ParameterError):
+            PackagingTech(name="t", base_cost_dollars=-1.0,
+                          cost_per_die_dollars=0.0,
+                          cost_per_cm2_dollars=0.0, bond_yield=0.9)
+
+
+class TestChipletCostModel:
+    def test_chiplet_count_validation(self):
+        model = ChipletCostModel()
+        for bad in (0, -2, 1.5, True, "4"):
+            with pytest.raises(ParameterError):
+                model.system_cost(bad, 1e6, 0.8)
+
+    def test_point_validation(self):
+        model = ChipletCostModel()
+        with pytest.raises(ParameterError):
+            model.system_cost(2, -1e6, 0.8)
+        with pytest.raises(ParameterError):
+            model.system_cost(2, 1e6, 0.0)
+        with pytest.raises(ParameterError):
+            ChipletCostModel(probe_coverage=1.5)
+
+    def test_breakdown_accounting_identities(self):
+        model = ChipletCostModel(packaging=SILICON_INTERPOSER)
+        b = model.system_cost(4, 5e6, 0.8)
+        assert b.feasible
+        assert b.transistors_per_chiplet == 5e6 / 4
+        assert b.cost_per_transistor_dollars \
+            == b.silicon_cost_per_transistor_dollars \
+            + b.overhead_cost_per_transistor_dollars
+        assert b.system_cost_dollars \
+            == b.cost_per_transistor_dollars * b.n_transistors
+        assert b.cost_per_transistor_microdollars \
+            == b.cost_per_transistor_dollars * 1e6
+        assert 0.0 < b.effective_yield <= b.assembly_yield <= 1.0
+        assert b.packaging_cost_dollars == \
+            SILICON_INTERPOSER.package_cost(4, b.chiplet_area_cm2)
+
+    def test_infeasible_budget_prices_as_inf(self):
+        # A die bigger than the wafer fits zero dies per wafer.
+        b = ChipletCostModel().system_cost(1, 1e12, 3.0)
+        assert not b.feasible
+        assert math.isinf(b.cost_per_transistor_dollars)
+        assert math.isinf(b.silicon_cost_per_transistor_dollars)
+        assert math.isinf(b.overhead_cost_per_transistor_dollars)
+
+    def test_k1_degenerates_to_monolithic_eq1_bitwise(self):
+        # Free packaging + free test + full probe coverage leaves only
+        # the eq.-(1) silicon term, bit-for-bit.
+        model = ChipletCostModel(packaging=BARE_ASSEMBLY, test=FREE_TEST,
+                                 probe_coverage=1.0)
+        for n in (1e5, 3.7e5, 2e6, 1.3e7, 8e7):
+            for lam in (0.4, 0.8, 1.3, 2.1):
+                got = model.cost_per_transistor(1, n, lam)
+                want = transistor_cost_full(n, lam)
+                if math.isinf(want):
+                    assert math.isinf(got)
+                else:
+                    assert got == want
+
+    def test_splitting_restores_feasibility_of_big_budgets(self):
+        # A budget whose monolithic die cannot be built becomes
+        # buildable once partitioned.
+        model = ChipletCostModel()
+        mono = model.system_cost(1, 2e8, 0.8)
+        split = model.system_cost(8, 2e8, 0.8)
+        assert not mono.feasible or math.isinf(
+            mono.cost_per_transistor_dollars) \
+            or mono.cost_per_transistor_dollars \
+            > split.cost_per_transistor_dollars
+        assert split.feasible
+
+    def test_interposer_overhead_exceeds_organic(self):
+        organic = ChipletCostModel(packaging=ORGANIC_SUBSTRATE)
+        interposer = ChipletCostModel(packaging=SILICON_INTERPOSER)
+        # Same silicon, pricier package (bond-yield gains aside the
+        # interposer charges more per die and per cm²) at a point
+        # where assembly yield differences are negligible.
+        b_org = organic.system_cost(2, 2e5, 0.8)
+        b_int = interposer.system_cost(2, 2e5, 0.8)
+        assert b_int.packaging_cost_dollars > b_org.packaging_cost_dollars
+
+
+class TestMonolithicCrossover:
+    #: Golden crossover budgets at λ = 0.8 µm, k = 4, organic
+    #: packaging with the bond yield swept: better bonding moves the
+    #: crossover earlier (smaller budget).
+    GOLDEN = {
+        0.90: 3.7195e5,
+        0.95: 3.1866e5,
+        0.98: 2.8748e5,
+        0.995: 2.7034e5,
+    }
+
+    def test_crossover_moves_down_as_bond_yield_improves(self):
+        crossovers = {}
+        for bond, want in self.GOLDEN.items():
+            model = ChipletCostModel(packaging=dataclasses.replace(
+                ORGANIC_SUBSTRATE, bond_yield=bond))
+            got = monolithic_crossover(model, 0.8, chiplets=4)
+            assert got is not None
+            assert got == pytest.approx(want, rel=1e-3)
+            crossovers[bond] = got
+        ordered = [crossovers[b] for b in sorted(crossovers)]
+        assert ordered == sorted(ordered, reverse=True)
+
+    def test_crossover_budget_actually_crosses(self):
+        model = ChipletCostModel()
+        n_star = monolithic_crossover(model, 0.8, chiplets=4)
+        assert n_star is not None
+        below = 0.98 * n_star
+        above = 1.02 * n_star
+        assert model.cost_per_transistor(1, below, 0.8) \
+            <= model.cost_per_transistor(4, below, 0.8)
+        assert model.cost_per_transistor(4, above, 0.8) \
+            < model.cost_per_transistor(1, above, 0.8)
+
+    def test_crossover_requires_at_least_two_chiplets(self):
+        with pytest.raises(ParameterError):
+            monolithic_crossover(ChipletCostModel(), 0.8, chiplets=1)
+
+    def test_no_crossover_returns_none(self):
+        # An absurdly expensive package never wins over the scanned
+        # budget range (the range matters: close to the monolithic
+        # feasibility edge the monolithic cost grows without bound, so
+        # any finite package eventually pays off).
+        never = ChipletCostModel(packaging=PackagingTech(
+            name="gold", base_cost_dollars=1e12,
+            cost_per_die_dollars=1e12, cost_per_cm2_dollars=1e12,
+            bond_yield=0.999))
+        assert monolithic_crossover(
+            never, 0.8, chiplets=4, n_lo=1e5, n_hi=2e6) is None
+
+
+class TestRecordingRoundTrip:
+    def test_chiplet_query_round_trips_through_the_record_codec(self):
+        import json
+
+        from repro.obs.recording import query_to_record, record_to_query
+        from repro.serve import ChipletCostQuery
+        query = ChipletCostQuery(
+            n_transistors=3.3e6, feature_size_um=0.7, chiplets=3,
+            model=ChipletCostModel(
+                packaging=SILICON_INTERPOSER,
+                test=TestCostModel(tester_rate_dollars_per_hour=450.0),
+                probe_coverage=0.9))
+        payload = json.loads(json.dumps(query_to_record(query)))
+        rebuilt = record_to_query(payload)
+        assert rebuilt == query
+        assert rebuilt.signature() == query.signature()
+        assert rebuilt.point() == query.point()
